@@ -1,0 +1,252 @@
+//! The application container and builder.
+
+use crate::page::{AppPage, PageId, PageKind};
+use hbbtv_net::Url;
+use serde::{Deserialize, Serialize};
+
+/// The four colored remote-control buttons the HbbTV standard assigns to
+/// applications (§II): red toggles the autostart app, the other three are
+/// at the channel's discretion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColorButton {
+    /// Red — usually shows/hides the broadcast-related autostart app.
+    Red,
+    /// Green — variable usage.
+    Green,
+    /// Yellow — variable usage.
+    Yellow,
+    /// Blue — variable usage (§VI finds privacy information here most
+    /// often).
+    Blue,
+}
+
+impl ColorButton {
+    /// All four buttons in the measurement-run order Red, Green, Blue,
+    /// Yellow is *not* used here; this is the standard's enumeration.
+    pub const ALL: [ColorButton; 4] = [
+        ColorButton::Red,
+        ColorButton::Green,
+        ColorButton::Yellow,
+        ColorButton::Blue,
+    ];
+}
+
+/// A complete HbbTV application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbbtvApp {
+    entry_url: Url,
+    pages: Vec<AppPage>,
+    autostart: Option<PageId>,
+    red: Option<PageId>,
+    green: Option<PageId>,
+    yellow: Option<PageId>,
+    blue: Option<PageId>,
+}
+
+impl HbbtvApp {
+    /// The entry-point URL (signalled in the AIT).
+    pub fn entry_url(&self) -> &Url {
+        &self.entry_url
+    }
+
+    /// All pages, indexable by [`PageId`] value.
+    pub fn pages(&self) -> &[AppPage] {
+        &self.pages
+    }
+
+    /// Looks up a page.
+    pub fn page(&self, id: PageId) -> Option<&AppPage> {
+        self.pages.get(id.0 as usize)
+    }
+
+    /// The autostart page opened on tune-in, if any.
+    pub fn autostart_page(&self) -> Option<&AppPage> {
+        self.autostart.and_then(|id| self.page(id))
+    }
+
+    /// The page bound to a colored button, if any.
+    pub fn page_for(&self, button: ColorButton) -> Option<&AppPage> {
+        let id = match button {
+            ColorButton::Red => self.red,
+            ColorButton::Green => self.green,
+            ColorButton::Yellow => self.yellow,
+            ColorButton::Blue => self.blue,
+        }?;
+        self.page(id)
+    }
+
+    /// Whether any page shows a consent notice.
+    pub fn has_consent_notice(&self) -> bool {
+        self.pages.iter().any(|p| p.notice.is_some())
+    }
+
+    /// Whether any page shows a privacy pointer.
+    pub fn has_privacy_pointer(&self) -> bool {
+        self.pages.iter().any(|p| p.privacy_pointer)
+    }
+}
+
+/// Builder for [`HbbtvApp`].
+///
+/// Pages are created in order; their index is their [`PageId`].
+#[derive(Debug)]
+pub struct AppBuilder {
+    entry_url: Url,
+    pages: Vec<AppPage>,
+    autostart: Option<PageId>,
+    red: Option<PageId>,
+    green: Option<PageId>,
+    yellow: Option<PageId>,
+    blue: Option<PageId>,
+}
+
+impl AppBuilder {
+    /// Starts an application at the given entry URL.
+    pub fn new(entry_url: Url) -> Self {
+        AppBuilder {
+            entry_url,
+            pages: Vec::new(),
+            autostart: None,
+            red: None,
+            green: None,
+            yellow: None,
+            blue: None,
+        }
+    }
+
+    /// Adds a page of the given kind, configured by `f`. Returns `self`
+    /// for chaining; the page's id is its creation index.
+    pub fn page<F>(mut self, kind: PageKind, f: F) -> Self
+    where
+        F: FnOnce(&mut AppPage),
+    {
+        let id = PageId(self.pages.len() as u16);
+        let mut page = AppPage::new(id, kind);
+        f(&mut page);
+        self.pages.push(page);
+        self
+    }
+
+    /// Marks page `idx` as the autostart page.
+    pub fn autostart(mut self, idx: u16) -> Self {
+        self.autostart = Some(PageId(idx));
+        self
+    }
+
+    /// Binds a colored button to page `idx`.
+    pub fn bind(mut self, button: ColorButton, idx: u16) -> Self {
+        let id = Some(PageId(idx));
+        match button {
+            ColorButton::Red => self.red = id,
+            ColorButton::Green => self.green = id,
+            ColorButton::Yellow => self.yellow = id,
+            ColorButton::Blue => self.blue = id,
+        }
+        self
+    }
+
+    /// Finalizes the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the autostart page, a button binding, or a page link
+    /// references a page index that does not exist.
+    pub fn build(self) -> HbbtvApp {
+        let n = self.pages.len() as u16;
+        let check = |id: Option<PageId>, what: &str| {
+            if let Some(PageId(i)) = id {
+                assert!(i < n, "{what} references missing page {i} (have {n})");
+            }
+        };
+        check(self.autostart, "autostart");
+        check(self.red, "red button");
+        check(self.green, "green button");
+        check(self.yellow, "yellow button");
+        check(self.blue, "blue button");
+        for p in &self.pages {
+            for l in &p.links {
+                assert!(l.0 < n, "page {} links to missing page {}", p.id, l);
+            }
+        }
+        HbbtvApp {
+            entry_url: self.entry_url,
+            pages: self.pages,
+            autostart: self.autostart,
+            red: self.red,
+            green: self.green,
+            yellow: self.yellow,
+            blue: self.blue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{ResourceKind, ResourceLoad};
+    use hbbtv_consent::{branding_catalog, NoticeBranding};
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    fn sample_app() -> HbbtvApp {
+        AppBuilder::new(url("http://hbbtv.rtl.de/start"))
+            .page(PageKind::AutostartBar, |p| {
+                p.resource(ResourceLoad::get(
+                    url("http://hbbtv.rtl.de/bar.js"),
+                    ResourceKind::Script,
+                ));
+                p.with_notice(branding_catalog(NoticeBranding::RtlGermany));
+            })
+            .page(PageKind::MediaLibrary, |p| {
+                p.privacy_pointer();
+                p.link(PageId(2));
+            })
+            .page(PageKind::PrivacyPolicy, |_| {})
+            .autostart(0)
+            .bind(ColorButton::Red, 1)
+            .bind(ColorButton::Blue, 2)
+            .build()
+    }
+
+    #[test]
+    fn builder_wires_everything() {
+        let app = sample_app();
+        assert_eq!(app.pages().len(), 3);
+        assert_eq!(app.autostart_page().unwrap().id, PageId(0));
+        assert_eq!(app.page_for(ColorButton::Red).unwrap().id, PageId(1));
+        assert_eq!(app.page_for(ColorButton::Blue).unwrap().id, PageId(2));
+        assert!(app.page_for(ColorButton::Green).is_none());
+        assert!(app.has_consent_notice());
+        assert!(app.has_privacy_pointer());
+        assert_eq!(app.entry_url().host(), "hbbtv.rtl.de");
+    }
+
+    #[test]
+    #[should_panic(expected = "references missing page")]
+    fn build_validates_bindings() {
+        let _ = AppBuilder::new(url("http://x.de/"))
+            .page(PageKind::AutostartBar, |_| {})
+            .bind(ColorButton::Red, 7)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "links to missing page")]
+    fn build_validates_links() {
+        let _ = AppBuilder::new(url("http://x.de/"))
+            .page(PageKind::AutostartBar, |p| {
+                p.link(PageId(5));
+            })
+            .build();
+    }
+
+    #[test]
+    fn app_without_autostart_is_fine() {
+        let app = AppBuilder::new(url("http://x.de/")).build();
+        assert!(app.autostart_page().is_none());
+        assert!(!app.has_consent_notice());
+        assert_eq!(ColorButton::ALL.len(), 4);
+    }
+}

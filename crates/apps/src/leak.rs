@@ -1,0 +1,217 @@
+//! Personal-data leakage specifications.
+//!
+//! §V-B distinguishes **technical data** (manufacturer, model, OS,
+//! language, local time, IP/MAC address) from **behavioral data** (the
+//! aired program, show genres, brands). A [`LeakSpec`] on a resource
+//! load declares which items the app attaches to the request; the TV
+//! runtime fills in the concrete values (from its device profile and the
+//! current program guide) when the request is built.
+
+use serde::{Deserialize, Serialize};
+
+/// One datum an application can exfiltrate with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LeakItem {
+    /// TV manufacturer (`LGE`). Technical.
+    Manufacturer,
+    /// TV model (`43UK6300LLB`). Technical.
+    Model,
+    /// Operating system and version (`WEBOS4.0 05.40.26`). Technical.
+    OperatingSystem,
+    /// UI language (`German`). Technical.
+    Language,
+    /// Local time. Technical.
+    LocalTime,
+    /// IP address. Technical.
+    IpAddress,
+    /// MAC address. Technical.
+    MacAddress,
+    /// Genre of the currently aired show. Behavioral.
+    Genre,
+    /// Title of the currently watched show. Behavioral.
+    ShowTitle,
+    /// Name of the watched channel. Behavioral.
+    ChannelName,
+    /// A brand mentioned in ad context (§V-B found e.g. L'Oréal
+    /// unrelated to the aired show). Behavioral.
+    Brand,
+    /// A persistent user identifier. Behavioral.
+    UserId,
+    /// A session identifier. Behavioral.
+    SessionId,
+}
+
+impl LeakItem {
+    /// Whether the item is technical device data (vs. behavioral).
+    pub fn is_technical(self) -> bool {
+        matches!(
+            self,
+            LeakItem::Manufacturer
+                | LeakItem::Model
+                | LeakItem::OperatingSystem
+                | LeakItem::Language
+                | LeakItem::LocalTime
+                | LeakItem::IpAddress
+                | LeakItem::MacAddress
+        )
+    }
+
+    /// The query-parameter name the simulation uses for this item (what
+    /// keyword search in the analysis later finds).
+    pub fn param_name(self) -> &'static str {
+        match self {
+            LeakItem::Manufacturer => "mfr",
+            LeakItem::Model => "model",
+            LeakItem::OperatingSystem => "os",
+            LeakItem::Language => "lang",
+            LeakItem::LocalTime => "lt",
+            LeakItem::IpAddress => "ip",
+            LeakItem::MacAddress => "mac",
+            LeakItem::Genre => "genre",
+            LeakItem::ShowTitle => "show",
+            LeakItem::ChannelName => "ch",
+            LeakItem::Brand => "brand",
+            LeakItem::UserId => "uid",
+            LeakItem::SessionId => "sid",
+        }
+    }
+}
+
+/// The set of items a request leaks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakSpec {
+    items: Vec<LeakItem>,
+}
+
+impl LeakSpec {
+    /// No leakage.
+    pub fn none() -> Self {
+        LeakSpec::default()
+    }
+
+    /// A spec leaking the given items (duplicates removed, order kept).
+    pub fn of(items: &[LeakItem]) -> Self {
+        let mut v = Vec::new();
+        for &i in items {
+            if !v.contains(&i) {
+                v.push(i);
+            }
+        }
+        LeakSpec { items: v }
+    }
+
+    /// The full §V-B technical-data battery.
+    pub fn full_technical() -> Self {
+        LeakSpec::of(&[
+            LeakItem::Manufacturer,
+            LeakItem::Model,
+            LeakItem::OperatingSystem,
+            LeakItem::Language,
+            LeakItem::LocalTime,
+            LeakItem::IpAddress,
+        ])
+    }
+
+    /// The tvping-style beacon payload: channel, session, and user IDs.
+    pub fn beacon_ids() -> Self {
+        LeakSpec::of(&[LeakItem::ChannelName, LeakItem::SessionId, LeakItem::UserId])
+    }
+
+    /// The leaked items.
+    pub fn items(&self) -> &[LeakItem] {
+        &self.items
+    }
+
+    /// Whether nothing is leaked.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether any technical item is leaked.
+    pub fn leaks_technical(&self) -> bool {
+        self.items.iter().any(|i| i.is_technical())
+    }
+
+    /// Whether any behavioral item is leaked.
+    pub fn leaks_behavioral(&self) -> bool {
+        self.items.iter().any(|i| !i.is_technical())
+    }
+}
+
+impl FromIterator<LeakItem> for LeakSpec {
+    fn from_iter<T: IntoIterator<Item = LeakItem>>(iter: T) -> Self {
+        let v: Vec<LeakItem> = iter.into_iter().collect();
+        LeakSpec::of(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technical_vs_behavioral_partition() {
+        let technical = [
+            LeakItem::Manufacturer,
+            LeakItem::Model,
+            LeakItem::OperatingSystem,
+            LeakItem::Language,
+            LeakItem::LocalTime,
+            LeakItem::IpAddress,
+            LeakItem::MacAddress,
+        ];
+        let behavioral = [
+            LeakItem::Genre,
+            LeakItem::ShowTitle,
+            LeakItem::ChannelName,
+            LeakItem::Brand,
+            LeakItem::UserId,
+            LeakItem::SessionId,
+        ];
+        assert!(technical.iter().all(|i| i.is_technical()));
+        assert!(behavioral.iter().all(|i| !i.is_technical()));
+    }
+
+    #[test]
+    fn spec_deduplicates() {
+        let s = LeakSpec::of(&[LeakItem::Genre, LeakItem::Genre, LeakItem::UserId]);
+        assert_eq!(s.items().len(), 2);
+    }
+
+    #[test]
+    fn spec_classification() {
+        assert!(LeakSpec::full_technical().leaks_technical());
+        assert!(!LeakSpec::full_technical().leaks_behavioral());
+        assert!(LeakSpec::beacon_ids().leaks_behavioral());
+        assert!(!LeakSpec::beacon_ids().leaks_technical());
+        assert!(LeakSpec::none().is_empty());
+    }
+
+    #[test]
+    fn param_names_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            LeakItem::Manufacturer,
+            LeakItem::Model,
+            LeakItem::OperatingSystem,
+            LeakItem::Language,
+            LeakItem::LocalTime,
+            LeakItem::IpAddress,
+            LeakItem::MacAddress,
+            LeakItem::Genre,
+            LeakItem::ShowTitle,
+            LeakItem::ChannelName,
+            LeakItem::Brand,
+            LeakItem::UserId,
+            LeakItem::SessionId,
+        ];
+        let names: HashSet<&str> = all.iter().map(|i| i.param_name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn from_iterator_collects_dedup() {
+        let s: LeakSpec = vec![LeakItem::Brand, LeakItem::Brand].into_iter().collect();
+        assert_eq!(s.items(), &[LeakItem::Brand]);
+    }
+}

@@ -1,0 +1,46 @@
+//! The HbbTV application model.
+//!
+//! An HbbTV application is an HTML5 app the TV loads from the URL
+//! signalled in the broadcast AIT. For the measurement, what matters is
+//! the app's *network and screen behavior*: which resources it fetches
+//! from which parties (and how often), what data it attaches to those
+//! requests, which overlay it paints, whether it shows a consent notice,
+//! and what the colored buttons are bound to.
+//!
+//! This crate models applications declaratively as a set of [`AppPage`]s
+//! connected by [`ColorButton`] bindings and in-page links. The TV
+//! runtime (`hbbtv-tv`) interprets the model: opening a page issues its
+//! [`ResourceLoad`]s, keeps its beacons firing, and renders its overlay
+//! into screenshots.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbbtv_apps::{AppBuilder, ColorButton, PageKind, ResourceKind, ResourceLoad};
+//!
+//! let app = AppBuilder::new("http://hbbtv.zdf.de/start".parse()?)
+//!     .page(PageKind::AutostartBar, |p| {
+//!         p.resource(ResourceLoad::get("http://hbbtv.zdf.de/bar.css".parse().unwrap(), ResourceKind::Css));
+//!     })
+//!     .page(PageKind::MediaLibrary, |p| {
+//!         p.privacy_pointer();
+//!     })
+//!     .autostart(0)
+//!     .bind(ColorButton::Red, 1)
+//!     .build();
+//! assert_eq!(app.page_for(ColorButton::Red), Some(&app.pages()[1]));
+//! # Ok::<(), hbbtv_net::ParseUrlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod leak;
+mod page;
+
+pub use app::{AppBuilder, ColorButton, HbbtvApp};
+pub use leak::{LeakItem, LeakSpec};
+pub use page::{
+    AppPage, PageId, PageKind, ResourceKind, ResourceLoad, StorageValueKind, StorageWrite,
+};

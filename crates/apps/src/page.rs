@@ -1,0 +1,297 @@
+//! Application pages and their resource loads.
+
+use crate::leak::LeakSpec;
+use hbbtv_consent::ConsentNotice;
+use hbbtv_net::{Duration, Method, Url};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a page within its application.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PageId(pub u16);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{}", self.0)
+    }
+}
+
+/// What kind of surface a page renders (drives screenshot annotation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// The red-button autostart bar (minimal overlay over the program).
+    AutostartBar,
+    /// A media library / dashboard.
+    MediaLibrary,
+    /// A privacy-policy reading page.
+    PrivacyPolicy,
+    /// Cookie-settings page (may render next to a policy → hybrid).
+    CookieSettings,
+    /// Teletext-style info service.
+    InfoText,
+    /// A game.
+    Game,
+    /// A shopping overlay.
+    Shop,
+    /// An advertisement overlay.
+    Advertisement,
+}
+
+/// The resource type a load requests, mirroring what the HTTP response's
+/// content type will be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// An HTML document.
+    Document,
+    /// A script.
+    Script,
+    /// An image (tracking pixels are requested as images).
+    Image,
+    /// A stylesheet.
+    Css,
+    /// A beacon/XHR call.
+    Xhr,
+    /// Video/media content.
+    Media,
+}
+
+/// One network fetch a page performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceLoad {
+    /// Target URL.
+    pub url: Url,
+    /// Requested resource type.
+    pub kind: ResourceKind,
+    /// HTTP method.
+    pub method: Method,
+    /// Data attached to the request.
+    pub leaks: LeakSpec,
+    /// `Some(interval)` makes this a repeating beacon while the page is
+    /// open (tvping fires roughly every second); `None` fires once at
+    /// page open.
+    pub repeat_every: Option<Duration>,
+    /// How many copies fire per beacon tick (default 1). Models buggy
+    /// apps that burst-fire beacons — the §V-D3 outlier channel issued
+    /// 59,499 tracking requests in a single run.
+    pub burst: u32,
+}
+
+impl ResourceLoad {
+    /// A one-shot GET with no leakage.
+    pub fn get(url: Url, kind: ResourceKind) -> Self {
+        ResourceLoad {
+            url,
+            kind,
+            method: Method::Get,
+            leaks: LeakSpec::none(),
+            repeat_every: None,
+            burst: 1,
+        }
+    }
+
+    /// A one-shot POST with no leakage.
+    pub fn post(url: Url, kind: ResourceKind) -> Self {
+        ResourceLoad {
+            method: Method::Post,
+            ..Self::get(url, kind)
+        }
+    }
+
+    /// Builder-style: attaches a leak specification.
+    pub fn leaking(mut self, leaks: LeakSpec) -> Self {
+        self.leaks = leaks;
+        self
+    }
+
+    /// Builder-style: repeats every `interval` while the page is open.
+    pub fn repeating(mut self, interval: Duration) -> Self {
+        self.repeat_every = Some(interval);
+        self
+    }
+
+    /// Builder-style: fires `n` copies per beacon tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn bursting(mut self, n: u32) -> Self {
+        assert!(n > 0, "burst must fire at least one request");
+        self.burst = n;
+        self
+    }
+
+    /// Whether this load repeats while the page stays open.
+    pub fn is_beacon(&self) -> bool {
+        self.repeat_every.is_some()
+    }
+}
+
+/// What value an application writes into the TV's local storage.
+///
+/// §IV-D counts 731 local-storage objects across the runs; §V-C3's
+/// identifier heuristic has to separate minted IDs from timestamps, so
+/// the simulation writes both kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageValueKind {
+    /// A minted identifier of the given length.
+    Identifier(usize),
+    /// The current Unix timestamp (e.g. "consent collected at").
+    UnixTimestamp,
+    /// A consent-state string.
+    ConsentState,
+}
+
+/// One local-storage write a page performs on open.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageWrite {
+    /// Storage key.
+    pub key: String,
+    /// What value to store.
+    pub kind: StorageValueKind,
+}
+
+impl StorageWrite {
+    /// Creates a storage write.
+    pub fn new(key: &str, kind: StorageValueKind) -> Self {
+        StorageWrite {
+            key: key.to_string(),
+            kind,
+        }
+    }
+}
+
+/// One page of an HbbTV application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPage {
+    /// Page identity within the app.
+    pub id: PageId,
+    /// Surface kind (drives screenshot annotation).
+    pub kind: PageKind,
+    /// Fetches performed when the page opens (beacons keep firing).
+    pub resources: Vec<ResourceLoad>,
+    /// Consent notice displayed when the page opens, if any.
+    pub notice: Option<ConsentNotice>,
+    /// Whether the page shows a "Privacy"/"Cookie Settings" pointer.
+    pub privacy_pointer: bool,
+    /// Pages reachable by moving the cursor and pressing ENTER; entering
+    /// the n-th link opens that page.
+    pub links: Vec<PageId>,
+    /// Additional fetches fired only after the user grants full consent
+    /// (consent-gated trackers).
+    pub post_consent_resources: Vec<ResourceLoad>,
+    /// Local-storage writes performed when the page opens.
+    pub storage_writes: Vec<StorageWrite>,
+}
+
+impl AppPage {
+    /// Creates an empty page of the given kind.
+    pub fn new(id: PageId, kind: PageKind) -> Self {
+        AppPage {
+            id,
+            kind,
+            resources: Vec::new(),
+            notice: None,
+            privacy_pointer: false,
+            links: Vec::new(),
+            post_consent_resources: Vec::new(),
+            storage_writes: Vec::new(),
+        }
+    }
+
+    /// Adds a resource load.
+    pub fn resource(&mut self, load: ResourceLoad) -> &mut Self {
+        self.resources.push(load);
+        self
+    }
+
+    /// Adds a consent-gated resource load.
+    pub fn post_consent_resource(&mut self, load: ResourceLoad) -> &mut Self {
+        self.post_consent_resources.push(load);
+        self
+    }
+
+    /// Attaches a consent notice.
+    pub fn with_notice(&mut self, notice: ConsentNotice) -> &mut Self {
+        self.notice = Some(notice);
+        self
+    }
+
+    /// Marks the page as showing a privacy pointer.
+    pub fn privacy_pointer(&mut self) -> &mut Self {
+        self.privacy_pointer = true;
+        self
+    }
+
+    /// Links another page (reachable via ENTER).
+    pub fn link(&mut self, to: PageId) -> &mut Self {
+        self.links.push(to);
+        self
+    }
+
+    /// Adds a local-storage write.
+    pub fn store(&mut self, write: StorageWrite) -> &mut Self {
+        self.storage_writes.push(write);
+        self
+    }
+
+    /// All beacons (repeating loads) of this page.
+    pub fn beacons(&self) -> impl Iterator<Item = &ResourceLoad> {
+        self.resources.iter().filter(|r| r.is_beacon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn resource_builders() {
+        let r = ResourceLoad::get(url("http://x.de/a.js"), ResourceKind::Script);
+        assert_eq!(r.method, Method::Get);
+        assert!(!r.is_beacon());
+        let b = ResourceLoad::post(url("http://x.de/b"), ResourceKind::Xhr)
+            .leaking(LeakSpec::beacon_ids())
+            .repeating(Duration::from_secs(1));
+        assert_eq!(b.method, Method::Post);
+        assert!(b.is_beacon());
+        assert!(b.leaks.leaks_behavioral());
+    }
+
+    #[test]
+    fn page_accumulates_content() {
+        let mut p = AppPage::new(PageId(0), PageKind::MediaLibrary);
+        p.resource(ResourceLoad::get(url("http://x.de/lib.css"), ResourceKind::Css))
+            .resource(
+                ResourceLoad::get(url("http://tvping.com/p"), ResourceKind::Image)
+                    .repeating(Duration::from_secs(1)),
+            )
+            .privacy_pointer()
+            .link(PageId(1));
+        assert_eq!(p.resources.len(), 2);
+        assert_eq!(p.beacons().count(), 1);
+        assert!(p.privacy_pointer);
+        assert_eq!(p.links, vec![PageId(1)]);
+    }
+
+    #[test]
+    fn post_consent_resources_are_separate() {
+        let mut p = AppPage::new(PageId(2), PageKind::AutostartBar);
+        p.post_consent_resource(ResourceLoad::get(
+            url("http://ads.adform.net/banner"),
+            ResourceKind::Image,
+        ));
+        assert!(p.resources.is_empty());
+        assert_eq!(p.post_consent_resources.len(), 1);
+    }
+
+    #[test]
+    fn page_id_display() {
+        assert_eq!(PageId(3).to_string(), "page3");
+    }
+}

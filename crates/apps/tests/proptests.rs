@@ -1,0 +1,112 @@
+//! Property-based tests for the application model.
+
+use hbbtv_apps::{AppBuilder, ColorButton, LeakItem, LeakSpec, PageId, PageKind, ResourceKind, ResourceLoad};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = PageKind> {
+    prop::sample::select(vec![
+        PageKind::AutostartBar,
+        PageKind::MediaLibrary,
+        PageKind::PrivacyPolicy,
+        PageKind::CookieSettings,
+        PageKind::InfoText,
+        PageKind::Game,
+        PageKind::Shop,
+        PageKind::Advertisement,
+    ])
+}
+
+proptest! {
+    /// Building an app with in-range bindings and links never panics,
+    /// and every binding resolves.
+    #[test]
+    fn builder_accepts_valid_wiring(
+        kinds in prop::collection::vec(arb_kind(), 1..8),
+        autostart in any::<prop::sample::Index>(),
+        red in prop::option::of(any::<prop::sample::Index>()),
+        blue in prop::option::of(any::<prop::sample::Index>()),
+        links in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..6),
+    ) {
+        let n = kinds.len();
+        let mut builder = AppBuilder::new("http://hbbtv.test.de/app".parse().unwrap());
+        for (i, kind) in kinds.iter().enumerate() {
+            let local_links: Vec<u16> = links
+                .iter()
+                .filter(|(from, _)| from.index(n) == i)
+                .map(|(_, to)| to.index(n) as u16)
+                .collect();
+            builder = builder.page(*kind, move |p| {
+                for l in &local_links {
+                    p.link(PageId(*l));
+                }
+            });
+        }
+        builder = builder.autostart(autostart.index(n) as u16);
+        if let Some(r) = red {
+            builder = builder.bind(ColorButton::Red, r.index(n) as u16);
+        }
+        if let Some(b) = blue {
+            builder = builder.bind(ColorButton::Blue, b.index(n) as u16);
+        }
+        let app = builder.build();
+        prop_assert_eq!(app.pages().len(), n);
+        prop_assert!(app.autostart_page().is_some());
+        if red.is_some() {
+            prop_assert!(app.page_for(ColorButton::Red).is_some());
+        }
+        for page in app.pages() {
+            for l in &page.links {
+                prop_assert!(app.page(*l).is_some());
+            }
+        }
+    }
+
+    /// Leak specs preserve membership and dedup under arbitrary input.
+    #[test]
+    fn leak_spec_set_semantics(items in prop::collection::vec(
+        prop::sample::select(vec![
+            LeakItem::Manufacturer,
+            LeakItem::Model,
+            LeakItem::Genre,
+            LeakItem::ShowTitle,
+            LeakItem::UserId,
+            LeakItem::SessionId,
+            LeakItem::ChannelName,
+        ]),
+        0..20,
+    )) {
+        let spec = LeakSpec::of(&items);
+        // Dedup: no repeated items.
+        let mut seen = std::collections::HashSet::new();
+        for i in spec.items() {
+            prop_assert!(seen.insert(*i));
+        }
+        // Membership preserved.
+        for i in &items {
+            prop_assert!(spec.items().contains(i));
+        }
+        // Classification is the disjunction of its items.
+        prop_assert_eq!(
+            spec.leaks_technical(),
+            items.iter().any(|i| i.is_technical())
+        );
+        prop_assert_eq!(
+            spec.leaks_behavioral(),
+            items.iter().any(|i| !i.is_technical())
+        );
+    }
+
+    /// Beacon configuration is faithfully retained.
+    #[test]
+    fn beacon_round_trip(interval in 1u64..600, burst in 1u32..100) {
+        let load = ResourceLoad::get(
+            "http://tvping.com/p".parse().unwrap(),
+            ResourceKind::Image,
+        )
+        .repeating(hbbtv_net::Duration::from_secs(interval))
+        .bursting(burst);
+        prop_assert!(load.is_beacon());
+        prop_assert_eq!(load.repeat_every.unwrap().as_secs(), interval);
+        prop_assert_eq!(load.burst, burst);
+    }
+}

@@ -1,0 +1,186 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation benches an alternative of a pipeline decision and
+//! prints (once) how the outcome shifts, so the cost *and* the effect of
+//! each choice are visible:
+//!
+//! * first-party identification with vs without the filter-list guard,
+//! * the 45-byte pixel threshold vs 0/256/1024,
+//! * the potential-ID rule with vs without the timestamp exclusion,
+//! * SimHash grouping thresholds k ∈ {0, 3, 6, 10},
+//! * the attribution window (how much traffic a shorter window loses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbbtv_bench::run_study_subset;
+use hbbtv_study::analysis::syncing::is_potential_id;
+use hbbtv_study::analysis::FirstPartyMap;
+use hbbtv_study::RunKind;
+use std::collections::{BTreeMap, HashMap};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (_eco, dataset) = run_study_subset(13, 0.1, &[RunKind::General, RunKind::Red]);
+
+    // ---- first-party identification --------------------------------
+    c.bench_function("ablation_first_party_guarded", |b| {
+        b.iter(|| black_box(FirstPartyMap::identify(black_box(&dataset))))
+    });
+    c.bench_function("ablation_first_party_naive", |b| {
+        b.iter(|| {
+            // Naive: the very first request wins, no guard, no content
+            // filter — the §V-A pitfall.
+            let mut first: BTreeMap<u32, (u64, String)> = BTreeMap::new();
+            for cap in dataset.all_captures() {
+                let Some(ch) = cap.channel else { continue };
+                let t = cap.request.timestamp.as_unix();
+                let d = cap.request.url.etld1().to_string();
+                first
+                    .entry(ch.0)
+                    .and_modify(|(bt, bd)| {
+                        if t < *bt {
+                            *bt = t;
+                            *bd = d.clone();
+                        }
+                    })
+                    .or_insert((t, d));
+            }
+            black_box(first)
+        })
+    });
+    {
+        let guarded = FirstPartyMap::identify(&dataset);
+        let naive_trackers = guarded
+            .iter()
+            .filter(|(_, d)| d.as_str().contains("google-analytics"))
+            .count();
+        eprintln!(
+            "[ablation] guarded first-party map: {} channels, {} tracker-first-parties",
+            guarded.len(),
+            naive_trackers
+        );
+    }
+
+    // ---- pixel threshold --------------------------------------------
+    // 45 bytes is the paper's bound; 64 KiB would also sweep up ad
+    // creatives and CDN media.
+    for threshold in [0usize, 45, 4096, 65536] {
+        c.bench_function(&format!("ablation_pixel_threshold_{threshold}"), |b| {
+            b.iter(|| {
+                let n = dataset
+                    .all_captures()
+                    .filter(|c| {
+                        c.response.content_type == hbbtv_net::ContentType::Image
+                            && c.response.body_len < threshold
+                            && c.response.status == hbbtv_net::Status::OK
+                    })
+                    .count();
+                black_box(n)
+            })
+        });
+    }
+    for threshold in [0usize, 45, 4096, 65536] {
+        let n = dataset
+            .all_captures()
+            .filter(|c| {
+                c.response.content_type == hbbtv_net::ContentType::Image
+                    && c.response.body_len < threshold
+                    && c.response.status == hbbtv_net::Status::OK
+            })
+            .count();
+        eprintln!("[ablation] pixel threshold {threshold}: {n} pixels");
+    }
+
+    // ---- potential-ID rule --------------------------------------------
+    // Cookie values plus local-storage values: the §V-C3 timestamp
+    // exclusion exists because apps store consent/switch timestamps.
+    let mut values: Vec<String> = dataset
+        .all_captures()
+        .flat_map(|c| c.response.set_cookies())
+        .map(|sc| sc.cookie.value)
+        .collect();
+    for run in &dataset.runs {
+        values.extend(run.local_storage.iter().map(|(_, _, v)| v.clone()));
+    }
+    c.bench_function("ablation_id_rule_full", |b| {
+        b.iter(|| black_box(values.iter().filter(|v| is_potential_id(v)).count()))
+    });
+    c.bench_function("ablation_id_rule_length_only", |b| {
+        b.iter(|| black_box(values.iter().filter(|v| (10..=25).contains(&v.len())).count()))
+    });
+    {
+        let full = values.iter().filter(|v| is_potential_id(v)).count();
+        let length_only = values.iter().filter(|v| (10..=25).contains(&v.len())).count();
+        eprintln!(
+            "[ablation] id rule: {full} with timestamp exclusion vs {length_only} length-only"
+        );
+    }
+
+    // ---- SimHash grouping threshold -----------------------------------
+    let texts: Vec<String> = dataset
+        .all_captures()
+        .filter(|c| c.response.body.len() > 300)
+        .map(|c| c.response.body.clone())
+        .take(60)
+        .collect();
+    let hashes: Vec<hbbtv_policies::SimHash> = texts
+        .iter()
+        .map(|t| hbbtv_policies::SimHash::of_text(t))
+        .collect();
+    for k in [0u32, 3, 6, 10] {
+        c.bench_function(&format!("ablation_simhash_k{k}"), |b| {
+            b.iter(|| {
+                let mut pairs = 0usize;
+                for i in 0..hashes.len() {
+                    for j in i + 1..hashes.len() {
+                        if hashes[i].near(hashes[j], k) {
+                            pairs += 1;
+                        }
+                    }
+                }
+                black_box(pairs)
+            })
+        });
+    }
+
+    // ---- attribution window -------------------------------------------
+    // How much of each channel visit's traffic a shorter window keeps.
+    let mut visit_start: HashMap<(String, u32), u64> = HashMap::new();
+    for run in &dataset.runs {
+        for cap in &run.captures {
+            if let Some(ch) = cap.channel {
+                let key = (run.run.label().to_string(), ch.0);
+                let t = cap.request.timestamp.as_unix();
+                visit_start
+                    .entry(key)
+                    .and_modify(|m| *m = (*m).min(t))
+                    .or_insert(t);
+            }
+        }
+    }
+    for window_mins in [5u64, 15, 17] {
+        c.bench_function(&format!("ablation_attribution_{window_mins}min"), |b| {
+            b.iter(|| {
+                let mut kept = 0usize;
+                for run in &dataset.runs {
+                    for cap in &run.captures {
+                        if let Some(ch) = cap.channel {
+                            let key = (run.run.label().to_string(), ch.0);
+                            let start = visit_start[&key];
+                            if cap.request.timestamp.as_unix() - start <= window_mins * 60 {
+                                kept += 1;
+                            }
+                        }
+                    }
+                }
+                black_box(kept)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

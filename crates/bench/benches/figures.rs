@@ -1,0 +1,65 @@
+//! One bench per figure: the computation behind Figures 5–8, plus the
+//! §V-C3 syncing detection and the §VII policy pipeline used by the
+//! accompanying text.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbbtv_bench::run_study_subset;
+use hbbtv_study::analysis::{
+    CategoryAnalysis, CookieAnalysis, FirstPartyMap, GraphAnalysis, PolicyAnalysis,
+    SyncingAnalysis, TrackingAnalysis,
+};
+use hbbtv_study::{tables, RunKind};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let (eco, dataset) = run_study_subset(11, 0.1, &[RunKind::General, RunKind::Red]);
+    let fp = FirstPartyMap::identify(&dataset);
+    let tracking = TrackingAnalysis::compute(&dataset, &fp);
+
+    c.bench_function("fig5_cookie_long_tail", |b| {
+        b.iter(|| {
+            let cookies = CookieAnalysis::compute(black_box(&dataset), &fp);
+            black_box(tables::figure5(&cookies))
+        })
+    });
+
+    c.bench_function("fig6_trackers_per_channel", |b| {
+        b.iter(|| {
+            let tracking = TrackingAnalysis::compute(black_box(&dataset), &fp);
+            black_box(tables::figure6(&tracking))
+        })
+    });
+
+    c.bench_function("fig7_category_analysis", |b| {
+        b.iter(|| {
+            let cats = CategoryAnalysis::compute(black_box(&eco), &tracking);
+            black_box(tables::figure7(&cats))
+        })
+    });
+
+    c.bench_function("fig8_ecosystem_graph", |b| {
+        b.iter(|| {
+            let graph = GraphAnalysis::compute(black_box(&dataset), &fp);
+            black_box(tables::figure8(&graph))
+        })
+    });
+
+    c.bench_function("syncing_detection", |b| {
+        b.iter(|| black_box(SyncingAnalysis::compute(black_box(&dataset))))
+    });
+
+    c.bench_function("policy_pipeline", |b| {
+        b.iter(|| black_box(PolicyAnalysis::compute(black_box(&dataset))))
+    });
+
+    c.bench_function("first_party_identification", |b| {
+        b.iter(|| black_box(FirstPartyMap::identify(black_box(&dataset))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

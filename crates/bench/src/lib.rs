@@ -1,0 +1,49 @@
+//! Shared scaffolding for the benchmark harness and the `repro` binary.
+//!
+//! Every table and figure of the paper has a criterion bench target in
+//! `benches/` and a section in the `repro` binary's output; both build
+//! on the helpers here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, RunKind, StudyDataset, StudyHarness};
+
+/// Default seed for reproduction runs.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Builds a world and runs all five measurement runs.
+pub fn run_study(seed: u64, scale: f64) -> (Ecosystem, StudyDataset) {
+    let eco = Ecosystem::with_scale(seed, scale);
+    let dataset = StudyHarness::new(&eco).run_all();
+    (eco, dataset)
+}
+
+/// Builds a world and runs a subset of runs (cheaper for benches).
+pub fn run_study_subset(seed: u64, scale: f64, runs: &[RunKind]) -> (Ecosystem, StudyDataset) {
+    let eco = Ecosystem::with_scale(seed, scale);
+    let mut harness = StudyHarness::new(&eco);
+    let dataset = StudyDataset {
+        runs: runs.iter().map(|&r| harness.run(r)).collect(),
+    };
+    (eco, dataset)
+}
+
+/// Computes the full report for a study.
+pub fn full_report(eco: &Ecosystem, dataset: &StudyDataset) -> StudyReport {
+    StudyReport::compute(eco, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_study_builds() {
+        let (eco, ds) = run_study_subset(1, 0.05, &[RunKind::General]);
+        assert_eq!(ds.runs.len(), 1);
+        let report = full_report(&eco, &ds);
+        assert!(report.tracking.pixel_total > 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Application Information Table (AIT).
+//!
+//! HbbTV signals the available applications inside the broadcast stream:
+//! each AIT entry carries an application identifier, a control code
+//! (autostart or present), and the HTTP(S) entry-point URL the TV loads.
+//! §V-A notes that some channels encode *third-party* URLs (e.g.
+//! `google-analytics.com`) directly into the signal, which is why the
+//! first-party heuristic cannot blindly take the first request.
+
+use hbbtv_net::Url;
+use serde::{Deserialize, Serialize};
+
+/// HbbTV application control codes (ETSI TS 102 796, simplified to the
+/// two codes the measurement cares about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppControlCode {
+    /// `AUTOSTART` — the red-button application launched on tune-in.
+    Autostart,
+    /// `PRESENT` — available but only started on user action.
+    Present,
+}
+
+/// One signalled application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AitEntry {
+    /// Application identifier within the AIT.
+    pub app_id: u16,
+    /// Launch behavior.
+    pub control_code: AppControlCode,
+    /// Entry-point URL encoded in the broadcast signal.
+    pub url: Url,
+}
+
+/// The Application Information Table of a channel.
+///
+/// An empty AIT means the channel does not signal HbbTV content — such
+/// channels produce no HTTP(S) traffic and fall out of the funnel at
+/// step 5.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_broadcast::{Ait, AppControlCode};
+///
+/// let mut ait = Ait::new();
+/// ait.push(1, AppControlCode::Autostart, "http://hbbtv.ard.de/app".parse()?);
+/// assert!(ait.autostart().is_some());
+/// # Ok::<(), hbbtv_net::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ait {
+    entries: Vec<AitEntry>,
+}
+
+impl Ait {
+    /// Creates an empty AIT (no HbbTV signalling).
+    pub fn new() -> Self {
+        Ait::default()
+    }
+
+    /// Adds an application entry.
+    pub fn push(&mut self, app_id: u16, control_code: AppControlCode, url: Url) {
+        self.entries.push(AitEntry {
+            app_id,
+            control_code,
+            url,
+        });
+    }
+
+    /// All entries in signalling order.
+    pub fn entries(&self) -> &[AitEntry] {
+        &self.entries
+    }
+
+    /// The first autostart application, if any — what the TV launches
+    /// when tuning in.
+    pub fn autostart(&self) -> Option<&AitEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.control_code == AppControlCode::Autostart)
+    }
+
+    /// Whether the channel signals any HbbTV application.
+    pub fn signals_hbbtv(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Number of signalled applications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the AIT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<AitEntry> for Ait {
+    fn from_iter<T: IntoIterator<Item = AitEntry>>(iter: T) -> Self {
+        Ait {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_ait_signals_nothing() {
+        let ait = Ait::new();
+        assert!(!ait.signals_hbbtv());
+        assert!(ait.autostart().is_none());
+        assert!(ait.is_empty());
+        assert_eq!(ait.len(), 0);
+    }
+
+    #[test]
+    fn autostart_prefers_first_autostart_entry() {
+        let mut ait = Ait::new();
+        ait.push(9, AppControlCode::Present, url("http://media.zdf.de/lib"));
+        ait.push(1, AppControlCode::Autostart, url("http://hbbtv.zdf.de/red"));
+        ait.push(2, AppControlCode::Autostart, url("http://hbbtv.zdf.de/alt"));
+        let auto = ait.autostart().unwrap();
+        assert_eq!(auto.app_id, 1);
+        assert_eq!(auto.url.host(), "hbbtv.zdf.de");
+        assert!(ait.signals_hbbtv());
+    }
+
+    #[test]
+    fn third_party_urls_can_be_signalled() {
+        // The §V-A pitfall: the signal itself can point at a tracker.
+        let mut ait = Ait::new();
+        ait.push(
+            1,
+            AppControlCode::Autostart,
+            url("http://google-analytics.com/collect?cid=ch"),
+        );
+        assert_eq!(ait.autostart().unwrap().url.etld1().as_str(), "google-analytics.com");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ait: Ait = vec![AitEntry {
+            app_id: 1,
+            control_code: AppControlCode::Present,
+            url: url("http://x.de/a"),
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(ait.len(), 1);
+    }
+}

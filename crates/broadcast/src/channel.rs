@@ -1,0 +1,333 @@
+//! Channel descriptors and their metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A satellite position the antenna could receive (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Satellite {
+    /// Astra 1L at 19.2°E — 31.5% of analyzed channels.
+    Astra19E,
+    /// Hot Bird 13E at 13.0°E — 35% of analyzed channels.
+    HotBird13E,
+    /// Eutelsat 16E at 16.0°E — 33.5% of analyzed channels.
+    Eutelsat16E,
+}
+
+impl Satellite {
+    /// All three satellites of the study.
+    pub const ALL: [Satellite; 3] = [
+        Satellite::Astra19E,
+        Satellite::HotBird13E,
+        Satellite::Eutelsat16E,
+    ];
+
+    /// Human-readable name with orbital position.
+    pub fn name(self) -> &'static str {
+        match self {
+            Satellite::Astra19E => "Astra 1L (19.2E)",
+            Satellite::HotBird13E => "Hot Bird 13E (13.0E)",
+            Satellite::Eutelsat16E => "Eutelsat 16E (16.0E)",
+        }
+    }
+}
+
+impl fmt::Display for Satellite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Broadcast language, from the satellite operators' guides (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// German — 92.7% of analyzed channels.
+    German,
+    /// English.
+    English,
+    /// French.
+    French,
+    /// Italian.
+    Italian,
+    /// Multiple languages (e.g. German and French).
+    Multilingual,
+    /// Any other language.
+    Other,
+}
+
+/// Channel category, from the satellite operators' guides (§V-D4 uses the
+/// first assigned category; there are ten in the data set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChannelCategory {
+    /// General entertainment — the category with the most trackers.
+    General,
+    /// News.
+    News,
+    /// Sports.
+    Sports,
+    /// Children — the GDPR Art. 8 case study of §V-D5.
+    Children,
+    /// Documentaries.
+    Documentary,
+    /// Music.
+    Music,
+    /// Teleshopping.
+    Shopping,
+    /// Movies and series.
+    Movies,
+    /// Regional/local broadcasters.
+    Regional,
+    /// Religious broadcasters.
+    Religious,
+}
+
+impl ChannelCategory {
+    /// All ten categories.
+    pub const ALL: [ChannelCategory; 10] = [
+        ChannelCategory::General,
+        ChannelCategory::News,
+        ChannelCategory::Sports,
+        ChannelCategory::Children,
+        ChannelCategory::Documentary,
+        ChannelCategory::Music,
+        ChannelCategory::Shopping,
+        ChannelCategory::Movies,
+        ChannelCategory::Regional,
+        ChannelCategory::Religious,
+    ];
+
+    /// Display label matching Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelCategory::General => "General",
+            ChannelCategory::News => "News",
+            ChannelCategory::Sports => "Sports",
+            ChannelCategory::Children => "Children",
+            ChannelCategory::Documentary => "Documentary",
+            ChannelCategory::Music => "Music",
+            ChannelCategory::Shopping => "Shopping",
+            ChannelCategory::Movies => "Movies",
+            ChannelCategory::Regional => "Regional",
+            ChannelCategory::Religious => "Religious",
+        }
+    }
+}
+
+impl fmt::Display for ChannelCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The owning broadcaster group, which determines consent-notice branding
+/// (§VI-B identifies twelve recurring notice styles) and policy templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Network {
+    /// ARD — German public broadcasting (first party `ard.de`).
+    Ard,
+    /// ZDF — German public broadcasting.
+    Zdf,
+    /// RTL Germany group (includes Super RTL).
+    RtlGermany,
+    /// ProSiebenSat.1 group (HbbTV platform `redbutton.de`).
+    ProSiebenSat1,
+    /// Discovery group (DMAX, TLC, …).
+    Discovery,
+    /// Paramount group (MTV, Comedy Central, Nickelodeon, …).
+    Paramount,
+    /// Teleshopping operators (QVC, HSE, MediaShop, …).
+    Shopping,
+    /// Austrian public/private broadcasters.
+    Austrian,
+    /// Independent or regional operators.
+    Independent,
+    /// Religious broadcasters (Bibel TV, …).
+    Religious,
+}
+
+impl Network {
+    /// Whether the network is a public broadcaster (the paper notes
+    /// privacy pointers were more visible on private channels).
+    pub fn is_public(self) -> bool {
+        matches!(self, Network::Ard | Network::Zdf | Network::Austrian)
+    }
+}
+
+/// Identifier of a received channel (service ID within the scan).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub u32);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// One received broadcast service with all metadata the §IV-B funnel
+/// inspects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDescriptor {
+    /// Service identifier.
+    pub id: ChannelId,
+    /// Channel name from the service descriptor (may be empty — filter
+    /// step 3 removes such channels).
+    pub name: String,
+    /// Receiving satellite.
+    pub satellite: Satellite,
+    /// `Radio == true` marks radio services (filter step 1).
+    pub radio: bool,
+    /// Encrypted services show "No CI module" (filter step 2).
+    pub encrypted: bool,
+    /// The `invisible` attribute marks services without a signal
+    /// (filter step 3).
+    pub invisible: bool,
+    /// Delivered exclusively over the Internet (filter step 6 removes
+    /// IPTV services).
+    pub iptv: bool,
+    /// Broadcast language from the operator guide.
+    pub language: Language,
+    /// Categories from the operator guide; analyses use the first.
+    pub categories: Vec<ChannelCategory>,
+    /// Owning broadcaster group.
+    pub network: Network,
+}
+
+impl ChannelDescriptor {
+    /// Creates a free-to-air TV channel with sensible defaults (visible,
+    /// unencrypted, German, General category, independent network).
+    pub fn tv(id: u32, name: &str, satellite: Satellite) -> Self {
+        ChannelDescriptor {
+            id: ChannelId(id),
+            name: name.to_string(),
+            satellite,
+            radio: false,
+            encrypted: false,
+            invisible: false,
+            iptv: false,
+            language: Language::German,
+            categories: vec![ChannelCategory::General],
+            network: Network::Independent,
+        }
+    }
+
+    /// Creates a radio service.
+    pub fn radio(id: u32, name: &str, satellite: Satellite) -> Self {
+        let mut c = Self::tv(id, name, satellite);
+        c.radio = true;
+        c
+    }
+
+    /// Builder-style: sets the primary category (prepends it).
+    pub fn with_category(mut self, cat: ChannelCategory) -> Self {
+        self.categories.retain(|&c| c != cat);
+        self.categories.insert(0, cat);
+        self
+    }
+
+    /// Builder-style: sets the network.
+    pub fn with_network(mut self, network: Network) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Builder-style: sets the language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+
+    /// Builder-style: marks the channel encrypted.
+    pub fn with_encryption(mut self) -> Self {
+        self.encrypted = true;
+        self
+    }
+
+    /// The primary category (the first assigned one, per §V-D4), or
+    /// `None` if the guide listed none.
+    pub fn primary_category(&self) -> Option<ChannelCategory> {
+        self.categories.first().copied()
+    }
+
+    /// Whether the channel exclusively targets children (§V-D5 finds 12
+    /// such channels via the satellite providers' metadata).
+    pub fn targets_children(&self) -> bool {
+        self.primary_category() == Some(ChannelCategory::Children)
+    }
+
+    /// Filter steps 1–3 of §IV-B: a regular TV channel (not radio), free
+    /// to air, visible, and named.
+    pub fn passes_metadata_filters(&self) -> bool {
+        !self.radio && !self.encrypted && !self.invisible && !self.name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_filters_reject_each_condition() {
+        let ok = ChannelDescriptor::tv(1, "Das Erste", Satellite::Astra19E);
+        assert!(ok.passes_metadata_filters());
+
+        let mut radio = ok.clone();
+        radio.radio = true;
+        assert!(!radio.passes_metadata_filters());
+
+        let encrypted = ok.clone().with_encryption();
+        assert!(!encrypted.passes_metadata_filters());
+
+        let mut invisible = ok.clone();
+        invisible.invisible = true;
+        assert!(!invisible.passes_metadata_filters());
+
+        let mut unnamed = ok.clone();
+        unnamed.name.clear();
+        assert!(!unnamed.passes_metadata_filters());
+    }
+
+    #[test]
+    fn primary_category_is_first() {
+        let ch = ChannelDescriptor::tv(2, "KiKA", Satellite::Astra19E)
+            .with_category(ChannelCategory::Children);
+        assert_eq!(ch.primary_category(), Some(ChannelCategory::Children));
+        assert!(ch.targets_children());
+    }
+
+    #[test]
+    fn with_category_deduplicates() {
+        let ch = ChannelDescriptor::tv(3, "X", Satellite::HotBird13E)
+            .with_category(ChannelCategory::News)
+            .with_category(ChannelCategory::News);
+        assert_eq!(
+            ch.categories
+                .iter()
+                .filter(|&&c| c == ChannelCategory::News)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn public_networks() {
+        assert!(Network::Ard.is_public());
+        assert!(Network::Zdf.is_public());
+        assert!(!Network::RtlGermany.is_public());
+        assert!(!Network::Shopping.is_public());
+    }
+
+    #[test]
+    fn satellite_names() {
+        assert_eq!(Satellite::Astra19E.to_string(), "Astra 1L (19.2E)");
+        assert_eq!(Satellite::ALL.len(), 3);
+    }
+
+    #[test]
+    fn category_labels_cover_all_ten() {
+        let labels: std::collections::HashSet<&str> =
+            ChannelCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 10);
+    }
+}

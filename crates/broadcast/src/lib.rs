@@ -1,0 +1,42 @@
+//! The broadcast substrate: satellites, transponders, channels, and AIT.
+//!
+//! The paper's testbed received DVB-S signals from three satellites with a
+//! parabolic antenna. Everything the measurement pipeline consumes from
+//! that hardware is *metadata*: per-channel flags (radio, encrypted,
+//! invisible, name), language and category information from the satellite
+//! operators' guides, and the Application Information Table (AIT) that
+//! carries the HbbTV application URL inside the broadcast signal.
+//!
+//! This crate models exactly those observables:
+//!
+//! * [`Satellite`] — the three orbital positions of the study.
+//! * [`ChannelDescriptor`] — one received service with all metadata the
+//!   TV and the satellite guides expose.
+//! * [`Ait`] — the application signalling, including autostart flags and
+//!   directly-encoded third-party URLs (the reason §V-A cannot treat the
+//!   first observed request as the first party).
+//! * [`ChannelLineup`] — a scan result, with the §IV-B funnel filters.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbbtv_broadcast::{ChannelDescriptor, Satellite, ChannelCategory};
+//!
+//! let ch = ChannelDescriptor::tv(1, "Das Erste", Satellite::Astra19E)
+//!     .with_category(ChannelCategory::General);
+//! assert!(!ch.radio);
+//! assert!(ch.passes_metadata_filters());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ait;
+mod channel;
+mod lineup;
+mod schedule;
+
+pub use ait::{Ait, AitEntry, AppControlCode};
+pub use channel::{ChannelCategory, ChannelDescriptor, ChannelId, Language, Network, Satellite};
+pub use lineup::{ChannelLineup, FunnelReport};
+pub use schedule::BroadcastSchedule;

@@ -1,0 +1,244 @@
+//! Scan results and the §IV-B channel-selection funnel.
+
+use crate::ait::Ait;
+use crate::channel::{ChannelDescriptor, ChannelId};
+use crate::schedule::BroadcastSchedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of a signal scan: every received service with its AIT and
+/// broadcast schedule.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelLineup {
+    services: Vec<(ChannelDescriptor, Ait, BroadcastSchedule)>,
+}
+
+impl ChannelLineup {
+    /// Creates an empty lineup.
+    pub fn new() -> Self {
+        ChannelLineup::default()
+    }
+
+    /// Adds a received service.
+    pub fn push(&mut self, descriptor: ChannelDescriptor, ait: Ait, schedule: BroadcastSchedule) {
+        self.services.push((descriptor, ait, schedule));
+    }
+
+    /// Number of received services (3,575 in the paper's scan).
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the scan found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Iterates over all received services.
+    pub fn iter(&self) -> impl Iterator<Item = &(ChannelDescriptor, Ait, BroadcastSchedule)> {
+        self.services.iter()
+    }
+
+    /// Looks up a service by channel id.
+    pub fn get(&self, id: ChannelId) -> Option<&(ChannelDescriptor, Ait, BroadcastSchedule)> {
+        self.services.iter().find(|(d, _, _)| d.id == id)
+    }
+
+    /// Applies the §IV-B funnel.
+    ///
+    /// Steps 1–3 use channel metadata; step 5 uses the `has_traffic`
+    /// observation from the exploratory measurement (a channel with an
+    /// empty AIT never has traffic, but a signalled application can also
+    /// stay silent); step 6 removes IPTV services.
+    ///
+    /// Returns the funnel report and the ids of the final channel set.
+    pub fn funnel<F>(&self, mut has_traffic: F) -> (FunnelReport, Vec<ChannelId>)
+    where
+        F: FnMut(&ChannelDescriptor, &Ait) -> bool,
+    {
+        let received = self.services.len();
+        let mut report = FunnelReport {
+            received,
+            ..FunnelReport::default()
+        };
+        let mut finals = Vec::new();
+        for (desc, ait, _) in &self.services {
+            if desc.radio {
+                report.radio += 1;
+                continue;
+            }
+            report.tv_channels += 1;
+            if desc.encrypted {
+                continue;
+            }
+            report.free_to_air += 1;
+            if desc.invisible || desc.name.is_empty() {
+                continue;
+            }
+            report.candidates += 1;
+            if !has_traffic(desc, ait) {
+                report.no_traffic += 1;
+                continue;
+            }
+            if desc.iptv {
+                report.iptv += 1;
+                continue;
+            }
+            finals.push(desc.id);
+        }
+        report.final_set = finals.len();
+        (report, finals)
+    }
+}
+
+impl FromIterator<(ChannelDescriptor, Ait, BroadcastSchedule)> for ChannelLineup {
+    fn from_iter<T: IntoIterator<Item = (ChannelDescriptor, Ait, BroadcastSchedule)>>(
+        iter: T,
+    ) -> Self {
+        ChannelLineup {
+            services: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Counts at every stage of the §IV-B funnel.
+///
+/// Paper values: 3,575 received → 3,150 TV (425 radio) → 2,046 free-to-air
+/// → 1,149 candidates → minus silent channels and one IPTV service →
+/// 396 final channels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelReport {
+    /// Services received by the scan.
+    pub received: usize,
+    /// TV services (step 1 keeps these).
+    pub tv_channels: usize,
+    /// Radio services (step 1 drops these).
+    pub radio: usize,
+    /// Unencrypted TV services (step 2 keeps these).
+    pub free_to_air: usize,
+    /// Visible, named, free-to-air TV services (after step 3) that went
+    /// into the exploratory measurement.
+    pub candidates: usize,
+    /// Candidates without any HTTP(S) traffic (step 5 drops these).
+    pub no_traffic: usize,
+    /// IPTV services (step 6 drops these).
+    pub iptv: usize,
+    /// The final analysis set.
+    pub final_set: usize,
+}
+
+impl fmt::Display for FunnelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "received {} -> tv {} (radio {}) -> fta {} -> candidates {} -> \
+             -{} silent, -{} iptv -> final {}",
+            self.received,
+            self.tv_channels,
+            self.radio,
+            self.free_to_air,
+            self.candidates,
+            self.no_traffic,
+            self.iptv,
+            self.final_set
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ait::AppControlCode;
+    use crate::channel::Satellite;
+
+    fn hbbtv_ait(url: &str) -> Ait {
+        let mut ait = Ait::new();
+        ait.push(1, AppControlCode::Autostart, url.parse().unwrap());
+        ait
+    }
+
+    fn lineup() -> ChannelLineup {
+        let mut l = ChannelLineup::new();
+        // 1: a normal HbbTV channel — survives everything.
+        l.push(
+            ChannelDescriptor::tv(1, "Das Erste", Satellite::Astra19E),
+            hbbtv_ait("http://hbbtv.ard.de/app"),
+            BroadcastSchedule::Continuous,
+        );
+        // 2: radio — dropped at step 1.
+        l.push(
+            ChannelDescriptor::radio(2, "Deutschlandfunk", Satellite::Astra19E),
+            Ait::new(),
+            BroadcastSchedule::Continuous,
+        );
+        // 3: encrypted — dropped at step 2.
+        l.push(
+            ChannelDescriptor::tv(3, "Sky Premium", Satellite::Astra19E).with_encryption(),
+            hbbtv_ait("http://sky.de/app"),
+            BroadcastSchedule::Continuous,
+        );
+        // 4: invisible — dropped at step 3.
+        {
+            let mut d = ChannelDescriptor::tv(4, "Ghost", Satellite::HotBird13E);
+            d.invisible = true;
+            l.push(d, Ait::new(), BroadcastSchedule::Continuous);
+        }
+        // 5: no traffic — dropped at step 5.
+        l.push(
+            ChannelDescriptor::tv(5, "Testbild", Satellite::Eutelsat16E),
+            Ait::new(),
+            BroadcastSchedule::Continuous,
+        );
+        // 6: IPTV — dropped at step 6.
+        {
+            let mut d = ChannelDescriptor::tv(6, "StreamOnly", Satellite::Eutelsat16E);
+            d.iptv = true;
+            l.push(d, hbbtv_ait("http://stream.de/app"), BroadcastSchedule::Continuous);
+        }
+        l
+    }
+
+    #[test]
+    fn funnel_counts_every_stage() {
+        let l = lineup();
+        let (report, finals) = l.funnel(|_, ait| ait.signals_hbbtv());
+        assert_eq!(report.received, 6);
+        assert_eq!(report.radio, 1);
+        assert_eq!(report.tv_channels, 5);
+        assert_eq!(report.free_to_air, 4);
+        assert_eq!(report.candidates, 3);
+        assert_eq!(report.no_traffic, 1);
+        assert_eq!(report.iptv, 1);
+        assert_eq!(report.final_set, 1);
+        assert_eq!(finals, vec![ChannelId(1)]);
+    }
+
+    #[test]
+    fn funnel_report_displays_chain() {
+        let l = lineup();
+        let (report, _) = l.funnel(|_, ait| ait.signals_hbbtv());
+        let s = report.to_string();
+        assert!(s.contains("received 6"));
+        assert!(s.contains("final 1"));
+    }
+
+    #[test]
+    fn get_by_id() {
+        let l = lineup();
+        assert!(l.get(ChannelId(1)).is_some());
+        assert!(l.get(ChannelId(99)).is_none());
+        assert_eq!(l.len(), 6);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn traffic_predicate_can_override_ait() {
+        // A channel may signal an app that never talks (test image with
+        // stale AIT) — the predicate decides.
+        let l = lineup();
+        let (report, finals) = l.funnel(|_, _| false);
+        assert_eq!(report.final_set, 0);
+        assert!(finals.is_empty());
+        assert_eq!(report.no_traffic, 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Broadcast availability schedules.
+//!
+//! §IV-D attributes the varying per-run channel counts (215–381) to
+//! channels "not always available (e.g., some channels only broadcast
+//! during daytime)". A [`BroadcastSchedule`] models the daily on-air
+//! window of a channel.
+
+use hbbtv_net::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// The daily on-air window of a channel, in UTC hours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum BroadcastSchedule {
+    /// On air around the clock.
+    #[default]
+    Continuous,
+    /// On air between `from` (inclusive) and `until` (exclusive) hours of
+    /// day. When `from > until`, the window wraps midnight (e.g. a
+    /// night-loop channel broadcasting 22:00–05:00). Equal bounds mean
+    /// an empty window (never on air); use [`BroadcastSchedule::Continuous`]
+    /// for round-the-clock services.
+    Daily {
+        /// First on-air hour (0–23).
+        from: u8,
+        /// First off-air hour (0–23).
+        until: u8,
+    },
+}
+
+impl BroadcastSchedule {
+    /// A typical daytime-only broadcaster (06:00–18:00 UTC).
+    pub fn daytime() -> Self {
+        BroadcastSchedule::Daily { from: 6, until: 18 }
+    }
+
+    /// Whether the channel transmits a program at `t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hbbtv_broadcast::BroadcastSchedule;
+    /// use hbbtv_net::{Duration, Timestamp};
+    ///
+    /// let daytime = BroadcastSchedule::daytime();
+    /// let midnight = Timestamp::MEASUREMENT_START;
+    /// assert!(!daytime.on_air(midnight));
+    /// assert!(daytime.on_air(midnight + Duration::from_secs(12 * 3600)));
+    /// ```
+    pub fn on_air(self, t: Timestamp) -> bool {
+        match self {
+            BroadcastSchedule::Continuous => true,
+            BroadcastSchedule::Daily { from, until } => {
+                let h = t.hour_of_day();
+                if from <= until {
+                    h >= from && h < until
+                } else {
+                    h >= from || h < until
+                }
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbtv_net::Duration;
+
+    fn at_hour(h: u64) -> Timestamp {
+        Timestamp::MEASUREMENT_START + Duration::from_secs(h * 3600)
+    }
+
+    #[test]
+    fn continuous_is_always_on() {
+        for h in 0..24 {
+            assert!(BroadcastSchedule::Continuous.on_air(at_hour(h)));
+        }
+    }
+
+    #[test]
+    fn daily_window_bounds() {
+        let s = BroadcastSchedule::Daily { from: 6, until: 18 };
+        assert!(!s.on_air(at_hour(5)));
+        assert!(s.on_air(at_hour(6)));
+        assert!(s.on_air(at_hour(17)));
+        assert!(!s.on_air(at_hour(18)));
+    }
+
+    #[test]
+    fn wrapping_window() {
+        let s = BroadcastSchedule::Daily { from: 22, until: 5 };
+        assert!(s.on_air(at_hour(23)));
+        assert!(s.on_air(at_hour(0)));
+        assert!(s.on_air(at_hour(4)));
+        assert!(!s.on_air(at_hour(5)));
+        assert!(!s.on_air(at_hour(12)));
+    }
+}

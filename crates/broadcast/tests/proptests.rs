@@ -1,0 +1,111 @@
+//! Property-based tests for broadcast metadata and the funnel.
+
+use hbbtv_broadcast::{
+    Ait, AppControlCode, BroadcastSchedule, ChannelDescriptor, ChannelLineup, Satellite,
+};
+use hbbtv_net::{Duration, Timestamp};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ServiceSpec {
+    radio: bool,
+    encrypted: bool,
+    invisible: bool,
+    unnamed: bool,
+    iptv: bool,
+    has_app: bool,
+}
+
+fn arb_service() -> impl Strategy<Value = ServiceSpec> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(radio, encrypted, invisible, unnamed, iptv, has_app)| ServiceSpec {
+            radio,
+            encrypted,
+            invisible,
+            unnamed,
+            iptv,
+            has_app,
+        })
+}
+
+fn build_lineup(specs: &[ServiceSpec]) -> ChannelLineup {
+    let mut lineup = ChannelLineup::new();
+    for (i, s) in specs.iter().enumerate() {
+        let mut d = if s.radio {
+            ChannelDescriptor::radio(i as u32, &format!("R{i}"), Satellite::Astra19E)
+        } else {
+            ChannelDescriptor::tv(i as u32, &format!("T{i}"), Satellite::Astra19E)
+        };
+        if s.encrypted {
+            d.encrypted = true;
+        }
+        d.invisible = s.invisible;
+        if s.unnamed {
+            d.name.clear();
+        }
+        d.iptv = s.iptv;
+        let mut ait = Ait::new();
+        if s.has_app {
+            ait.push(
+                1,
+                AppControlCode::Autostart,
+                format!("http://hbbtv-ch{i}.de/app").parse().unwrap(),
+            );
+        }
+        lineup.push(d, ait, BroadcastSchedule::Continuous);
+    }
+    lineup
+}
+
+proptest! {
+    /// The funnel partitions the scan: every service is accounted for
+    /// exactly once, and the final set only contains qualifying
+    /// channels.
+    #[test]
+    fn funnel_partitions_the_scan(specs in prop::collection::vec(arb_service(), 0..60)) {
+        let lineup = build_lineup(&specs);
+        let (report, finals) = lineup.funnel(|_, ait| ait.signals_hbbtv());
+        prop_assert_eq!(report.received, specs.len());
+        prop_assert_eq!(report.tv_channels + report.radio, report.received);
+        prop_assert_eq!(
+            report.final_set + report.no_traffic + report.iptv,
+            report.candidates
+        );
+        // Cross-check against a direct computation.
+        let expected: usize = specs
+            .iter()
+            .filter(|s| {
+                !s.radio && !s.encrypted && !s.invisible && !s.unnamed && s.has_app && !s.iptv
+            })
+            .count();
+        prop_assert_eq!(report.final_set, expected);
+        prop_assert_eq!(finals.len(), expected);
+    }
+
+    /// Schedules: `on_air` over a full day is exactly the window length
+    /// (wrapping or not).
+    #[test]
+    fn schedule_window_length(from in 0u8..24, until in 0u8..24) {
+        let s = BroadcastSchedule::Daily { from, until };
+        let on: usize = (0..24u64)
+            .filter(|h| s.on_air(Timestamp::MEASUREMENT_START + Duration::from_secs(h * 3600)))
+            .count();
+        // Equal bounds mean an empty window (the service never
+        // transmits; distinct from `Continuous`).
+        let expected = if from == until {
+            0
+        } else if from < until {
+            (until - from) as usize
+        } else {
+            (24 - from + until) as usize
+        };
+        prop_assert_eq!(on, expected);
+    }
+}

@@ -1,0 +1,282 @@
+//! The screenshot codebook and the annotation classifier.
+//!
+//! The paper's two coders manually annotated 41,617 screenshots in two
+//! rounds: first the HbbTV overlay type (Table IV), then — for privacy
+//! screenshots — the kind of privacy information shown (Table V and
+//! §VI-B). Our screenshots are structured [`ScreenContent`] values, and
+//! [`annotate`] applies the same codebook deterministically.
+
+use crate::notice::NoticeBranding;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The overlay taxonomy of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OverlayKind {
+    /// "No Sign." — the channel transmitted no usable signal.
+    NoSignal,
+    /// "CTM" — a channel technical message (e.g. HbbTV unavailable).
+    ChannelTechMessage,
+    /// "TV Only" — plain program, no HbbTV overlay.
+    TvOnly,
+    /// "Media Lib." — a media library / on-demand dashboard.
+    MediaLibrary,
+    /// "Privacy" — consent notice, privacy policy, or hybrid.
+    Privacy,
+    /// "Other" — any other HbbTV overlay (games, tickers, shops, ads).
+    Other,
+}
+
+impl OverlayKind {
+    /// Column order of Table IV.
+    pub const TABLE_ORDER: [OverlayKind; 6] = [
+        OverlayKind::NoSignal,
+        OverlayKind::ChannelTechMessage,
+        OverlayKind::TvOnly,
+        OverlayKind::MediaLibrary,
+        OverlayKind::Privacy,
+        OverlayKind::Other,
+    ];
+
+    /// Column label as printed in Table IV.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverlayKind::NoSignal => "No Sign.",
+            OverlayKind::ChannelTechMessage => "CTM",
+            OverlayKind::TvOnly => "TV Only",
+            OverlayKind::MediaLibrary => "Media Lib.",
+            OverlayKind::Privacy => "Privacy",
+            OverlayKind::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for OverlayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Second-round annotation: what kind of privacy information a "Privacy"
+/// screenshot shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrivacyInfoKind {
+    /// A consent notice (with its branding and the visible layer,
+    /// 0-based).
+    ConsentNotice {
+        /// Interface style of the notice.
+        branding: NoticeBranding,
+        /// Which layer is on screen.
+        layer: usize,
+    },
+    /// A privacy policy text.
+    PrivacyPolicy,
+    /// A split screen of policy text and cookie controls (seen on RBB and
+    /// MDR in the Red run).
+    HybridPolicyAndControls,
+}
+
+/// Non-privacy overlay content an HbbTV app can display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppSurface {
+    /// A media library / start-bar dashboard.
+    MediaLibrary,
+    /// A teletext-style news/info service.
+    InfoText,
+    /// An interactive game.
+    Game,
+    /// A shopping overlay.
+    Shop,
+    /// An advertisement overlay (§VI-B notes one location-targeted ad).
+    Advertisement,
+}
+
+/// A structured screenshot — everything the human coders could see.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenContent {
+    /// Whether the channel transmitted a picture at all.
+    pub signal: bool,
+    /// A technical message replaced the program.
+    pub tech_message: bool,
+    /// The HbbTV app surface currently shown, if any.
+    pub surface: Option<AppSurface>,
+    /// A consent notice is on screen (branding, visible layer).
+    pub notice: Option<(NoticeBranding, usize)>,
+    /// A privacy policy text fills (part of) the screen.
+    pub policy: bool,
+    /// Cookie controls are visible alongside the policy (hybrid view).
+    pub cookie_controls: bool,
+    /// A "Privacy" / "Cookie Settings" button or text is visible
+    /// somewhere (the §VI-B "Pointers to Privacy Information").
+    pub privacy_pointer: bool,
+}
+
+impl ScreenContent {
+    /// A plain TV picture with no HbbTV content.
+    pub fn tv_only() -> Self {
+        ScreenContent {
+            signal: true,
+            tech_message: false,
+            surface: None,
+            notice: None,
+            policy: false,
+            cookie_controls: false,
+            privacy_pointer: false,
+        }
+    }
+
+    /// A screen without signal.
+    pub fn no_signal() -> Self {
+        ScreenContent {
+            signal: false,
+            ..Self::tv_only()
+        }
+    }
+}
+
+/// The coder's verdict for one screenshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Round-1 overlay classification (Table IV).
+    pub overlay: OverlayKind,
+    /// Round-2 privacy-information classification, for Privacy overlays.
+    pub privacy: Option<PrivacyInfoKind>,
+    /// Whether a pointer to privacy information is visible.
+    pub privacy_pointer: bool,
+}
+
+impl Annotation {
+    /// Whether the screenshot shows privacy-related information
+    /// (the Table V "Priv." count).
+    pub fn shows_privacy_info(&self) -> bool {
+        self.overlay == OverlayKind::Privacy
+    }
+}
+
+/// Applies the codebook to a structured screenshot.
+///
+/// Precedence follows the coders' scheme: absent signal and technical
+/// messages first, then privacy content (which overlays everything),
+/// then the app surface, then plain TV.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_consent::{annotate, OverlayKind, ScreenContent};
+/// let a = annotate(&ScreenContent::tv_only());
+/// assert_eq!(a.overlay, OverlayKind::TvOnly);
+/// ```
+pub fn annotate(screen: &ScreenContent) -> Annotation {
+    let overlay = if !screen.signal {
+        OverlayKind::NoSignal
+    } else if screen.tech_message {
+        OverlayKind::ChannelTechMessage
+    } else if screen.notice.is_some() || screen.policy {
+        OverlayKind::Privacy
+    } else if screen.surface == Some(AppSurface::MediaLibrary) {
+        OverlayKind::MediaLibrary
+    } else if screen.surface.is_some() {
+        OverlayKind::Other
+    } else {
+        OverlayKind::TvOnly
+    };
+    let privacy = if overlay == OverlayKind::Privacy {
+        Some(match screen.notice {
+            Some((branding, layer)) => PrivacyInfoKind::ConsentNotice { branding, layer },
+            None if screen.cookie_controls => PrivacyInfoKind::HybridPolicyAndControls,
+            None => PrivacyInfoKind::PrivacyPolicy,
+        })
+    } else {
+        None
+    };
+    Annotation {
+        overlay,
+        privacy,
+        privacy_pointer: screen.privacy_pointer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_no_signal_beats_everything() {
+        let mut s = ScreenContent::no_signal();
+        s.notice = Some((NoticeBranding::Qvc, 0));
+        let a = annotate(&s);
+        assert_eq!(a.overlay, OverlayKind::NoSignal);
+        assert_eq!(a.privacy, None);
+        assert!(!a.shows_privacy_info());
+    }
+
+    #[test]
+    fn tech_message_classified_as_ctm() {
+        let mut s = ScreenContent::tv_only();
+        s.tech_message = true;
+        assert_eq!(annotate(&s).overlay, OverlayKind::ChannelTechMessage);
+    }
+
+    #[test]
+    fn notice_classified_as_privacy_with_branding() {
+        let mut s = ScreenContent::tv_only();
+        s.notice = Some((NoticeBranding::RtlGermany, 1));
+        let a = annotate(&s);
+        assert_eq!(a.overlay, OverlayKind::Privacy);
+        assert_eq!(
+            a.privacy,
+            Some(PrivacyInfoKind::ConsentNotice {
+                branding: NoticeBranding::RtlGermany,
+                layer: 1
+            })
+        );
+        assert!(a.shows_privacy_info());
+    }
+
+    #[test]
+    fn policy_and_hybrid_distinguished() {
+        let mut s = ScreenContent::tv_only();
+        s.policy = true;
+        assert_eq!(annotate(&s).privacy, Some(PrivacyInfoKind::PrivacyPolicy));
+        s.cookie_controls = true;
+        assert_eq!(
+            annotate(&s).privacy,
+            Some(PrivacyInfoKind::HybridPolicyAndControls)
+        );
+    }
+
+    #[test]
+    fn media_library_and_other_surfaces() {
+        let mut s = ScreenContent::tv_only();
+        s.surface = Some(AppSurface::MediaLibrary);
+        assert_eq!(annotate(&s).overlay, OverlayKind::MediaLibrary);
+        s.surface = Some(AppSurface::Game);
+        assert_eq!(annotate(&s).overlay, OverlayKind::Other);
+        s.surface = Some(AppSurface::Advertisement);
+        assert_eq!(annotate(&s).overlay, OverlayKind::Other);
+    }
+
+    #[test]
+    fn privacy_pointer_is_carried_through() {
+        let mut s = ScreenContent::tv_only();
+        s.surface = Some(AppSurface::MediaLibrary);
+        s.privacy_pointer = true;
+        let a = annotate(&s);
+        assert!(a.privacy_pointer);
+        assert_eq!(a.overlay, OverlayKind::MediaLibrary);
+    }
+
+    #[test]
+    fn notice_on_top_of_media_library_is_privacy() {
+        let mut s = ScreenContent::tv_only();
+        s.surface = Some(AppSurface::MediaLibrary);
+        s.notice = Some((NoticeBranding::ZdfModal, 0));
+        assert_eq!(annotate(&s).overlay, OverlayKind::Privacy);
+    }
+
+    #[test]
+    fn table_order_covers_all_kinds() {
+        assert_eq!(OverlayKind::TABLE_ORDER.len(), 6);
+        assert_eq!(OverlayKind::MediaLibrary.to_string(), "Media Lib.");
+    }
+}

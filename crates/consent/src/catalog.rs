@@ -1,0 +1,305 @@
+//! The catalog of the twelve notice interface styles (§VI-B).
+
+use crate::notice::{
+    ButtonAction, CategoryCheckbox, ConsentCategory, ConsentNotice, NoticeBranding, NoticeButton,
+    NoticeLayer,
+};
+
+fn btn(action: ButtonAction, highlighted: bool) -> NoticeButton {
+    NoticeButton {
+        action,
+        highlighted,
+    }
+}
+
+/// A first layer whose cursor rests on a highlighted "Accept all" button —
+/// the §VI-B finding common to all twelve styles.
+fn first_layer(extra: &[ButtonAction]) -> NoticeLayer {
+    let mut buttons = vec![btn(ButtonAction::AcceptAll, true)];
+    buttons.extend(extra.iter().map(|&a| btn(a, false)));
+    NoticeLayer {
+        buttons,
+        checkboxes: vec![],
+        default_focus: 0,
+    }
+}
+
+/// A settings layer offering per-category checkboxes and a save button.
+fn settings_layer(pre_ticked: bool) -> NoticeLayer {
+    NoticeLayer {
+        buttons: vec![
+            btn(ButtonAction::AcceptAll, true),
+            btn(ButtonAction::SaveSelection, false),
+        ],
+        checkboxes: vec![
+            CategoryCheckbox {
+                category: ConsentCategory::Necessary,
+                pre_ticked: true,
+                immutable: true,
+            },
+            CategoryCheckbox {
+                category: ConsentCategory::Functional,
+                pre_ticked,
+                immutable: false,
+            },
+            CategoryCheckbox {
+                category: ConsentCategory::Marketing,
+                pre_ticked,
+                immutable: false,
+            },
+        ],
+        default_focus: 0,
+    }
+}
+
+/// The confirmation layer some notices show after a deselection.
+fn confirm_layer() -> NoticeLayer {
+    NoticeLayer {
+        buttons: vec![
+            btn(ButtonAction::AcceptAll, true),
+            btn(ButtonAction::ConfirmDeselection, false),
+        ],
+        checkboxes: vec![],
+        default_focus: 0,
+    }
+}
+
+/// Reconstructs a notice in the given interface style, following the
+/// §VI-B descriptions of each style's layer-1 options, layers, modality,
+/// and checkbox behavior.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_consent::{branding_catalog, NoticeBranding, ButtonAction};
+/// let zdf = branding_catalog(NoticeBranding::ZdfModal);
+/// assert!(zdf.modal);
+/// assert!(zdf.has_accept_all());
+/// assert_eq!(zdf.first_layer().focused_button().action, ButtonAction::AcceptAll);
+/// ```
+pub fn branding_catalog(branding: NoticeBranding) -> ConsentNotice {
+    use ButtonAction::*;
+    use NoticeBranding::*;
+    match branding {
+        // 1) RTL Germany: "Settings" next to accept; settings layer.
+        RtlGermany => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[Settings]), settings_layer(false)],
+            false,
+            0.40,
+        ),
+        // 2) P7S1 non-modal: single "Settings or Decline" button.
+        ProSiebenSat1NonModal => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[SettingsOrDecline]), settings_layer(false)],
+            false,
+            0.35,
+        ),
+        // 3) P7S1 full-screen modal variant.
+        ProSiebenSat1Modal => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[SettingsOrDecline]), settings_layer(false)],
+            true,
+            1.0,
+        ),
+        // 4) QVC: "(Privacy) Settings" plus an explicit decline.
+        Qvc => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[Settings, Decline]), settings_layer(false)],
+            false,
+            0.30,
+        ),
+        // 5) DMAX/TLC/CC shared style: "Privacy" only.
+        DmaxTlcComedyCentral => {
+            ConsentNotice::new(branding, vec![first_layer(&[Privacy])], false, 0.30)
+        }
+        // 6) HSE.
+        Hse => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[Settings]), settings_layer(false)],
+            false,
+            0.35,
+        ),
+        // 7) Bibel TV: "Privacy" and "Settings"; layer 2 lets users
+        //    deselect Google Analytics — pre-ticked (ECJ-non-compliant).
+        BibelTv => {
+            let mut l2 = settings_layer(true);
+            l2.checkboxes.push(CategoryCheckbox {
+                category: ConsentCategory::Service("Google Analytics".to_string()),
+                pre_ticked: true,
+                immutable: false,
+            });
+            ConsentNotice::new(
+                branding,
+                vec![first_layer(&[Privacy, Settings]), l2],
+                false,
+                0.35,
+            )
+        }
+        // 8) RTL Zwei: unique category choice on the *first* layer with
+        //    pre-ticked boxes, plus "Only necessary".
+        RtlZwei => {
+            let mut l1 = first_layer(&[OnlyNecessary]);
+            l1.checkboxes = vec![
+                CategoryCheckbox {
+                    category: ConsentCategory::Necessary,
+                    pre_ticked: true,
+                    immutable: true,
+                },
+                CategoryCheckbox {
+                    category: ConsentCategory::Functional,
+                    pre_ticked: true,
+                    immutable: false,
+                },
+                CategoryCheckbox {
+                    category: ConsentCategory::Marketing,
+                    pre_ticked: true,
+                    immutable: false,
+                },
+            ];
+            ConsentNotice::new(branding, vec![l1], false, 0.45)
+        }
+        // 9) TLC (Blue run only): "Privacy" and "Settings", deep layers.
+        Tlc => ConsentNotice::new(
+            branding,
+            vec![
+                first_layer(&[Privacy, Settings]),
+                settings_layer(false),
+                confirm_layer(),
+            ],
+            false,
+            0.40,
+        ),
+        // 10) ZDF full-screen modal with explicit decline and layered
+        //     settings (Blue run only).
+        ZdfModal => ConsentNotice::new(
+            branding,
+            vec![
+                first_layer(&[Settings, Decline]),
+                settings_layer(false),
+                confirm_layer(),
+            ],
+            true,
+            1.0,
+        ),
+        // 11) COUCHPLAY: "Settings or Decline" plus a partner-list link
+        //     (whose target never showed up in screenshots).
+        Couchplay => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[SettingsOrDecline, PartnerList])],
+            false,
+            0.35,
+        ),
+        // 12) Unbranded shared banner: "Settings"; layer 2 has the
+        //     '?'-marked checkboxes (modelled as pre-ticked).
+        GenericUnbranded => ConsentNotice::new(
+            branding,
+            vec![first_layer(&[Settings]), settings_layer(true)],
+            false,
+            0.30,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nudging::analyze_nudging;
+
+    #[test]
+    fn all_twelve_brandings_build() {
+        for b in NoticeBranding::ALL {
+            let n = branding_catalog(b);
+            assert!(n.has_accept_all(), "{b:?} lacks accept-all");
+        }
+    }
+
+    #[test]
+    fn default_focus_is_accept_everywhere() {
+        // The §VI "Nudging" finding: for all 12 types the cursor defaults
+        // to Accept on layer 1, highlighted.
+        for b in NoticeBranding::ALL {
+            let n = branding_catalog(b);
+            let focused = n.first_layer().focused_button();
+            assert!(focused.action.grants_full_consent(), "{b:?}");
+            assert!(focused.highlighted, "{b:?} accept not highlighted");
+        }
+    }
+
+    #[test]
+    fn only_two_styles_are_modal() {
+        let modal: Vec<NoticeBranding> = NoticeBranding::ALL
+            .into_iter()
+            .filter(|&b| branding_catalog(b).modal)
+            .collect();
+        assert_eq!(
+            modal,
+            vec![
+                NoticeBranding::ProSiebenSat1Modal,
+                NoticeBranding::ZdfModal
+            ]
+        );
+    }
+
+    #[test]
+    fn non_modal_notices_cover_less_than_half_the_screen() {
+        for b in NoticeBranding::ALL {
+            let n = branding_catalog(b);
+            if !n.modal {
+                assert!(n.screen_coverage < 0.5, "{b:?} covers {}", n.screen_coverage);
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_zwei_has_first_layer_categories() {
+        let n = branding_catalog(NoticeBranding::RtlZwei);
+        assert_eq!(n.layers.len(), 1);
+        assert_eq!(n.first_layer().checkboxes.len(), 3);
+        assert!(n.first_layer().offers_direct_decline());
+        assert!(n.first_layer().pre_ticked_count() >= 2);
+    }
+
+    #[test]
+    fn bibel_tv_second_layer_has_ga_service_checkbox() {
+        let n = branding_catalog(NoticeBranding::BibelTv);
+        let has_ga = n.layers[1]
+            .checkboxes
+            .iter()
+            .any(|c| matches!(&c.category, ConsentCategory::Service(s) if s == "Google Analytics"));
+        assert!(has_ga);
+    }
+
+    #[test]
+    fn couchplay_links_partner_list() {
+        let n = branding_catalog(NoticeBranding::Couchplay);
+        assert!(n
+            .first_layer()
+            .buttons
+            .iter()
+            .any(|b| b.action == ButtonAction::PartnerList));
+    }
+
+    #[test]
+    fn explicit_decline_only_where_the_paper_saw_it() {
+        // Types 4 (QVC) and 10 (ZDF) have an explicit Decline; RTL Zwei
+        // has Only-necessary.
+        for b in NoticeBranding::ALL {
+            let n = branding_catalog(b);
+            let direct = n.first_layer().offers_direct_decline();
+            let expected = matches!(
+                b,
+                NoticeBranding::Qvc | NoticeBranding::ZdfModal | NoticeBranding::RtlZwei
+            );
+            assert_eq!(direct, expected, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn every_style_nudges_toward_accept() {
+        for b in NoticeBranding::ALL {
+            let report = analyze_nudging(&branding_catalog(b));
+            assert!(report.default_focus_on_accept, "{b:?}");
+        }
+    }
+}

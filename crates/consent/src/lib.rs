@@ -1,0 +1,35 @@
+//! Consent notices, the screenshot codebook, and dark-pattern analysis.
+//!
+//! §VI of the paper analyzes 41,617 screenshots: two authors devised a
+//! codebook for HbbTV overlay types (Table IV), annotated which
+//! screenshots show privacy-related information (Table V), catalogued the
+//! twelve recurring consent-notice brandings, and assessed nudging — most
+//! notably that the HbbTV cursor *must* rest on some button, and every
+//! single notice places it on "Accept".
+//!
+//! This crate provides:
+//!
+//! * [`OverlayKind`] / [`PrivacyInfoKind`] — the annotation codebook.
+//! * [`ScreenContent`] and [`annotate`] — structured screenshots and the
+//!   classifier that plays the role of the human coders.
+//! * [`ConsentNotice`], [`NoticeLayer`], [`NoticeBranding`] — the notice
+//!   taxonomy, with [`branding_catalog`] reconstructing all twelve
+//!   interface styles of §VI-B.
+//! * [`NudgingReport`] — the dark-pattern assessment (default focus,
+//!   hidden decline, pre-ticked checkboxes, modality).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annotate;
+mod catalog;
+mod notice;
+mod nudging;
+
+pub use annotate::{annotate, Annotation, AppSurface, OverlayKind, PrivacyInfoKind, ScreenContent};
+pub use catalog::branding_catalog;
+pub use notice::{
+    ButtonAction, CategoryCheckbox, ConsentCategory, ConsentNotice, NoticeBranding, NoticeButton,
+    NoticeLayer,
+};
+pub use nudging::{analyze_nudging, NudgingReport};

@@ -1,0 +1,357 @@
+//! The consent-notice taxonomy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The twelve recurring notice stylings §VI-B identified.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum NoticeBranding {
+    /// 1) RTL Germany group.
+    RtlGermany,
+    /// 2) ProSiebenSat.1 group, non-modal variant.
+    ProSiebenSat1NonModal,
+    /// 3) ProSiebenSat.1 group, full-screen modal variant.
+    ProSiebenSat1Modal,
+    /// 4) QVC.
+    Qvc,
+    /// 5) DMAX Austria / TLC / Comedy Central shared style.
+    DmaxTlcComedyCentral,
+    /// 6) HSE.
+    Hse,
+    /// 7) Bibel TV.
+    BibelTv,
+    /// 8) RTL Zwei (unique: category selection on the first layer).
+    RtlZwei,
+    /// 9) TLC (only seen in the Blue run).
+    Tlc,
+    /// 10) ZDF full-screen modal (only seen in the Blue run).
+    ZdfModal,
+    /// 11) COUCHPLAY (on Kabel Eins Doku).
+    Couchplay,
+    /// 12) Unbranded banner shared by MTV, WELT, Comedy Central,
+    ///     MediaShop, and N24 Doku.
+    GenericUnbranded,
+}
+
+impl NoticeBranding {
+    /// All twelve brandings.
+    pub const ALL: [NoticeBranding; 12] = [
+        NoticeBranding::RtlGermany,
+        NoticeBranding::ProSiebenSat1NonModal,
+        NoticeBranding::ProSiebenSat1Modal,
+        NoticeBranding::Qvc,
+        NoticeBranding::DmaxTlcComedyCentral,
+        NoticeBranding::Hse,
+        NoticeBranding::BibelTv,
+        NoticeBranding::RtlZwei,
+        NoticeBranding::Tlc,
+        NoticeBranding::ZdfModal,
+        NoticeBranding::Couchplay,
+        NoticeBranding::GenericUnbranded,
+    ];
+}
+
+impl fmt::Display for NoticeBranding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NoticeBranding::RtlGermany => "RTL Germany",
+            NoticeBranding::ProSiebenSat1NonModal => "ProSiebenSat.1 (non-modal)",
+            NoticeBranding::ProSiebenSat1Modal => "ProSiebenSat.1 (modal)",
+            NoticeBranding::Qvc => "QVC",
+            NoticeBranding::DmaxTlcComedyCentral => "DMAX Austria / TLC / Comedy Central",
+            NoticeBranding::Hse => "HSE",
+            NoticeBranding::BibelTv => "Bibel TV",
+            NoticeBranding::RtlZwei => "RTL Zwei",
+            NoticeBranding::Tlc => "TLC",
+            NoticeBranding::ZdfModal => "ZDF (modal)",
+            NoticeBranding::Couchplay => "COUCHPLAY",
+            NoticeBranding::GenericUnbranded => "unbranded shared banner",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The action a notice button triggers. Labels are German on the real
+/// notices; the enum captures their function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ButtonAction {
+    /// "Alle akzeptieren" — accept all processing.
+    AcceptAll,
+    /// "Einstellungen" — open the settings layer.
+    Settings,
+    /// Combined "Einstellungen oder Ablehnen" single button.
+    SettingsOrDecline,
+    /// Explicit "Ablehnen" — decline.
+    Decline,
+    /// "Nur notwendige" — only necessary cookies.
+    OnlyNecessary,
+    /// "Datenschutz" — open privacy information.
+    Privacy,
+    /// Link to a "list of partners".
+    PartnerList,
+    /// Confirm a deselection (third layer).
+    ConfirmDeselection,
+    /// Save the current selection.
+    SaveSelection,
+}
+
+impl ButtonAction {
+    /// Whether this action grants full consent.
+    pub fn grants_full_consent(self) -> bool {
+        self == ButtonAction::AcceptAll
+    }
+
+    /// Whether this action lets the user end up with less than full
+    /// consent *directly on this layer* (decline / only-necessary).
+    pub fn declines_directly(self) -> bool {
+        matches!(self, ButtonAction::Decline | ButtonAction::OnlyNecessary)
+    }
+}
+
+/// Consent purpose categories offered by category-based notices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsentCategory {
+    /// Technically necessary (immutable on RTL Zwei's notice).
+    Necessary,
+    /// Functional cookies.
+    Functional,
+    /// Marketing / targeting.
+    Marketing,
+    /// A specific third-party service (e.g. Google Analytics on Bibel
+    /// TV's second layer).
+    Service(String),
+}
+
+/// A checkbox on a notice layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCheckbox {
+    /// What the checkbox controls.
+    pub category: ConsentCategory,
+    /// Pre-ticked — ruled non-GDPR-compliant by the ECJ (Planet49).
+    pub pre_ticked: bool,
+    /// Cannot be unticked.
+    pub immutable: bool,
+}
+
+/// A button on a notice layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoticeButton {
+    /// The triggered action.
+    pub action: ButtonAction,
+    /// Visually highlighted (different color, shadow, border).
+    pub highlighted: bool,
+}
+
+/// One layer of a consent notice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoticeLayer {
+    /// Buttons in display order.
+    pub buttons: Vec<NoticeButton>,
+    /// Checkboxes (empty on most first layers).
+    pub checkboxes: Vec<CategoryCheckbox>,
+    /// Index into `buttons` where the cursor rests when the layer opens.
+    /// HbbTV input constraints force *some* default — §VI-B found it on
+    /// "Accept" for all twelve notice types' first layers.
+    pub default_focus: usize,
+}
+
+impl NoticeLayer {
+    /// The button the cursor initially rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has no buttons (a notice layer always has at
+    /// least one by construction).
+    pub fn focused_button(&self) -> NoticeButton {
+        self.buttons[self.default_focus]
+    }
+
+    /// Whether the layer offers a direct decline/only-necessary option.
+    pub fn offers_direct_decline(&self) -> bool {
+        self.buttons.iter().any(|b| b.action.declines_directly())
+    }
+
+    /// Number of pre-ticked, user-changeable checkboxes.
+    pub fn pre_ticked_count(&self) -> usize {
+        self.checkboxes
+            .iter()
+            .filter(|c| c.pre_ticked && !c.immutable)
+            .count()
+    }
+}
+
+/// A complete consent notice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsentNotice {
+    /// Interface style / issuer.
+    pub branding: NoticeBranding,
+    /// Layers, first layer first. All twelve catalogued notices have at
+    /// least one layer; only the Blue run surfaced second and third
+    /// layers.
+    pub layers: Vec<NoticeLayer>,
+    /// Whether the first layer is modal (blocks TV watching). Only the
+    /// ProSiebenSat.1 modal variant and ZDF's notice are modal.
+    pub modal: bool,
+    /// Fraction of the screen covered by the first layer (0.0–1.0); all
+    /// non-modal notices covered less than half.
+    pub screen_coverage: f64,
+}
+
+impl ConsentNotice {
+    /// Creates a notice, validating layer invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, any layer has no buttons, any
+    /// `default_focus` is out of range, or `screen_coverage` is outside
+    /// `0.0..=1.0`.
+    pub fn new(
+        branding: NoticeBranding,
+        layers: Vec<NoticeLayer>,
+        modal: bool,
+        screen_coverage: f64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a notice needs at least one layer");
+        for (i, layer) in layers.iter().enumerate() {
+            assert!(!layer.buttons.is_empty(), "layer {i} has no buttons");
+            assert!(
+                layer.default_focus < layer.buttons.len(),
+                "layer {i} default focus out of range"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&screen_coverage),
+            "coverage must be a fraction"
+        );
+        ConsentNotice {
+            branding,
+            layers,
+            modal,
+            screen_coverage,
+        }
+    }
+
+    /// The first (always shown) layer.
+    pub fn first_layer(&self) -> &NoticeLayer {
+        &self.layers[0]
+    }
+
+    /// Whether an accept-all button exists on the first layer (§VI-B: it
+    /// always does).
+    pub fn has_accept_all(&self) -> bool {
+        self.first_layer()
+            .buttons
+            .iter()
+            .any(|b| b.action == ButtonAction::AcceptAll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_layer() -> NoticeLayer {
+        NoticeLayer {
+            buttons: vec![
+                NoticeButton {
+                    action: ButtonAction::AcceptAll,
+                    highlighted: true,
+                },
+                NoticeButton {
+                    action: ButtonAction::Settings,
+                    highlighted: false,
+                },
+            ],
+            checkboxes: vec![],
+            default_focus: 0,
+        }
+    }
+
+    #[test]
+    fn focused_button_is_default() {
+        let l = simple_layer();
+        assert_eq!(l.focused_button().action, ButtonAction::AcceptAll);
+        assert!(!l.offers_direct_decline());
+    }
+
+    #[test]
+    fn decline_detection() {
+        let mut l = simple_layer();
+        l.buttons.push(NoticeButton {
+            action: ButtonAction::OnlyNecessary,
+            highlighted: false,
+        });
+        assert!(l.offers_direct_decline());
+    }
+
+    #[test]
+    fn pre_ticked_counts_exclude_immutable() {
+        let l = NoticeLayer {
+            buttons: vec![NoticeButton {
+                action: ButtonAction::SaveSelection,
+                highlighted: false,
+            }],
+            checkboxes: vec![
+                CategoryCheckbox {
+                    category: ConsentCategory::Necessary,
+                    pre_ticked: true,
+                    immutable: true,
+                },
+                CategoryCheckbox {
+                    category: ConsentCategory::Marketing,
+                    pre_ticked: true,
+                    immutable: false,
+                },
+                CategoryCheckbox {
+                    category: ConsentCategory::Functional,
+                    pre_ticked: false,
+                    immutable: false,
+                },
+            ],
+            default_focus: 0,
+        };
+        assert_eq!(l.pre_ticked_count(), 1);
+    }
+
+    #[test]
+    fn notice_validation() {
+        let n = ConsentNotice::new(
+            NoticeBranding::RtlGermany,
+            vec![simple_layer()],
+            false,
+            0.4,
+        );
+        assert!(n.has_accept_all());
+        assert_eq!(n.first_layer().buttons.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn notice_rejects_zero_layers() {
+        let _ = ConsentNotice::new(NoticeBranding::Qvc, vec![], false, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "focus out of range")]
+    fn notice_rejects_bad_focus() {
+        let mut l = simple_layer();
+        l.default_focus = 9;
+        let _ = ConsentNotice::new(NoticeBranding::Qvc, vec![l], false, 0.3);
+    }
+
+    #[test]
+    fn action_predicates() {
+        assert!(ButtonAction::AcceptAll.grants_full_consent());
+        assert!(!ButtonAction::Settings.grants_full_consent());
+        assert!(ButtonAction::Decline.declines_directly());
+        assert!(!ButtonAction::SettingsOrDecline.declines_directly());
+    }
+
+    #[test]
+    fn branding_display_and_count() {
+        assert_eq!(NoticeBranding::ALL.len(), 12);
+        assert_eq!(NoticeBranding::ZdfModal.to_string(), "ZDF (modal)");
+    }
+}

@@ -1,0 +1,126 @@
+//! Dark-pattern / nudging analysis of consent notices.
+
+use crate::notice::ConsentNotice;
+use serde::{Deserialize, Serialize};
+
+/// The nudging assessment of one notice (§VI-B "Nudging and Dark
+/// Patterns").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NudgingReport {
+    /// The cursor initially rests on the accept-all button — the
+    /// HbbTV-specific nudge: unlike the Web, the cursor *must* rest
+    /// somewhere, and the notice chooses where.
+    pub default_focus_on_accept: bool,
+    /// The accept button is visually highlighted.
+    pub accept_highlighted: bool,
+    /// The first layer offers no direct decline; declining requires
+    /// descending into deeper layers ("hiding options to decline on the
+    /// second layer … nudges users towards accepting").
+    pub decline_requires_deeper_layer: bool,
+    /// Count of pre-ticked, changeable checkboxes across all layers
+    /// (non-compliant per ECJ Planet49).
+    pub pre_ticked_checkboxes: usize,
+    /// The notice is modal, blocking TV watching until answered.
+    pub modal: bool,
+    /// Number of layers a user must traverse to reach a confirm-deselect
+    /// step, if the notice asks for re-confirmation of a decline.
+    pub confirm_deselection_layer: Option<usize>,
+}
+
+impl NudgingReport {
+    /// A coarse 0–5 dark-pattern score: one point per observed pattern.
+    pub fn score(&self) -> u8 {
+        u8::from(self.default_focus_on_accept)
+            + u8::from(self.accept_highlighted)
+            + u8::from(self.decline_requires_deeper_layer)
+            + u8::from(self.pre_ticked_checkboxes > 0)
+            + u8::from(self.confirm_deselection_layer.is_some())
+    }
+}
+
+/// Analyzes a notice for the nudging patterns §VI-B reports.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_consent::{analyze_nudging, branding_catalog, NoticeBranding};
+/// let report = analyze_nudging(&branding_catalog(NoticeBranding::RtlGermany));
+/// assert!(report.default_focus_on_accept);
+/// assert!(report.decline_requires_deeper_layer);
+/// ```
+pub fn analyze_nudging(notice: &ConsentNotice) -> NudgingReport {
+    let first = notice.first_layer();
+    let focused = first.focused_button();
+    let pre_ticked = notice
+        .layers
+        .iter()
+        .map(|l| l.pre_ticked_count())
+        .sum::<usize>();
+    let confirm_layer = notice.layers.iter().position(|l| {
+        l.buttons
+            .iter()
+            .any(|b| b.action == crate::notice::ButtonAction::ConfirmDeselection)
+    });
+    NudgingReport {
+        default_focus_on_accept: focused.action.grants_full_consent(),
+        accept_highlighted: first
+            .buttons
+            .iter()
+            .any(|b| b.action.grants_full_consent() && b.highlighted),
+        decline_requires_deeper_layer: !first.offers_direct_decline(),
+        pre_ticked_checkboxes: pre_ticked,
+        modal: notice.modal,
+        confirm_deselection_layer: confirm_layer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::branding_catalog;
+    use crate::notice::NoticeBranding;
+
+    #[test]
+    fn rtl_germany_report() {
+        let r = analyze_nudging(&branding_catalog(NoticeBranding::RtlGermany));
+        assert!(r.default_focus_on_accept);
+        assert!(r.accept_highlighted);
+        assert!(r.decline_requires_deeper_layer);
+        assert_eq!(r.pre_ticked_checkboxes, 0);
+        assert!(!r.modal);
+        assert!(r.score() >= 3);
+    }
+
+    #[test]
+    fn qvc_offers_direct_decline() {
+        let r = analyze_nudging(&branding_catalog(NoticeBranding::Qvc));
+        assert!(!r.decline_requires_deeper_layer);
+    }
+
+    #[test]
+    fn rtl_zwei_has_preticked_boxes() {
+        let r = analyze_nudging(&branding_catalog(NoticeBranding::RtlZwei));
+        assert!(r.pre_ticked_checkboxes >= 2);
+        assert!(r.score() >= 3);
+    }
+
+    #[test]
+    fn tlc_confirmation_layer_detected() {
+        let r = analyze_nudging(&branding_catalog(NoticeBranding::Tlc));
+        assert_eq!(r.confirm_deselection_layer, Some(2));
+    }
+
+    #[test]
+    fn modal_notices_flagged() {
+        let r = analyze_nudging(&branding_catalog(NoticeBranding::ZdfModal));
+        assert!(r.modal);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        for b in NoticeBranding::ALL {
+            let s = analyze_nudging(&branding_catalog(b)).score();
+            assert!(s <= 5);
+        }
+    }
+}

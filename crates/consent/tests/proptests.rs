@@ -1,0 +1,85 @@
+//! Property-based tests for screenshot annotation and nudging.
+
+use hbbtv_consent::{
+    analyze_nudging, annotate, branding_catalog, AppSurface, NoticeBranding, OverlayKind,
+    ScreenContent,
+};
+use proptest::prelude::*;
+
+fn arb_branding() -> impl Strategy<Value = NoticeBranding> {
+    prop::sample::select(NoticeBranding::ALL.to_vec())
+}
+
+fn arb_surface() -> impl Strategy<Value = Option<AppSurface>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(AppSurface::MediaLibrary)),
+        Just(Some(AppSurface::InfoText)),
+        Just(Some(AppSurface::Game)),
+        Just(Some(AppSurface::Shop)),
+        Just(Some(AppSurface::Advertisement)),
+    ]
+}
+
+prop_compose! {
+    fn arb_screen()(
+        signal in any::<bool>(),
+        tech in any::<bool>(),
+        surface in arb_surface(),
+        notice in prop::option::of((arb_branding(), 0usize..3)),
+        policy in any::<bool>(),
+        controls in any::<bool>(),
+        pointer in any::<bool>(),
+    ) -> ScreenContent {
+        ScreenContent {
+            signal,
+            tech_message: tech,
+            surface,
+            notice,
+            policy,
+            cookie_controls: controls,
+            privacy_pointer: pointer,
+        }
+    }
+}
+
+proptest! {
+    /// Annotation is total and assigns exactly one overlay class with
+    /// the codebook's precedence.
+    #[test]
+    fn annotation_precedence(screen in arb_screen()) {
+        let a = annotate(&screen);
+        if !screen.signal {
+            prop_assert_eq!(a.overlay, OverlayKind::NoSignal);
+        } else if screen.tech_message {
+            prop_assert_eq!(a.overlay, OverlayKind::ChannelTechMessage);
+        } else if screen.notice.is_some() || screen.policy {
+            prop_assert_eq!(a.overlay, OverlayKind::Privacy);
+        }
+        // Round-2 annotation exists iff round 1 said Privacy.
+        prop_assert_eq!(a.privacy.is_some(), a.overlay == OverlayKind::Privacy);
+        // Pointers survive annotation untouched.
+        prop_assert_eq!(a.privacy_pointer, screen.privacy_pointer);
+    }
+
+    /// Every catalogued notice is structurally valid: layer focus is in
+    /// range, layer 1 has an accept button, and the nudging score is
+    /// bounded.
+    #[test]
+    fn catalog_invariants(branding in arb_branding()) {
+        let notice = branding_catalog(branding);
+        prop_assert!(notice.has_accept_all());
+        for layer in &notice.layers {
+            prop_assert!(layer.default_focus < layer.buttons.len());
+        }
+        let report = analyze_nudging(&notice);
+        prop_assert!(report.default_focus_on_accept);
+        prop_assert!(report.score() <= 5);
+        // Modal notices cover the full screen; non-modal less than half.
+        if notice.modal {
+            prop_assert!((notice.screen_coverage - 1.0).abs() < f64::EPSILON);
+        } else {
+            prop_assert!(notice.screen_coverage < 0.5);
+        }
+    }
+}

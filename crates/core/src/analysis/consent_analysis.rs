@@ -1,0 +1,249 @@
+//! Consent-notice analysis (§VI): screenshot annotation (Tables IV/V),
+//! branding inventory, and nudging.
+
+use crate::dataset::StudyDataset;
+use crate::run::RunKind;
+use hbbtv_broadcast::ChannelId;
+use hbbtv_consent::{
+    analyze_nudging, annotate, branding_catalog, NoticeBranding, NudgingReport, OverlayKind,
+    PrivacyInfoKind,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Table IV row: overlay-type counts for one run.
+pub type OverlayRow = BTreeMap<OverlayKind, usize>;
+
+/// Table V row.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyPrevalenceRow {
+    /// Screenshots taken.
+    pub screenshots_total: usize,
+    /// Screenshots showing privacy-related information.
+    pub screenshots_privacy: usize,
+    /// Channels measured.
+    pub channels_total: usize,
+    /// Channels with ≥ 1 privacy screenshot.
+    pub channels_privacy: usize,
+}
+
+impl PrivacyPrevalenceRow {
+    /// Privacy share of screenshots, percent.
+    pub fn screenshot_share(&self) -> f64 {
+        if self.screenshots_total == 0 {
+            0.0
+        } else {
+            self.screenshots_privacy as f64 / self.screenshots_total as f64 * 100.0
+        }
+    }
+
+    /// Privacy share of channels, percent.
+    pub fn channel_share(&self) -> f64 {
+        if self.channels_total == 0 {
+            0.0
+        } else {
+            self.channels_privacy as f64 / self.channels_total as f64 * 100.0
+        }
+    }
+}
+
+/// The §VI computation.
+#[derive(Debug, Clone)]
+pub struct ConsentAnalysis {
+    /// Table IV: overlay distribution per run.
+    pub overlays_per_run: BTreeMap<RunKind, OverlayRow>,
+    /// Table V: privacy prevalence per run.
+    pub prevalence_per_run: BTreeMap<RunKind, PrivacyPrevalenceRow>,
+    /// Channels showing a notice or policy on ≥ 1 screenshot across all
+    /// runs (121 / 31.03% in the paper).
+    pub channels_with_privacy_info: BTreeSet<ChannelId>,
+    /// Total channels observed across runs.
+    pub channels_observed: usize,
+    /// Observed notice brandings with the channels they appeared on.
+    pub brandings: BTreeMap<NoticeBranding, BTreeSet<ChannelId>>,
+    /// Deepest notice layer seen per run (only Blue reached layers 2+ in
+    /// the paper).
+    pub deepest_layer_per_run: BTreeMap<RunKind, usize>,
+    /// Channels showing a privacy pointer on ≥ 1 screenshot (290 /
+    /// 74.36%).
+    pub channels_with_pointer: BTreeSet<ChannelId>,
+    /// Nudging reports for every observed branding.
+    pub nudging: BTreeMap<NoticeBranding, NudgingReport>,
+    /// Per run: channels whose notice ended in full consent under the
+    /// blind interaction sequence (the behavioral outcome of the
+    /// default-focus nudge; zero in the General run, where nothing is
+    /// pressed).
+    pub consents_per_run: BTreeMap<RunKind, usize>,
+}
+
+impl ConsentAnalysis {
+    /// Annotates every screenshot and aggregates the §VI findings.
+    pub fn compute(dataset: &StudyDataset) -> Self {
+        let mut overlays_per_run = BTreeMap::new();
+        let mut prevalence_per_run = BTreeMap::new();
+        let mut channels_with_privacy_info = BTreeSet::new();
+        let mut channels_observed = BTreeSet::new();
+        let mut brandings: BTreeMap<NoticeBranding, BTreeSet<ChannelId>> = BTreeMap::new();
+        let mut deepest_layer_per_run = BTreeMap::new();
+        let mut channels_with_pointer = BTreeSet::new();
+
+        for run_ds in &dataset.runs {
+            let mut row: OverlayRow = OverlayRow::new();
+            let mut prevalence = PrivacyPrevalenceRow {
+                channels_total: run_ds.channels_measured.len(),
+                ..Default::default()
+            };
+            let mut privacy_channels: BTreeSet<ChannelId> = BTreeSet::new();
+            let mut deepest = 0usize;
+            for shot in &run_ds.screenshots {
+                let a = annotate(&shot.content);
+                *row.entry(a.overlay).or_insert(0) += 1;
+                prevalence.screenshots_total += 1;
+                channels_observed.insert(shot.channel);
+                if a.privacy_pointer {
+                    channels_with_pointer.insert(shot.channel);
+                }
+                if a.shows_privacy_info() {
+                    prevalence.screenshots_privacy += 1;
+                    privacy_channels.insert(shot.channel);
+                    channels_with_privacy_info.insert(shot.channel);
+                }
+                if let Some(PrivacyInfoKind::ConsentNotice { branding, layer }) = a.privacy {
+                    brandings.entry(branding).or_default().insert(shot.channel);
+                    deepest = deepest.max(layer);
+                }
+            }
+            prevalence.channels_privacy = privacy_channels.len();
+            overlays_per_run.insert(run_ds.run, row);
+            prevalence_per_run.insert(run_ds.run, prevalence);
+            deepest_layer_per_run.insert(run_ds.run, deepest);
+        }
+
+        let nudging = brandings
+            .keys()
+            .map(|&b| (b, analyze_nudging(&branding_catalog(b))))
+            .collect();
+        let consents_per_run = dataset
+            .runs
+            .iter()
+            .map(|r| (r.run, r.consented_channels.len()))
+            .collect();
+
+        ConsentAnalysis {
+            overlays_per_run,
+            prevalence_per_run,
+            channels_with_privacy_info,
+            channels_observed: channels_observed.len(),
+            brandings,
+            deepest_layer_per_run,
+            channels_with_pointer,
+            nudging,
+            consents_per_run,
+        }
+    }
+
+    /// Share of channels that showed privacy information at least once.
+    pub fn privacy_channel_share(&self) -> f64 {
+        if self.channels_observed == 0 {
+            0.0
+        } else {
+            self.channels_with_privacy_info.len() as f64 / self.channels_observed as f64 * 100.0
+        }
+    }
+
+    /// Share of channels with a privacy pointer.
+    pub fn pointer_channel_share(&self) -> f64 {
+        if self.channels_observed == 0 {
+            0.0
+        } else {
+            self.channels_with_pointer.len() as f64 / self.channels_observed as f64 * 100.0
+        }
+    }
+
+    /// Whether every observed notice defaults its cursor to "accept"
+    /// (the §VI-B nudging finding).
+    pub fn all_notices_nudge_to_accept(&self) -> bool {
+        !self.nudging.is_empty() && self.nudging.values().all(|n| n.default_focus_on_accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ecosystem, StudyHarness};
+
+    fn dataset() -> StudyDataset {
+        let eco = Ecosystem::with_scale(17, 0.15);
+        let mut harness = StudyHarness::new(&eco);
+        StudyDataset {
+            runs: vec![
+                harness.run(RunKind::General),
+                harness.run(RunKind::Red),
+                harness.run(RunKind::Blue),
+            ],
+        }
+    }
+
+    #[test]
+    fn tv_only_dominates_general_run() {
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        let row = &c.overlays_per_run[&RunKind::General];
+        let tv_only = row.get(&OverlayKind::TvOnly).copied().unwrap_or(0);
+        let total: usize = row.values().sum();
+        assert!(
+            tv_only * 2 > total,
+            "TV Only should dominate General ({tv_only}/{total})"
+        );
+    }
+
+    #[test]
+    fn red_run_shows_media_libraries() {
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        let red = &c.overlays_per_run[&RunKind::Red];
+        let gen = &c.overlays_per_run[&RunKind::General];
+        assert!(
+            red.get(&OverlayKind::MediaLibrary).copied().unwrap_or(0)
+                > gen.get(&OverlayKind::MediaLibrary).copied().unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn privacy_prevalence_is_a_minority_of_channels() {
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        let share = c.privacy_channel_share();
+        assert!(share > 0.0 && share < 70.0, "share = {share}");
+        assert!(!c.channels_with_privacy_info.is_empty());
+    }
+
+    #[test]
+    fn notices_nudge_and_brandings_observed() {
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        assert!(!c.brandings.is_empty(), "some notices were on screen");
+        assert!(c.all_notices_nudge_to_accept());
+    }
+
+    #[test]
+    fn blind_sequences_consent_in_button_runs_only() {
+        // The behavioral nudge: the cursor starts on Accept, so the
+        // random interaction sequence frequently grants consent — but
+        // never in the General run, where nothing is pressed.
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        assert_eq!(c.consents_per_run[&RunKind::General], 0);
+        let button_consents: usize = [RunKind::Red, RunKind::Blue]
+            .iter()
+            .map(|r| c.consents_per_run[r])
+            .sum();
+        assert!(button_consents > 0, "some blind sequences hit Accept");
+    }
+
+    #[test]
+    fn pointers_are_widespread() {
+        let ds = dataset();
+        let c = ConsentAnalysis::compute(&ds);
+        assert!(c.pointer_channel_share() > c.privacy_channel_share());
+    }
+}

@@ -1,0 +1,312 @@
+//! Cookie analysis (§V-C): per-run counts (Table I's cookie columns),
+//! third-party cookie usage (Table II), the long-tail distribution of
+//! cookie-setting third parties (Figure 5), and Cookiepedia
+//! classification.
+
+use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
+use crate::dataset::StudyDataset;
+use crate::run::RunKind;
+use hbbtv_broadcast::ChannelId;
+use hbbtv_net::{CookieKey, Etld1};
+use hbbtv_stats::{describe, Describe};
+use hbbtv_trackers::{CookieCategory, Cookiepedia};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-run cookie counts (the cookie columns of Table I).
+#[derive(Debug, Clone, Default)]
+pub struct CookieRow {
+    /// Distinct cookies observed in the run (jar keys).
+    pub total: usize,
+    /// Keys that were first-party on at least one channel.
+    pub first_party: usize,
+    /// Keys that were third-party on at least one channel (the two
+    /// counts overlap — see the Table I caption).
+    pub third_party: usize,
+    /// Local-storage objects extracted after the run.
+    pub local_storage: usize,
+}
+
+/// Table II row: cookie-setting third parties in one run.
+#[derive(Debug, Clone)]
+pub struct ThirdPartyRow {
+    /// Distinct third parties that set cookies.
+    pub parties: usize,
+    /// Distinct third-party cookies.
+    pub cookies: usize,
+    /// Distribution of cookies per third party.
+    pub per_party: Describe,
+}
+
+/// The complete §V-C computation.
+#[derive(Debug, Clone)]
+pub struct CookieAnalysis {
+    /// Per-run Table I cookie columns.
+    pub per_run: BTreeMap<RunKind, CookieRow>,
+    /// Per-run Table II rows.
+    pub third_party_per_run: BTreeMap<RunKind, ThirdPartyRow>,
+    /// Distinct cookies across all runs, jar + local storage (1,705 in
+    /// the paper).
+    pub distinct_total: usize,
+    /// Share of distinct cookies set by tracking requests (92%).
+    pub set_by_tracking_share: f64,
+    /// Distinct parties (first and third) setting cookies (166).
+    pub parties_total: usize,
+    /// Cookies per channel distribution (mean 4.1).
+    pub cookies_per_channel: Describe,
+    /// Third-party cookies per channel (mean 3.1).
+    pub third_party_cookies_per_channel: Describe,
+    /// Figure 5: for each cookie-using third party, how many channels it
+    /// appears on, sorted descending.
+    pub party_channel_counts: Vec<(Etld1, usize)>,
+    /// Third parties observed on exactly one channel (38 in the paper).
+    pub single_channel_parties: usize,
+    /// Third parties used by more than ten channels (25).
+    pub parties_on_more_than_ten: usize,
+    /// Share of cookies classifiable by Cookiepedia (20.5% vs 57% on the
+    /// Web).
+    pub cookiepedia_classified_share: f64,
+    /// Share of classified multi-channel third-party cookies that are
+    /// Targeting/Advertising (11%).
+    pub targeting_share_multichannel: f64,
+    /// Distribution of classified cookies over Cookiepedia's categories
+    /// (the supplementary-material table; button runs skew toward
+    /// Targeting).
+    pub category_distribution: BTreeMap<String, usize>,
+}
+
+impl CookieAnalysis {
+    /// Runs the §V-C computation.
+    pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
+        let cookiepedia = Cookiepedia::bundled();
+        let lists = hbbtv_filterlists::bundled::all();
+
+        let mut per_run = BTreeMap::new();
+        let mut third_party_per_run = BTreeMap::new();
+        let mut all_keys: BTreeSet<CookieKey> = BTreeSet::new();
+        let mut keys_by_tracking: BTreeSet<CookieKey> = BTreeSet::new();
+        let mut parties: BTreeSet<Etld1> = BTreeSet::new();
+        let mut per_channel_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>> = BTreeMap::new();
+        let mut per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>> = BTreeMap::new();
+        let mut party_channels: BTreeMap<Etld1, BTreeSet<ChannelId>> = BTreeMap::new();
+        let mut multichannel_classified: Vec<CookieCategory> = Vec::new();
+        let mut ls_total = 0usize;
+
+        for run_ds in &dataset.runs {
+            // Observed Set-Cookie events attributed to channels.
+            let mut run_keys: BTreeSet<CookieKey> = BTreeSet::new();
+            let mut run_fp_keys: BTreeSet<CookieKey> = BTreeSet::new();
+            let mut run_tp_keys: BTreeSet<CookieKey> = BTreeSet::new();
+            let mut run_tp_parties: BTreeMap<Etld1, BTreeSet<CookieKey>> = BTreeMap::new();
+            for c in &run_ds.captures {
+                // A "tracking request" per §V-D: pixel, fingerprint, or
+                // known (filter-list-flagged) tracker.
+                let tracking = is_tracking_pixel(c)
+                    || is_fingerprint_script(c)
+                    || lists.iter().any(|l| {
+                        l.matches(
+                            &c.request.url,
+                            hbbtv_filterlists::RequestContext::third_party_image(),
+                        )
+                    });
+                for sc in c.response.set_cookies() {
+                    let domain = if sc.explicit_domain {
+                        sc.cookie.domain.clone()
+                    } else {
+                        c.request.url.etld1().clone()
+                    };
+                    let key = CookieKey {
+                        domain: domain.clone(),
+                        name: sc.cookie.name.clone(),
+                    };
+                    run_keys.insert(key.clone());
+                    all_keys.insert(key.clone());
+                    parties.insert(domain.clone());
+                    if tracking {
+                        keys_by_tracking.insert(key.clone());
+                    }
+                    if let Some(ch) = c.channel {
+                        per_channel_keys.entry(ch).or_default().insert(key.clone());
+                        if fp_map.is_third_party(ch, &domain) {
+                            run_tp_keys.insert(key.clone());
+                            per_channel_3p_keys.entry(ch).or_default().insert(key.clone());
+                            run_tp_parties
+                                .entry(domain.clone())
+                                .or_default()
+                                .insert(key.clone());
+                            party_channels.entry(domain.clone()).or_default().insert(ch);
+                        } else {
+                            run_fp_keys.insert(key.clone());
+                        }
+                    }
+                }
+            }
+            per_run.insert(
+                run_ds.run,
+                CookieRow {
+                    total: run_keys.len(),
+                    first_party: run_fp_keys.len(),
+                    third_party: run_tp_keys.len(),
+                    local_storage: run_ds.local_storage.len(),
+                },
+            );
+            ls_total += run_ds.local_storage.len();
+            let counts: Vec<f64> = run_tp_parties.values().map(|k| k.len() as f64).collect();
+            third_party_per_run.insert(
+                run_ds.run,
+                ThirdPartyRow {
+                    parties: run_tp_parties.len(),
+                    cookies: run_tp_parties.values().map(BTreeSet::len).sum(),
+                    per_party: describe(&counts),
+                },
+            );
+        }
+
+        // Cookiepedia classification of all distinct keys.
+        let classified: Vec<(&CookieKey, CookieCategory)> = all_keys
+            .iter()
+            .filter_map(|k| cookiepedia.classify(k).map(|c| (k, c)))
+            .collect();
+        // Multi-channel third parties and their classified cookies.
+        for (party, chs) in &party_channels {
+            if chs.len() > 1 {
+                for (key, cat) in &classified {
+                    if &key.domain == party {
+                        multichannel_classified.push(*cat);
+                    }
+                }
+            }
+        }
+        let targeting_share_multichannel = if multichannel_classified.is_empty() {
+            0.0
+        } else {
+            multichannel_classified
+                .iter()
+                .filter(|c| matches!(c, CookieCategory::Targeting))
+                .count() as f64
+                / multichannel_classified.len() as f64
+                * 100.0
+        };
+
+        let mut category_distribution: BTreeMap<String, usize> = BTreeMap::new();
+        for (_, cat) in &classified {
+            *category_distribution.entry(cat.to_string()).or_insert(0) += 1;
+        }
+
+        let mut party_channel_counts: Vec<(Etld1, usize)> = party_channels
+            .iter()
+            .map(|(p, chs)| (p.clone(), chs.len()))
+            .collect();
+        party_channel_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let per_channel: Vec<f64> = per_channel_keys.values().map(|s| s.len() as f64).collect();
+        let per_channel_3p: Vec<f64> = per_channel_3p_keys
+            .values()
+            .map(|s| s.len() as f64)
+            .collect();
+        let distinct_total = all_keys.len() + ls_total;
+
+        CookieAnalysis {
+            per_run,
+            third_party_per_run,
+            distinct_total,
+            set_by_tracking_share: if all_keys.is_empty() {
+                0.0
+            } else {
+                keys_by_tracking.len() as f64 / all_keys.len() as f64 * 100.0
+            },
+            parties_total: parties.len(),
+            cookies_per_channel: describe(&per_channel),
+            third_party_cookies_per_channel: describe(&per_channel_3p),
+            single_channel_parties: party_channel_counts.iter().filter(|(_, n)| *n == 1).count(),
+            parties_on_more_than_ten: party_channel_counts.iter().filter(|(_, n)| *n > 10).count(),
+            party_channel_counts,
+            cookiepedia_classified_share: if all_keys.is_empty() {
+                0.0
+            } else {
+                classified.len() as f64 / all_keys.len() as f64 * 100.0
+            },
+            targeting_share_multichannel,
+            category_distribution,
+        }
+    }
+
+    /// The most widespread cookie-using third party (xiti.com on 119
+    /// channels in the paper).
+    pub fn most_widespread_party(&self) -> Option<&(Etld1, usize)> {
+        self.party_channel_counts.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ecosystem, StudyHarness};
+
+    fn dataset() -> StudyDataset {
+        let eco = Ecosystem::with_scale(11, 0.08);
+        let mut harness = StudyHarness::new(&eco);
+        StudyDataset {
+            runs: vec![
+                harness.run(RunKind::General),
+                harness.run(RunKind::Red),
+                harness.run(RunKind::Blue),
+            ],
+        }
+    }
+
+    #[test]
+    fn red_run_sets_more_cookies_than_general() {
+        let ds = dataset();
+        let fp = FirstPartyMap::identify(&ds);
+        let c = CookieAnalysis::compute(&ds, &fp);
+        assert!(
+            c.per_run[&RunKind::Red].total > c.per_run[&RunKind::General].total,
+            "red {} vs general {}",
+            c.per_run[&RunKind::Red].total,
+            c.per_run[&RunKind::General].total
+        );
+    }
+
+    #[test]
+    fn cookiepedia_classifies_a_minority() {
+        let ds = dataset();
+        let fp = FirstPartyMap::identify(&ds);
+        let c = CookieAnalysis::compute(&ds, &fp);
+        assert!(
+            c.cookiepedia_classified_share < 50.0,
+            "HbbTV cookies are mostly unknown to Cookiepedia ({}%)",
+            c.cookiepedia_classified_share
+        );
+        assert!(c.distinct_total > 0);
+    }
+
+    #[test]
+    fn long_tail_of_third_parties() {
+        let ds = dataset();
+        let fp = FirstPartyMap::identify(&ds);
+        let c = CookieAnalysis::compute(&ds, &fp);
+        assert!(c.single_channel_parties > 0, "boutique trackers exist");
+        let top = c.most_widespread_party().unwrap();
+        assert!(top.1 > 1, "some party spans channels");
+        // Sorted descending.
+        let counts: Vec<usize> = c.party_channel_counts.iter().map(|(_, n)| *n).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn most_cookies_come_from_tracking_requests() {
+        let ds = dataset();
+        let fp = FirstPartyMap::identify(&ds);
+        let c = CookieAnalysis::compute(&ds, &fp);
+        assert!(c.set_by_tracking_share > 30.0, "{}", c.set_by_tracking_share);
+    }
+
+    #[test]
+    fn local_storage_counted_per_run() {
+        let ds = dataset();
+        let fp = FirstPartyMap::identify(&ds);
+        let c = CookieAnalysis::compute(&ds, &fp);
+        assert!(c.per_run[&RunKind::General].local_storage > 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Captured datasets (the BigQuery upload of the physical study).
+
+use crate::run::RunKind;
+use hbbtv_broadcast::ChannelId;
+use hbbtv_proxy::CapturedExchange;
+use hbbtv_tv::{Screenshot, StoredCookie};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything one measurement run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunDataset {
+    /// Which run this is.
+    pub run: RunKind,
+    /// Channels actually measured (available at their slot).
+    pub channels_measured: Vec<ChannelId>,
+    /// Channel names by id, for reporting.
+    pub channel_names: BTreeMap<ChannelId, String>,
+    /// All captured HTTP(S) exchanges.
+    pub captures: Vec<CapturedExchange>,
+    /// The cookie jar extracted after the run (then wiped).
+    pub cookies: Vec<StoredCookie>,
+    /// Local-storage objects extracted after the run: (origin, key,
+    /// value).
+    pub local_storage: Vec<(String, String, String)>,
+    /// All screenshots taken during the run.
+    pub screenshots: Vec<Screenshot>,
+    /// Remote-control interactions performed (channel switches and key
+    /// presses; the study logged over 75k across all runs).
+    pub interactions: usize,
+    /// Channels on which the (blind) interaction sequence ended up
+    /// granting full consent — the measurable outcome of the §VI
+    /// default-focus-on-Accept nudge.
+    pub consented_channels: Vec<ChannelId>,
+}
+
+impl RunDataset {
+    /// Number of HTTP (plaintext) requests captured.
+    pub fn http_count(&self) -> usize {
+        self.captures.iter().filter(|c| !c.is_https()).count()
+    }
+
+    /// Number of HTTPS requests captured.
+    pub fn https_count(&self) -> usize {
+        self.captures.iter().filter(|c| c.is_https()).count()
+    }
+
+    /// HTTPS share in percent of all requests.
+    pub fn https_share_percent(&self) -> f64 {
+        if self.captures.is_empty() {
+            return 0.0;
+        }
+        self.https_count() as f64 / self.captures.len() as f64 * 100.0
+    }
+}
+
+/// The complete study: all five runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyDataset {
+    /// Per-run datasets, in Table I order.
+    pub runs: Vec<RunDataset>,
+}
+
+impl StudyDataset {
+    /// Looks up one run's dataset.
+    pub fn run(&self, kind: RunKind) -> Option<&RunDataset> {
+        self.runs.iter().find(|r| r.run == kind)
+    }
+
+    /// All captures across runs.
+    pub fn all_captures(&self) -> impl Iterator<Item = &CapturedExchange> {
+        self.runs.iter().flat_map(|r| r.captures.iter())
+    }
+
+    /// Total requests captured (457,492 in the paper).
+    pub fn total_requests(&self) -> usize {
+        self.runs.iter().map(|r| r.captures.len()).sum()
+    }
+
+    /// Hours of television watched.
+    pub fn hours_watched(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.channels_measured.len() as f64 * r.run.watch_time().as_secs() as f64)
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Total screenshots (41,617 in the paper).
+    pub fn total_screenshots(&self) -> usize {
+        self.runs.iter().map(|r| r.screenshots.len()).sum()
+    }
+
+    /// Total remote-control interactions (over 75k in the paper).
+    pub fn total_interactions(&self) -> usize {
+        self.runs.iter().map(|r| r.interactions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbtv_net::{Request, Response, Status, Timestamp};
+
+    fn capture(https: bool) -> CapturedExchange {
+        let url = if https {
+            "https://x.de/a"
+        } else {
+            "http://x.de/a"
+        };
+        CapturedExchange {
+            session: "General".to_string(),
+            channel: Some(ChannelId(1)),
+            channel_name: Some("X".to_string()),
+            request: Request::get(url.parse().unwrap())
+                .at(Timestamp::from_unix(1))
+                .build(),
+            response: Response::builder(Status::OK).build(),
+        }
+    }
+
+    fn dataset(https: usize, http: usize) -> RunDataset {
+        RunDataset {
+            run: RunKind::General,
+            channels_measured: vec![ChannelId(1)],
+            channel_names: BTreeMap::new(),
+            captures: (0..https)
+                .map(|_| capture(true))
+                .chain((0..http).map(|_| capture(false)))
+                .collect(),
+            cookies: vec![],
+            local_storage: vec![],
+            screenshots: vec![],
+            interactions: 0,
+            consented_channels: vec![],
+        }
+    }
+
+    #[test]
+    fn https_share() {
+        let d = dataset(1, 99);
+        assert_eq!(d.https_count(), 1);
+        assert_eq!(d.http_count(), 99);
+        assert!((d.https_share_percent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_share_is_zero() {
+        let d = dataset(0, 0);
+        assert_eq!(d.https_share_percent(), 0.0);
+    }
+
+    #[test]
+    fn study_aggregates() {
+        let study = StudyDataset {
+            runs: vec![dataset(2, 8)],
+        };
+        assert_eq!(study.total_requests(), 10);
+        assert!(study.run(RunKind::General).is_some());
+        assert!(study.run(RunKind::Red).is_none());
+        assert!((study.hours_watched() - 0.25).abs() < 1e-9);
+        assert_eq!(study.all_captures().count(), 10);
+    }
+}

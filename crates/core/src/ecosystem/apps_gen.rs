@@ -1,0 +1,616 @@
+//! Builds the per-channel HbbTV application from its plan.
+
+use crate::ecosystem::channels::{ButtonContent, ChannelPlan};
+use crate::ecosystem::roster::{self, EASYLIST_AD_DOMAINS};
+use hbbtv_apps::{
+    AppBuilder, ColorButton, HbbtvApp, LeakItem, LeakSpec, PageId, PageKind, ResourceKind,
+    ResourceLoad, StorageValueKind, StorageWrite,
+};
+use hbbtv_consent::branding_catalog;
+use hbbtv_net::{Duration, Url};
+
+/// How the channel's hosts are laid out.
+#[derive(Debug, Clone)]
+pub struct HostPlan {
+    /// The application host (e.g. `hbbtv.ard.de`), whose eTLD+1 is the
+    /// channel's first party.
+    pub hub: String,
+    /// The first-party registrable domain.
+    pub fp_domain: String,
+    /// Static-asset host (`cdn.<fp_domain>`).
+    pub cdn: String,
+}
+
+impl HostPlan {
+    /// Hosts for a hub-based network.
+    pub fn for_hub(hub: &str) -> Self {
+        let fp_domain = hbbtv_net::Etld1::from_host(hub).to_string();
+        HostPlan {
+            hub: hub.to_string(),
+            fp_domain: fp_domain.clone(),
+            cdn: format!("cdn.{fp_domain}"),
+        }
+    }
+
+    /// Hosts for a channel with its own first party.
+    pub fn own(slug: &str) -> Self {
+        Self::for_hub(&format!("hbbtv.hbbtv-{slug}.de"))
+    }
+}
+
+fn url(s: &str) -> Url {
+    s.parse().expect("generated URLs are valid")
+}
+
+fn site_url(host: &str, path: &str, slug: &str) -> Url {
+    url(&format!("http://{host}{path}?site={slug}"))
+}
+
+fn site_url_https(host: &str, path: &str, slug: &str) -> Url {
+    url(&format!("https://{host}{path}?site={slug}"))
+}
+
+/// The entry-point URL signalled in the AIT (unless the channel encodes
+/// a third-party URL, see the generator).
+pub fn entry_url(hosts: &HostPlan, slug: &str) -> Url {
+    site_url(&hosts.hub, &format!("/apps/{slug}/start"), slug)
+}
+
+/// The policy document URL (all part fetches hit this route).
+pub fn policy_url(hosts: &HostPlan, slug: &str) -> Url {
+    site_url(&hosts.hub, &format!("/apps/{slug}/datenschutz"), slug)
+}
+
+/// Builds the channel's application.
+pub fn build_app(plan: &ChannelPlan, hosts: &HostPlan) -> HbbtvApp {
+    let slug = &plan.slug;
+    let k = &plan.knobs;
+
+    let mut builder = AppBuilder::new(entry_url(hosts, slug));
+    let mut next_page: u16 = 0;
+
+    // ---- page 0: autostart -------------------------------------------
+    let autostart_id = next_page;
+    next_page += 1;
+    let k2 = k.clone();
+    let hosts2 = hosts.clone();
+    let slug2 = slug.clone();
+    builder = builder.page(PageKind::AutostartBar, move |p| {
+        let k = &k2;
+        let hosts = &hosts2;
+        let slug = &slug2;
+        // The first content-bearing request: the first-party app document
+        // (§V-A keys first-party identification on this).
+        p.resource(ResourceLoad::get(
+            url(&format!(
+                "http://{}/apps/{slug}/app.html?site={slug}",
+                hosts.hub
+            )),
+            ResourceKind::Document,
+        ));
+        p.resource(ResourceLoad::get(
+            url(&format!("http://{}/static/{slug}/bar.css", hosts.cdn)),
+            ResourceKind::Css,
+        ));
+        p.resource(ResourceLoad::get(
+            url(&format!("http://{}/static/{slug}/bar.js", hosts.cdn)),
+            ResourceKind::Script,
+        ));
+        if k.ioam {
+            // Public-broadcasting reach measurement.
+            p.resource(
+                ResourceLoad::get(
+                    site_url_https(roster::IOAM, "/tx.io", slug),
+                    ResourceKind::Image,
+                )
+                .leaking(LeakSpec::of(&[LeakItem::ChannelName])),
+            );
+        }
+        if k.tvping_autostart {
+            p.resource(
+                ResourceLoad::get(site_url(roster::TVPING, "/ping", slug), ResourceKind::Image)
+                    .leaking(LeakSpec::beacon_ids())
+                    .repeating(Duration::from_secs(1)),
+            );
+        }
+        if k.program_beacon {
+            p.resource(
+                ResourceLoad::get(
+                    site_url(roster::PROGRAMSTATS, "/watch", slug),
+                    ResourceKind::Image,
+                )
+                .leaking(LeakSpec::of(&[
+                    LeakItem::ChannelName,
+                    LeakItem::ShowTitle,
+                    LeakItem::Genre,
+                    LeakItem::UserId,
+                ]))
+                .repeating(Duration::from_secs(20)),
+            );
+        }
+        if let Some(connector) = &k.connector_host {
+            p.resource(ResourceLoad::get(
+                site_url(connector, "/lib.js", slug),
+                ResourceKind::Script,
+            ));
+        }
+        if let Some(receiver) = &k.tech_leak_to {
+            p.resource(
+                ResourceLoad::post(site_url(receiver, "/collect", slug), ResourceKind::Xhr)
+                    .leaking(LeakSpec::full_technical()),
+            );
+        }
+        if let Some(n) = k.unique_tracker {
+            p.resource(
+                ResourceLoad::get(
+                    site_url(&roster::unique_tracker_host(n), "/t.gif", slug),
+                    ResourceKind::Image,
+                )
+                .leaking(LeakSpec::of(&[LeakItem::ChannelName])),
+            );
+        }
+        if k.fp_first_party {
+            if let Some(host) = &k.fingerprint_host {
+                p.resource(
+                    ResourceLoad::get(
+                        url(&format!("http://{host}/fp.js")),
+                        ResourceKind::Script,
+                    )
+                    .repeating(Duration::from_secs(120)),
+                );
+            }
+        }
+        if k.policy_beacon_autostart {
+            p.resource(
+                ResourceLoad::get(policy_url(hosts, slug), ResourceKind::Document)
+                    .repeating(Duration::from_secs(40)),
+            );
+        }
+        if k.ls_write {
+            // Half the apps store a device identifier, half a consent /
+            // channel-switch timestamp — the §V-C3 heuristic's timestamp
+            // exclusion exists precisely because such values are common.
+            if slug.len() % 2 == 0 {
+                p.store(StorageWrite::new(
+                    &format!("app_state_{slug}"),
+                    StorageValueKind::Identifier(16),
+                ));
+            } else {
+                p.store(StorageWrite::new(
+                    &format!("consent_ts_{slug}"),
+                    StorageValueKind::UnixTimestamp,
+                ));
+            }
+        }
+        if let Some(branding) = k.notice {
+            p.with_notice(branding_catalog(branding));
+            if k.ga_post_consent {
+                p.post_consent_resource(
+                    ResourceLoad::get(
+                        site_url(roster::GOOGLE_ANALYTICS, "/collect", slug),
+                        ResourceKind::Image,
+                    )
+                    .leaking(LeakSpec::of(&[LeakItem::ChannelName])),
+                );
+            }
+            if k.ads_in_library {
+                // Consent-gated ad-tech on the start bar.
+                for domain in &EASYLIST_AD_DOMAINS[..2] {
+                    p.post_consent_resource(ResourceLoad::get(
+                        site_url(&format!("ads.{domain}"), "/banner", slug),
+                        ResourceKind::Image,
+                    ));
+                }
+            }
+        }
+    });
+
+    // ---- button pages -------------------------------------------------
+    let mut bind_plan: Vec<(ColorButton, u16)> = Vec::new();
+    for (button, content) in [
+        (ColorButton::Red, k.red),
+        (ColorButton::Green, k.green),
+        (ColorButton::Yellow, k.yellow),
+        (ColorButton::Blue, k.blue),
+    ] {
+        if content == ButtonContent::None {
+            continue;
+        }
+        let page_id = next_page;
+        next_page += 1;
+        // Media libraries get a linked detail page.
+        let detail_id = if matches!(content, ButtonContent::MediaLibrary) {
+            let id = next_page;
+            next_page += 1;
+            Some(id)
+        } else {
+            None
+        };
+        builder = add_content_page(
+            builder, plan, hosts, button, content, detail_id, page_id,
+        );
+        if let Some(detail) = detail_id {
+            let hosts3 = hosts.clone();
+            let slug3 = plan.slug.clone();
+            let tiles = plan.knobs.library_tiles / 3;
+            let _ = page_id;
+            builder = builder.page(PageKind::MediaLibrary, move |p| {
+                p.privacy_pointer();
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{}/detail.html?site={}",
+                        hosts3.hub, slug3, slug3
+                    )),
+                    ResourceKind::Document,
+                ));
+                for i in 0..tiles {
+                    p.resource(ResourceLoad::get(
+                        url(&format!(
+                            "http://{}/media/{}/d{i}.jpg",
+                            hosts3.cdn, slug3
+                        )),
+                        ResourceKind::Media,
+                    ));
+                }
+            });
+            debug_assert_eq!(detail, page_id + 1);
+        }
+        bind_plan.push((button, page_id));
+    }
+
+    builder = builder.autostart(autostart_id);
+    for (button, page) in bind_plan {
+        builder = builder.bind(button, page);
+    }
+    builder.build()
+}
+
+/// Builds one button-bound content page.
+#[allow(clippy::too_many_arguments)]
+fn add_content_page(
+    builder: AppBuilder,
+    plan: &ChannelPlan,
+    hosts: &HostPlan,
+    button: ColorButton,
+    content: ButtonContent,
+    detail_id: Option<u16>,
+    _page_id: u16,
+) -> AppBuilder {
+    let k = plan.knobs.clone();
+    let hosts = hosts.clone();
+    let slug = plan.slug.clone();
+    let channel_index = plan.slug.len(); // stable per-channel variation
+    let private_hub = !plan.network.is_public();
+    let kind = match content {
+        ButtonContent::MediaLibrary => PageKind::MediaLibrary,
+        ButtonContent::InfoText => PageKind::InfoText,
+        ButtonContent::Shop => PageKind::Shop,
+        ButtonContent::Game => PageKind::Game,
+        ButtonContent::PolicyPage => PageKind::PrivacyPolicy,
+        ButtonContent::Settings => PageKind::CookieSettings,
+        ButtonContent::Utility => PageKind::AutostartBar,
+        ButtonContent::None => unreachable!("filtered by caller"),
+    };
+    builder.page(kind, move |p| {
+        let policy_beacon = k.policy_beacon_on.contains(&button);
+        match content {
+            ButtonContent::MediaLibrary => {
+                p.privacy_pointer();
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{slug}/lib.html?site={slug}",
+                        hosts.hub
+                    )),
+                    ResourceKind::Document,
+                ));
+                // Commercial CDNs serve media over TLS; public
+                // broadcasters' HbbTV CDNs are plain HTTP.
+                let scheme = if private_hub { "https" } else { "http" };
+                for i in 0..k.library_tiles {
+                    p.resource(ResourceLoad::get(
+                        url(&format!("{scheme}://{}/media/{slug}/t{i}.jpg", hosts.cdn)),
+                        ResourceKind::Media,
+                    ));
+                }
+                // Library session (per-site cookie on the media host).
+                p.resource(ResourceLoad::get(
+                    site_url(&format!("media.{}", hosts.fp_domain), "/session", &slug),
+                    ResourceKind::Xhr,
+                ));
+                if k.reco_widget {
+                    p.resource(ResourceLoad::get(
+                        site_url_https("reco-engine.de", "/w.js", &slug),
+                        ResourceKind::Script,
+                    ));
+                }
+                if k.xiti {
+                    let mut leak = vec![LeakItem::ChannelName, LeakItem::UserId];
+                    if k.genre_leak {
+                        leak.push(LeakItem::ShowTitle);
+                        leak.push(LeakItem::Genre);
+                    }
+                    p.resource(
+                        ResourceLoad::get(
+                            site_url_https(&format!("an.{}", roster::XITI), "/hit.xiti", &slug),
+                            ResourceKind::Image,
+                        )
+                        .leaking(LeakSpec::of(&leak)),
+                    );
+                }
+                if k.ads_in_library {
+                    // Three rotating ad-tech partners + their pixels.
+                    for j in 0..3 {
+                        let domain = EASYLIST_AD_DOMAINS[(channel_index + j) % 8];
+                        p.resource(ResourceLoad::get(
+                            site_url_https(&format!("ads.{domain}"), "/banner", &slug),
+                            ResourceKind::Image,
+                        ));
+                        p.resource(ResourceLoad::get(
+                            site_url_https(&format!("px.{domain}"), "/p", &slug),
+                            ResourceKind::Image,
+                        ));
+                    }
+                    for j in 3..5 {
+                        let domain = EASYLIST_AD_DOMAINS[(channel_index + j) % 8];
+                        p.post_consent_resource(ResourceLoad::get(
+                            site_url_https(&format!("ads.{domain}"), "/banner", &slug),
+                            ResourceKind::Image,
+                        ));
+                    }
+                }
+                if k.tvping_in_library {
+                    let mut load =
+                        ResourceLoad::get(site_url(roster::TVPING, "/ping", &slug), ResourceKind::Image)
+                            .leaking(LeakSpec::beacon_ids())
+                            .repeating(Duration::from_secs(1));
+                    if k.outlier_burst {
+                        load = load.bursting(60);
+                    }
+                    p.resource(load);
+                }
+                if !k.fp_first_party && button == ColorButton::Red {
+                    if let Some(host) = &k.fingerprint_host {
+                        p.resource(ResourceLoad::get(
+                            url(&format!("http://{host}/fp.js")),
+                            ResourceKind::Script,
+                        ));
+                    }
+                }
+                if k.sync_button == Some(button) {
+                    p.resource(ResourceLoad::get(
+                        site_url(roster::SYNC_SOURCE, "/pix", &slug),
+                        ResourceKind::Image,
+                    ));
+                }
+                if let Some(detail) = detail_id {
+                    p.link(PageId(detail));
+                }
+            }
+            ButtonContent::InfoText => {
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{slug}/text.html?site={slug}",
+                        hosts.hub
+                    )),
+                    ResourceKind::Document,
+                ));
+                for i in 0..4 {
+                    p.resource(ResourceLoad::get(
+                        url(&format!("http://{}/text/{slug}/page{i}.html", hosts.cdn)),
+                        ResourceKind::Document,
+                    ));
+                }
+                p.privacy_pointer();
+            }
+            ButtonContent::Shop => {
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{slug}/shop.html?site={slug}",
+                        hosts.hub
+                    )),
+                    ResourceKind::Document,
+                ));
+                for i in 0..12 {
+                    p.resource(ResourceLoad::get(
+                        url(&format!("http://{}/shop/{slug}/item{i}.jpg", hosts.cdn)),
+                        ResourceKind::Media,
+                    ));
+                }
+                if k.location_ad {
+                    // The §VI-B location-targeted sleeping-aid ad.
+                    p.resource(
+                        ResourceLoad::get(
+                            site_url("ads.adform.net", "/local", &slug),
+                            ResourceKind::Image,
+                        )
+                        .leaking(LeakSpec::of(&[LeakItem::Brand])),
+                    );
+                }
+                p.privacy_pointer();
+            }
+            ButtonContent::Game => {
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{slug}/game.html?site={slug}",
+                        hosts.hub
+                    )),
+                    ResourceKind::Document,
+                ));
+                p.resource(ResourceLoad::get(
+                    url(&format!("http://{}/game/{slug}/engine.js", hosts.cdn)),
+                    ResourceKind::Script,
+                ));
+            }
+            ButtonContent::PolicyPage => {
+                p.resource(
+                    ResourceLoad::get(policy_url(&hosts, &slug), ResourceKind::Document)
+                        .repeating(Duration::from_secs(40)),
+                );
+            }
+            ButtonContent::Settings => {
+                p.resource(ResourceLoad::get(
+                    url(&format!(
+                        "http://{}/apps/{slug}/settings.html?site={slug}",
+                        hosts.hub
+                    )),
+                    ResourceKind::Document,
+                ));
+                // Consent-state polling while the settings page is open.
+                p.resource(
+                    ResourceLoad::post(
+                        site_url(&hosts.hub, &format!("/apps/{slug}/consent"), &slug),
+                        ResourceKind::Xhr,
+                    )
+                    .repeating(Duration::from_secs(30)),
+                );
+                // The TCF-style vendor list the settings UI renders.
+                for i in 0..40 {
+                    p.resource(ResourceLoad::get(
+                        url(&format!(
+                            "http://{}/apps/{slug}/vendors/{i}.json",
+                            hosts.hub
+                        )),
+                        ResourceKind::Xhr,
+                    ));
+                }
+                if k.sync_button == Some(button) {
+                    p.resource(ResourceLoad::get(
+                        site_url(roster::SYNC_SOURCE, "/pix", &slug),
+                        ResourceKind::Image,
+                    ));
+                }
+            }
+            ButtonContent::Utility | ButtonContent::None => {}
+        }
+        if policy_beacon && content != ButtonContent::PolicyPage {
+            p.resource(
+                ResourceLoad::get(policy_url(&hosts, &slug), ResourceKind::Document)
+                    .repeating(Duration::from_secs(40)),
+            );
+        }
+        if let Some(branding) = k.notice_on_blue {
+            if button == ColorButton::Blue {
+                p.with_notice(branding_catalog(branding));
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecosystem::channels::{slugify, ChannelKnobs};
+    use hbbtv_broadcast::{ChannelCategory, Language, Network, Satellite};
+    use hbbtv_consent::NoticeBranding;
+
+    fn plan(knobs: ChannelKnobs) -> ChannelPlan {
+        ChannelPlan {
+            name: "Test TV".to_string(),
+            slug: slugify("Test TV"),
+            network: Network::RtlGermany,
+            category: ChannelCategory::General,
+            language: Language::German,
+            satellite: Satellite::Astra19E,
+            knobs,
+            policy_group: None,
+        }
+    }
+
+    #[test]
+    fn minimal_app_has_only_autostart() {
+        let p = plan(ChannelKnobs::default());
+        let hosts = HostPlan::for_hub("hbbtv.rtl-hbbtv.de");
+        let app = build_app(&p, &hosts);
+        assert_eq!(app.pages().len(), 1);
+        assert!(app.autostart_page().is_some());
+        assert!(app.page_for(ColorButton::Red).is_none());
+        assert_eq!(app.entry_url().host(), "hbbtv.rtl-hbbtv.de");
+    }
+
+    #[test]
+    fn full_app_wires_buttons_and_trackers() {
+        let k = ChannelKnobs {
+            tvping_autostart: true,
+            red: ButtonContent::MediaLibrary,
+            blue: ButtonContent::Settings,
+            yellow: ButtonContent::InfoText,
+            green: ButtonContent::MediaLibrary,
+            xiti: true,
+            genre_leak: true,
+            program_beacon: true,
+            ads_in_library: true,
+            notice: Some(NoticeBranding::RtlGermany),
+            sync_button: Some(ColorButton::Red),
+            ls_write: true,
+            ..ChannelKnobs::default()
+        };
+        let p = plan(k);
+        let hosts = HostPlan::for_hub("hbbtv.rtl-hbbtv.de");
+        let app = build_app(&p, &hosts);
+
+        // autostart + red lib + red detail + green lib + green detail +
+        // yellow info + blue settings = 7 pages.
+        assert_eq!(app.pages().len(), 7);
+        let auto = app.autostart_page().unwrap();
+        assert!(auto.notice.is_some());
+        assert!(auto.beacons().count() >= 2, "tvping + xiti program beacon");
+        assert!(!auto.storage_writes.is_empty());
+
+        let red = app.page_for(ColorButton::Red).unwrap();
+        assert_eq!(red.kind, PageKind::MediaLibrary);
+        assert!(red.privacy_pointer);
+        assert!(!red.links.is_empty(), "library links its detail page");
+        assert!(red
+            .resources
+            .iter()
+            .any(|r| r.url.host().contains("adsync-a.com")));
+        assert!(red
+            .resources
+            .iter()
+            .any(|r| r.url.host().starts_with("px.")));
+        assert!(!red.post_consent_resources.is_empty());
+
+        let blue = app.page_for(ColorButton::Blue).unwrap();
+        assert_eq!(blue.kind, PageKind::CookieSettings);
+        assert!(blue.beacons().count() >= 1, "consent polling");
+    }
+
+    #[test]
+    fn policy_page_beacons_the_policy_route() {
+        let k = ChannelKnobs {
+            red: ButtonContent::PolicyPage,
+            ..ChannelKnobs::default()
+        };
+        let p = plan(k);
+        let hosts = HostPlan::own(&p.slug);
+        let app = build_app(&p, &hosts);
+        let red = app.page_for(ColorButton::Red).unwrap();
+        assert_eq!(red.kind, PageKind::PrivacyPolicy);
+        let load = &red.resources[0];
+        assert!(load.url.path().contains("datenschutz"));
+        assert!(load.is_beacon());
+    }
+
+    #[test]
+    fn outlier_bursts() {
+        let k = ChannelKnobs {
+            red: ButtonContent::MediaLibrary,
+            tvping_in_library: true,
+            outlier_burst: true,
+            ..ChannelKnobs::default()
+        };
+        let p = plan(k);
+        let app = build_app(&p, &HostPlan::own(&p.slug));
+        let red = app.page_for(ColorButton::Red).unwrap();
+        let beacon = red.beacons().next().unwrap();
+        assert_eq!(beacon.burst, 60);
+    }
+
+    #[test]
+    fn own_host_plan_derives_first_party() {
+        let hosts = HostPlan::own("sport-total");
+        assert_eq!(hosts.hub, "hbbtv.hbbtv-sport-total.de");
+        assert_eq!(hosts.fp_domain, "hbbtv-sport-total.de");
+        assert_eq!(hosts.cdn, "cdn.hbbtv-sport-total.de");
+    }
+}

@@ -1,0 +1,214 @@
+//! The channel population: the §IV-B funnel input and the 396 analyzed
+//! channels with their behavioral knobs.
+
+use hbbtv_broadcast::{ChannelCategory, Language, Network, Satellite};
+use hbbtv_consent::NoticeBranding;
+use serde::{Deserialize, Serialize};
+
+/// What a colored button opens on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ButtonContent {
+    /// Nothing bound.
+    None,
+    /// A media library / dashboard.
+    MediaLibrary,
+    /// A teletext-style info service.
+    InfoText,
+    /// A shopping overlay.
+    Shop,
+    /// A game.
+    Game,
+    /// A privacy-policy reading page.
+    PolicyPage,
+    /// A cookie-settings page (renders as hybrid policy+controls).
+    Settings,
+    /// An invisible utility page (no overlay; models apps that consume
+    /// the key without painting anything).
+    Utility,
+}
+
+/// Per-channel behavior switches. The ecosystem generator assigns these
+/// from network templates plus index-deterministic cohorts, calibrated
+/// against the population statistics of §IV–§VII.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelKnobs {
+    /// Beacons `tvping.com` every second from the autostart app.
+    pub tvping_autostart: bool,
+    /// Beacons `tvping.com` every second from its media-library pages.
+    pub tvping_in_library: bool,
+    /// The §V-D3 outlier: burst-fires the library beacon 60× per tick.
+    pub outlier_burst: bool,
+    /// Consent-notice branding shown by the autostart app, if any.
+    pub notice: Option<NoticeBranding>,
+    /// Notice shown only on the blue page (ZDF's and TLC's §VI-B styles
+    /// appeared exclusively in the Blue run).
+    pub notice_on_blue: Option<NoticeBranding>,
+    /// What each colored button opens.
+    pub red: ButtonContent,
+    /// Green binding.
+    pub green: ButtonContent,
+    /// Yellow binding.
+    pub yellow: ButtonContent,
+    /// Blue binding.
+    pub blue: ButtonContent,
+    /// Embeds `xiti.com` analytics (with per-site cookies) on library
+    /// pages.
+    pub xiti: bool,
+    /// Library analytics leak show title + genre (§V-B behavioral data).
+    pub genre_leak: bool,
+    /// Fires the 20-second program beacon to `programstats.tv` from the
+    /// autostart app, carrying channel/show/genre/user id.
+    pub program_beacon: bool,
+    /// Loads the INFOnline (`ioam.de`) reach-measurement pixel on app
+    /// start (German public-broadcasting measurement).
+    pub ioam: bool,
+    /// A shared third party loaded on app start (keeps smaller channels
+    /// attached to the ecosystem graph's giant component).
+    pub connector_host: Option<String>,
+    /// Ad-tech loads (EasyList-listed servers + their pixels) in
+    /// media-library pages; more after consent.
+    pub ads_in_library: bool,
+    /// Loads Google Analytics after consent (Bibel TV's §VI-B notice
+    /// offers a GA checkbox on its second layer).
+    pub ga_post_consent: bool,
+    /// Sends the full §V-B technical battery to this receiver host.
+    pub tech_leak_to: Option<String>,
+    /// Loads a fingerprint script from this host; `fp_first_party` marks
+    /// the 7 channels hosting the script themselves.
+    pub fingerprint_host: Option<String>,
+    /// The fingerprint script is first-party hosted (and re-probed every
+    /// 120 s, making first parties the dominant §V-D2 requesters).
+    pub fp_first_party: bool,
+    /// Index of the boutique single-channel tracker, if any.
+    pub unique_tracker: Option<usize>,
+    /// Fires the cookie-sync chain from the page bound to this button.
+    pub sync_button: Option<hbbtv_apps::ColorButton>,
+    /// Serves a privacy policy and re-fetches its parts from the pages
+    /// bound to these buttons (models paginated policy readers).
+    pub policy_beacon_on: Vec<hbbtv_apps::ColorButton>,
+    /// Policy parts are also re-fetched by the autostart app.
+    pub policy_beacon_autostart: bool,
+    /// Writes one namespaced local-storage object on app start.
+    pub ls_write: bool,
+    /// Displays a technical message when an unbound color key is
+    /// pressed.
+    pub ctm_on_missing: bool,
+    /// Transponder with occasional picture dropouts ("No Sign."
+    /// screenshots).
+    pub weak_signal: bool,
+    /// Not broadcasting around the clock (availability pool for the
+    /// per-run channel counts).
+    pub limited_schedule: bool,
+    /// The AIT encodes a third-party URL (google-analytics) as the
+    /// autostart entry — the §V-A first-party pitfall.
+    pub ait_encodes_tracker: bool,
+    /// Media-library pages embed the recommendation widget
+    /// (`reco-engine.de`, per-site cookie).
+    pub reco_widget: bool,
+    /// Location-targeted advertisement overlay (the §VI-B sleeping-aid
+    /// observation) carrying a brand leak.
+    pub location_ad: bool,
+    /// Approximate tile count of media-library pages (drives request
+    /// volume).
+    pub library_tiles: usize,
+}
+
+impl Default for ChannelKnobs {
+    fn default() -> Self {
+        ChannelKnobs {
+            tvping_autostart: false,
+            tvping_in_library: false,
+            outlier_burst: false,
+            notice: None,
+            notice_on_blue: None,
+            red: ButtonContent::None,
+            green: ButtonContent::None,
+            yellow: ButtonContent::None,
+            blue: ButtonContent::None,
+            xiti: false,
+            genre_leak: false,
+            program_beacon: false,
+            ioam: false,
+            connector_host: None,
+            ads_in_library: false,
+            ga_post_consent: false,
+            tech_leak_to: None,
+            fingerprint_host: None,
+            fp_first_party: false,
+            unique_tracker: None,
+            sync_button: None,
+            policy_beacon_on: Vec::new(),
+            policy_beacon_autostart: false,
+            ls_write: false,
+            ctm_on_missing: false,
+            weak_signal: false,
+            limited_schedule: false,
+            ait_encodes_tracker: false,
+            reco_widget: false,
+            location_ad: false,
+            library_tiles: 24,
+        }
+    }
+}
+
+/// Static plan for one channel before app construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    /// Display name.
+    pub name: String,
+    /// URL-safe slug (site id).
+    pub slug: String,
+    /// Owning network.
+    pub network: Network,
+    /// Primary category.
+    pub category: ChannelCategory,
+    /// Broadcast language.
+    pub language: Language,
+    /// Receiving satellite.
+    pub satellite: Satellite,
+    /// Behavior switches.
+    pub knobs: ChannelKnobs,
+    /// Whether this channel gets a policy route (and which template
+    /// group it belongs to; channels sharing a group serve near-identical
+    /// policies — the SimHash groups of §VII-A).
+    pub policy_group: Option<u8>,
+}
+
+/// Derives a slug from a channel name.
+pub fn slugify(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugify_basics() {
+        assert_eq!(slugify("Das Erste"), "das-erste");
+        assert_eq!(slugify("Kabel Eins Doku"), "kabel-eins-doku");
+        assert_eq!(slugify("Krone.tv"), "krone-tv");
+        assert_eq!(slugify("SAT.1 Gold"), "sat-1-gold");
+    }
+
+    #[test]
+    fn default_knobs_are_inert() {
+        let k = ChannelKnobs::default();
+        assert!(!k.tvping_autostart);
+        assert_eq!(k.red, ButtonContent::None);
+        assert!(k.notice.is_none());
+        assert!(k.policy_beacon_on.is_empty());
+    }
+}

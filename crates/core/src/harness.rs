@@ -1,0 +1,363 @@
+//! The measurement harness: §IV-C's remote-control script.
+//!
+//! One [`StudyHarness::run`] call performs a complete measurement run:
+//! it starts the proxy session, shuffles the channel order (runs were
+//! randomized to minimize order effects), and for every available
+//! channel follows the exact §IV-C protocol:
+//!
+//! * **General**: switch, wait 10 s, screenshot, then a screenshot every
+//!   60 s until 900 s of watch time — 16 screenshots.
+//! * **Button runs**: switch, wait 10 s (screenshot), press the run's
+//!   colored button, wait 10 s (screenshot), then run the fixed
+//!   interaction sequence of 10 random cursor/ENTER presses (screenshot
+//!   after each), then screenshots every 60 s until 1000 s —
+//!   27 screenshots.
+//!
+//! After the run, cookies and local storage are extracted and wiped, and
+//! the TV is powered off — exactly the §IV-C run lifecycle.
+
+use crate::dataset::{RunDataset, StudyDataset};
+use crate::ecosystem::Ecosystem;
+use crate::run::RunKind;
+use hbbtv_filterlists::{FilterList, RequestContext, ResourceKind};
+use hbbtv_net::{ContentType, Duration, Request, Response, SimClock, Status};
+use hbbtv_proxy::Proxy;
+use hbbtv_trackers::ResponderContext;
+use hbbtv_tv::{ChannelContext, DeviceProfile, NetworkBackend, RcButton, Tv};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The network backend for the simulated TV: answers from the tracker
+/// registry (plus the first parties' policy routes) and records every
+/// exchange in the proxy.
+struct EcoBackend<'a> {
+    eco: &'a Ecosystem,
+    proxy: Proxy,
+    clock: SimClock,
+    rng: StdRng,
+    /// An on-device block list (the §VIII protection-mechanism
+    /// evaluation): matching requests never leave the TV and are not
+    /// captured.
+    blocklist: Option<&'a FilterList>,
+}
+
+impl NetworkBackend for EcoBackend<'_> {
+    fn fetch(&mut self, request: Request) -> Response {
+        if let Some(list) = self.blocklist {
+            let blocked = list.matches(
+                &request.url,
+                RequestContext {
+                    third_party: true,
+                    kind: ResourceKind::Image,
+                },
+            );
+            if blocked {
+                // NXDOMAIN-style blackhole: nothing reaches the network,
+                // nothing is captured, no cookies come back.
+                return Response::builder(Status::NOT_FOUND)
+                    .content_type(ContentType::Other)
+                    .build();
+            }
+        }
+        let response = match self
+            .eco
+            .policy_text(request.url.host(), request.url.path())
+        {
+            Some(text) => Response::builder(Status::OK)
+                .content_type(hbbtv_net::ContentType::Html)
+                .body(format!("MENU | Zurueck | OK = Auswahl\n\n{text}"))
+                .build(),
+            None => {
+                let mut ctx = ResponderContext {
+                    now: self.clock.now(),
+                    rng: &mut self.rng,
+                };
+                self.eco.registry().respond(&request, &mut ctx)
+            }
+        };
+        self.proxy.record(request, response.clone());
+        response
+    }
+}
+
+/// Drives the full study over a generated ecosystem.
+#[derive(Debug)]
+pub struct StudyHarness<'a> {
+    eco: &'a Ecosystem,
+}
+
+impl<'a> StudyHarness<'a> {
+    /// Creates a harness over a world.
+    pub fn new(eco: &'a Ecosystem) -> Self {
+        StudyHarness { eco }
+    }
+
+    /// Performs all five measurement runs.
+    pub fn run_all(&mut self) -> StudyDataset {
+        StudyDataset {
+            runs: RunKind::ALL.iter().map(|&r| self.run(r)).collect(),
+        }
+    }
+
+    /// Performs one measurement run.
+    pub fn run(&mut self, kind: RunKind) -> RunDataset {
+        self.run_inner(kind, None)
+    }
+
+    /// Performs one measurement run with an on-device block list active
+    /// (the §VIII protection evaluation: blocked requests never leave
+    /// the TV).
+    pub fn run_with_blocklist(&mut self, kind: RunKind, blocklist: &FilterList) -> RunDataset {
+        self.run_inner(kind, Some(blocklist))
+    }
+
+    fn run_inner(&mut self, kind: RunKind, blocklist: Option<&FilterList>) -> RunDataset {
+        let clock = SimClock::starting_at(kind.start_time());
+        let proxy = Proxy::new();
+        proxy.start_session(kind.label());
+        let run_seed = self.eco.seed() ^ (kind as u64).wrapping_mul(0x9E37_79B9);
+        let backend = EcoBackend {
+            eco: self.eco,
+            proxy: proxy.clone(),
+            clock: clock.clone(),
+            rng: StdRng::seed_from_u64(run_seed ^ 0xBAC5),
+            blocklist,
+        };
+        let mut tv = Tv::new(DeviceProfile::study_tv(), clock.clone(), backend, run_seed);
+        let mut script_rng = StdRng::seed_from_u64(run_seed ^ 0x5C21);
+
+        // Randomize channel order (§IV-C).
+        let mut order: Vec<_> = self.eco.final_channels().to_vec();
+        order.shuffle(&mut script_rng);
+        let off_air = self.eco.off_air(kind);
+
+        // The fixed interaction sequence: 10 presses from the cursor set
+        // with at least one ENTER (§IV-C), generated once per run.
+        let sequence = interaction_sequence(&mut script_rng);
+
+        let mut channels_measured = Vec::new();
+        let mut channel_names = BTreeMap::new();
+        let mut screenshots = Vec::new();
+        let mut interactions = 0usize;
+        let mut consented_channels = Vec::new();
+
+        for id in order {
+            if off_air.contains(&id) {
+                continue;
+            }
+            let bp = self.eco.blueprint(id).expect("final channels have blueprints");
+            channels_measured.push(id);
+            channel_names.insert(id, bp.plan.name.clone());
+
+            proxy.notify_channel_switch(id, &bp.plan.name, clock.now());
+            interactions += 1; // the channel switch itself
+            // Consent notices are frequency-capped: roughly one in four
+            // tune-ins does not show the notice (deterministic per
+            // channel and run).
+            let suppress_notice = (id.0 as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(kind as u64)
+                % 4
+                == 1;
+            let ctx = ChannelContext {
+                descriptor: bp.descriptor.clone(),
+                app: bp.app.clone(),
+                program: bp.program.clone(),
+                signal_ok: true,
+                tech_message: false,
+                ctm_on_missing: bp.plan.knobs.ctm_on_missing,
+                suppress_notice,
+            };
+            tv.tune(ctx, &bp.ait);
+
+            let weak = bp.plan.knobs.weak_signal;
+            let shoot =
+                |tv: &mut Tv<EcoBackend>, rng: &mut StdRng, shots: &mut Vec<hbbtv_tv::Screenshot>| {
+                    if weak {
+                        tv.set_signal_ok(rng.gen_bool(0.7));
+                    }
+                    if let Some(s) = tv.screenshot() {
+                        shots.push(s);
+                    }
+                };
+
+            // Wait 10 s, first screenshot.
+            tv.advance(Duration::from_secs(10));
+            shoot(&mut tv, &mut script_rng, &mut screenshots);
+
+            let mut elapsed = 10u64;
+            if let Some(button) = kind.button() {
+                // Press the run's color button, wait 10 s, screenshot.
+                tv.press(color_to_rc(button));
+                interactions += 1;
+                tv.advance(Duration::from_secs(10));
+                elapsed += 10;
+                shoot(&mut tv, &mut script_rng, &mut screenshots);
+                // Fixed interaction sequence, 5 s apart, screenshot each.
+                for &press in &sequence {
+                    tv.press(press);
+                    interactions += 1;
+                    tv.advance(Duration::from_secs(5));
+                    elapsed += 5;
+                    shoot(&mut tv, &mut script_rng, &mut screenshots);
+                }
+            }
+
+            // Periodic screenshots every 60 s until the watch time ends.
+            let total = kind.watch_time().as_secs();
+            loop {
+                let next = (elapsed / 60 + 1) * 60;
+                if next > total {
+                    break;
+                }
+                tv.advance(Duration::from_secs(next - elapsed));
+                elapsed = next;
+                shoot(&mut tv, &mut script_rng, &mut screenshots);
+            }
+            if total > elapsed {
+                tv.advance(Duration::from_secs(total - elapsed));
+            }
+            if tv.consent_granted() {
+                consented_channels.push(id);
+            }
+        }
+
+        // Post-run extraction (SSH in the physical study), then wipe and
+        // power off.
+        let cookies: Vec<_> = tv.cookie_jar().all().cloned().collect();
+        let local_storage: Vec<(String, String, String)> = tv
+            .local_storage()
+            .all()
+            .map(|(origin, key, value)| (origin.to_string(), key.to_string(), value.to_string()))
+            .collect();
+        tv.wipe_storage();
+        tv.power_off();
+
+        RunDataset {
+            run: kind,
+            channels_measured,
+            channel_names,
+            captures: proxy.captures(),
+            cookies,
+            local_storage,
+            screenshots,
+            interactions,
+            consented_channels,
+        }
+    }
+}
+
+fn color_to_rc(button: hbbtv_apps::ColorButton) -> RcButton {
+    match button {
+        hbbtv_apps::ColorButton::Red => RcButton::Red,
+        hbbtv_apps::ColorButton::Green => RcButton::Green,
+        hbbtv_apps::ColorButton::Yellow => RcButton::Yellow,
+        hbbtv_apps::ColorButton::Blue => RcButton::Blue,
+    }
+}
+
+/// Generates the fixed 10-press interaction sequence with ≥ 1 ENTER.
+fn interaction_sequence(rng: &mut StdRng) -> Vec<RcButton> {
+    const CURSOR: [RcButton; 5] = [
+        RcButton::Up,
+        RcButton::Down,
+        RcButton::Left,
+        RcButton::Right,
+        RcButton::Enter,
+    ];
+    loop {
+        let seq: Vec<RcButton> = (0..10)
+            .map(|_| CURSOR[rng.gen_range(0..CURSOR.len())])
+            .collect();
+        if seq.contains(&RcButton::Enter) {
+            return seq;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecosystem::Ecosystem;
+
+    fn small_world() -> Ecosystem {
+        Ecosystem::with_scale(123, 0.05)
+    }
+
+    #[test]
+    fn general_run_produces_the_protocol_artifacts() {
+        let eco = small_world();
+        let mut harness = StudyHarness::new(&eco);
+        let ds = harness.run(RunKind::General);
+        assert!(!ds.captures.is_empty());
+        assert!(!ds.channels_measured.is_empty());
+        // 16 screenshots per measured channel.
+        assert_eq!(
+            ds.screenshots.len(),
+            ds.channels_measured.len() * 16,
+            "16 screenshots per channel in General"
+        );
+        // All captures carry the session label.
+        assert!(ds.captures.iter().all(|c| c.session == "General"));
+    }
+
+    #[test]
+    fn button_runs_take_27_screenshots_per_channel() {
+        let eco = small_world();
+        let mut harness = StudyHarness::new(&eco);
+        let ds = harness.run(RunKind::Red);
+        assert_eq!(ds.screenshots.len(), ds.channels_measured.len() * 27);
+    }
+
+    #[test]
+    fn green_run_measures_fewer_channels() {
+        let eco = small_world();
+        let mut harness = StudyHarness::new(&eco);
+        let general = harness.run(RunKind::General);
+        let green = harness.run(RunKind::Green);
+        assert!(
+            green.channels_measured.len() < general.channels_measured.len(),
+            "daytime-only channels are off during the Green run"
+        );
+    }
+
+    #[test]
+    fn cookies_and_storage_are_extracted() {
+        let eco = small_world();
+        let mut harness = StudyHarness::new(&eco);
+        let ds = harness.run(RunKind::Red);
+        assert!(!ds.cookies.is_empty(), "trackers set cookies");
+        assert!(!ds.local_storage.is_empty(), "apps write local storage");
+    }
+
+    #[test]
+    fn most_traffic_is_attributed_to_channels() {
+        let eco = small_world();
+        let mut harness = StudyHarness::new(&eco);
+        let ds = harness.run(RunKind::General);
+        let attributed = ds.captures.iter().filter(|c| c.channel.is_some()).count();
+        assert!(attributed * 10 >= ds.captures.len() * 9, "≥90% attributed");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let eco = small_world();
+        let a = StudyHarness::new(&eco).run(RunKind::Blue);
+        let b = StudyHarness::new(&eco).run(RunKind::Blue);
+        assert_eq!(a.captures.len(), b.captures.len());
+        assert_eq!(a.cookies.len(), b.cookies.len());
+        assert_eq!(a.screenshots.len(), b.screenshots.len());
+    }
+
+    #[test]
+    fn interaction_sequence_has_enter() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let seq = interaction_sequence(&mut rng);
+            assert_eq!(seq.len(), 10);
+            assert!(seq.contains(&RcButton::Enter));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The five measurement runs of §IV-C.
+
+use hbbtv_apps::ColorButton;
+use hbbtv_net::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the five measurement runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RunKind {
+    /// No interaction beyond channel switching; 900 s per channel.
+    General,
+    /// Press the red button, then the fixed interaction sequence;
+    /// 1000 s per channel.
+    Red,
+    /// Green button run.
+    Green,
+    /// Blue button run.
+    Blue,
+    /// Yellow button run.
+    Yellow,
+}
+
+impl RunKind {
+    /// All runs in the order Table I reports them.
+    pub const ALL: [RunKind; 5] = [
+        RunKind::General,
+        RunKind::Red,
+        RunKind::Green,
+        RunKind::Blue,
+        RunKind::Yellow,
+    ];
+
+    /// The colored button this run presses, if any.
+    pub fn button(self) -> Option<ColorButton> {
+        match self {
+            RunKind::General => None,
+            RunKind::Red => Some(ColorButton::Red),
+            RunKind::Green => Some(ColorButton::Green),
+            RunKind::Blue => Some(ColorButton::Blue),
+            RunKind::Yellow => Some(ColorButton::Yellow),
+        }
+    }
+
+    /// Watch time per channel: 900 s for General, 1000 s for the
+    /// button runs (§IV-C extends them by 100 s).
+    pub fn watch_time(self) -> Duration {
+        match self {
+            RunKind::General => Duration::from_secs(900),
+            _ => Duration::from_secs(1000),
+        }
+    }
+
+    /// Expected screenshots per channel (16 for General, 27 for button
+    /// runs, §IV-C).
+    pub fn screenshots_per_channel(self) -> usize {
+        match self {
+            RunKind::General => 16,
+            _ => 27,
+        }
+    }
+
+    /// The run's start instant, derived from the dates in Table I
+    /// (2023-08-21 through 2023-10-12, each starting 08:00 UTC).
+    pub fn start_time(self) -> Timestamp {
+        // Days since 2023-08-21 per Table I.
+        let day_offset: u64 = match self {
+            RunKind::General => 0,  // 2023-08-21
+            RunKind::Red => 24,     // 2023-09-14
+            RunKind::Green => 32,   // 2023-09-22
+            RunKind::Blue => 37,    // 2023-09-27
+            RunKind::Yellow => 52,  // 2023-10-12
+        };
+        // 2023-08-21T08:00:00Z.
+        Timestamp::from_unix(1_692_576_000 + day_offset * 86_400)
+    }
+
+    /// The label used in tables and capture sessions.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunKind::General => "General",
+            RunKind::Red => "Red",
+            RunKind::Green => "Green",
+            RunKind::Blue => "Blue",
+            RunKind::Yellow => "Yellow",
+        }
+    }
+}
+
+impl fmt::Display for RunKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_times_match_the_protocol() {
+        assert_eq!(RunKind::General.watch_time(), Duration::from_secs(900));
+        for run in [RunKind::Red, RunKind::Green, RunKind::Blue, RunKind::Yellow] {
+            assert_eq!(run.watch_time(), Duration::from_secs(1000));
+        }
+    }
+
+    #[test]
+    fn buttons_and_screenshots() {
+        assert_eq!(RunKind::General.button(), None);
+        assert_eq!(RunKind::Red.button(), Some(ColorButton::Red));
+        assert_eq!(RunKind::General.screenshots_per_channel(), 16);
+        assert_eq!(RunKind::Blue.screenshots_per_channel(), 27);
+    }
+
+    #[test]
+    fn runs_are_chronological() {
+        let times: Vec<u64> = RunKind::ALL.iter().map(|r| r.start_time().as_unix()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            RunKind::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(RunKind::Yellow.to_string(), "Yellow");
+    }
+}

@@ -1,0 +1,289 @@
+//! Filter-list matching over captured URLs.
+
+use crate::hosts::{host_blocked, parse_hosts};
+use crate::rule::{parse_adblock_line, ResourceKind, Rule};
+use hbbtv_net::Url;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Per-request context the `$third-party` and `$image`/`$script` options
+/// need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestContext {
+    /// Whether the request goes to a different eTLD+1 than the page that
+    /// issued it.
+    pub third_party: bool,
+    /// The resource type being fetched.
+    pub kind: ResourceKind,
+}
+
+impl RequestContext {
+    /// A third-party image request — the most common tracking shape.
+    pub fn third_party_image() -> Self {
+        RequestContext {
+            third_party: true,
+            kind: ResourceKind::Image,
+        }
+    }
+}
+
+/// Aggregate statistics from matching a URL set against a list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListStats {
+    /// URLs checked.
+    pub total: usize,
+    /// URLs flagged by the list.
+    pub flagged: usize,
+}
+
+impl ListStats {
+    /// Flagged share in percent (0 when `total` is 0).
+    pub fn share_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.total as f64 * 100.0
+        }
+    }
+}
+
+/// A named filter list in either Adblock or hosts syntax.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_filterlists::{FilterList, RequestContext};
+/// use hbbtv_net::Url;
+///
+/// let list = FilterList::parse_hosts_list("pihole-mini", "0.0.0.0 an.xiti.com");
+/// let url: Url = "http://an.xiti.com/hit?x=1".parse()?;
+/// assert!(list.matches(&url, RequestContext::third_party_image()));
+/// # Ok::<(), hbbtv_net::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterList {
+    name: String,
+    rules: Vec<Rule>,
+    exceptions: Vec<Rule>,
+    hosts: HashSet<String>,
+}
+
+impl FilterList {
+    /// Parses an Adblock-syntax list.
+    pub fn parse_adblock(name: &str, text: &str) -> Self {
+        let mut rules = Vec::new();
+        let mut exceptions = Vec::new();
+        for line in text.lines() {
+            if let Some(rule) = parse_adblock_line(line) {
+                if rule.exception {
+                    exceptions.push(rule);
+                } else {
+                    rules.push(rule);
+                }
+            }
+        }
+        FilterList {
+            name: name.to_string(),
+            rules,
+            exceptions,
+            hosts: HashSet::new(),
+        }
+    }
+
+    /// Parses a hosts-syntax (domain) list.
+    pub fn parse_hosts_list(name: &str, text: &str) -> Self {
+        FilterList {
+            name: name.to_string(),
+            rules: Vec::new(),
+            exceptions: Vec::new(),
+            hosts: parse_hosts(text),
+        }
+    }
+
+    /// The list's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of active (non-exception) rules plus blocked domains.
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.hosts.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the list flags this request.
+    ///
+    /// Exception (`@@`) rules override block rules, as in Adblock Plus.
+    pub fn matches(&self, url: &Url, ctx: RequestContext) -> bool {
+        match self.matching_rule(url, ctx) {
+            MatchOutcome::Blocked(_) | MatchOutcome::HostBlocked => true,
+            MatchOutcome::Allowed | MatchOutcome::NoMatch => false,
+        }
+    }
+
+    /// Detailed match outcome, exposing which rule fired.
+    pub fn matching_rule(&self, url: &Url, ctx: RequestContext) -> MatchOutcome<'_> {
+        if host_blocked(&self.hosts, url.host()) {
+            return MatchOutcome::HostBlocked;
+        }
+        let text = url.to_string();
+        let hit = self
+            .rules
+            .iter()
+            .find(|r| rule_applies(r, &text, url, ctx));
+        match hit {
+            None => MatchOutcome::NoMatch,
+            Some(rule) => {
+                let excepted = self
+                    .exceptions
+                    .iter()
+                    .any(|e| rule_applies(e, &text, url, ctx));
+                if excepted {
+                    MatchOutcome::Allowed
+                } else {
+                    MatchOutcome::Blocked(rule)
+                }
+            }
+        }
+    }
+}
+
+/// The result of matching one URL against a list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchOutcome<'a> {
+    /// A block rule fired (and no exception overrode it).
+    Blocked(&'a Rule),
+    /// The host appears in the hosts/domain table.
+    HostBlocked,
+    /// A block rule fired but an `@@` exception allowed the request.
+    Allowed,
+    /// Nothing matched.
+    NoMatch,
+}
+
+fn rule_applies(rule: &Rule, url_text: &str, url: &Url, ctx: RequestContext) -> bool {
+    if rule.options.third_party_only && !ctx.third_party {
+        return false;
+    }
+    if rule.options.first_party_only && ctx.third_party {
+        return false;
+    }
+    if rule.options.image_only && ctx.kind != ResourceKind::Image {
+        return false;
+    }
+    if rule.options.script_only && ctx.kind != ResourceKind::Script {
+        return false;
+    }
+    rule.pattern_matches(url_text, url.host())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    fn any_ctx() -> RequestContext {
+        RequestContext {
+            third_party: true,
+            kind: ResourceKind::Other,
+        }
+    }
+
+    #[test]
+    fn adblock_list_blocks_and_excepts() {
+        let list = FilterList::parse_adblock(
+            "t",
+            "||ads.example.de^\n@@||ads.example.de/ok^\n! comment\n",
+        );
+        assert!(list.matches(&url("http://ads.example.de/x"), any_ctx()));
+        assert!(!list.matches(&url("http://ads.example.de/ok"), any_ctx()));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn third_party_option_respected() {
+        let list = FilterList::parse_adblock("t", "||metrics.de^$third-party\n");
+        let u = url("http://metrics.de/t.gif");
+        assert!(list.matches(
+            &u,
+            RequestContext {
+                third_party: true,
+                kind: ResourceKind::Image
+            }
+        ));
+        assert!(!list.matches(
+            &u,
+            RequestContext {
+                third_party: false,
+                kind: ResourceKind::Image
+            }
+        ));
+    }
+
+    #[test]
+    fn resource_kind_options_respected() {
+        let list = FilterList::parse_adblock("t", "/pixel^$image\n/lib.js$script\n");
+        assert!(list.matches(
+            &url("http://x.de/pixel"),
+            RequestContext {
+                third_party: true,
+                kind: ResourceKind::Image
+            }
+        ));
+        assert!(!list.matches(
+            &url("http://x.de/pixel"),
+            RequestContext {
+                third_party: true,
+                kind: ResourceKind::Script
+            }
+        ));
+        assert!(list.matches(
+            &url("http://x.de/lib.js"),
+            RequestContext {
+                third_party: true,
+                kind: ResourceKind::Script
+            }
+        ));
+    }
+
+    #[test]
+    fn hosts_list_blocks_subdomains() {
+        let list = FilterList::parse_hosts_list("pihole", "0.0.0.0 tracker.tv\n");
+        assert!(list.matches(&url("http://cdn.tracker.tv/x"), any_ctx()));
+        assert!(!list.matches(&url("http://other.tv/x"), any_ctx()));
+        assert_eq!(list.name(), "pihole");
+    }
+
+    #[test]
+    fn matching_rule_reports_source() {
+        let list = FilterList::parse_adblock("t", "||flagged.de^\n");
+        match list.matching_rule(&url("http://flagged.de/"), any_ctx()) {
+            MatchOutcome::Blocked(r) => assert_eq!(r.source, "||flagged.de^"),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_stats_share() {
+        let s = ListStats {
+            total: 340_643,
+            flagged: 2_512,
+        };
+        assert!((s.share_percent() - 0.737).abs() < 0.01);
+        assert_eq!(ListStats::default().share_percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_list_matches_nothing() {
+        let list = FilterList::parse_adblock("empty", "! only comments\n");
+        assert!(list.is_empty());
+        assert!(!list.matches(&url("http://anything.de/"), any_ctx()));
+    }
+}

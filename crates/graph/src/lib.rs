@@ -1,0 +1,360 @@
+//! Undirected graph analysis for the HbbTV ecosystem map (Figure 8).
+//!
+//! §V-E builds a network graph with NetworkX: nodes are TV channels or
+//! domains (eTLD+1), edges represent observed HTTP(S) traffic. The paper
+//! reports the number of nodes/edges, the component structure, degree
+//! statistics (hubs like `ard.de` with 188 edges), the average path
+//! length between node pairs, and the count of single-edge nodes.
+//!
+//! This crate provides exactly those primitives: a label-interning
+//! undirected [`Graph`], connected components, BFS-based average path
+//! length, and degree statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbbtv_graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! g.add_edge("ZDF", "zdf.de");
+//! g.add_edge("zdf.de", "xiti.com");
+//! g.add_edge("ARD", "ard.de");
+//! assert_eq!(g.node_count(), 5);
+//! assert_eq!(g.edge_count(), 3);
+//! assert_eq!(g.connected_components().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A node handle inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// An undirected simple graph over string labels.
+///
+/// Labels are interned: adding an edge with a label seen before reuses the
+/// existing node. Self-loops and duplicate edges are ignored, matching the
+/// paper's construction (an edge means "traffic was observed between these
+/// parties at least once").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    labels: Vec<String>,
+    index: HashMap<String, NodeId>,
+    adj: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds (or finds) a node with the given label.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = NodeId(self.labels.len());
+        self.labels.push(label.to_string());
+        self.index.insert(label.to_string(), id);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between two labels, creating nodes as
+    /// needed. Self-loops and duplicate edges are silently ignored.
+    /// Returns `true` when a new edge was inserted.
+    pub fn add_edge(&mut self, a: &str, b: &str) -> bool {
+        let ia = self.add_node(a);
+        let ib = self.add_node(b);
+        if ia == ib || self.adj[ia.0].contains(&ib) {
+            return false;
+        }
+        self.adj[ia.0].push(ib);
+        self.adj[ib.0].push(ia);
+        self.edges += 1;
+        true
+    }
+
+    /// Looks up a node by label.
+    pub fn node(&self, label: &str) -> Option<NodeId> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The degree of a node.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adj[id.0].len()
+    }
+
+    /// Iterates over the neighbors of a node.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[id.0].iter().copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.labels.len()).map(NodeId)
+    }
+
+    /// The connected components, each a list of node ids, largest first.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([NodeId(start)]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for v in self.neighbors(u) {
+                    if !seen[v.0] {
+                        seen[v.0] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            components.push(comp);
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+
+    /// BFS distances (in hops) from `source`; unreachable nodes are `None`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.node_count()];
+        dist[source.0] = Some(0);
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.0].expect("queued nodes have distances");
+            for v in self.neighbors(u) {
+                if dist[v.0].is_none() {
+                    dist[v.0] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Average shortest-path length over all connected ordered pairs —
+    /// the "average distance between node pairs" of Figure 8 (2.91 in the
+    /// paper). Returns `None` for graphs with no connected pair.
+    pub fn average_path_length(&self) -> Option<f64> {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for source in self.nodes() {
+            for d in self.bfs_distances(source).into_iter().flatten() {
+                if d > 0 {
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            None
+        } else {
+            Some(total as f64 / pairs as f64)
+        }
+    }
+
+    /// The `k` highest-degree nodes as `(label, degree)`, ties broken by
+    /// label for determinism.
+    pub fn hubs(&self, k: usize) -> Vec<(String, usize)> {
+        let mut all: Vec<(String, usize)> = self
+            .nodes()
+            .map(|id| (self.label(id).to_string(), self.degree(id)))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Degree of every node, as `f64`, ready for descriptive statistics.
+    pub fn degrees(&self) -> Vec<f64> {
+        self.nodes().map(|id| self.degree(id) as f64).collect()
+    }
+
+    /// Number of nodes with exactly one edge whose label passes `filter`
+    /// (the paper counts 39 such domain nodes, excluding channel nodes).
+    pub fn single_edge_nodes<F>(&self, mut filter: F) -> usize
+    where
+        F: FnMut(&str) -> bool,
+    {
+        self.nodes()
+            .filter(|&id| self.degree(id) == 1 && filter(self.label(id)))
+            .count()
+    }
+
+    /// Mean degree of each node's neighbors, averaged over all non-isolated
+    /// nodes. In a hub-and-spoke topology like the HbbTV ecosystem this is
+    /// far larger than the mean degree (the paper reports an "average
+    /// connectivity" of 33.4 against a mean degree of ~3), because most
+    /// nodes neighbor a hub.
+    pub fn average_neighbor_degree(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for u in self.nodes() {
+            let deg = self.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let neighbor_sum: usize = self.neighbors(u).map(|v| self.degree(v)).sum();
+            sum += neighbor_sum as f64 / deg as f64;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(center: &str, leaves: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..leaves {
+            g.add_edge(center, &format!("leaf{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn interning_reuses_nodes() {
+        let mut g = Graph::new();
+        let a = g.add_node("x");
+        let b = g.add_node("x");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.label(a), "x");
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let mut g = Graph::new();
+        assert!(g.add_edge("a", "b"));
+        assert!(!g.add_edge("a", "b"));
+        assert!(!g.add_edge("b", "a"));
+        assert!(!g.add_edge("a", "a"));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(g.node("a").unwrap()), 1);
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "c");
+        g.add_edge("x", "y");
+        g.add_node("lonely");
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2].len(), 1);
+    }
+
+    #[test]
+    fn path_graph_average_path_length() {
+        // Path a-b-c: distances (1,1,2) each direction → mean 4/3.
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "c");
+        let apl = g.average_path_length().unwrap();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graph_metrics() {
+        let g = star("hub", 10);
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.edge_count(), 10);
+        let hubs = g.hubs(1);
+        assert_eq!(hubs[0], ("hub".to_string(), 10));
+        // Hub↔leaf pairs: 20 ordered pairs at distance 1; leaf↔leaf:
+        // 90 ordered pairs at distance 2.
+        let apl = g.average_path_length().unwrap();
+        assert!((apl - (20.0 + 180.0) / 110.0).abs() < 1e-12);
+        // Every leaf's only neighbor has degree 10 → avg neighbor degree
+        // (10·10 + 1)/11.
+        let and = g.average_neighbor_degree().unwrap();
+        assert!((and - 101.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_node("z");
+        let d = g.bfs_distances(g.node("a").unwrap());
+        assert_eq!(d[g.node("b").unwrap().0], Some(1));
+        assert_eq!(d[g.node("z").unwrap().0], None);
+    }
+
+    #[test]
+    fn single_edge_nodes_with_filter() {
+        let mut g = Graph::new();
+        g.add_edge("ch:ZDF", "zdf.de");
+        g.add_edge("zdf.de", "xiti.com");
+        // Channel nodes are excluded by the filter, like the paper does.
+        let n = g.single_edge_nodes(|l| !l.starts_with("ch:"));
+        assert_eq!(n, 1, "only xiti.com has a single edge among domains");
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Graph::new();
+        assert_eq!(g.average_path_length(), None);
+        assert_eq!(g.average_neighbor_degree(), None);
+        assert!(g.connected_components().is_empty());
+        assert!(g.hubs(3).is_empty());
+    }
+
+    #[test]
+    fn hubs_ties_break_by_label() {
+        let mut g = Graph::new();
+        g.add_edge("b", "x");
+        g.add_edge("a", "y");
+        let hubs = g.hubs(4);
+        assert_eq!(hubs[0].0, "a", "equal degrees sort by label");
+    }
+
+    #[test]
+    fn degrees_vector_matches_node_order() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("a", "c");
+        assert_eq!(g.degrees(), vec![2.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for graph invariants.
+
+use hbbtv_graph::Graph;
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..30, 0u8..30), 0..80)
+}
+
+fn build(edges: &[(u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for (a, b) in edges {
+        g.add_edge(&format!("n{a}"), &format!("n{b}"));
+    }
+    g
+}
+
+proptest! {
+    /// Handshake lemma: Σ degrees = 2 · |E|.
+    #[test]
+    fn handshake_lemma(edges in edge_list()) {
+        let g = build(&edges);
+        let degree_sum: f64 = g.degrees().iter().sum();
+        prop_assert_eq!(degree_sum as usize, 2 * g.edge_count());
+    }
+
+    /// Components partition the node set.
+    #[test]
+    fn components_partition_nodes(edges in edge_list()) {
+        let g = build(&edges);
+        let comps = g.connected_components();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in &comps {
+            for &id in c {
+                prop_assert!(seen.insert(id), "node in two components");
+            }
+        }
+    }
+
+    /// BFS distance is symmetric in an undirected graph.
+    #[test]
+    fn bfs_is_symmetric(edges in edge_list()) {
+        let g = build(&edges);
+        if g.node_count() < 2 { return Ok(()); }
+        let a = g.nodes().next().unwrap();
+        let b = g.nodes().last().unwrap();
+        let d_ab = g.bfs_distances(a)[b.0];
+        let d_ba = g.bfs_distances(b)[a.0];
+        prop_assert_eq!(d_ab, d_ba);
+    }
+
+    /// Average path length, when defined, is at least 1 and at most n − 1.
+    #[test]
+    fn apl_bounds(edges in edge_list()) {
+        let g = build(&edges);
+        if let Some(apl) = g.average_path_length() {
+            prop_assert!(apl >= 1.0);
+            prop_assert!(apl <= (g.node_count() as f64) - 1.0);
+        }
+    }
+
+    /// Re-adding the same edges never changes counts (idempotence).
+    #[test]
+    fn edge_insertion_is_idempotent(edges in edge_list()) {
+        let g1 = build(&edges);
+        let doubled: Vec<(u8, u8)> = edges.iter().chain(edges.iter()).copied().collect();
+        let g2 = build(&doubled);
+        prop_assert_eq!(g1.node_count(), g2.node_count());
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+    }
+}

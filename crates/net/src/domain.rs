@@ -1,0 +1,240 @@
+//! Host names and registrable domains (eTLD+1).
+//!
+//! The paper classifies communication endpoints by their eTLD+1 ("effective
+//! top-level domain plus one label"), e.g. both `hbbtv.ard.de` and
+//! `www.ard.de` map to `ard.de`. We embed the slice of the public-suffix
+//! list that the European HbbTV ecosystem actually exercises (country-code
+//! TLDs of the broadcast region plus the usual generic TLDs and the
+//! two-level suffixes like `co.uk`).
+
+use crate::error::ParseUrlError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Public suffixes with two labels (checked before single-label suffixes).
+///
+/// A host `a.b.sfx1.sfx2` with `sfx1.sfx2` in this table has the
+/// registrable domain `b.sfx1.sfx2`.
+const TWO_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "gov.uk", "ac.uk", "com.au", "net.au", "org.au", "co.at", "or.at", "ac.at",
+    "gv.at", "co.nz", "com.tr", "com.br", "co.jp",
+];
+
+/// Single-label public suffixes (generic and European ccTLDs).
+const ONE_LABEL_SUFFIXES: &[&str] = &[
+    "com", "net", "org", "info", "biz", "tv", "io", "de", "at", "ch", "fr", "it", "nl", "be",
+    "lu", "pl", "cz", "sk", "hu", "es", "pt", "dk", "se", "no", "fi", "gr", "ro", "bg", "hr",
+    "si", "rs", "ba", "mk", "al", "tr", "ru", "ua", "uk", "eu", "me", "li",
+];
+
+/// A syntactically valid DNS host name (lower-cased).
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_net::Host;
+/// let host: Host = "HbbTV.ARD.de".parse()?;
+/// assert_eq!(host.as_str(), "hbbtv.ard.de");
+/// assert_eq!(host.labels().count(), 3);
+/// # Ok::<(), hbbtv_net::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Host(String);
+
+impl Host {
+    /// Parses and validates a host name, lower-casing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError::EmptyHost`] for an empty string and
+    /// [`ParseUrlError::InvalidHost`] for hosts with empty labels or
+    /// characters outside `[a-z0-9.-]`.
+    pub fn parse(s: &str) -> Result<Self, ParseUrlError> {
+        if s.is_empty() {
+            return Err(ParseUrlError::EmptyHost);
+        }
+        let lower = s.to_ascii_lowercase();
+        let valid = lower
+            .split('.')
+            .all(|label| !label.is_empty() && label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'));
+        if !valid {
+            return Err(ParseUrlError::InvalidHost(s.to_string()));
+        }
+        Ok(Host(lower))
+    }
+
+    /// The host as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the dot-separated labels, left to right.
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// The registrable domain (eTLD+1) of this host.
+    ///
+    /// Hosts that *are* a public suffix (or a bare single label) map to
+    /// themselves, mirroring how measurement tooling treats unmatched
+    /// hosts.
+    pub fn etld1(&self) -> Etld1 {
+        Etld1(registrable_domain(&self.0))
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for Host {
+    type Err = ParseUrlError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Host::parse(s)
+    }
+}
+
+impl AsRef<str> for Host {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A registrable domain — "effective TLD plus one label".
+///
+/// This is the unit of party identification throughout the paper: first
+/// parties, third parties, trackers, and graph nodes are all eTLD+1s.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_net::Etld1;
+/// assert_eq!(Etld1::from_host("cdn.tracker.co.uk").as_str(), "tracker.co.uk");
+/// assert_eq!(Etld1::from_host("hbbtv.ard.de").as_str(), "ard.de");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Etld1(String);
+
+impl Etld1 {
+    /// Wraps an already-registrable domain without re-deriving it.
+    ///
+    /// Intended for literals (`Etld1::new("ard.de")`); prefer
+    /// [`Etld1::from_host`] when the input may carry subdomains.
+    pub fn new(domain: impl Into<String>) -> Self {
+        Etld1(domain.into().to_ascii_lowercase())
+    }
+
+    /// Derives the registrable domain of an arbitrary host string.
+    pub fn from_host(host: &str) -> Self {
+        Etld1(registrable_domain(&host.to_ascii_lowercase()))
+    }
+
+    /// The domain as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Etld1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for Etld1 {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&Host> for Etld1 {
+    fn from(h: &Host) -> Etld1 {
+        h.etld1()
+    }
+}
+
+/// Computes the registrable domain (eTLD+1) of a lower-cased host string.
+///
+/// Resolution order follows the public-suffix algorithm restricted to the
+/// embedded suffix tables: the longest matching suffix wins, and the
+/// registrable domain is that suffix plus one more label. Hosts equal to a
+/// suffix, or with no dot at all, are returned unchanged.
+pub fn registrable_domain(host: &str) -> String {
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() >= 3 {
+        let two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+        if TWO_LABEL_SUFFIXES.contains(&two.as_str()) {
+            return format!("{}.{two}", labels[labels.len() - 3]);
+        }
+    }
+    if labels.len() >= 2 {
+        let two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+        if labels.len() >= 2 && TWO_LABEL_SUFFIXES.contains(&two.as_str()) {
+            // Host *is* a two-label public suffix.
+            return host.to_string();
+        }
+        let last = labels[labels.len() - 1];
+        if ONE_LABEL_SUFFIXES.contains(&last) {
+            return two;
+        }
+        // Unknown TLD: treat the final two labels as registrable, which is
+        // what common measurement tooling (e.g. tldextract fallback) does.
+        return two;
+    }
+    host.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etld1_handles_generic_tlds() {
+        assert_eq!(registrable_domain("www.tvping.com"), "tvping.com");
+        assert_eq!(registrable_domain("a.b.c.xiti.com"), "xiti.com");
+        assert_eq!(registrable_domain("redbutton.de"), "redbutton.de");
+    }
+
+    #[test]
+    fn etld1_handles_two_label_suffixes() {
+        assert_eq!(registrable_domain("stats.bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(registrable_domain("orf.co.at"), "orf.co.at");
+        assert_eq!(registrable_domain("x.y.orf.co.at"), "orf.co.at");
+    }
+
+    #[test]
+    fn etld1_of_suffix_or_bare_label_is_identity() {
+        assert_eq!(registrable_domain("localhost"), "localhost");
+        assert_eq!(registrable_domain("co.uk"), "co.uk");
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_last_two_labels() {
+        assert_eq!(registrable_domain("a.b.example.zz"), "example.zz");
+    }
+
+    #[test]
+    fn host_parse_rejects_garbage() {
+        assert!(Host::parse("").is_err());
+        assert!(Host::parse("a..b").is_err());
+        assert!(Host::parse("spaces here.com").is_err());
+        assert!(Host::parse("under_score.com").is_err());
+    }
+
+    #[test]
+    fn host_parse_lowercases() {
+        let h = Host::parse("Hbb.ARD.De").unwrap();
+        assert_eq!(h.as_str(), "hbb.ard.de");
+        assert_eq!(h.etld1(), Etld1::new("ard.de"));
+    }
+
+    #[test]
+    fn etld1_display_and_conversions() {
+        let h: Host = "cdn.smartclip.net".parse().unwrap();
+        let d: Etld1 = (&h).into();
+        assert_eq!(d.to_string(), "smartclip.net");
+        assert_eq!(d.as_ref(), "smartclip.net");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for URL, host, and cookie parsing.
+
+use hbbtv_net::{registrable_domain, Etld1, Host, SetCookie, Timestamp, Url};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid DNS labels.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy producing valid hosts with 1..=4 labels over known TLDs.
+fn host() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(label(), 1..=3),
+        prop_oneof![
+            Just("de".to_string()),
+            Just("com".to_string()),
+            Just("co.uk".to_string()),
+            Just("at".to_string()),
+            Just("tv".to_string()),
+        ],
+    )
+        .prop_map(|(labels, tld)| format!("{}.{}", labels.join("."), tld))
+}
+
+proptest! {
+    /// eTLD+1 is idempotent: applying it twice gives the same result.
+    #[test]
+    fn etld1_is_idempotent(h in host()) {
+        let once = registrable_domain(&h);
+        let twice = registrable_domain(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The registrable domain is always a suffix of the host.
+    #[test]
+    fn etld1_is_suffix_of_host(h in host()) {
+        let d = registrable_domain(&h);
+        prop_assert!(h.ends_with(&d), "{} should end with {}", h, d);
+    }
+
+    /// Valid hosts parse, lower-case, and display unchanged.
+    #[test]
+    fn host_parse_display_round_trip(h in host()) {
+        let parsed: Host = h.parse().unwrap();
+        prop_assert_eq!(parsed.to_string(), h);
+    }
+
+    /// URLs built from components survive a display/parse round trip.
+    #[test]
+    fn url_round_trip(
+        h in host(),
+        path in prop::collection::vec("[a-z0-9]{1,6}", 0..3),
+        params in prop::collection::vec(("[a-z]{1,5}", "[a-zA-Z0-9]{0,10}"), 0..4),
+        https in any::<bool>(),
+    ) {
+        let scheme = if https { "https" } else { "http" };
+        let path_str = if path.is_empty() { "/".to_string() } else { format!("/{}", path.join("/")) };
+        let query = params
+            .iter()
+            .map(|(k, v)| if v.is_empty() { k.clone() } else { format!("{k}={v}") })
+            .collect::<Vec<_>>()
+            .join("&");
+        let s = if query.is_empty() {
+            format!("{scheme}://{h}{path_str}")
+        } else {
+            format!("{scheme}://{h}{path_str}?{query}")
+        };
+        let u: Url = s.parse().unwrap();
+        let round: Url = u.to_string().parse().unwrap();
+        prop_assert_eq!(&round, &u);
+        prop_assert_eq!(u.is_https(), https);
+    }
+
+    /// Set-Cookie display/parse is a lossless round trip.
+    #[test]
+    fn set_cookie_round_trip(
+        name in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+        value in "[a-zA-Z0-9]{0,24}",
+        domain in host(),
+        expires in prop::option::of(1u64..2_000_000_000),
+        secure in any::<bool>(),
+        http_only in any::<bool>(),
+    ) {
+        let mut sc = SetCookie::persistent(
+            name,
+            value,
+            Etld1::from_host(&domain),
+            Timestamp::from_unix(expires.unwrap_or(1)),
+        );
+        if expires.is_none() {
+            sc.expires = None;
+        }
+        sc.secure = secure;
+        sc.http_only = http_only;
+        let reparsed = SetCookie::parse(&sc.to_string()).unwrap();
+        prop_assert_eq!(reparsed, sc);
+    }
+
+    /// The URL query accessor returns exactly what was appended.
+    #[test]
+    fn with_param_is_observable(v in "[a-zA-Z0-9]{1,20}") {
+        let u: Url = "http://example.de/p".parse().unwrap();
+        let u = u.with_param("uid", &v);
+        prop_assert_eq!(u.query_param("uid"), Some(v.as_str()));
+    }
+}

@@ -1,0 +1,295 @@
+//! Data-practice annotation (the MAPP/BERT stage).
+//!
+//! The paper fine-tuned BERT models on the bilingual MAPP taxonomy to
+//! detect data practices, and one author read the corpus qualitatively.
+//! Our annotator recovers the same practice set from the text with the
+//! bilingual dictionaries — playing both roles.
+
+use crate::gdpr::{GdprArticle, IpAnonymization, LegalBasis};
+use serde::{Deserialize, Serialize};
+
+/// MAPP-style data practices the analysis looks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPractice {
+    /// First-party collection/use of personal data (all policies).
+    FirstPartyCollection,
+    /// Third-party collection/sharing (52% of German policies).
+    ThirdPartySharing,
+    /// IP addresses named as collected data.
+    IpAddressCollection,
+    /// Cookies used for coverage/reach analysis.
+    CoverageAnalysisCookies,
+    /// Ad personalization / profiling.
+    Profiling,
+}
+
+/// Everything the annotator extracts from one policy text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyAnnotation {
+    /// Detected practices.
+    pub practices: Vec<DataPractice>,
+    /// Mentions the term "HbbTV".
+    pub mentions_hbbtv: bool,
+    /// Points viewers to the blue remote button for settings.
+    pub blue_button_hint: bool,
+    /// Detected data-subject rights.
+    pub rights: Vec<GdprArticle>,
+    /// Detected legal bases.
+    pub legal_bases: Vec<LegalBasis>,
+    /// Declared IP anonymization.
+    pub ip_anonymization: IpAnonymization,
+    /// Declared profiling window, if the policy limits profiling to a
+    /// daily time range (from-hour, to-hour).
+    pub profiling_window: Option<(u8, u8)>,
+    /// Cookie use is tied to the German TDDDG.
+    pub mentions_tdddg: bool,
+    /// Contains opt-out statements.
+    pub opt_out_statements: bool,
+    /// Contains vague statements (vital interests / legal obligation
+    /// hedges).
+    pub vague_statements: bool,
+    /// Mentions a dedicated HbbTV contact e-mail.
+    pub hbbtv_email: bool,
+    /// Declares indefinite retention.
+    pub indefinite_retention: bool,
+}
+
+impl PolicyAnnotation {
+    /// Whether the policy invokes legitimate interest (the §VII-C gray
+    /// area observed in 10 policies).
+    pub fn uses_legitimate_interest(&self) -> bool {
+        self.legal_bases.contains(&LegalBasis::LegitimateInterest)
+    }
+}
+
+/// Annotates a policy text.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::{annotate_policy, render_policy, PolicyProfile};
+/// let text = render_policy(&PolicyProfile::typical("ZDF", "ZDF Anstalt"));
+/// let ann = annotate_policy(&text);
+/// assert!(ann.mentions_hbbtv);
+/// assert!(ann.rights.contains(&hbbtv_policies::GdprArticle::Art15));
+/// ```
+pub fn annotate_policy(text: &str) -> PolicyAnnotation {
+    let lower = text.to_lowercase();
+    let mut practices = Vec::new();
+    if contains_any(
+        &lower,
+        &[
+            "wir erheben",
+            "wir verarbeiten",
+            "we collect",
+            "we process",
+            "erheben und verwenden",
+        ],
+    ) {
+        practices.push(DataPractice::FirstPartyCollection);
+    }
+    let third_party = contains_any(
+        &lower,
+        &[
+            "drittanbieter",
+            "dritter anbieter",
+            "dienste dritter",
+            "an diese dritt",
+            "third party",
+            "third-party",
+            "third parties",
+        ],
+    );
+    if third_party {
+        practices.push(DataPractice::ThirdPartySharing);
+    }
+    if contains_any(&lower, &["ip-adresse", "ip adresse", "ip address"]) {
+        practices.push(DataPractice::IpAddressCollection);
+    }
+    if contains_any(
+        &lower,
+        &["reichweitenmessung", "audience measurement", "coverage analysis"],
+    ) {
+        practices.push(DataPractice::CoverageAnalysisCookies);
+    }
+    if contains_any(
+        &lower,
+        &["profilbildung", "personalisierung von werbung", "profiling", "ad personalization"],
+    ) {
+        practices.push(DataPractice::Profiling);
+    }
+
+    let ip_anonymization = if contains_any(
+        &lower,
+        &["vollständig anonymisiert", "fully anonymized", "fully anonymised"],
+    ) {
+        IpAnonymization::Full
+    } else if contains_any(
+        &lower,
+        &["gekürzt", "letzten drei ziffern", "truncated", "last three digits"],
+    ) {
+        IpAnonymization::Truncated
+    } else {
+        IpAnonymization::None
+    };
+
+    PolicyAnnotation {
+        practices,
+        mentions_hbbtv: lower.contains("hbbtv"),
+        blue_button_hint: contains_any(&lower, &["blaue taste", "blue button"]),
+        rights: GdprArticle::RIGHTS
+            .into_iter()
+            .filter(|a| a.mentioned_in(&lower))
+            .collect(),
+        legal_bases: LegalBasis::ALL
+            .into_iter()
+            .filter(|b| b.mentioned_in(&lower))
+            .collect(),
+        ip_anonymization,
+        profiling_window: parse_profiling_window(&lower),
+        mentions_tdddg: lower.contains("tdddg") || lower.contains("ttdsg"),
+        opt_out_statements: lower.contains("opt-out") || lower.contains("opt out"),
+        vague_statements: contains_any(
+            &lower,
+            &["gegebenenfalls", "soweit dies erforderlich erscheint", "where appropriate"],
+        ),
+        hbbtv_email: lower.contains("hbbtv-datenschutz@"),
+        indefinite_retention: contains_any(
+            &lower,
+            &["unbestimmte zeit", "indefinite", "unbegrenzte dauer"],
+        ),
+    }
+}
+
+fn contains_any(haystack: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| haystack.contains(n))
+}
+
+/// Parses "von 17 Uhr bis 6 Uhr" / "between 17:00 and 6:00" windows.
+fn parse_profiling_window(lower: &str) -> Option<(u8, u8)> {
+    // German: "von {from} uhr bis {to} uhr".
+    if let Some(pos) = lower.find(" uhr bis ") {
+        let before = &lower[..pos];
+        let from = before
+            .rsplit(|c: char| !c.is_ascii_digit())
+            .next()
+            .and_then(|d| d.parse::<u8>().ok());
+        let after = &lower[pos + " uhr bis ".len()..];
+        let to = after
+            .split(|c: char| !c.is_ascii_digit())
+            .find(|s| !s.is_empty())
+            .and_then(|d| d.parse::<u8>().ok());
+        if let (Some(f), Some(t)) = (from, to) {
+            if f < 24 && t < 24 {
+                return Some((f, t));
+            }
+        }
+    }
+    // English: "between {from}:00 and {to}:00".
+    if let Some(pos) = lower.find("between ") {
+        let rest = &lower[pos + "between ".len()..];
+        if let Some((from_part, tail)) = rest.split_once(":00 and ") {
+            let from = from_part
+                .rsplit(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse::<u8>().ok());
+            let to = tail
+                .split(|c: char| !c.is_ascii_digit())
+                .find(|s| !s.is_empty())
+                .and_then(|d| d.parse::<u8>().ok());
+            if let (Some(f), Some(t)) = (from, to) {
+                if f < 24 && t < 24 {
+                    return Some((f, t));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{render_policy, PolicyLanguage, PolicyProfile};
+
+    #[test]
+    fn round_trip_typical_profile() {
+        let profile = PolicyProfile::typical("ZDF", "ZDF Anstalt");
+        let ann = annotate_policy(&render_policy(&profile));
+        assert!(ann.practices.contains(&DataPractice::FirstPartyCollection));
+        assert!(ann.practices.contains(&DataPractice::ThirdPartySharing));
+        assert!(ann.practices.contains(&DataPractice::IpAddressCollection));
+        assert!(ann.practices.contains(&DataPractice::CoverageAnalysisCookies));
+        assert_eq!(ann.rights, profile.rights);
+        assert_eq!(ann.legal_bases, profile.legal_bases);
+        assert_eq!(ann.ip_anonymization, IpAnonymization::Truncated);
+        assert!(ann.mentions_hbbtv);
+        assert!(!ann.blue_button_hint);
+        assert_eq!(ann.profiling_window, None);
+    }
+
+    #[test]
+    fn round_trip_profiling_window() {
+        let mut p = PolicyProfile::typical("Super RTL", "RTL");
+        p.profiling_window = Some((17, 6));
+        let ann = annotate_policy(&render_policy(&p));
+        assert_eq!(ann.profiling_window, Some((17, 6)));
+        assert!(ann.practices.contains(&DataPractice::Profiling));
+    }
+
+    #[test]
+    fn round_trip_english_window() {
+        let mut p = PolicyProfile::typical("News", "Corp");
+        p.language = PolicyLanguage::English;
+        p.profiling_window = Some((17, 6));
+        let ann = annotate_policy(&render_policy(&p));
+        assert_eq!(ann.profiling_window, Some((17, 6)));
+    }
+
+    #[test]
+    fn round_trip_special_clauses() {
+        let mut p = PolicyProfile::typical("RTL", "RTL Deutschland");
+        p.mentions_tdddg = true;
+        p.blue_button_hint = true;
+        p.opt_out_statements = true;
+        p.hbbtv_email = true;
+        p.vague_statements = true;
+        p.indefinite_retention = true;
+        p.legal_bases = vec![LegalBasis::LegitimateInterest];
+        let ann = annotate_policy(&render_policy(&p));
+        assert!(ann.mentions_tdddg);
+        assert!(ann.blue_button_hint);
+        assert!(ann.opt_out_statements);
+        assert!(ann.hbbtv_email);
+        assert!(ann.vague_statements);
+        assert!(ann.indefinite_retention);
+        assert!(ann.uses_legitimate_interest());
+    }
+
+    #[test]
+    fn no_false_positives_on_unrelated_text() {
+        let ann = annotate_policy(
+            "Willkommen in unserem Teleshop. Heute im Angebot: Pfannenset, \
+             nur 49 Euro. Rufen Sie jetzt an!",
+        );
+        assert!(ann.practices.is_empty());
+        assert!(ann.rights.is_empty());
+        assert!(!ann.mentions_hbbtv);
+        assert_eq!(ann.profiling_window, None);
+    }
+
+    #[test]
+    fn window_parser_rejects_nonsense() {
+        assert_eq!(parse_profiling_window("von 99 uhr bis 6 uhr"), None);
+        assert_eq!(parse_profiling_window("uhr bis"), None);
+        assert_eq!(parse_profiling_window(""), None);
+    }
+
+    #[test]
+    fn minimal_rights_subset_detected_exactly() {
+        let mut p = PolicyProfile::typical("X", "Y");
+        p.rights = vec![GdprArticle::Art20, GdprArticle::Art21];
+        let ann = annotate_policy(&render_policy(&p));
+        assert_eq!(ann.rights, vec![GdprArticle::Art20, GdprArticle::Art21]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The policy-vs-other text classifier.
+//!
+//! The paper uses trained classifiers (99.1% / 99.8% F1 for English and
+//! German) to separate privacy policies from miscellaneous texts, then
+//! manually corrects the output (18 false negatives were found, caused
+//! by texts mixing data-practice disclosures with unrelated content like
+//! discount offers). We train a multinomial naive-Bayes classifier at
+//! construction time on a bundled synthetic corpus of policies and
+//! non-policy TV texts.
+
+use crate::generator::{render_policy, PolicyLanguage, PolicyProfile};
+use std::collections::HashMap;
+
+/// A binary naive-Bayes classifier over word unigrams with Laplace
+/// smoothing.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::PolicyClassifier;
+/// let clf = PolicyClassifier::bundled();
+/// assert!(clf.is_policy("Wir verarbeiten personenbezogene Daten gemäß DSGVO; \
+///                        Sie haben das Recht auf Auskunft und Löschung."));
+/// assert!(!clf.is_policy("Heute im Programm: Spielfilm um 20:15 Uhr, danach \
+///                         Nachrichten und Wetter."));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyClassifier {
+    policy_counts: HashMap<String, usize>,
+    other_counts: HashMap<String, usize>,
+    policy_total: usize,
+    other_total: usize,
+    vocab: usize,
+    policy_docs: usize,
+    other_docs: usize,
+}
+
+impl PolicyClassifier {
+    /// Trains on explicit document sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is empty.
+    pub fn train(policies: &[String], others: &[String]) -> Self {
+        assert!(
+            !policies.is_empty() && !others.is_empty(),
+            "both classes need training documents"
+        );
+        let mut policy_counts = HashMap::new();
+        let mut other_counts = HashMap::new();
+        for doc in policies {
+            for w in tokenize(doc) {
+                *policy_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        for doc in others {
+            for w in tokenize(doc) {
+                *other_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let policy_total = policy_counts.values().sum();
+        let other_total = other_counts.values().sum();
+        let vocab = policy_counts
+            .keys()
+            .chain(other_counts.keys())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        PolicyClassifier {
+            policy_counts,
+            other_counts,
+            policy_total,
+            other_total,
+            vocab: vocab.max(1),
+            policy_docs: policies.len(),
+            other_docs: others.len(),
+        }
+    }
+
+    /// Trains on the bundled synthetic corpus: generated policies in
+    /// several shapes/languages vs. program guides, teleshopping text,
+    /// news tickers, imprints, and HbbTV usage instructions.
+    pub fn bundled() -> Self {
+        let mut policies = Vec::new();
+        for (ch, ctrl) in [
+            ("Kanal Eins", "Erste Medien GmbH"),
+            ("TV Zwei", "Zweite Rundfunk AG"),
+            ("Drei TV", "Dritte Broadcasting"),
+            ("Vier", "Vierte Anstalt"),
+        ] {
+            let mut p = PolicyProfile::typical(ch, ctrl);
+            policies.push(render_policy(&p));
+            p.blue_button_hint = true;
+            p.mentions_tdddg = true;
+            policies.push(render_policy(&p));
+            p.language = PolicyLanguage::English;
+            policies.push(render_policy(&p));
+            p.language = PolicyLanguage::German;
+            p.third_party_sharing = false;
+            p.rights = vec![crate::gdpr::GdprArticle::Art15];
+            policies.push(render_policy(&p));
+        }
+        let others: Vec<String> = NON_POLICY_TEXTS.iter().map(|s| s.to_string()).collect();
+        Self::train(&policies, &others)
+    }
+
+    /// Log-likelihood ratio `log P(policy|doc) − log P(other|doc)`.
+    pub fn score(&self, text: &str) -> f64 {
+        let mut score = (self.policy_docs as f64 / self.other_docs as f64).ln();
+        for w in tokenize(text) {
+            let p_policy = (self.policy_counts.get(&w).copied().unwrap_or(0) as f64 + 1.0)
+                / (self.policy_total as f64 + self.vocab as f64);
+            let p_other = (self.other_counts.get(&w).copied().unwrap_or(0) as f64 + 1.0)
+                / (self.other_total as f64 + self.vocab as f64);
+            score += p_policy.ln() - p_other.ln();
+        }
+        score
+    }
+
+    /// Whether the classifier calls `text` a privacy policy.
+    pub fn is_policy(&self, text: &str) -> bool {
+        self.score(text) > 0.0
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && !"äöüÄÖÜß".contains(c))
+        .filter(|w| w.len() > 2)
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// Miscellaneous TV texts: everything an HbbTV page serves that is *not*
+/// a policy.
+const NON_POLICY_TEXTS: &[&str] = &[
+    "Heute im Programm: 20:15 Spielfilm Der grosse Coup, 22:00 Nachrichten, \
+     22:15 Sportschau mit allen Toren des Spieltags, danach Wetter und \
+     Verkehr. Morgen: Dokumentation über die Alpen und die grosse Quizshow.",
+    "Willkommen in unserem Teleshop! Nur heute: das Pfannenset Deluxe für \
+     49,99 Euro statt 99,99 Euro. Rufen Sie jetzt an und sichern Sie sich \
+     gratis Versand. Unsere Bestellhotline ist rund um die Uhr erreichbar.",
+    "So nutzen Sie unser HbbTV-Angebot: Druecken Sie die rote Taste Ihrer \
+     Fernbedienung, um die Startleiste zu oeffnen. Mit den Pfeiltasten \
+     navigieren Sie durch die Mediathek, mit OK starten Sie ein Video.",
+    "Impressum. Anbieter dieses Angebots ist die Beispiel Rundfunk GmbH, \
+     Musterstrasse 1, 12345 Musterstadt. Vertreten durch die \
+     Geschaeftsfuehrung. Handelsregister Amtsgericht Musterstadt HRB 1234.",
+    "Breaking news ticker: markets close higher after central bank \
+     decision. Weather tomorrow: sunny intervals with highs around twenty \
+     degrees. Sports: the home team wins the derby two to one.",
+    "Gewinnspiel! Beantworten Sie die Tagesfrage und gewinnen Sie eine \
+     Traumreise nach Teneriffa. Anruf oder SMS, Teilnahme ab 18 Jahren. \
+     Der Rechtsweg ist ausgeschlossen. Viel Glueck!",
+    "Jetzt in der Mediathek: alle Folgen der beliebten Serie, exklusive \
+     Interviews mit den Stars und das Making-of. Verpassen Sie keine \
+     Folge mehr mit unserer Merkliste.",
+    "Electronic program guide: currently showing a nature documentary, \
+     next up the evening news at six, followed by the quiz show and a \
+     classic movie night with two features back to back.",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PolicyProfile;
+
+    #[test]
+    fn classifies_generated_policies_as_policies() {
+        let clf = PolicyClassifier::bundled();
+        // A profile shape *not* in the training set.
+        let mut p = PolicyProfile::typical("Fremdsender", "Fremd Media SE");
+        p.profiling_window = Some((17, 6));
+        p.opt_out_statements = true;
+        assert!(clf.is_policy(&render_policy(&p)));
+    }
+
+    #[test]
+    fn classifies_misc_texts_as_other() {
+        let clf = PolicyClassifier::bundled();
+        for text in [
+            "Die grosse Samstagsshow heute live ab 20:15 Uhr mit vielen Gaesten \
+             und Musik. Danach: das Beste aus der Mediathek.",
+            "Special offer: call now and get the second blender free. Our agents \
+             are standing by around the clock for your order.",
+        ] {
+            assert!(!clf.is_policy(text), "misclassified: {text}");
+        }
+    }
+
+    #[test]
+    fn mixed_content_is_the_hard_case() {
+        // The paper found 18 false negatives on texts mixing disclosures
+        // with unrelated content — verify the score at least drops.
+        let clf = PolicyClassifier::bundled();
+        let pure = render_policy(&PolicyProfile::typical("A", "B"));
+        let mixed = format!(
+            "{pure}\nNur heute im Teleshop: Pfannenset Deluxe für 49,99 Euro, \
+             gratis Versand, rufen Sie jetzt an! Gewinnspiel: Traumreise nach \
+             Teneriffa, Teilnahme ab 18."
+        );
+        assert!(clf.score(&mixed) < clf.score(&pure));
+    }
+
+    #[test]
+    fn english_policies_recognized() {
+        let clf = PolicyClassifier::bundled();
+        let mut p = PolicyProfile::typical("News", "News Corp");
+        p.language = PolicyLanguage::English;
+        assert!(clf.is_policy(&render_policy(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "training documents")]
+    fn train_rejects_empty_class() {
+        let _ = PolicyClassifier::train(&[], &["x".to_string()]);
+    }
+
+    #[test]
+    fn score_is_monotone_in_policy_words() {
+        let clf = PolicyClassifier::bundled();
+        let weak = "Daten";
+        let strong = "personenbezogene Daten Verarbeitung Einwilligung Auskunft \
+                      Löschung Aufsichtsbehörde Datenschutzerklärung";
+        assert!(clf.score(strong) > clf.score(weak));
+    }
+}

@@ -1,0 +1,206 @@
+//! Policy-vs-practice comparison (§VII-C).
+//!
+//! The paper's headline finding: Super RTL's policy declares ad
+//! personalization and profiling limited to **5 PM to 6 AM**, yet 21
+//! known tracking requests — carrying user IDs and the watched show —
+//! were observed *outside* that window on two of the three channels
+//! sharing the policy. [`check_profiling_window`] performs exactly that
+//! comparison; [`check_opt_out_contradiction`] flags the HGTV-style
+//! opt-out-where-opt-in-is-required pattern.
+
+use crate::annotate::PolicyAnnotation;
+use hbbtv_net::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A tracking observation to check against a policy: when it happened
+/// and where it went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackingObservation {
+    /// Request instant.
+    pub at: Timestamp,
+    /// Tracker domain (eTLD+1).
+    pub tracker: String,
+    /// Whether the request carried a user identifier.
+    pub carried_user_id: bool,
+    /// Whether the request carried the watched show.
+    pub carried_show: bool,
+}
+
+/// The verdict of the profiling-window check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowViolationReport {
+    /// The declared window (from-hour, to-hour), if any.
+    pub declared_window: Option<(u8, u8)>,
+    /// Observations falling outside the declared window.
+    pub violations: Vec<TrackingObservation>,
+    /// Distinct tracker domains among the violations.
+    pub violating_trackers: Vec<String>,
+}
+
+impl WindowViolationReport {
+    /// Whether observed practice contradicts the declared window.
+    pub fn contradicts_policy(&self) -> bool {
+        self.declared_window.is_some() && !self.violations.is_empty()
+    }
+}
+
+/// Whether `hour` lies inside a daily `(from, to)` window; windows
+/// wrap midnight when `from > to` (17→6 covers 17:00–23:59 and
+/// 0:00–5:59).
+pub fn hour_in_window(hour: u8, window: (u8, u8)) -> bool {
+    let (from, to) = window;
+    if from == to {
+        return true; // degenerate: whole day
+    }
+    if from < to {
+        hour >= from && hour < to
+    } else {
+        hour >= from || hour < to
+    }
+}
+
+/// Checks observed tracking against a policy's declared profiling
+/// window.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::compliance::{check_profiling_window, TrackingObservation};
+/// use hbbtv_policies::{annotate_policy, render_policy, PolicyProfile};
+/// use hbbtv_net::{Duration, Timestamp};
+///
+/// let mut profile = PolicyProfile::typical("Super RTL", "RTL");
+/// profile.profiling_window = Some((17, 6));
+/// let ann = annotate_policy(&render_policy(&profile));
+/// // A tracking request at noon — outside 17:00–06:00.
+/// let noon = Timestamp::MEASUREMENT_START + Duration::from_secs(12 * 3600);
+/// let obs = vec![TrackingObservation {
+///     at: noon, tracker: "tvping.com".into(), carried_user_id: true, carried_show: true,
+/// }];
+/// let report = check_profiling_window(&ann, &obs);
+/// assert!(report.contradicts_policy());
+/// ```
+pub fn check_profiling_window(
+    annotation: &PolicyAnnotation,
+    observations: &[TrackingObservation],
+) -> WindowViolationReport {
+    let declared_window = annotation.profiling_window;
+    let violations: Vec<TrackingObservation> = match declared_window {
+        None => Vec::new(),
+        Some(window) => observations
+            .iter()
+            .filter(|o| !hour_in_window(o.at.hour_of_day(), window))
+            .cloned()
+            .collect(),
+    };
+    let mut violating_trackers: Vec<String> =
+        violations.iter().map(|v| v.tracker.clone()).collect();
+    violating_trackers.sort();
+    violating_trackers.dedup();
+    WindowViolationReport {
+        declared_window,
+        violations,
+        violating_trackers,
+    }
+}
+
+/// Whether a policy relies on opt-out for processing that requires
+/// opt-in consent under the GDPR (targeted advertising) — the HGTV
+/// contradiction of §VII-C.
+pub fn check_opt_out_contradiction(annotation: &PolicyAnnotation) -> bool {
+    use crate::annotate::DataPractice;
+    annotation.opt_out_statements
+        && (annotation.practices.contains(&DataPractice::Profiling)
+            || annotation
+                .practices
+                .contains(&DataPractice::CoverageAnalysisCookies))
+        && !annotation
+            .legal_bases
+            .contains(&crate::gdpr::LegalBasis::Consent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_policy;
+    use crate::generator::{render_policy, PolicyProfile};
+    use hbbtv_net::Duration;
+
+    fn at_hour(h: u64) -> Timestamp {
+        Timestamp::MEASUREMENT_START + Duration::from_secs(h * 3600)
+    }
+
+    fn obs(h: u64) -> TrackingObservation {
+        TrackingObservation {
+            at: at_hour(h),
+            tracker: "tvping.com".to_string(),
+            carried_user_id: true,
+            carried_show: true,
+        }
+    }
+
+    #[test]
+    fn window_membership_wraps_midnight() {
+        let w = (17, 6);
+        assert!(hour_in_window(17, w));
+        assert!(hour_in_window(23, w));
+        assert!(hour_in_window(0, w));
+        assert!(hour_in_window(5, w));
+        assert!(!hour_in_window(6, w));
+        assert!(!hour_in_window(12, w));
+        assert!(!hour_in_window(16, w));
+    }
+
+    #[test]
+    fn non_wrapping_window() {
+        let w = (9, 17);
+        assert!(hour_in_window(9, w));
+        assert!(!hour_in_window(17, w));
+        assert!(!hour_in_window(3, w));
+    }
+
+    #[test]
+    fn super_rtl_case_reproduced() {
+        let mut p = PolicyProfile::typical("Super RTL", "RTL");
+        p.profiling_window = Some((17, 6));
+        let ann = annotate_policy(&render_policy(&p));
+        // Daytime tracking (08:00–16:00) violates; evening does not.
+        let observations = vec![obs(8), obs(12), obs(15), obs(18), obs(23), obs(2)];
+        let report = check_profiling_window(&ann, &observations);
+        assert!(report.contradicts_policy());
+        assert_eq!(report.violations.len(), 3);
+        assert_eq!(report.violating_trackers, vec!["tvping.com".to_string()]);
+    }
+
+    #[test]
+    fn no_declared_window_means_no_violation() {
+        let ann = annotate_policy(&render_policy(&PolicyProfile::typical("X", "Y")));
+        let report = check_profiling_window(&ann, &[obs(12)]);
+        assert!(!report.contradicts_policy());
+        assert_eq!(report.declared_window, None);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn hgtv_opt_out_contradiction_detected() {
+        let mut p = PolicyProfile::typical("HGTV", "HGTV Germany");
+        p.opt_out_statements = true;
+        p.legal_bases = vec![crate::gdpr::LegalBasis::LegitimateInterest];
+        let ann = annotate_policy(&render_policy(&p));
+        assert!(check_opt_out_contradiction(&ann));
+    }
+
+    #[test]
+    fn opt_out_with_consent_basis_is_not_flagged() {
+        let mut p = PolicyProfile::typical("Ok TV", "Ok Media");
+        p.opt_out_statements = true; // but consent is declared
+        let ann = annotate_policy(&render_policy(&p));
+        assert!(!check_opt_out_contradiction(&ann));
+    }
+
+    #[test]
+    fn degenerate_window_accepts_everything() {
+        assert!(hour_in_window(3, (6, 6)));
+        assert!(hour_in_window(23, (6, 6)));
+    }
+}

@@ -1,0 +1,222 @@
+//! GDPR vocabulary: articles, legal bases, and the bilingual phrase
+//! dictionary.
+//!
+//! §VII-B supplements the ML annotation "with a dictionary-based approach
+//! … GDPR-specific phrases collected from Articles 6 and 13 of the GDPR"
+//! in German and English. The dictionaries below carry the phrases the
+//! generator emits *and* common paraphrases, so detection is not a
+//! trivial string equality with generation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The GDPR data-subject-rights articles the paper tallies (§VII-C),
+/// plus Art. 6 (legal bases) and Art. 13 (information duties) for the
+/// dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GdprArticle {
+    /// Art. 6 — lawfulness of processing.
+    Art6,
+    /// Art. 13 — information to be provided.
+    Art13,
+    /// Art. 15 — right of access (34 / 61% of German policies).
+    Art15,
+    /// Art. 16 — right to rectification (38 / 69%).
+    Art16,
+    /// Art. 17 — right to erasure (33 / 60%).
+    Art17,
+    /// Art. 18 — right to restriction (33 / 60%).
+    Art18,
+    /// Art. 20 — right to data portability (9 / 16%).
+    Art20,
+    /// Art. 21 — right to object (9 / 16%).
+    Art21,
+    /// Art. 77 — right to lodge a complaint (36 / 65%).
+    Art77,
+}
+
+impl GdprArticle {
+    /// The subject-rights articles Table-style §VII-C reports on.
+    pub const RIGHTS: [GdprArticle; 7] = [
+        GdprArticle::Art15,
+        GdprArticle::Art16,
+        GdprArticle::Art17,
+        GdprArticle::Art18,
+        GdprArticle::Art20,
+        GdprArticle::Art21,
+        GdprArticle::Art77,
+    ];
+
+    /// German phrases indicating the article.
+    pub fn german_phrases(self) -> &'static [&'static str] {
+        match self {
+            GdprArticle::Art6 => &["rechtsgrundlage der verarbeitung", "artikel 6", "art. 6"],
+            GdprArticle::Art13 => &["informationspflicht", "artikel 13", "art. 13"],
+            GdprArticle::Art15 => &["recht auf auskunft", "auskunftsrecht", "art. 15"],
+            GdprArticle::Art16 => &["recht auf berichtigung", "berichtigungsrecht", "art. 16"],
+            GdprArticle::Art17 => &["recht auf löschung", "vergessenwerden", "art. 17"],
+            GdprArticle::Art18 => &[
+                "recht auf einschränkung der verarbeitung",
+                "einschränkung der verarbeitung verlangen",
+                "art. 18",
+            ],
+            GdprArticle::Art20 => &["recht auf datenübertragbarkeit", "art. 20"],
+            GdprArticle::Art21 => &["widerspruchsrecht", "recht auf widerspruch", "art. 21"],
+            GdprArticle::Art77 => &[
+                "beschwerde bei einer aufsichtsbehörde",
+                "beschwerderecht",
+                "art. 77",
+            ],
+        }
+    }
+
+    /// English phrases indicating the article.
+    pub fn english_phrases(self) -> &'static [&'static str] {
+        match self {
+            GdprArticle::Art6 => &["lawfulness of processing", "article 6"],
+            GdprArticle::Art13 => &["information to be provided", "article 13"],
+            GdprArticle::Art15 => &["right of access", "right to access", "article 15"],
+            GdprArticle::Art16 => &["right to rectification", "article 16"],
+            GdprArticle::Art17 => &["right to erasure", "right to be forgotten", "article 17"],
+            GdprArticle::Art18 => &["right to restriction of processing", "article 18"],
+            GdprArticle::Art20 => &["right to data portability", "article 20"],
+            GdprArticle::Art21 => &["right to object", "article 21"],
+            GdprArticle::Art77 => &[
+                "lodge a complaint with a supervisory authority",
+                "article 77",
+            ],
+        }
+    }
+
+    /// Whether `text` (lowercased) mentions this article in either
+    /// language.
+    pub fn mentioned_in(self, lower_text: &str) -> bool {
+        self.german_phrases()
+            .iter()
+            .chain(self.english_phrases())
+            .any(|p| lower_text.contains(p))
+    }
+}
+
+impl fmt::Display for GdprArticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            GdprArticle::Art6 => 6,
+            GdprArticle::Art13 => 13,
+            GdprArticle::Art15 => 15,
+            GdprArticle::Art16 => 16,
+            GdprArticle::Art17 => 17,
+            GdprArticle::Art18 => 18,
+            GdprArticle::Art20 => 20,
+            GdprArticle::Art21 => 21,
+            GdprArticle::Art77 => 77,
+        };
+        write!(f, "Art. {n}")
+    }
+}
+
+/// The Art. 6(1) legal bases a policy can invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LegalBasis {
+    /// Art. 6(1)(a) — consent.
+    Consent,
+    /// Art. 6(1)(b) — contract performance.
+    Contract,
+    /// Art. 6(1)(c) — legal obligation.
+    LegalObligation,
+    /// Art. 6(1)(d) — vital interests (Sachsen Eins's vague statement).
+    VitalInterests,
+    /// Art. 6(1)(f) — legitimate interests (the gray area §VII-C notes
+    /// in 10 policies).
+    LegitimateInterest,
+}
+
+impl LegalBasis {
+    /// All five bases.
+    pub const ALL: [LegalBasis; 5] = [
+        LegalBasis::Consent,
+        LegalBasis::Contract,
+        LegalBasis::LegalObligation,
+        LegalBasis::VitalInterests,
+        LegalBasis::LegitimateInterest,
+    ];
+
+    /// German detection phrases.
+    pub fn german_phrases(self) -> &'static [&'static str] {
+        match self {
+            LegalBasis::Consent => &["einwilligung", "eingewilligt"],
+            LegalBasis::Contract => &["vertragserfüllung", "erfüllung eines vertrags"],
+            LegalBasis::LegalObligation => &["rechtliche verpflichtung", "gesetzliche pflicht"],
+            LegalBasis::VitalInterests => &["lebenswichtige interessen", "lebenswichtiger interessen"],
+            // "berechtigten interesse" also matches the genitive
+            // ("berechtigten interesses") and plural ("… interessen").
+            LegalBasis::LegitimateInterest => &["berechtigtes interesse", "berechtigten interesse"],
+        }
+    }
+
+    /// English detection phrases.
+    pub fn english_phrases(self) -> &'static [&'static str] {
+        match self {
+            LegalBasis::Consent => &["consent"],
+            LegalBasis::Contract => &["performance of a contract"],
+            LegalBasis::LegalObligation => &["legal obligation"],
+            LegalBasis::VitalInterests => &["vital interests"],
+            LegalBasis::LegitimateInterest => &["legitimate interest"],
+        }
+    }
+
+    /// Whether `text` (lowercased) invokes this basis in either language.
+    pub fn mentioned_in(self, lower_text: &str) -> bool {
+        self.german_phrases()
+            .iter()
+            .chain(self.english_phrases())
+            .any(|p| lower_text.contains(p))
+    }
+}
+
+/// How a policy declares IP addresses are anonymized (§VII-C observes a
+/// spectrum from full anonymization to cutting the last digits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpAnonymization {
+    /// Complete anonymization declared.
+    Full,
+    /// Truncation (e.g. the last three digits cut) declared.
+    Truncated,
+    /// No anonymization declared.
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn article_phrase_detection_both_languages() {
+        assert!(GdprArticle::Art15.mentioned_in("sie haben ein recht auf auskunft"));
+        assert!(GdprArticle::Art15.mentioned_in("you have the right of access"));
+        assert!(!GdprArticle::Art15.mentioned_in("nothing relevant here"));
+    }
+
+    #[test]
+    fn all_rights_articles_have_phrases() {
+        for art in GdprArticle::RIGHTS {
+            assert!(!art.german_phrases().is_empty());
+            assert!(!art.english_phrases().is_empty());
+        }
+    }
+
+    #[test]
+    fn legal_basis_detection() {
+        let text = "die verarbeitung erfolgt auf grundlage unseres berechtigten interesses";
+        assert!(LegalBasis::LegitimateInterest.mentioned_in(text));
+        assert!(!LegalBasis::Contract.mentioned_in(text));
+        assert!(LegalBasis::Consent.mentioned_in("based on your consent"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GdprArticle::Art77.to_string(), "Art. 77");
+        assert_eq!(GdprArticle::RIGHTS.len(), 7);
+        assert_eq!(LegalBasis::ALL.len(), 5);
+    }
+}

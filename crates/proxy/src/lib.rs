@@ -1,0 +1,329 @@
+//! The intercepting proxy: traffic capture and channel attribution.
+//!
+//! The study routed all TV traffic through mitmproxy on an analysis
+//! machine. Since no channel validated certificates, *all* HTTP(S)
+//! traffic could be decrypted and recorded. Two details of §IV-C matter
+//! for correctness and are reproduced exactly:
+//!
+//! 1. **Channel attribution.** The remote-control script tells the proxy
+//!    the current channel on every switch. Requests are attributed to the
+//!    channel active at their timestamp — but if a request arrives just
+//!    after a switch and its `Referer` still points at a host seen during
+//!    the *previous* channel's window, it is re-attributed to that
+//!    previous channel ("accounting for delays during switching").
+//! 2. **The 15-minute window.** Only requests from the last 15 minutes of
+//!    a channel's watch time are attributed, bounding stale matches.
+//!
+//! The [`Proxy`] is cheaply cloneable; the TV runtime records through one
+//! handle while the study harness reads through another, mirroring the
+//! separate capture and analysis processes of the physical setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hbbtv_broadcast::ChannelId;
+use hbbtv_net::{Duration, Request, Response, Timestamp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Grace period after a channel switch in which a stale `Referer` moves a
+/// request back to the previous channel.
+const SWITCH_GRACE: Duration = Duration::from_secs(15);
+
+/// Attribution horizon (§IV-C speaks of a 15-minute window; ours is
+/// sized to cover the study's longest per-channel watch time of 1000 s
+/// plus switching slack, so legitimate in-watch traffic stays
+/// attributed — see EXPERIMENTS.md).
+const ATTRIBUTION_WINDOW: Duration = Duration::from_secs(17 * 60);
+
+/// One recorded request/response pair with its attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapturedExchange {
+    /// Label of the measurement session (e.g. `"Red"`).
+    pub session: String,
+    /// The channel this exchange is attributed to, if any.
+    pub channel: Option<ChannelId>,
+    /// Name of the attributed channel (for reports).
+    pub channel_name: Option<String>,
+    /// The request as sent by the TV.
+    pub request: Request,
+    /// The response as delivered to the TV.
+    pub response: Response,
+}
+
+impl CapturedExchange {
+    /// Whether the exchange used TLS.
+    pub fn is_https(&self) -> bool {
+        self.request.url.is_https()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChannelWindow {
+    channel: Option<(ChannelId, String)>,
+    since: Timestamp,
+    hosts: HashSet<String>,
+}
+
+#[derive(Debug, Default)]
+struct ProxyState {
+    session: String,
+    current: ChannelWindow,
+    previous: ChannelWindow,
+    log: Vec<CapturedExchange>,
+}
+
+/// The intercepting proxy.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_proxy::Proxy;
+/// use hbbtv_broadcast::ChannelId;
+/// use hbbtv_net::{Request, Response, Status, Timestamp};
+///
+/// let proxy = Proxy::new();
+/// proxy.start_session("General");
+/// proxy.notify_channel_switch(ChannelId(7), "ZDF", Timestamp::MEASUREMENT_START);
+/// let req = Request::get("http://hbbtv.zdf.de/app".parse()?)
+///     .at(Timestamp::MEASUREMENT_START)
+///     .build();
+/// proxy.record(req, Response::builder(Status::OK).build());
+/// assert_eq!(proxy.captures().len(), 1);
+/// assert_eq!(proxy.captures()[0].channel, Some(ChannelId(7)));
+/// # Ok::<(), hbbtv_net::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Proxy {
+    state: Arc<Mutex<ProxyState>>,
+}
+
+impl Proxy {
+    /// Creates a proxy with an empty capture log.
+    pub fn new() -> Self {
+        Proxy::default()
+    }
+
+    /// Starts (or renames) the current measurement session; subsequent
+    /// captures carry this label.
+    pub fn start_session(&self, label: &str) {
+        let mut s = self.state.lock();
+        s.session = label.to_string();
+        s.current = ChannelWindow::default();
+        s.previous = ChannelWindow::default();
+    }
+
+    /// Notifies the proxy of a channel switch (the remote-control script
+    /// sends channel name and id on every switch).
+    pub fn notify_channel_switch(&self, id: ChannelId, name: &str, at: Timestamp) {
+        let mut s = self.state.lock();
+        let old = std::mem::take(&mut s.current);
+        s.previous = old;
+        s.current = ChannelWindow {
+            channel: Some((id, name.to_string())),
+            since: at,
+            hosts: HashSet::new(),
+        };
+    }
+
+    /// Records one exchange, attributing it per the §IV-C rules.
+    pub fn record(&self, request: Request, response: Response) {
+        let mut s = self.state.lock();
+        let t = request.timestamp;
+        let host = request.url.host().to_string();
+        let referer_host = request.referer().map(|u| u.host().to_string());
+
+        // Default attribution: the currently active window, if the
+        // request falls within the 15-minute horizon.
+        let mut attributed = if s.current.channel.is_some()
+            && t >= s.current.since
+            && t.since(s.current.since) <= ATTRIBUTION_WINDOW
+        {
+            s.current.channel.clone()
+        } else {
+            None
+        };
+
+        // Referrer correction: shortly after a switch, a request whose
+        // referrer points at a host only seen on the previous channel
+        // belongs to the previous channel.
+        if let (Some(ref_host), Some(prev)) = (&referer_host, &s.previous.channel) {
+            let within_grace = t >= s.current.since && t.since(s.current.since) <= SWITCH_GRACE;
+            let seen_prev = s.previous.hosts.contains(ref_host);
+            let seen_cur = s.current.hosts.contains(ref_host);
+            if within_grace && seen_prev && !seen_cur {
+                attributed = Some(prev.clone());
+                s.previous.hosts.insert(host.clone());
+            }
+        }
+
+        if attributed.as_ref().map(|(id, _)| *id) == s.current.channel.as_ref().map(|(id, _)| *id)
+        {
+            s.current.hosts.insert(host);
+        }
+
+        let session = s.session.clone();
+        s.log.push(CapturedExchange {
+            session,
+            channel: attributed.as_ref().map(|(id, _)| *id),
+            channel_name: attributed.map(|(_, name)| name),
+            request,
+            response,
+        });
+    }
+
+    /// A snapshot of all captured exchanges.
+    pub fn captures(&self) -> Vec<CapturedExchange> {
+        self.state.lock().log.clone()
+    }
+
+    /// Runs `f` over the capture log without cloning it.
+    pub fn with_captures<T>(&self, f: impl FnOnce(&[CapturedExchange]) -> T) -> T {
+        f(&self.state.lock().log)
+    }
+
+    /// Number of captured exchanges.
+    pub fn len(&self) -> usize {
+        self.state.lock().log.len()
+    }
+
+    /// Whether nothing was captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the log (between experiments; the paper pushed each run's
+    /// data to BigQuery and started fresh).
+    pub fn clear(&self) {
+        self.state.lock().log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbtv_net::Status;
+
+    fn req(url: &str, at: u64) -> Request {
+        Request::get(url.parse().unwrap())
+            .at(Timestamp::from_unix(at))
+            .build()
+    }
+
+    fn req_ref(url: &str, referer: &str, at: u64) -> Request {
+        Request::get(url.parse().unwrap())
+            .header("Referer", referer)
+            .at(Timestamp::from_unix(at))
+            .build()
+    }
+
+    fn ok() -> Response {
+        Response::builder(Status::OK).build()
+    }
+
+    const T0: u64 = 1_700_000_000;
+
+    #[test]
+    fn attributes_to_active_channel() {
+        let p = Proxy::new();
+        p.start_session("General");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://hbbtv.zdf.de/a", T0 + 5), ok());
+        let log = p.captures();
+        assert_eq!(log[0].channel, Some(ChannelId(1)));
+        assert_eq!(log[0].channel_name.as_deref(), Some("ZDF"));
+        assert_eq!(log[0].session, "General");
+    }
+
+    #[test]
+    fn unattributed_before_any_switch() {
+        let p = Proxy::new();
+        p.start_session("General");
+        p.record(req("http://lge.com/firmware", T0), ok());
+        assert_eq!(p.captures()[0].channel, None);
+    }
+
+    #[test]
+    fn requests_past_the_window_are_unattributed() {
+        let p = Proxy::new();
+        p.start_session("General");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://hbbtv.zdf.de/a", T0 + 17 * 60 + 1), ok());
+        assert_eq!(p.captures()[0].channel, None);
+    }
+
+    #[test]
+    fn stale_referer_reattributes_to_previous_channel() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://hbbtv.zdf.de/app", T0 + 2), ok());
+        p.notify_channel_switch(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
+        // A late beacon of the ZDF app arrives 3 s after the switch.
+        p.record(
+            req_ref("http://tvping.com/p", "http://hbbtv.zdf.de/app", T0 + 903),
+            ok(),
+        );
+        // A genuine RTL request follows.
+        p.record(req("http://hbbtv.rtl.de/app", T0 + 905), ok());
+        let log = p.captures();
+        assert_eq!(log[1].channel, Some(ChannelId(1)), "stale beacon goes to ZDF");
+        assert_eq!(log[2].channel, Some(ChannelId(2)));
+    }
+
+    #[test]
+    fn stale_referer_after_grace_sticks_with_current() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://hbbtv.zdf.de/app", T0 + 2), ok());
+        p.notify_channel_switch(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
+        p.record(
+            req_ref("http://tvping.com/p", "http://hbbtv.zdf.de/app", T0 + 950),
+            ok(),
+        );
+        assert_eq!(p.captures()[1].channel, Some(ChannelId(2)));
+    }
+
+    #[test]
+    fn referer_seen_on_current_channel_is_not_reattributed() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://shared-cdn.de/lib", T0 + 2), ok());
+        p.notify_channel_switch(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
+        p.record(req("http://shared-cdn.de/lib", T0 + 901), ok());
+        // Referer points at a host seen on *both* windows → stays current.
+        p.record(
+            req_ref("http://tvping.com/p", "http://shared-cdn.de/lib", T0 + 902),
+            ok(),
+        );
+        assert_eq!(p.captures()[2].channel, Some(ChannelId(2)));
+    }
+
+    #[test]
+    fn https_flag_and_clear() {
+        let p = Proxy::new();
+        p.start_session("General");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("https://secure.zdf.de/a", T0 + 1), ok());
+        assert!(p.captures()[0].is_https());
+        assert_eq!(p.len(), 1);
+        p.clear();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_the_log() {
+        let p = Proxy::new();
+        let handle = p.clone();
+        p.start_session("General");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        handle.record(req("http://hbbtv.zdf.de/a", T0 + 1), ok());
+        assert_eq!(p.len(), 1);
+        let total = p.with_captures(|log| log.len());
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Descriptive statistics.
+//!
+//! The paper reports most distributions as "mean (min: a, max: b, SD: c)";
+//! [`Describe`] produces exactly that summary (SD is the sample standard
+//! deviation, `n - 1` denominator, matching pandas/SciPy defaults).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A five-number-style descriptive summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Describe {
+    /// Number of observations.
+    pub n: usize,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 for `n < 2`).
+    pub sd: f64,
+    /// Fisher–Pearson skewness coefficient (0 for `n < 2` or zero SD).
+    ///
+    /// The paper describes Figure 5 as a "long tail distribution (positive
+    /// skew)", which this field quantifies.
+    pub skewness: f64,
+}
+
+impl Describe {
+    /// An empty summary (all zeros).
+    pub fn empty() -> Self {
+        Describe {
+            n: 0,
+            sum: 0.0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            sd: 0.0,
+            skewness: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Describe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} (min: {}, max: {}, SD: {:.2})",
+            self.mean, self.min, self.max, self.sd
+        )
+    }
+}
+
+/// Computes the descriptive summary of a sample.
+///
+/// Returns [`Describe::empty`] for an empty sample rather than erroring —
+/// the study's tables legitimately contain empty groups (e.g. a measurement
+/// run in which no channel used a particular feature).
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_stats::describe;
+/// let d = describe(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(d.mean, 2.5);
+/// assert_eq!(d.min, 1.0);
+/// assert_eq!(d.max, 4.0);
+/// assert!((d.sd - 1.29).abs() < 0.01);
+/// ```
+pub fn describe(sample: &[f64]) -> Describe {
+    if sample.is_empty() {
+        return Describe::empty();
+    }
+    let n = sample.len();
+    let sum: f64 = sample.iter().sum();
+    let mean = sum / n as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in sample {
+        if x < min {
+            min = x;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    let (sd, skewness) = if n < 2 {
+        (0.0, 0.0)
+    } else {
+        let m2: f64 = sample.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let m3: f64 = sample.iter().map(|&x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+        let sample_var = sample.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let sd = sample_var.sqrt();
+        let skew = if m2 > 0.0 { m3 / m2.powf(1.5) } else { 0.0 };
+        (sd, skew)
+    };
+    Describe {
+        n,
+        sum,
+        mean,
+        min,
+        max,
+        sd,
+        skewness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let d = describe(&[]);
+        assert_eq!(d.n, 0);
+        assert_eq!(d.mean, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = describe(&[42.0]);
+        assert_eq!(d.n, 1);
+        assert_eq!(d.mean, 42.0);
+        assert_eq!(d.min, 42.0);
+        assert_eq!(d.max, 42.0);
+        assert_eq!(d.sd, 0.0);
+        assert_eq!(d.skewness, 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_values() {
+        // Table II "General" row shape: mean 2.31-ish samples.
+        let d = describe(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        // Sample SD of this classic example is ~2.138.
+        assert!((d.sd - 2.138).abs() < 0.001, "sd was {}", d.sd);
+        assert_eq!(d.sum, 40.0);
+    }
+
+    #[test]
+    fn long_tail_has_positive_skew() {
+        // 38 parties on one channel, a few mid-sized, one on 119 channels —
+        // the Figure 5 shape.
+        let mut sample = vec![1.0; 38];
+        sample.extend_from_slice(&[3.0, 5.0, 10.0, 25.0, 119.0]);
+        let d = describe(&sample);
+        assert!(d.skewness > 2.0, "skew was {}", d.skewness);
+    }
+
+    #[test]
+    fn symmetric_sample_has_near_zero_skew() {
+        let d = describe(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(d.skewness.abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        let d = describe(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.to_string(), "2.00 (min: 1, max: 3, SD: 1.00)");
+    }
+
+    #[test]
+    fn constant_sample_has_zero_sd_and_skew() {
+        let d = describe(&[5.0; 10]);
+        assert_eq!(d.sd, 0.0);
+        assert_eq!(d.skewness, 0.0);
+    }
+}

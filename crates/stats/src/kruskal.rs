@@ -1,0 +1,174 @@
+//! The Kruskal–Wallis H test.
+
+use crate::dist::chi_squared_sf;
+use crate::rank::{average_ranks, tie_correction};
+use crate::{EffectSize, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KruskalWallis {
+    /// The tie-corrected H statistic.
+    pub h: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// Upper-tail chi-squared p-value.
+    pub p_value: f64,
+    /// η² effect size: `(H − k + 1) / (n − k)`, clamped to `[0, 1]`.
+    pub eta_squared: f64,
+    /// Total number of observations.
+    pub n: usize,
+}
+
+impl KruskalWallis {
+    /// Whether the test is significant at the paper's α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+
+    /// Cohen's classification of the effect size (§IV-D).
+    pub fn effect_size_class(&self) -> EffectSize {
+        EffectSize::classify(self.eta_squared)
+    }
+}
+
+/// Runs the Kruskal–Wallis H test over `groups`.
+///
+/// The statistic is computed on average ranks of the pooled sample, with
+/// the standard tie correction `H / (1 − Σ(t³−t)/(N³−N))`, and the p-value
+/// from the chi-squared approximation with `k − 1` degrees of freedom.
+///
+/// # Errors
+///
+/// * [`StatsError::TooFewGroups`] — fewer than two groups.
+/// * [`StatsError::EmptySample`] — any group is empty.
+/// * [`StatsError::ConstantData`] — every observation identical (the tie
+///   correction would divide by zero).
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_stats::kruskal_wallis;
+/// let r = kruskal_wallis(&[vec![1.0, 2.0], vec![1.5, 2.5]]).unwrap();
+/// assert!(r.p_value > 0.05, "overlapping groups are not significant");
+/// ```
+pub fn kruskal_wallis(groups: &[Vec<f64>]) -> Result<KruskalWallis, StatsError> {
+    if groups.len() < 2 {
+        return Err(StatsError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(StatsError::EmptySample);
+    }
+    let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
+    let n = pooled.len();
+    let nf = n as f64;
+    let first = pooled[0];
+    if pooled.iter().all(|&x| x == first) {
+        return Err(StatsError::ConstantData);
+    }
+    let ranks = average_ranks(&pooled);
+
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len();
+        let rank_sum: f64 = ranks[offset..offset + ni].iter().sum();
+        h += rank_sum * rank_sum / ni as f64;
+        offset += ni;
+    }
+    h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+
+    let (_, tie_sum) = tie_correction(&pooled);
+    let correction = 1.0 - tie_sum / (nf * nf * nf - nf);
+    let h = h / correction;
+
+    let k = groups.len();
+    let df = k - 1;
+    let p_value = chi_squared_sf(h, df);
+    let eta_squared = if n > k {
+        ((h - k as f64 + 1.0) / (nf - k as f64)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    Ok(KruskalWallis {
+        h,
+        df,
+        p_value,
+        eta_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_scipy_reference_no_ties() {
+        // scipy.stats.kruskal([1,2,3],[4,5,6],[7,8,9]) → H = 7.2, p ≈ 0.02732.
+        let r = kruskal_wallis(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        assert!((r.h - 7.2).abs() < 1e-9, "H was {}", r.h);
+        assert!((r.p_value - 0.02732).abs() < 1e-4, "p was {}", r.p_value);
+        assert!(r.significant());
+        assert_eq!(r.df, 2);
+    }
+
+    #[test]
+    fn matches_scipy_reference_with_ties() {
+        // Hand computation for [1,1,2] vs [2,2,3]: ranks (1.5,1.5,4 | 4,4,6),
+        // H_raw = 12/42·(49/3 + 196/3) − 21 = 7/3, tie correction 1 − 30/210
+        // = 6/7, so H = (7/3)/(6/7) = 49/18 ≈ 2.7222 and p = χ²_sf(H, 1)
+        // ≈ 0.0989.
+        let r = kruskal_wallis(&[vec![1.0, 1.0, 2.0], vec![2.0, 2.0, 3.0]]).unwrap();
+        assert!((r.h - 49.0 / 18.0).abs() < 1e-9, "H was {}", r.h);
+        assert!((r.p_value - 0.0989).abs() < 1e-3, "p was {}", r.p_value);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn identical_groups_yield_h_near_zero() {
+        let r = kruskal_wallis(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(r.h.abs() < 1e-9);
+        assert!(r.p_value > 0.99);
+        assert_eq!(r.effect_size_class(), EffectSize::Small);
+    }
+
+    #[test]
+    fn well_separated_groups_have_large_effect() {
+        let r = kruskal_wallis(&[
+            (0..20).map(f64::from).collect(),
+            (100..120).map(f64::from).collect(),
+            (200..220).map(f64::from).collect(),
+        ])
+        .unwrap();
+        assert!(r.p_value < 0.0001, "p was {}", r.p_value);
+        assert_eq!(r.effect_size_class(), EffectSize::Large);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            kruskal_wallis(&[vec![1.0]]).unwrap_err(),
+            StatsError::TooFewGroups
+        );
+        assert_eq!(
+            kruskal_wallis(&[vec![1.0], vec![]]).unwrap_err(),
+            StatsError::EmptySample
+        );
+        assert_eq!(
+            kruskal_wallis(&[vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap_err(),
+            StatsError::ConstantData
+        );
+    }
+
+    #[test]
+    fn eta_squared_is_clamped() {
+        let r = kruskal_wallis(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!((0.0..=1.0).contains(&r.eta_squared));
+    }
+}

@@ -1,0 +1,126 @@
+//! Statistical tests and descriptive statistics used by the study.
+//!
+//! §IV-D of the paper specifies the statistical toolkit: the
+//! Kruskal–Wallis test "to assess differences in the central tendency of a
+//! continuous variable across groups (e.g., measurement runs)" with a 95%
+//! confidence level, η² as the effect size (classified per Cohen as small
+//! ≤ 0.06, moderate < 0.14, large ≥ 0.14), and the Wilcoxon–Mann–Whitney
+//! test for the two-sample comparisons of §V-D5 (children's channels vs.
+//! the rest).
+//!
+//! All tests are implemented from first principles: average ranks with tie
+//! handling, the tie-corrected H statistic, a chi-squared upper-tail
+//! p-value via the regularized incomplete gamma function, and the
+//! normal-approximated U test with tie and continuity corrections.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbbtv_stats::{kruskal_wallis, EffectSize};
+//!
+//! let groups: Vec<Vec<f64>> = vec![
+//!     vec![1.0, 2.0, 3.0, 4.0],
+//!     vec![10.0, 11.0, 12.0, 13.0],
+//!     vec![20.0, 21.0, 22.0, 23.0],
+//! ];
+//! let r = kruskal_wallis(&groups).unwrap();
+//! assert!(r.p_value < 0.05);
+//! assert_eq!(r.effect_size_class(), EffectSize::Large);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod describe;
+mod dist;
+mod kruskal;
+mod mann_whitney;
+mod rank;
+
+pub use describe::{describe, Describe};
+pub use dist::{chi_squared_sf, standard_normal_cdf, standard_normal_sf};
+pub use kruskal::{kruskal_wallis, KruskalWallis};
+pub use mann_whitney::{mann_whitney_u, MannWhitney};
+pub use rank::{average_ranks, tie_correction};
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Cohen's classification of an η² effect size, as used in §IV-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EffectSize {
+    /// η² ≤ 0.06.
+    Small,
+    /// 0.06 < η² < 0.14.
+    Moderate,
+    /// η² ≥ 0.14.
+    Large,
+}
+
+impl EffectSize {
+    /// Classifies an η² value.
+    pub fn classify(eta_squared: f64) -> EffectSize {
+        if eta_squared >= 0.14 {
+            EffectSize::Large
+        } else if eta_squared > 0.06 {
+            EffectSize::Moderate
+        } else {
+            EffectSize::Small
+        }
+    }
+}
+
+impl fmt::Display for EffectSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EffectSize::Small => f.write_str("small"),
+            EffectSize::Moderate => f.write_str("moderate"),
+            EffectSize::Large => f.write_str("large"),
+        }
+    }
+}
+
+/// Error returned when a test's preconditions are not met.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A group (or sample) was empty.
+    EmptySample,
+    /// All observations are identical; ranks carry no information.
+    ConstantData,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::TooFewGroups => write!(f, "need at least two groups"),
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::ConstantData => write!(f, "all observations identical"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effect_size_boundaries_match_the_paper() {
+        assert_eq!(EffectSize::classify(0.0), EffectSize::Small);
+        assert_eq!(EffectSize::classify(0.06), EffectSize::Small);
+        assert_eq!(EffectSize::classify(0.07), EffectSize::Moderate);
+        assert_eq!(EffectSize::classify(0.139), EffectSize::Moderate);
+        assert_eq!(EffectSize::classify(0.14), EffectSize::Large);
+        assert_eq!(EffectSize::classify(0.9), EffectSize::Large);
+    }
+
+    #[test]
+    fn effect_size_displays() {
+        assert_eq!(EffectSize::Moderate.to_string(), "moderate");
+    }
+}

@@ -1,0 +1,109 @@
+//! Rank computation with average-rank tie handling.
+
+/// Assigns average ranks (1-based) to a sample, giving tied observations
+/// the mean of the ranks they span — the convention both Kruskal–Wallis
+/// and Mann–Whitney require.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_stats::average_ranks;
+/// let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(sample: &[f64]) -> Vec<f64> {
+    let n = sample.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sample[a].partial_cmp(&sample[b]).expect("NaN in sample"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sample[order[j + 1]] == sample[order[i]] {
+            j += 1;
+        }
+        // Observations order[i..=j] are tied; they occupy ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Returns the tie groups (sizes > 1) of a sample and the tie-correction
+/// sum `Σ (tᵢ³ − tᵢ)` used by both rank tests.
+pub fn tie_correction(sample: &[f64]) -> (Vec<usize>, f64) {
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let mut groups = Vec::new();
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = j - i + 1;
+        if t > 1 {
+            groups.push(t);
+            let tf = t as f64;
+            sum += tf * tf * tf - tf;
+        }
+        i = j + 1;
+    }
+    (groups, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_integer_ranks() {
+        assert_eq!(average_ranks(&[5.0, 1.0, 3.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied_values_share_the_middle_rank() {
+        assert_eq!(average_ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Σ ranks must equal n(n+1)/2 regardless of ties.
+        for sample in [
+            vec![1.0, 2.0, 2.0, 3.0, 3.0, 3.0],
+            vec![9.0, 9.0, 9.0, 9.0],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        ] {
+            let n = sample.len() as f64;
+            let sum: f64 = average_ranks(&sample).iter().sum();
+            assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tie_correction_counts_groups() {
+        let (groups, sum) = tie_correction(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(groups, vec![2, 3]);
+        // (8 − 2) + (27 − 3) = 30.
+        assert_eq!(sum, 30.0);
+    }
+
+    #[test]
+    fn no_ties_means_zero_correction() {
+        let (groups, sum) = tie_correction(&[1.0, 2.0, 3.0]);
+        assert!(groups.is_empty());
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_fine() {
+        assert!(average_ranks(&[]).is_empty());
+        let (g, s) = tie_correction(&[]);
+        assert!(g.is_empty());
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the statistics crate.
+
+use hbbtv_stats::{average_ranks, describe, kruskal_wallis, mann_whitney_u, tie_correction};
+use proptest::prelude::*;
+
+fn sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..50).prop_map(f64::from), 1..max_len)
+}
+
+proptest! {
+    /// Rank sum is always n(n+1)/2, ties or not.
+    #[test]
+    fn rank_sum_invariant(s in sample(60)) {
+        let ranks = average_ranks(&s);
+        let n = s.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Ranks are within [1, n] and respect the data ordering.
+    #[test]
+    fn ranks_are_order_consistent(s in sample(40)) {
+        let ranks = average_ranks(&s);
+        for (i, &ri) in ranks.iter().enumerate() {
+            prop_assert!(ri >= 1.0 && ri <= s.len() as f64);
+            for (j, &rj) in ranks.iter().enumerate() {
+                if s[i] < s[j] {
+                    prop_assert!(ri < rj, "value order must imply rank order");
+                }
+                if s[i] == s[j] {
+                    prop_assert!((ri - rj).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The tie-correction sum is bounded by N³ − N.
+    #[test]
+    fn tie_correction_bounded(s in sample(50)) {
+        let n = s.len() as f64;
+        let (_, t) = tie_correction(&s);
+        prop_assert!(t >= 0.0);
+        prop_assert!(t <= n * n * n - n + 1e-9);
+    }
+
+    /// KW p-values are probabilities and permuting group order does not
+    /// change H.
+    #[test]
+    fn kruskal_wallis_is_group_order_invariant(
+        a in sample(20), b in sample(20), c in sample(20)
+    ) {
+        let fwd = kruskal_wallis(&[a.clone(), b.clone(), c.clone()]);
+        let rev = kruskal_wallis(&[c, b, a]);
+        match (fwd, rev) {
+            (Ok(f), Ok(r)) => {
+                prop_assert!((f.h - r.h).abs() < 1e-9);
+                prop_assert!((0.0..=1.0).contains(&f.p_value));
+                prop_assert!((0.0..=1.0).contains(&f.eta_squared));
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            _ => prop_assert!(false, "order changed the error/ok outcome"),
+        }
+    }
+
+    /// Mann–Whitney U statistics always satisfy u1 + u2 = n1·n2 and the
+    /// p-value is a probability.
+    #[test]
+    fn mann_whitney_invariants(a in sample(30), b in sample(30)) {
+        if let Ok(r) = mann_whitney_u(&a, &b) {
+            prop_assert!((r.u1 + r.u2 - (a.len() * b.len()) as f64).abs() < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert!((-1.0..=1.0).contains(&r.rank_biserial));
+        }
+    }
+
+    /// describe() bounds: min ≤ mean ≤ max, sd ≥ 0.
+    #[test]
+    fn describe_bounds(s in sample(50)) {
+        let d = describe(&s);
+        prop_assert!(d.min <= d.mean + 1e-9);
+        prop_assert!(d.mean <= d.max + 1e-9);
+        prop_assert!(d.sd >= 0.0);
+        prop_assert_eq!(d.n, s.len());
+    }
+
+    /// Shifting every observation by a constant leaves rank tests unchanged.
+    #[test]
+    fn rank_tests_are_shift_invariant(a in sample(15), b in sample(15), shift in 1u32..100) {
+        let sh = f64::from(shift);
+        let a2: Vec<f64> = a.iter().map(|x| x + sh).collect();
+        let b2: Vec<f64> = b.iter().map(|x| x + sh).collect();
+        match (mann_whitney_u(&a, &b), mann_whitney_u(&a2, &b2)) {
+            (Ok(r1), Ok(r2)) => {
+                prop_assert!((r1.u1 - r2.u1).abs() < 1e-9);
+                prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            _ => prop_assert!(false),
+        }
+    }
+}

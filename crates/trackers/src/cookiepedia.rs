@@ -1,0 +1,213 @@
+//! A Cookiepedia-style cookie-purpose database.
+//!
+//! §V-C1 classifies observed cookies with Cookiepedia and finds that only
+//! 20.5% can be classified — far below the ~57% classification rate for
+//! Web cookies — concluding that the HbbTV ecosystem is populated by
+//! different actors. Our database therefore knows the classic *Web*
+//! cookie names but not the HbbTV-native ones.
+
+use hbbtv_net::CookieKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Cookiepedia's four purpose categories (plus the implicit "unknown").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CookieCategory {
+    /// Strictly necessary for the service.
+    StrictlyNecessary,
+    /// Performance / analytics measurement.
+    Performance,
+    /// Functionality (preferences, language, …).
+    Functionality,
+    /// Targeting / advertising — the category §V-C2 singles out (11% of
+    /// multi-channel third-party cookies).
+    Targeting,
+}
+
+impl fmt::Display for CookieCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CookieCategory::StrictlyNecessary => "Strictly Necessary",
+            CookieCategory::Performance => "Performance",
+            CookieCategory::Functionality => "Functionality",
+            CookieCategory::Targeting => "Targeting/Advertising",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A lookup service from cookie name (and optionally domain) to purpose.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_trackers::{Cookiepedia, CookieCategory};
+/// use hbbtv_net::{CookieKey, Etld1};
+///
+/// let db = Cookiepedia::bundled();
+/// let ga = CookieKey { domain: Etld1::new("google-analytics.com"), name: "_ga".into() };
+/// assert_eq!(db.classify(&ga), Some(CookieCategory::Performance));
+///
+/// let hbbtv_native = CookieKey { domain: Etld1::new("tvping.com"), name: "tvp_uid".into() };
+/// assert_eq!(db.classify(&hbbtv_native), None, "HbbTV-native cookies are unknown");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cookiepedia {
+    by_name: HashMap<String, CookieCategory>,
+}
+
+impl Cookiepedia {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Cookiepedia::default()
+    }
+
+    /// The bundled snapshot of well-known *Web* cookie names.
+    pub fn bundled() -> Self {
+        use CookieCategory::*;
+        let entries: &[(&str, CookieCategory)] = &[
+            // Google Analytics / Tag Manager.
+            ("_ga", Performance),
+            ("_gid", Performance),
+            ("_gat", Performance),
+            ("_dc_gtm", Performance),
+            // DoubleClick / ad tech.
+            ("IDE", Targeting),
+            ("test_cookie", Targeting),
+            ("DSID", Targeting),
+            ("uuid2", Targeting),
+            ("anj", Targeting),
+            ("tuuid", Targeting),
+            ("criteo_id", Targeting),
+            ("cto_lwid", Targeting),
+            ("adform_uid", Targeting),
+            ("C", Targeting),
+            ("TDID", Targeting),
+            // AT Internet (xiti).
+            ("atidvisitor", Performance),
+            ("atuserid", Performance),
+            ("xtvrn", Performance),
+            ("xtan", Performance),
+            ("xtant", Performance),
+            // INFOnline / agof.
+            ("ioma2018", Performance),
+            ("i00", Performance),
+            // Webtrekk / etracker.
+            ("wt3_eid", Performance),
+            ("et_scroll_depth", Performance),
+            // Consent state (widespread CMP names).
+            ("euconsent-v2", StrictlyNecessary),
+            ("OptanonConsent", StrictlyNecessary),
+            ("consentUUID", StrictlyNecessary),
+            ("cmplz_choice", StrictlyNecessary),
+            // Session / preferences.
+            ("JSESSIONID", StrictlyNecessary),
+            ("PHPSESSID", StrictlyNecessary),
+            ("lang", Functionality),
+            ("language", Functionality),
+            ("resolution", Functionality),
+        ];
+        let by_name = entries
+            .iter()
+            .map(|(n, c)| (n.to_string(), *c))
+            .collect();
+        Cookiepedia { by_name }
+    }
+
+    /// Adds or overrides an entry.
+    pub fn insert(&mut self, name: &str, category: CookieCategory) {
+        self.by_name.insert(name.to_string(), category);
+    }
+
+    /// Classifies a cookie by name; `None` means "unknown to the
+    /// database" (which is the common case for HbbTV-native cookies).
+    pub fn classify(&self, key: &CookieKey) -> Option<CookieCategory> {
+        self.by_name.get(&key.name).copied().or_else(|| {
+            // Cookiepedia also matches common prefixed families
+            // (`_ga_<container>`, AT Internet's per-site `xtvrn_<id>`).
+            if key.name.starts_with("_ga_")
+                || key.name.starts_with("xtvrn_")
+                || key.name.starts_with("xtan_")
+            {
+                Some(CookieCategory::Performance)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of known cookie names.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbtv_net::Etld1;
+
+    fn key(domain: &str, name: &str) -> CookieKey {
+        CookieKey {
+            domain: Etld1::new(domain),
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn bundled_knows_web_cookies() {
+        let db = Cookiepedia::bundled();
+        assert_eq!(
+            db.classify(&key("doubleclick.net", "IDE")),
+            Some(CookieCategory::Targeting)
+        );
+        assert_eq!(
+            db.classify(&key("xiti.com", "atuserid")),
+            Some(CookieCategory::Performance)
+        );
+        assert_eq!(
+            db.classify(&key("zdf.de", "JSESSIONID")),
+            Some(CookieCategory::StrictlyNecessary)
+        );
+    }
+
+    #[test]
+    fn hbbtv_native_names_are_unknown() {
+        let db = Cookiepedia::bundled();
+        for name in ["tvp_uid", "hbbtv_session", "redbutton_state", "chmark"] {
+            assert_eq!(db.classify(&key("tvping.com", name)), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn ga_container_prefix_matches() {
+        let db = Cookiepedia::bundled();
+        assert_eq!(
+            db.classify(&key("site.de", "_ga_ABC123")),
+            Some(CookieCategory::Performance)
+        );
+    }
+
+    #[test]
+    fn insert_overrides() {
+        let mut db = Cookiepedia::new();
+        assert!(db.is_empty());
+        db.insert("custom", CookieCategory::Functionality);
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db.classify(&key("x.de", "custom")),
+            Some(CookieCategory::Functionality)
+        );
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(CookieCategory::Targeting.to_string(), "Targeting/Advertising");
+    }
+}

@@ -1,0 +1,116 @@
+//! Identifier minting.
+//!
+//! §V-C3 considers a cookie value a *potential identifier* when it is
+//! 10–25 characters long and not a plausible Unix timestamp inside the
+//! measurement window. Trackers in the simulation mint IDs that satisfy
+//! exactly that shape, so the detection heuristic in the analysis crate
+//! has real positives to find — and session counters/timestamps provide
+//! real negatives.
+
+use rand::Rng;
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// Mints a random alphanumeric identifier of the given length.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+pub fn mint_id<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    assert!(len > 0, "identifier length must be positive");
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A deterministic per-service ID factory.
+///
+/// Each tracker keeps one `IdMinter` so repeated requests from the same
+/// TV (without cleared cookies) reuse the same user ID, while wiped
+/// cookie jars get fresh ones — mirroring how real trackers re-identify
+/// returning devices only via their cookie.
+#[derive(Debug, Clone)]
+pub struct IdMinter {
+    len: usize,
+}
+
+impl IdMinter {
+    /// Creates a minter for IDs of `len` characters (10–25 to satisfy the
+    /// potential-ID heuristic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is outside `1..=64`.
+    pub fn new(len: usize) -> Self {
+        assert!((1..=64).contains(&len), "unreasonable identifier length");
+        IdMinter { len }
+    }
+
+    /// The configured identifier length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: minted identifiers have at least one character.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mints a fresh identifier.
+    pub fn mint<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        mint_id(rng, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_have_requested_length_and_alphabet() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [10, 16, 25] {
+            let id = mint_id(&mut rng, len);
+            assert_eq!(id.len(), len);
+            assert!(id.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn seeded_minting_is_deterministic() {
+        let a = mint_id(&mut StdRng::seed_from_u64(42), 16);
+        let b = mint_id(&mut StdRng::seed_from_u64(42), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = mint_id(&mut rng, 16);
+        let b = mint_id(&mut rng, 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = mint_id(&mut rng, 0);
+    }
+
+    #[test]
+    fn minter_accessors() {
+        let m = IdMinter::new(12);
+        assert_eq!(m.len(), 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.mint(&mut rng).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable")]
+    fn minter_rejects_absurd_lengths() {
+        let _ = IdMinter::new(65);
+    }
+}

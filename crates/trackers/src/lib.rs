@@ -1,0 +1,34 @@
+//! Tracker services: the server side of the HbbTV tracking ecosystem.
+//!
+//! The paper's TV talked to real tracker backends; this crate implements
+//! their synthetic equivalents, faithful to the *observable* behaviors
+//! §V measures:
+//!
+//! * **Tracking pixels** (§V-D1) — image responses < 45 bytes with
+//!   status 200. The ecosystem's dominant pixel tracker (`tvping.com`)
+//!   beacons almost every second, carrying channel, session, and user
+//!   IDs, and alone accounts for the majority of all HTTP(S) traffic.
+//! * **Fingerprint scripts** (§V-D2) — JavaScript responses whose code
+//!   uses Canvas/WebGL APIs or the FingerprintJS library.
+//! * **Analytics beacons** — request-mirroring endpoints that set
+//!   identifier cookies (`xiti.com` et al.).
+//! * **Cookie syncing** (§V-C3) — a 302 redirect chain that forwards the
+//!   source tracker's user ID to a partner domain.
+//!
+//! The crate also bundles a [`Cookiepedia`] lookalike — the cookie-purpose
+//! database used in §V-C1, which can classify only a minority of HbbTV
+//! cookies — and the identifier-minting logic whose output the syncing
+//! heuristic later hunts for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cookiepedia;
+mod ids;
+mod registry;
+mod service;
+
+pub use cookiepedia::{CookieCategory, Cookiepedia};
+pub use ids::{mint_id, IdMinter};
+pub use registry::TrackerRegistry;
+pub use service::{ResponderContext, TrackerKind, TrackerService};

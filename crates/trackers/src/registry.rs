@@ -1,0 +1,172 @@
+//! The tracker registry: host → service resolution.
+
+use crate::service::{ResponderContext, TrackerService};
+use hbbtv_net::{ContentType, Request, Response, Status};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Resolves request hosts to [`TrackerService`] backends and answers
+/// requests, acting as "the Internet" for the TV runtime.
+///
+/// Hosts without a registered service get a generic 200/HTML response —
+/// the simulation equivalent of an ordinary content server.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_trackers::{ResponderContext, TrackerKind, TrackerRegistry, TrackerService};
+/// use hbbtv_net::{Request, Timestamp};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut registry = TrackerRegistry::new();
+/// registry.register(TrackerService::new("tvping.com", TrackerKind::PixelBeacon));
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut ctx = ResponderContext { now: Timestamp::MEASUREMENT_START, rng: &mut rng };
+/// let resp = registry.respond(&Request::get("http://tvping.com/p".parse()?).build(), &mut ctx);
+/// assert!(resp.content_type.is_image());
+/// # Ok::<(), hbbtv_net::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrackerRegistry {
+    by_host: HashMap<String, TrackerService>,
+}
+
+impl TrackerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TrackerRegistry::default()
+    }
+
+    /// Registers a service, replacing any previous service on the same
+    /// host. Returns the replaced service, if any.
+    pub fn register(&mut self, service: TrackerService) -> Option<TrackerService> {
+        self.by_host.insert(service.host().to_string(), service)
+    }
+
+    /// Looks up the service answering for `host` (exact match first, then
+    /// parent domains so `cdn.x.de` falls back to a service on `x.de`).
+    pub fn resolve(&self, host: &str) -> Option<&TrackerService> {
+        if let Some(s) = self.by_host.get(host) {
+            return Some(s);
+        }
+        let mut rest = host;
+        while let Some(i) = rest.find('.') {
+            rest = &rest[i + 1..];
+            if let Some(s) = self.by_host.get(rest) {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.by_host.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_host.is_empty()
+    }
+
+    /// Iterates over all registered services.
+    pub fn services(&self) -> impl Iterator<Item = &TrackerService> {
+        self.by_host.values()
+    }
+
+    /// Answers a request with the resolved service, or a generic content
+    /// response when no service is registered for the host.
+    pub fn respond<R: Rng>(&self, req: &Request, ctx: &mut ResponderContext<'_, R>) -> Response {
+        match self.resolve(req.url.host()) {
+            Some(svc) => svc.respond(req, ctx),
+            None => Response::builder(Status::OK)
+                .content_type(ContentType::Html)
+                .body("<html><body>content</body></html>")
+                .build(),
+        }
+    }
+}
+
+impl FromIterator<TrackerService> for TrackerRegistry {
+    fn from_iter<T: IntoIterator<Item = TrackerService>>(iter: T) -> Self {
+        let mut r = TrackerRegistry::new();
+        for s in iter {
+            r.register(s);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TrackerKind;
+    use hbbtv_net::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resolve_walks_up_labels() {
+        let mut r = TrackerRegistry::new();
+        r.register(TrackerService::new("xiti.com", TrackerKind::Analytics));
+        assert!(r.resolve("xiti.com").is_some());
+        assert!(r.resolve("an.xiti.com").is_some());
+        assert!(r.resolve("deep.an.xiti.com").is_some());
+        assert!(r.resolve("notxiti.com").is_none());
+    }
+
+    #[test]
+    fn exact_host_wins_over_parent() {
+        let mut r = TrackerRegistry::new();
+        r.register(TrackerService::new("x.de", TrackerKind::Cdn));
+        r.register(TrackerService::new("fp.x.de", TrackerKind::Fingerprinter {
+            uses_library: false,
+        }));
+        assert!(matches!(
+            r.resolve("fp.x.de").unwrap().kind(),
+            TrackerKind::Fingerprinter { .. }
+        ));
+        assert!(matches!(r.resolve("cdn.x.de").unwrap().kind(), TrackerKind::Cdn));
+    }
+
+    #[test]
+    fn unknown_hosts_get_generic_content() {
+        let r = TrackerRegistry::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = ResponderContext {
+            now: Timestamp::MEASUREMENT_START,
+            rng: &mut rng,
+        };
+        let resp = r.respond(
+            &Request::get("http://plain-content.de/page".parse().unwrap()).build(),
+            &mut ctx,
+        );
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.content_type, ContentType::Html);
+        assert!(resp.set_cookies().is_empty());
+    }
+
+    #[test]
+    fn register_replaces_and_reports() {
+        let mut r = TrackerRegistry::new();
+        assert!(r
+            .register(TrackerService::new("a.de", TrackerKind::Cdn))
+            .is_none());
+        let old = r.register(TrackerService::new("a.de", TrackerKind::Analytics));
+        assert!(matches!(old.unwrap().kind(), TrackerKind::Cdn));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let r: TrackerRegistry = vec![
+            TrackerService::new("a.de", TrackerKind::Cdn),
+            TrackerService::new("b.de", TrackerKind::Analytics),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.services().count(), 2);
+    }
+}

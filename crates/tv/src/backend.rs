@@ -1,0 +1,46 @@
+//! The network boundary of the TV.
+
+use hbbtv_net::{Request, Response};
+
+/// Where the TV's HTTP(S) requests go.
+///
+/// In the physical setup this is the Wi-Fi hotspot + mitmproxy + the
+/// Internet; in the simulation the study harness implements it by
+/// answering from the tracker registry and recording into the proxy.
+///
+/// Implementations receive every request the TV issues — including
+/// redirect-chain follow-ups — in the order the TV sends them.
+pub trait NetworkBackend {
+    /// Delivers a request and returns the response.
+    fn fetch(&mut self, request: Request) -> Response;
+}
+
+impl<F> NetworkBackend for F
+where
+    F: FnMut(Request) -> Response,
+{
+    fn fetch(&mut self, request: Request) -> Response {
+        self(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbtv_net::{Status, Url};
+
+    #[test]
+    fn closures_are_backends() {
+        let mut calls = 0usize;
+        {
+            let mut backend = |_req: Request| {
+                calls += 1;
+                Response::builder(Status::OK).build()
+            };
+            let url: Url = "http://x.de/".parse().unwrap();
+            let resp = backend.fetch(Request::get(url).build());
+            assert_eq!(resp.status, Status::OK);
+        }
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Screenshots.
+
+use hbbtv_broadcast::ChannelId;
+use hbbtv_consent::ScreenContent;
+use hbbtv_net::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One screenshot, as the remote-control script captured them every 60 s.
+///
+/// The physical study stored 41,617 PNG images and annotated them
+/// manually; the simulation captures the structured [`ScreenContent`]
+/// directly, which the `hbbtv-consent` annotator classifies with the
+/// same codebook.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Screenshot {
+    /// The channel on screen.
+    pub channel: ChannelId,
+    /// Capture instant.
+    pub taken_at: Timestamp,
+    /// What the screen showed.
+    pub content: ScreenContent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screenshot_carries_content() {
+        let s = Screenshot {
+            channel: ChannelId(3),
+            taken_at: Timestamp::from_unix(5),
+            content: ScreenContent::tv_only(),
+        };
+        assert!(s.content.signal);
+        assert_eq!(s.channel, ChannelId(3));
+    }
+}

@@ -1,0 +1,62 @@
+//! The §V-D filter-list coverage experiment: how much of the observed
+//! HbbTV tracking do EasyList, EasyPrivacy, Pi-hole, and the smart-TV
+//! lists actually catch?
+//!
+//! ```text
+//! cargo run --release -p hbbtv-study --example filterlist_gap -- 0.2
+//! ```
+
+use hbbtv_filterlists::{bundled, RequestContext, ResourceKind};
+use hbbtv_study::analysis::tracking::is_tracking_pixel;
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    eprintln!("running General+Red at scale {scale} ...");
+    let eco = Ecosystem::with_scale(42, scale);
+    let mut harness = StudyHarness::new(&eco);
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
+    };
+
+    let lists = bundled::all();
+    let total = dataset.total_requests();
+    println!("{total} captured requests\n");
+    println!("{:<20} {:>10} {:>9}", "list", "flagged", "share");
+    for list in &lists {
+        let ctx = RequestContext {
+            third_party: true,
+            kind: ResourceKind::Image,
+        };
+        let flagged = dataset
+            .all_captures()
+            .filter(|c| list.matches(&c.request.url, ctx))
+            .count();
+        println!(
+            "{:<20} {:>10} {:>8.2}%",
+            list.name(),
+            flagged,
+            flagged as f64 / total as f64 * 100.0
+        );
+    }
+
+    // Meanwhile, the pixel heuristic finds the real volume.
+    let pixels = dataset.all_captures().filter(|c| is_tracking_pixel(c)).count();
+    println!(
+        "\npixel heuristic: {pixels} tracking pixels ({:.1}% of all traffic)",
+        pixels as f64 / total as f64 * 100.0
+    );
+
+    // And the busiest tracker is on none of the lists.
+    let tvping = dataset
+        .all_captures()
+        .filter(|c| c.request.url.etld1().as_str() == "tvping.com")
+        .count();
+    println!(
+        "tvping.com alone: {tvping} requests ({:.1}%) — flagged by no list",
+        tvping as f64 / total as f64 * 100.0
+    );
+}

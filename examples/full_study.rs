@@ -1,0 +1,22 @@
+//! The complete study, end to end: five measurement runs and every
+//! analysis of §V–§VII, rendered like the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hbbtv-study --example full_study           # full scale
+//! cargo run -p hbbtv-study --example full_study -- 0.1             # 10% world
+//! ```
+
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, StudyHarness};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    eprintln!("building the world at scale {scale} and running all five measurement runs ...");
+    let eco = Ecosystem::with_scale(42, scale);
+    let dataset = StudyHarness::new(&eco).run_all();
+    let report = StudyReport::compute(&eco, &dataset);
+    println!("{}", report.render(&dataset));
+}

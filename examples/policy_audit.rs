@@ -1,0 +1,79 @@
+//! The §VII policy audit: collect policies from captured traffic, run
+//! the preprocessing/classification/dedup pipeline, annotate GDPR
+//! content, and check declared practice against observed tracking —
+//! including the headline "5 PM to 6 AM" comparison.
+//!
+//! ```text
+//! cargo run --release -p hbbtv-study --example policy_audit -- 0.3
+//! ```
+
+use hbbtv_study::analysis::PolicyAnalysis;
+use hbbtv_study::{Ecosystem, StudyHarness};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    eprintln!("running General+Red+Yellow at scale {scale} ...");
+    let eco = Ecosystem::with_scale(42, scale);
+    let mut harness = StudyHarness::new(&eco);
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![
+            harness.run(hbbtv_study::RunKind::General),
+            harness.run(hbbtv_study::RunKind::Red),
+            harness.run(hbbtv_study::RunKind::Yellow),
+        ],
+    };
+
+    let audit = PolicyAnalysis::compute(&dataset);
+    println!(
+        "collected {} policy documents from traffic; {} unique after SHA-1 dedup; \
+         {} SimHash near-duplicate groups",
+        audit.corpus.policies_collected,
+        audit.corpus.unique.len(),
+        audit.corpus.simhash_groups.len()
+    );
+    println!(
+        "{} mention HbbTV; {} hint at the blue button; {} invoke legitimate interest; \
+         {} reference the TDDDG",
+        audit.hbbtv_mentions,
+        audit.blue_button_hints,
+        audit.legitimate_interest,
+        audit.tdddg_mentions
+    );
+
+    println!("\nGDPR data-subject rights declared:");
+    for (article, count) in &audit.rights_counts {
+        println!("  {article}: {count}");
+    }
+
+    if !audit.opt_out_contradictions.is_empty() {
+        println!(
+            "\nopt-out where opt-in is required (GDPR contradiction): {:?}",
+            audit.opt_out_contradictions
+        );
+    }
+    if !audit.vague_policies.is_empty() {
+        println!("vague processing statements: {:?}", audit.vague_policies);
+    }
+
+    println!("\nprofiling-window checks (the 5 PM to 6 AM case):");
+    for (channel, report) in &audit.window_reports {
+        match report.declared_window {
+            Some((from, to)) => {
+                println!(
+                    "  {channel}: declares profiling only {from}:00-{to}:00; \
+                     {} tracking observations outside the window ({} trackers: {:?})",
+                    report.violations.len(),
+                    report.violating_trackers.len(),
+                    report.violating_trackers
+                );
+                if report.contradicts_policy() {
+                    println!("    => observed practice CONTRADICTS the policy");
+                }
+            }
+            None => println!("  {channel}: no window declared"),
+        }
+    }
+}

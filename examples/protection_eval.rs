@@ -1,0 +1,82 @@
+//! Protection-mechanism evaluation (the §VIII Future Work proposal,
+//! implemented): derive HbbTV filter rules from observed traffic, then
+//! re-run the measurement with blocking enabled on the TV and measure
+//! how much tracking survives each list.
+//!
+//! ```text
+//! cargo run --release -p hbbtv-study --example protection_eval -- 0.15
+//! ```
+
+use hbbtv_filterlists::bundled;
+use hbbtv_study::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
+use hbbtv_study::analysis::{DerivedList, FirstPartyMap};
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+
+fn tracking_count(ds: &hbbtv_study::RunDataset) -> usize {
+    ds.captures
+        .iter()
+        .filter(|c| is_tracking_pixel(c) || is_fingerprint_script(c))
+        .count()
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let eco = Ecosystem::with_scale(42, scale);
+    let mut harness = StudyHarness::new(&eco);
+
+    // 1. Baseline measurement: no protection.
+    eprintln!("measuring without protection ...");
+    let unprotected = harness.run(RunKind::Red);
+    let baseline_tracking = tracking_count(&unprotected);
+    println!(
+        "unprotected: {} requests, {} tracking (pixels + fingerprints)",
+        unprotected.captures.len(),
+        baseline_tracking
+    );
+
+    // 2. Derive an HbbTV extension list from the observed traffic.
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![unprotected],
+    };
+    let fp = FirstPartyMap::identify(&dataset);
+    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 2);
+    println!(
+        "\nderived {} rules; list coverage of observed tracking: {:.1}% -> {:.1}%",
+        derived.rules.len(),
+        derived.baseline_share(),
+        derived.extended_share()
+    );
+    for rule in derived.rules.iter().take(8) {
+        println!(
+            "  0.0.0.0 {:<22} ({:?}, {} channels, {} requests)",
+            rule.domain.to_string(),
+            rule.evidence,
+            rule.channels,
+            rule.requests
+        );
+    }
+
+    // 3. Re-run with each block list active on the device.
+    for (label, list) in [
+        ("Pi-hole (web list)", bundled::pihole()),
+        ("Perflyst (smart-TV)", bundled::perflyst()),
+        ("derived HbbTV list", derived.to_filter_list()),
+    ] {
+        eprintln!("re-measuring with {label} ...");
+        let protected = harness.run_with_blocklist(RunKind::Red, &list);
+        let residual = tracking_count(&protected);
+        let blocked_share = if baseline_tracking == 0 {
+            0.0
+        } else {
+            100.0 - residual as f64 / baseline_tracking as f64 * 100.0
+        };
+        println!(
+            "{label:<22}: {} requests reach the network, {} tracking remain ({blocked_share:.1}% of tracking blocked)",
+            protected.captures.len(),
+            residual
+        );
+    }
+}

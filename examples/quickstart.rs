@@ -1,0 +1,54 @@
+//! Quickstart: generate a small HbbTV world, tune one channel on the
+//! simulated TV, watch for a minute, and look at what left the device.
+//!
+//! ```text
+//! cargo run -p hbbtv-study --example quickstart
+//! ```
+
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+
+fn main() {
+    // A 10%-scale world: a few hundred broadcast services, ~40 channels
+    // in the final analysis set, the full tracker roster.
+    let eco = Ecosystem::with_scale(42, 0.1);
+    println!(
+        "world: {} received services, {} analyzable channels",
+        eco.lineup().len(),
+        eco.final_channels().len()
+    );
+
+    // Run one General measurement pass (no button interaction).
+    let mut harness = StudyHarness::new(&eco);
+    let dataset = harness.run(RunKind::General);
+    println!(
+        "General run: {} channels watched, {} HTTP(S) exchanges captured, {} screenshots",
+        dataset.channels_measured.len(),
+        dataset.captures.len(),
+        dataset.screenshots.len()
+    );
+
+    // Who did the first watched channel talk to?
+    let first = dataset.channels_measured[0];
+    let name = &dataset.channel_names[&first];
+    let mut domains: Vec<String> = dataset
+        .captures
+        .iter()
+        .filter(|c| c.channel == Some(first))
+        .map(|c| c.request.url.etld1().to_string())
+        .collect();
+    domains.sort();
+    domains.dedup();
+    println!("\nchannel {name:?} contacted {} domains:", domains.len());
+    for d in &domains {
+        println!("  {d}");
+    }
+
+    // What ended up in the cookie jar?
+    println!("\ncookie jar after the run ({} cookies):", dataset.cookies.len());
+    for c in dataset.cookies.iter().take(10) {
+        println!("  {} = {}", c.cookie.key(), c.cookie.value);
+    }
+    if dataset.cookies.len() > 10 {
+        println!("  ... and {} more", dataset.cookies.len() - 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration: the full pipeline from world generation
+//! through all five measurement runs to the complete report, exercising
+//! every crate in the workspace together.
+
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+
+/// One shared small world + full study for the assertions below.
+fn study() -> (Ecosystem, hbbtv_study::StudyDataset) {
+    let eco = Ecosystem::with_scale(2024, 0.12);
+    let dataset = StudyHarness::new(&eco).run_all();
+    (eco, dataset)
+}
+
+#[test]
+fn five_runs_produce_a_complete_study() {
+    let (eco, dataset) = study();
+    assert_eq!(dataset.runs.len(), 5);
+    for kind in RunKind::ALL {
+        let run = dataset.run(kind).expect("run present");
+        assert!(!run.captures.is_empty(), "{kind} captured traffic");
+        assert_eq!(
+            run.screenshots.len(),
+            run.channels_measured.len() * kind.screenshots_per_channel()
+        );
+    }
+    // The Green run measures far fewer channels (daytime-only effect).
+    let green = dataset.run(RunKind::Green).unwrap().channels_measured.len();
+    let general = dataset.run(RunKind::General).unwrap().channels_measured.len();
+    assert!(green < general * 7 / 10, "green {green} vs general {general}");
+
+    let report = StudyReport::compute(&eco, &dataset);
+    // The report's headline structure holds even at reduced scale.
+    assert!(report.tracking.pixel_total > 1000);
+    assert!(report.cookies.distinct_total > 50);
+    assert!(report.consent.all_notices_nudge_to_accept());
+    assert_eq!(report.graph.components, 1, "one connected ecosystem");
+}
+
+#[test]
+fn the_ecosystem_is_independent_of_the_web() {
+    // The paper's central claim, §V-D: web filter lists miss HbbTV
+    // tracking.
+    let (eco, dataset) = study();
+    let report = StudyReport::compute(&eco, &dataset);
+    let listed: usize = report
+        .tracking
+        .per_run
+        .values()
+        .map(|r| r.on_easylist + r.on_easyprivacy)
+        .sum();
+    assert!(
+        listed * 3 < report.tracking.pixel_total,
+        "lists ({listed}) must miss most pixel tracking ({})",
+        report.tracking.pixel_total
+    );
+    // The dominant pixel tracker is on no list at all.
+    let (dominant, _) = report.tracking.dominant_pixel_party.clone().unwrap();
+    let lists = hbbtv_filterlists::bundled::all();
+    let probe: hbbtv_net::Url = format!("http://{dominant}/p").parse().unwrap();
+    for list in &lists {
+        assert!(
+            !list.matches(&probe, hbbtv_filterlists::RequestContext::third_party_image()),
+            "{} unexpectedly lists {dominant}",
+            list.name()
+        );
+    }
+}
+
+#[test]
+fn consent_and_policy_sections_cross_check() {
+    let (eco, dataset) = study();
+    let report = StudyReport::compute(&eco, &dataset);
+
+    // Every channel that displayed a consent notice is among the
+    // channels with privacy info.
+    for channels in report.consent.brandings.values() {
+        for ch in channels {
+            assert!(report.consent.channels_with_privacy_info.contains(ch));
+        }
+    }
+    // Policies were collected and mention HbbTV more often than not.
+    assert!(!report.policies.corpus.unique.is_empty());
+    assert!(report.policies.corpus.hbbtv_mention_share() > 0.5);
+    // Pointer prevalence exceeds notice prevalence (§VI-B).
+    assert!(report.consent.pointer_channel_share() > report.consent.privacy_channel_share());
+}
+
+#[test]
+fn run_interaction_dominates_channel_choice() {
+    // §V-D3: "user interaction had a greater impact on tracking behavior
+    // than the watched channel" — at minimum, the run effect must be
+    // significant.
+    let (eco, dataset) = study();
+    let report = StudyReport::compute(&eco, &dataset);
+    let run_effect = report.significance.run_effect_on_requests.as_ref().unwrap();
+    assert!(run_effect.significant(), "p = {}", run_effect.p_value);
+}
+
+#[test]
+fn cookies_persist_within_but_not_across_runs() {
+    let (_eco, dataset) = study();
+    // Each run's cookie jar was wiped before the next (the §IV-C
+    // lifecycle): cookie values minted in different runs never collide.
+    let mut per_run_values: Vec<std::collections::HashSet<String>> = Vec::new();
+    for run in &dataset.runs {
+        per_run_values.push(run.cookies.iter().map(|c| c.cookie.value.clone()).collect());
+    }
+    for i in 0..per_run_values.len() {
+        for j in i + 1..per_run_values.len() {
+            let shared: Vec<&String> = per_run_values[i].intersection(&per_run_values[j]).collect();
+            assert!(
+                shared.is_empty(),
+                "cookie values leaked across wiped runs: {shared:?}"
+            );
+        }
+    }
+}

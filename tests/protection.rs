@@ -1,0 +1,88 @@
+//! The §VIII Future-Work extension, end to end: rule derivation and
+//! on-device blocking.
+
+use hbbtv_filterlists::bundled;
+use hbbtv_study::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
+use hbbtv_study::analysis::{DerivedList, FirstPartyMap};
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+
+fn tracking(ds: &hbbtv_study::RunDataset) -> usize {
+    ds.captures
+        .iter()
+        .filter(|c| is_tracking_pixel(c) || is_fingerprint_script(c))
+        .count()
+}
+
+#[test]
+fn derived_list_blocks_what_web_lists_miss() {
+    let eco = Ecosystem::with_scale(55, 0.1);
+    let mut harness = StudyHarness::new(&eco);
+
+    let unprotected = harness.run(RunKind::Red);
+    let baseline = tracking(&unprotected);
+    assert!(baseline > 100, "tracking exists unprotected");
+
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![unprotected],
+    };
+    let fp = FirstPartyMap::identify(&dataset);
+    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 2);
+    assert!(!derived.rules.is_empty());
+
+    // Web list: barely helps. Derived list: nearly eliminates tracking.
+    let with_pihole = harness.run_with_blocklist(RunKind::Red, &bundled::pihole());
+    let with_derived = harness.run_with_blocklist(RunKind::Red, &derived.to_filter_list());
+    let residual_pihole = tracking(&with_pihole);
+    let residual_derived = tracking(&with_derived);
+    assert!(
+        residual_pihole * 2 > baseline,
+        "pi-hole blocks less than half ({residual_pihole}/{baseline})"
+    );
+    assert!(
+        residual_derived * 10 < baseline,
+        "derived list blocks >90% ({residual_derived}/{baseline})"
+    );
+}
+
+#[test]
+fn blocking_also_suppresses_tracker_cookies() {
+    let eco = Ecosystem::with_scale(55, 0.08);
+    let mut harness = StudyHarness::new(&eco);
+    let unprotected = harness.run(RunKind::General);
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![unprotected.clone()],
+    };
+    let fp = FirstPartyMap::identify(&dataset);
+    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 1);
+    let protected = harness.run_with_blocklist(RunKind::General, &derived.to_filter_list());
+    let tvping_cookies = |ds: &hbbtv_study::RunDataset| {
+        ds.cookies
+            .iter()
+            .filter(|c| c.cookie.domain.as_str() == "tvping.com")
+            .count()
+    };
+    assert!(tvping_cookies(&unprotected) > 0);
+    assert_eq!(tvping_cookies(&protected), 0, "blocked trackers set no cookies");
+}
+
+#[test]
+fn blocked_requests_never_reach_the_capture_log() {
+    let eco = Ecosystem::with_scale(55, 0.08);
+    let mut harness = StudyHarness::new(&eco);
+    let dataset = hbbtv_study::StudyDataset {
+        runs: vec![harness.run(RunKind::General)],
+    };
+    let fp = FirstPartyMap::identify(&dataset);
+    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 1);
+    let protected = harness.run_with_blocklist(RunKind::General, &derived.to_filter_list());
+    for rule in &derived.rules {
+        assert!(
+            !protected
+                .captures
+                .iter()
+                .any(|c| c.request.url.etld1() == &rule.domain),
+            "{} leaked past the block list",
+            rule.domain
+        );
+    }
+}

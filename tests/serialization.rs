@@ -1,0 +1,34 @@
+//! Dataset serialization: the physical study pushed every run's data to
+//! BigQuery as JSON; our datasets must survive the same round trip.
+
+use hbbtv_study::{Ecosystem, RunDataset, RunKind, StudyHarness};
+
+#[test]
+fn run_dataset_round_trips_through_json() {
+    let eco = Ecosystem::with_scale(77, 0.05);
+    let mut harness = StudyHarness::new(&eco);
+    let original = harness.run(RunKind::General);
+
+    let json = serde_json::to_string(&original).expect("serializes");
+    assert!(json.len() > 10_000, "a real dataset is substantial");
+    let back: RunDataset = serde_json::from_str(&json).expect("deserializes");
+
+    assert_eq!(back.run, original.run);
+    assert_eq!(back.channels_measured, original.channels_measured);
+    assert_eq!(back.captures.len(), original.captures.len());
+    assert_eq!(back.cookies.len(), original.cookies.len());
+    assert_eq!(back.screenshots.len(), original.screenshots.len());
+    // Spot-check full fidelity on the first capture.
+    assert_eq!(back.captures[0], original.captures[0]);
+}
+
+#[test]
+fn captured_urls_survive_json_as_strings() {
+    let eco = Ecosystem::with_scale(77, 0.05);
+    let mut harness = StudyHarness::new(&eco);
+    let ds = harness.run(RunKind::General);
+    let json = serde_json::to_value(&ds.captures[0]).unwrap();
+    // URLs serialize structurally (host/path/query preserved).
+    let host = json["request"]["url"]["host"].as_str().unwrap();
+    assert!(!host.is_empty());
+}
