@@ -266,13 +266,16 @@ mod tests {
     #[test]
     fn page_accumulates_content() {
         let mut p = AppPage::new(PageId(0), PageKind::MediaLibrary);
-        p.resource(ResourceLoad::get(url("http://x.de/lib.css"), ResourceKind::Css))
-            .resource(
-                ResourceLoad::get(url("http://tvping.com/p"), ResourceKind::Image)
-                    .repeating(Duration::from_secs(1)),
-            )
-            .privacy_pointer()
-            .link(PageId(1));
+        p.resource(ResourceLoad::get(
+            url("http://x.de/lib.css"),
+            ResourceKind::Css,
+        ))
+        .resource(
+            ResourceLoad::get(url("http://tvping.com/p"), ResourceKind::Image)
+                .repeating(Duration::from_secs(1)),
+        )
+        .privacy_pointer()
+        .link(PageId(1));
         assert_eq!(p.resources.len(), 2);
         assert_eq!(p.beacons().count(), 1);
         assert!(p.privacy_pointer);

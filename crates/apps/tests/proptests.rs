@@ -1,6 +1,8 @@
 //! Property-based tests for the application model.
 
-use hbbtv_apps::{AppBuilder, ColorButton, LeakItem, LeakSpec, PageId, PageKind, ResourceKind, ResourceLoad};
+use hbbtv_apps::{
+    AppBuilder, ColorButton, LeakItem, LeakSpec, PageId, PageKind, ResourceKind, ResourceLoad,
+};
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = PageKind> {

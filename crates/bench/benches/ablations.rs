@@ -105,11 +105,21 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| black_box(values.iter().filter(|v| is_potential_id(v)).count()))
     });
     c.bench_function("ablation_id_rule_length_only", |b| {
-        b.iter(|| black_box(values.iter().filter(|v| (10..=25).contains(&v.len())).count()))
+        b.iter(|| {
+            black_box(
+                values
+                    .iter()
+                    .filter(|v| (10..=25).contains(&v.len()))
+                    .count(),
+            )
+        })
     });
     {
         let full = values.iter().filter(|v| is_potential_id(v)).count();
-        let length_only = values.iter().filter(|v| (10..=25).contains(&v.len())).count();
+        let length_only = values
+            .iter()
+            .filter(|v| (10..=25).contains(&v.len()))
+            .count();
         eprintln!(
             "[ablation] id rule: {full} with timestamp exclusion vs {length_only} length-only"
         );

@@ -1,0 +1,54 @@
+//! Benches of the parallel execution layer: the five-way threaded study
+//! against its sequential reference, and the chunked analysis map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbbtv_study::analysis::par_chunks;
+use hbbtv_study::{Ecosystem, StudyHarness};
+use std::hint::black_box;
+
+fn bench_parallelism(c: &mut Criterion) {
+    // Whole-study wall clock: one worker thread per run vs. one thread
+    // for everything. The speedup ceiling is min(5, cores).
+    let eco = Ecosystem::with_scale(42, 0.05);
+    c.bench_function("run_all_parallel_scale_0_05", |b| {
+        b.iter(|| black_box(StudyHarness::new(&eco).run_all()))
+    });
+    c.bench_function("run_all_sequential_scale_0_05", |b| {
+        b.iter(|| black_box(StudyHarness::new(&eco).run_all_sequential()))
+    });
+
+    // The chunked map against a plain fold on an analysis-shaped
+    // workload (per-item work comparable to a filter-list match).
+    let items: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    let work = |chunk: &[u64]| {
+        chunk
+            .iter()
+            .map(|&v| {
+                let mut x = v;
+                for _ in 0..32 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                x
+            })
+            .fold(0u64, u64::wrapping_add)
+    };
+    c.bench_function("par_chunks_200k_items", |b| {
+        b.iter(|| {
+            black_box(
+                par_chunks(&items, 4096, work)
+                    .into_iter()
+                    .fold(0u64, u64::wrapping_add),
+            )
+        })
+    });
+    c.bench_function("sequential_fold_200k_items", |b| {
+        b.iter(|| black_box(work(&items)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallelism
+}
+criterion_main!(benches);

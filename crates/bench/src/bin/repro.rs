@@ -41,9 +41,7 @@ fn main() {
     if sections.is_empty() {
         sections.push("all".to_string());
     }
-    let want = |name: &str| {
-        sections.iter().any(|s| s == name || s == "all")
-    };
+    let want = |name: &str| sections.iter().any(|s| s == name || s == "all");
 
     eprintln!("generating world (seed {seed}, scale {scale}) and running the study ...");
     let (eco, dataset) = run_study(seed, scale);

@@ -142,7 +142,10 @@ mod tests {
             AppControlCode::Autostart,
             url("http://google-analytics.com/collect?cid=ch"),
         );
-        assert_eq!(ait.autostart().unwrap().url.etld1().as_str(), "google-analytics.com");
+        assert_eq!(
+            ait.autostart().unwrap().url.etld1().as_str(),
+            "google-analytics.com"
+        );
     }
 
     #[test]

@@ -193,7 +193,11 @@ mod tests {
         {
             let mut d = ChannelDescriptor::tv(6, "StreamOnly", Satellite::Eutelsat16E);
             d.iptv = true;
-            l.push(d, hbbtv_ait("http://stream.de/app"), BroadcastSchedule::Continuous);
+            l.push(
+                d,
+                hbbtv_ait("http://stream.de/app"),
+                BroadcastSchedule::Continuous,
+            );
         }
         l
     }

@@ -9,8 +9,7 @@ use hbbtv_net::Timestamp;
 use serde::{Deserialize, Serialize};
 
 /// The daily on-air window of a channel, in UTC hours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum BroadcastSchedule {
     /// On air around the clock.
     #[default]
@@ -61,7 +60,6 @@ impl BroadcastSchedule {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

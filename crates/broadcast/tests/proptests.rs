@@ -25,14 +25,16 @@ fn arb_service() -> impl Strategy<Value = ServiceSpec> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(radio, encrypted, invisible, unnamed, iptv, has_app)| ServiceSpec {
-            radio,
-            encrypted,
-            invisible,
-            unnamed,
-            iptv,
-            has_app,
-        })
+        .prop_map(
+            |(radio, encrypted, invisible, unnamed, iptv, has_app)| ServiceSpec {
+                radio,
+                encrypted,
+                invisible,
+                unnamed,
+                iptv,
+                has_app,
+            },
+        )
 }
 
 fn build_lineup(specs: &[ServiceSpec]) -> ChannelLineup {

@@ -234,10 +234,7 @@ mod tests {
             .collect();
         assert_eq!(
             modal,
-            vec![
-                NoticeBranding::ProSiebenSat1Modal,
-                NoticeBranding::ZdfModal
-            ]
+            vec![NoticeBranding::ProSiebenSat1Modal, NoticeBranding::ZdfModal]
         );
     }
 
@@ -246,7 +243,11 @@ mod tests {
         for b in NoticeBranding::ALL {
             let n = branding_catalog(b);
             if !n.modal {
-                assert!(n.screen_coverage < 0.5, "{b:?} covers {}", n.screen_coverage);
+                assert!(
+                    n.screen_coverage < 0.5,
+                    "{b:?} covers {}",
+                    n.screen_coverage
+                );
             }
         }
     }

@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The twelve recurring notice stylings §VI-B identified.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum NoticeBranding {
     /// 1) RTL Germany group.
     RtlGermany,
@@ -317,12 +315,7 @@ mod tests {
 
     #[test]
     fn notice_validation() {
-        let n = ConsentNotice::new(
-            NoticeBranding::RtlGermany,
-            vec![simple_layer()],
-            false,
-            0.4,
-        );
+        let n = ConsentNotice::new(NoticeBranding::RtlGermany, vec![simple_layer()], false, 0.4);
         assert!(n.has_accept_all());
         assert_eq!(n.first_layer().buttons.len(), 2);
     }

@@ -30,7 +30,9 @@ impl CategoryAnalysis {
         let mut per_category: BTreeMap<ChannelCategory, (usize, usize)> = BTreeMap::new();
         let mut groups: BTreeMap<ChannelCategory, Vec<f64>> = BTreeMap::new();
         for (&ch, &requests) in &tracking.tracking_requests_per_channel {
-            let Some(bp) = eco.blueprint(ch) else { continue };
+            let Some(bp) = eco.blueprint(ch) else {
+                continue;
+            };
             let Some(category) = bp.descriptor.primary_category() else {
                 continue;
             };
@@ -48,11 +50,7 @@ impl CategoryAnalysis {
         } else {
             by_requests.iter().take(5).sum::<usize>() as f64 / total as f64 * 100.0
         };
-        let group_vec: Vec<Vec<f64>> = groups
-            .values()
-            .filter(|g| !g.is_empty())
-            .cloned()
-            .collect();
+        let group_vec: Vec<Vec<f64>> = groups.values().filter(|g| !g.is_empty()).cloned().collect();
         let category_effect = if group_vec.len() >= 2 {
             kruskal_wallis(&group_vec).ok()
         } else {
@@ -182,12 +180,7 @@ mod tests {
         let (eco, ds) = world();
         let fp = FirstPartyMap::identify(&ds);
         let tracking = TrackingAnalysis::compute(&ds, &fp);
-        let study = ChildrenCaseStudy::compute(
-            &eco,
-            &tracking,
-            &BTreeSet::new(),
-            &BTreeMap::new(),
-        );
+        let study = ChildrenCaseStudy::compute(&eco, &tracking, &BTreeSet::new(), &BTreeMap::new());
         assert!(!study.channels.is_empty());
         assert!(study.tracking_requests > 0, "children are tracked");
     }

@@ -4,6 +4,7 @@
 //! classification.
 
 use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
 use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
@@ -12,6 +13,54 @@ use hbbtv_net::{CookieKey, Etld1};
 use hbbtv_stats::{describe, Describe};
 use hbbtv_trackers::{CookieCategory, Cookiepedia};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-chunk partial of the §V-C capture scan. Every field is a set (or
+/// map of sets), so merging two partials is a union — associative and
+/// commutative, which keeps [`CookieAnalysis::compute`] deterministic
+/// under [`par_chunks`] no matter how captures land in chunks.
+#[derive(Default)]
+struct CookiePartial {
+    /// Distinct jar keys observed in the scanned captures.
+    keys: BTreeSet<CookieKey>,
+    /// Keys first-party on at least one channel.
+    fp_keys: BTreeSet<CookieKey>,
+    /// Keys third-party on at least one channel.
+    tp_keys: BTreeSet<CookieKey>,
+    /// Third-party cookie keys grouped by setting party.
+    tp_parties: BTreeMap<Etld1, BTreeSet<CookieKey>>,
+    /// Keys set by tracking requests (§V-D definition).
+    keys_by_tracking: BTreeSet<CookieKey>,
+    /// All cookie-setting parties, first and third.
+    parties: BTreeSet<Etld1>,
+    /// Distinct keys per channel.
+    per_channel_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>>,
+    /// Distinct third-party keys per channel.
+    per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>>,
+    /// Channels on which each third party set cookies (Figure 5).
+    party_channels: BTreeMap<Etld1, BTreeSet<ChannelId>>,
+}
+
+impl CookiePartial {
+    fn merge(&mut self, other: CookiePartial) {
+        self.keys.extend(other.keys);
+        self.fp_keys.extend(other.fp_keys);
+        self.tp_keys.extend(other.tp_keys);
+        for (party, keys) in other.tp_parties {
+            self.tp_parties.entry(party).or_default().extend(keys);
+        }
+        self.keys_by_tracking.extend(other.keys_by_tracking);
+        self.parties.extend(other.parties);
+        for (ch, keys) in other.per_channel_keys {
+            self.per_channel_keys.entry(ch).or_default().extend(keys);
+        }
+        for (ch, keys) in other.per_channel_3p_keys {
+            self.per_channel_3p_keys.entry(ch).or_default().extend(keys);
+        }
+        for (party, chs) in other.party_channels {
+            self.party_channels.entry(party).or_default().extend(chs);
+        }
+    }
+}
 
 /// Per-run cookie counts (the cookie columns of Table I).
 #[derive(Debug, Clone, Default)]
@@ -83,22 +132,16 @@ impl CookieAnalysis {
 
         let mut per_run = BTreeMap::new();
         let mut third_party_per_run = BTreeMap::new();
-        let mut all_keys: BTreeSet<CookieKey> = BTreeSet::new();
-        let mut keys_by_tracking: BTreeSet<CookieKey> = BTreeSet::new();
-        let mut parties: BTreeSet<Etld1> = BTreeSet::new();
-        let mut per_channel_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>> = BTreeMap::new();
-        let mut per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<CookieKey>> = BTreeMap::new();
-        let mut party_channels: BTreeMap<Etld1, BTreeSet<ChannelId>> = BTreeMap::new();
+        let mut global = CookiePartial::default();
         let mut multichannel_classified: Vec<CookieCategory> = Vec::new();
         let mut ls_total = 0usize;
 
-        for run_ds in &dataset.runs {
-            // Observed Set-Cookie events attributed to channels.
-            let mut run_keys: BTreeSet<CookieKey> = BTreeSet::new();
-            let mut run_fp_keys: BTreeSet<CookieKey> = BTreeSet::new();
-            let mut run_tp_keys: BTreeSet<CookieKey> = BTreeSet::new();
-            let mut run_tp_parties: BTreeMap<Etld1, BTreeSet<CookieKey>> = BTreeMap::new();
-            for c in &run_ds.captures {
+        // Scans one capture slice into a partial; fanned over chunks by
+        // `par_chunks` and merged left-to-right, which yields the same
+        // sets as the original sequential loop.
+        let scan = |captures: &[hbbtv_proxy::CapturedExchange]| {
+            let mut p = CookiePartial::default();
+            for c in captures {
                 // A "tracking request" per §V-D: pixel, fingerprint, or
                 // known (filter-list-flagged) tracker.
                 let tracking = is_tracking_pixel(c)
@@ -119,48 +162,77 @@ impl CookieAnalysis {
                         domain: domain.clone(),
                         name: sc.cookie.name.clone(),
                     };
-                    run_keys.insert(key.clone());
-                    all_keys.insert(key.clone());
-                    parties.insert(domain.clone());
+                    p.keys.insert(key.clone());
+                    p.parties.insert(domain.clone());
                     if tracking {
-                        keys_by_tracking.insert(key.clone());
+                        p.keys_by_tracking.insert(key.clone());
                     }
                     if let Some(ch) = c.channel {
-                        per_channel_keys.entry(ch).or_default().insert(key.clone());
+                        p.per_channel_keys
+                            .entry(ch)
+                            .or_default()
+                            .insert(key.clone());
                         if fp_map.is_third_party(ch, &domain) {
-                            run_tp_keys.insert(key.clone());
-                            per_channel_3p_keys.entry(ch).or_default().insert(key.clone());
-                            run_tp_parties
+                            p.tp_keys.insert(key.clone());
+                            p.per_channel_3p_keys
+                                .entry(ch)
+                                .or_default()
+                                .insert(key.clone());
+                            p.tp_parties
                                 .entry(domain.clone())
                                 .or_default()
                                 .insert(key.clone());
-                            party_channels.entry(domain.clone()).or_default().insert(ch);
+                            p.party_channels
+                                .entry(domain.clone())
+                                .or_default()
+                                .insert(ch);
                         } else {
-                            run_fp_keys.insert(key.clone());
+                            p.fp_keys.insert(key.clone());
                         }
                     }
                 }
             }
+            p
+        };
+
+        for run_ds in &dataset.runs {
+            // Observed Set-Cookie events attributed to channels.
+            let run = par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan)
+                .into_iter()
+                .fold(CookiePartial::default(), |mut acc, p| {
+                    acc.merge(p);
+                    acc
+                });
             per_run.insert(
                 run_ds.run,
                 CookieRow {
-                    total: run_keys.len(),
-                    first_party: run_fp_keys.len(),
-                    third_party: run_tp_keys.len(),
+                    total: run.keys.len(),
+                    first_party: run.fp_keys.len(),
+                    third_party: run.tp_keys.len(),
                     local_storage: run_ds.local_storage.len(),
                 },
             );
             ls_total += run_ds.local_storage.len();
-            let counts: Vec<f64> = run_tp_parties.values().map(|k| k.len() as f64).collect();
+            let counts: Vec<f64> = run.tp_parties.values().map(|k| k.len() as f64).collect();
             third_party_per_run.insert(
                 run_ds.run,
                 ThirdPartyRow {
-                    parties: run_tp_parties.len(),
-                    cookies: run_tp_parties.values().map(BTreeSet::len).sum(),
+                    parties: run.tp_parties.len(),
+                    cookies: run.tp_parties.values().map(BTreeSet::len).sum(),
                     per_party: describe(&counts),
                 },
             );
+            global.merge(run);
         }
+        let CookiePartial {
+            keys: all_keys,
+            keys_by_tracking,
+            parties,
+            per_channel_keys,
+            per_channel_3p_keys,
+            party_channels,
+            ..
+        } = global;
 
         // Cookiepedia classification of all distinct keys.
         let classified: Vec<(&CookieKey, CookieCategory)> = all_keys
@@ -299,7 +371,11 @@ mod tests {
         let ds = dataset();
         let fp = FirstPartyMap::identify(&ds);
         let c = CookieAnalysis::compute(&ds, &fp);
-        assert!(c.set_by_tracking_share > 30.0, "{}", c.set_by_tracking_share);
+        assert!(
+            c.set_by_tracking_share > 30.0,
+            "{}",
+            c.set_by_tracking_share
+        );
     }
 
     #[test]

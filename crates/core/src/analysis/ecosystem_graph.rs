@@ -69,10 +69,7 @@ impl GraphAnalysis {
                 .filter(|(label, _)| !label.starts_with(CHANNEL_PREFIX))
                 .take(3)
                 .collect(),
-            nodes_with_10_edges: graph
-                .nodes()
-                .filter(|&id| graph.degree(id) >= 10)
-                .count(),
+            nodes_with_10_edges: graph.nodes().filter(|&id| graph.degree(id) >= 10).count(),
             single_edge_domains: graph.single_edge_nodes(|l| !l.starts_with(CHANNEL_PREFIX)),
             graph,
         }
@@ -132,7 +129,10 @@ mod tests {
     #[test]
     fn single_edge_domains_exist() {
         let g = analysis();
-        assert!(g.single_edge_domains > 0, "boutique trackers hang off one FP");
+        assert!(
+            g.single_edge_domains > 0,
+            "boutique trackers hang off one FP"
+        );
         assert!(g.nodes_with_10_edges >= 1);
     }
 

@@ -57,10 +57,7 @@ impl FirstPartyMap {
                 .or_insert((t, domain));
         }
         FirstPartyMap {
-            map: candidates
-                .into_iter()
-                .map(|(ch, (_, d))| (ch, d))
-                .collect(),
+            map: candidates.into_iter().map(|(ch, (_, d))| (ch, d)).collect(),
         }
     }
 
@@ -120,11 +117,7 @@ mod tests {
         for (&ch, derived) in fp.iter() {
             let truth = eco.blueprint(ch).unwrap();
             let expected = hbbtv_net::Etld1::from_host(&truth.first_party_host);
-            assert_eq!(
-                derived, &expected,
-                "channel {} ({})",
-                ch, truth.plan.name
-            );
+            assert_eq!(derived, &expected, "channel {} ({})", ch, truth.plan.name);
             checked += 1;
         }
         assert!(checked > 5);

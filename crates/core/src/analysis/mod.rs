@@ -12,6 +12,7 @@ pub mod cookies;
 pub mod ecosystem_graph;
 pub mod first_party;
 pub mod leakage;
+pub mod parallel;
 pub mod policy_analysis;
 pub mod rule_derivation;
 pub mod significance;
@@ -24,6 +25,7 @@ pub use cookies::CookieAnalysis;
 pub use ecosystem_graph::GraphAnalysis;
 pub use first_party::FirstPartyMap;
 pub use leakage::LeakageAnalysis;
+pub use parallel::par_chunks;
 pub use policy_analysis::PolicyAnalysis;
 pub use rule_derivation::{DerivedList, DerivedRule, RuleEvidence};
 pub use significance::SignificanceReport;

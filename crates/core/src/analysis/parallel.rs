@@ -1,0 +1,122 @@
+//! Deterministic chunked parallel map for capture-slice analyses.
+//!
+//! The heavy analysis loops (filter-list matching in Table III, cookie
+//! classification, tracking-pixel scans) are folds over independent
+//! captures: each capture contributes to a partial statistic and the
+//! partials merge associatively. [`par_chunks`] exploits that by
+//! splitting the slice into fixed-length chunks, mapping every chunk on
+//! a scoped worker thread, and returning the per-chunk results **in
+//! chunk order** — so merging the partials left-to-right produces
+//! exactly the sequential fold, regardless of thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunk length used by the capture-scan analyses. Large enough that
+/// per-chunk bookkeeping is noise, small enough to spread a full study
+/// (hundreds of thousands of captures) across every core.
+pub(crate) const CAPTURE_CHUNK: usize = 4096;
+
+/// Maps `f` over `items` in `chunk_len`-sized chunks on scoped worker
+/// threads and returns the per-chunk results in chunk order.
+///
+/// The final chunk may be shorter. With a single chunk, or on a
+/// single-core machine, `f` runs on the calling thread — the result is
+/// identical either way, which is what makes the analyses over it
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_study::analysis::par_chunks;
+/// let items: Vec<u64> = (0..100).collect();
+/// let partials = par_chunks(&items, 7, |chunk| chunk.iter().sum::<u64>());
+/// assert_eq!(partials.iter().sum::<u64>(), items.iter().sum::<u64>());
+/// ```
+pub fn par_chunks<T, R, F>(items: &[T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(chunks.len());
+    if workers <= 1 {
+        return chunks.into_iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(idx) else { break };
+                        out.push((idx, f(chunk)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, result) in handle.join().expect("par_chunks worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every chunk produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_chunk_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let firsts = par_chunks(&items, 64, |chunk| chunk[0]);
+        let expected: Vec<usize> = items.chunks(64).map(|c| c[0]).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn matches_sequential_fold_for_many_chunk_sizes() {
+        let items: Vec<u64> = (0..437).map(|i| i * 31 % 97).collect();
+        let sequential: u64 = items.iter().sum();
+        for chunk_len in [1, 2, 3, 7, 64, 436, 437, 10_000] {
+            let partials = par_chunks(&items, chunk_len, |c| c.iter().sum::<u64>());
+            assert_eq!(
+                partials.iter().sum::<u64>(),
+                sequential,
+                "chunk {chunk_len}"
+            );
+            assert_eq!(partials.len(), items.len().div_ceil(chunk_len));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let partials = par_chunks(&[] as &[u8], 16, |c| c.len());
+        assert!(partials.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        par_chunks(&[1, 2, 3], 0, |c| c.len());
+    }
+}

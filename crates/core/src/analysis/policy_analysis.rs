@@ -6,8 +6,7 @@ use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
 use hbbtv_net::ContentType;
 use hbbtv_policies::compliance::{
-    check_opt_out_contradiction, check_profiling_window, TrackingObservation,
-    WindowViolationReport,
+    check_opt_out_contradiction, check_profiling_window, TrackingObservation, WindowViolationReport,
 };
 use hbbtv_policies::{CollectedDocument, GdprArticle, PolicyCorpusReport, PolicyPipeline};
 use std::collections::BTreeMap;
@@ -190,8 +189,16 @@ mod tests {
         let p = PolicyAnalysis::compute(&ds);
         let n = p.corpus.unique.len();
         if n >= 5 {
-            let art15 = p.rights_counts.get(&GdprArticle::Art15).copied().unwrap_or(0);
-            let art20 = p.rights_counts.get(&GdprArticle::Art20).copied().unwrap_or(0);
+            let art15 = p
+                .rights_counts
+                .get(&GdprArticle::Art15)
+                .copied()
+                .unwrap_or(0);
+            let art20 = p
+                .rights_counts
+                .get(&GdprArticle::Art20)
+                .copied()
+                .unwrap_or(0);
             assert!(art15 >= art20, "Art15 ({art15}) >= Art20 ({art20})");
         }
     }

@@ -139,7 +139,11 @@ impl DerivedList {
                 requests: t.requests,
             })
             .collect();
-        rules.sort_by(|a, b| b.requests.cmp(&a.requests).then_with(|| a.domain.cmp(&b.domain)));
+        rules.sort_by(|a, b| {
+            b.requests
+                .cmp(&a.requests)
+                .then_with(|| a.domain.cmp(&b.domain))
+        });
 
         // Evaluate: how much tracking would baseline + derived catch?
         let derived_domains: BTreeSet<&Etld1> = rules.iter().map(|r| &r.domain).collect();

@@ -52,10 +52,8 @@ impl SignificanceReport {
 
         // Channel effect: channels with observations in ≥ 2 runs form
         // the groups.
-        let channel_groups: Vec<Vec<f64>> = per_channel
-            .into_values()
-            .filter(|v| v.len() >= 2)
-            .collect();
+        let channel_groups: Vec<Vec<f64>> =
+            per_channel.into_values().filter(|v| v.len() >= 2).collect();
 
         SignificanceReport {
             run_effect_on_requests: kruskal_wallis(&requests_by_run),

@@ -2,6 +2,7 @@
 //! fingerprinting, and per-channel tracker statistics.
 
 use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
 use hbbtv_broadcast::ChannelId;
@@ -93,8 +94,71 @@ pub struct TrackingAnalysis {
     pub trackers_per_channel: BTreeMap<ChannelId, usize>,
 }
 
+/// Per-chunk partial of the §V-D scan. Every field merges
+/// associatively and commutatively (counts add, sets union, maps merge
+/// by key), so folding chunk partials in any order reproduces the
+/// sequential fold exactly; [`par_chunks`] hands them back in chunk
+/// order regardless.
+#[derive(Debug, Default)]
+struct TrackingPartial {
+    row: TrackingRow,
+    total: usize,
+    perflyst_hits: usize,
+    kamran_hits: usize,
+    pixel_parties: BTreeSet<Etld1>,
+    channels_with_pixels: BTreeSet<ChannelId>,
+    pixel_party_channels: BTreeMap<Etld1, BTreeSet<ChannelId>>,
+    pixel_party_requests: BTreeMap<Etld1, usize>,
+    fp_channels: BTreeSet<ChannelId>,
+    fp_providers: BTreeSet<Etld1>,
+    fp_provider_is_fp: BTreeSet<Etld1>,
+    fp_requests_first_party: usize,
+    fp_el: usize,
+    fp_ep: usize,
+    req_per_channel: BTreeMap<ChannelId, usize>,
+    trackers_per_channel: BTreeMap<ChannelId, BTreeSet<Etld1>>,
+}
+
+impl TrackingPartial {
+    fn merge(&mut self, other: TrackingPartial) {
+        self.row.on_pihole += other.row.on_pihole;
+        self.row.on_easylist += other.row.on_easylist;
+        self.row.on_easyprivacy += other.row.on_easyprivacy;
+        self.row.tracking_pixels += other.row.tracking_pixels;
+        self.row.fingerprints += other.row.fingerprints;
+        self.total += other.total;
+        self.perflyst_hits += other.perflyst_hits;
+        self.kamran_hits += other.kamran_hits;
+        self.pixel_parties.extend(other.pixel_parties);
+        self.channels_with_pixels.extend(other.channels_with_pixels);
+        for (d, chs) in other.pixel_party_channels {
+            self.pixel_party_channels.entry(d).or_default().extend(chs);
+        }
+        for (d, n) in other.pixel_party_requests {
+            *self.pixel_party_requests.entry(d).or_insert(0) += n;
+        }
+        self.fp_channels.extend(other.fp_channels);
+        self.fp_providers.extend(other.fp_providers);
+        self.fp_provider_is_fp.extend(other.fp_provider_is_fp);
+        self.fp_requests_first_party += other.fp_requests_first_party;
+        self.fp_el += other.fp_el;
+        self.fp_ep += other.fp_ep;
+        for (ch, n) in other.req_per_channel {
+            *self.req_per_channel.entry(ch).or_insert(0) += n;
+        }
+        for (ch, set) in other.trackers_per_channel {
+            self.trackers_per_channel.entry(ch).or_default().extend(set);
+        }
+    }
+}
+
 impl TrackingAnalysis {
     /// Runs the full §V-D computation.
+    ///
+    /// Captures are scanned in parallel chunks (see
+    /// [`crate::analysis::par_chunks`]); the per-chunk partials merge
+    /// deterministically, so the result is identical to a sequential
+    /// scan.
     pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
         let easylist = bundled::easylist();
         let easyprivacy = bundled::easyprivacy();
@@ -102,28 +166,10 @@ impl TrackingAnalysis {
         let perflyst = bundled::perflyst();
         let kamran = bundled::kamran();
 
-        let mut per_run: BTreeMap<RunKind, TrackingRow> = BTreeMap::new();
-        let mut total_urls = 0usize;
-        let (mut perflyst_hits, mut kamran_hits, mut pihole_total) = (0, 0, 0);
-        let mut pixel_total = 0usize;
-        let mut pixel_parties: BTreeSet<Etld1> = BTreeSet::new();
-        let mut channels_with_pixels: BTreeSet<ChannelId> = BTreeSet::new();
-        let mut pixel_party_channels: BTreeMap<Etld1, BTreeSet<ChannelId>> = BTreeMap::new();
-        let mut pixel_party_requests: BTreeMap<Etld1, usize> = BTreeMap::new();
-        let mut fp_channels: BTreeSet<ChannelId> = BTreeSet::new();
-        let mut fp_providers: BTreeSet<Etld1> = BTreeSet::new();
-        let mut fp_provider_is_fp: BTreeSet<Etld1> = BTreeSet::new();
-        let (mut fp_requests, mut fp_requests_first_party) = (0usize, 0usize);
-        let (mut fp_el, mut fp_ep) = (0usize, 0usize);
-        let mut req_per_channel: BTreeMap<ChannelId, usize> = BTreeMap::new();
-        let mut trackers_per_channel: BTreeMap<ChannelId, BTreeSet<Etld1>> = BTreeMap::new();
-        let mut total_requests = 0usize;
-
-        for run_ds in &dataset.runs {
-            let row = per_run.entry(run_ds.run).or_default();
-            for c in &run_ds.captures {
-                total_requests += 1;
-                total_urls += 1;
+        let scan = |chunk: &[CapturedExchange]| -> TrackingPartial {
+            let mut p = TrackingPartial::default();
+            for c in chunk {
+                p.total += 1;
                 let domain = c.request.url.etld1().clone();
                 let third = c
                     .channel
@@ -144,53 +190,50 @@ impl TrackingAnalysis {
                 let on_ep = flags(&easyprivacy);
                 let on_ph = flags(&pihole);
                 if on_el {
-                    row.on_easylist += 1;
+                    p.row.on_easylist += 1;
                 }
                 if on_ep {
-                    row.on_easyprivacy += 1;
+                    p.row.on_easyprivacy += 1;
                 }
                 if on_ph {
-                    row.on_pihole += 1;
-                    pihole_total += 1;
+                    p.row.on_pihole += 1;
                 }
                 if flags(&perflyst) {
-                    perflyst_hits += 1;
+                    p.perflyst_hits += 1;
                 }
                 if flags(&kamran) {
-                    kamran_hits += 1;
+                    p.kamran_hits += 1;
                 }
 
                 let pixel = is_tracking_pixel(c);
                 let fingerprint = is_fingerprint_script(c);
                 if pixel {
-                    row.tracking_pixels += 1;
-                    pixel_total += 1;
-                    pixel_parties.insert(domain.clone());
-                    *pixel_party_requests.entry(domain.clone()).or_insert(0) += 1;
+                    p.row.tracking_pixels += 1;
+                    p.pixel_parties.insert(domain.clone());
+                    *p.pixel_party_requests.entry(domain.clone()).or_insert(0) += 1;
                     if let Some(ch) = c.channel {
-                        channels_with_pixels.insert(ch);
-                        pixel_party_channels
+                        p.channels_with_pixels.insert(ch);
+                        p.pixel_party_channels
                             .entry(domain.clone())
                             .or_default()
                             .insert(ch);
                     }
                 }
                 if fingerprint {
-                    row.fingerprints += 1;
-                    fp_requests += 1;
-                    fp_providers.insert(domain.clone());
+                    p.row.fingerprints += 1;
+                    p.fp_providers.insert(domain.clone());
                     if let Some(ch) = c.channel {
-                        fp_channels.insert(ch);
+                        p.fp_channels.insert(ch);
                         if !fp_map.is_third_party(ch, &domain) {
-                            fp_requests_first_party += 1;
-                            fp_provider_is_fp.insert(domain.clone());
+                            p.fp_requests_first_party += 1;
+                            p.fp_provider_is_fp.insert(domain.clone());
                         }
                     }
                     if on_el {
-                        fp_el += 1;
+                        p.fp_el += 1;
                     }
                     if on_ep {
-                        fp_ep += 1;
+                        p.fp_ep += 1;
                     }
                 }
 
@@ -198,22 +241,44 @@ impl TrackingAnalysis {
                 // pixel, fingerprint, or known (list-flagged) tracker.
                 if pixel || fingerprint || on_el || on_ep || on_ph {
                     if let Some(ch) = c.channel {
-                        *req_per_channel.entry(ch).or_insert(0) += 1;
-                        trackers_per_channel.entry(ch).or_default().insert(domain);
+                        *p.req_per_channel.entry(ch).or_insert(0) += 1;
+                        p.trackers_per_channel.entry(ch).or_default().insert(domain);
                     }
                 }
             }
+            p
+        };
+
+        let mut per_run: BTreeMap<RunKind, TrackingRow> = BTreeMap::new();
+        let mut global = TrackingPartial::default();
+        for run_ds in &dataset.runs {
+            let mut merged = TrackingPartial::default();
+            for partial in par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan) {
+                merged.merge(partial);
+            }
+            let row = per_run.entry(run_ds.run).or_default();
+            row.on_pihole += merged.row.on_pihole;
+            row.on_easylist += merged.row.on_easylist;
+            row.on_easyprivacy += merged.row.on_easyprivacy;
+            row.tracking_pixels += merged.row.tracking_pixels;
+            row.fingerprints += merged.row.fingerprints;
+            global.merge(merged);
         }
 
         // Dominance by channel reach, request volume breaking ties — at
         // full scale tvping leads on both axes.
-        let dominant_pixel_party = pixel_party_channels
+        let dominant_pixel_party = global
+            .pixel_party_channels
             .iter()
             .max_by_key(|(d, chs)| {
-                (chs.len(), pixel_party_requests.get(*d).copied().unwrap_or(0))
+                (
+                    chs.len(),
+                    global.pixel_party_requests.get(*d).copied().unwrap_or(0),
+                )
             })
             .map(|(d, chs)| (d.clone(), chs.len()));
-        let pixel_parties_on_easylist = pixel_parties
+        let pixel_parties_on_easylist = global
+            .pixel_parties
             .iter()
             .filter(|d| {
                 let url: hbbtv_net::Url = format!("http://{d}/p").parse().expect("valid");
@@ -221,34 +286,37 @@ impl TrackingAnalysis {
             })
             .count();
 
+        let pixel_total = global.row.tracking_pixels;
+        let fp_requests = global.row.fingerprints;
         TrackingAnalysis {
             per_run,
-            total_urls,
-            perflyst_hits,
-            kamran_hits,
-            pihole_hits_total: pihole_total,
+            total_urls: global.total,
+            perflyst_hits: global.perflyst_hits,
+            kamran_hits: global.kamran_hits,
+            pihole_hits_total: global.row.on_pihole,
             pixel_total,
             pixel_parties_on_easylist,
-            pixel_parties,
-            channels_with_pixels: channels_with_pixels.len(),
-            pixel_traffic_share: if total_requests == 0 {
+            pixel_parties: global.pixel_parties,
+            channels_with_pixels: global.channels_with_pixels.len(),
+            pixel_traffic_share: if global.total == 0 {
                 0.0
             } else {
-                pixel_total as f64 / total_requests as f64 * 100.0
+                pixel_total as f64 / global.total as f64 * 100.0
             },
             dominant_pixel_party,
-            channels_with_fingerprinting: fp_channels.len(),
-            fp_providers_first_party: fp_provider_is_fp.len(),
-            fingerprint_providers: fp_providers,
+            channels_with_fingerprinting: global.fp_channels.len(),
+            fp_providers_first_party: global.fp_provider_is_fp.len(),
+            fingerprint_providers: global.fp_providers,
             fp_first_party_request_share: if fp_requests == 0 {
                 0.0
             } else {
-                fp_requests_first_party as f64 / fp_requests as f64 * 100.0
+                global.fp_requests_first_party as f64 / fp_requests as f64 * 100.0
             },
-            fp_easylist_flagged: fp_el,
-            fp_easyprivacy_flagged: fp_ep,
-            tracking_requests_per_channel: req_per_channel,
-            trackers_per_channel: trackers_per_channel
+            fp_easylist_flagged: global.fp_el,
+            fp_easyprivacy_flagged: global.fp_ep,
+            tracking_requests_per_channel: global.req_per_channel,
+            trackers_per_channel: global
+                .trackers_per_channel
                 .into_iter()
                 .map(|(ch, set)| (ch, set.len()))
                 .collect(),
@@ -277,7 +345,11 @@ impl TrackingAnalysis {
 
     /// Share of total tracking requests issued by the top-N channels.
     pub fn top_channel_share(&self, n: usize) -> f64 {
-        let mut counts: Vec<usize> = self.tracking_requests_per_channel.values().copied().collect();
+        let mut counts: Vec<usize> = self
+            .tracking_requests_per_channel
+            .values()
+            .copied()
+            .collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = counts.iter().sum();
         if total == 0 {
@@ -383,11 +455,18 @@ mod tests {
             channel: None,
             channel_name: None,
             request: Request::get("http://x.de/p".parse().unwrap()).build(),
-            response: Response::builder(status).content_type(ct).body_len(len).build(),
+            response: Response::builder(status)
+                .content_type(ct)
+                .body_len(len)
+                .build(),
         };
         assert!(is_tracking_pixel(&mk(43, Status::OK, ContentType::Image)));
         assert!(!is_tracking_pixel(&mk(45, Status::OK, ContentType::Image)));
-        assert!(!is_tracking_pixel(&mk(43, Status::NOT_FOUND, ContentType::Image)));
+        assert!(!is_tracking_pixel(&mk(
+            43,
+            Status::NOT_FOUND,
+            ContentType::Image
+        )));
         assert!(!is_tracking_pixel(&mk(43, Status::OK, ContentType::Json)));
     }
 }

@@ -152,11 +152,8 @@ pub fn build_app(plan: &ChannelPlan, hosts: &HostPlan) -> HbbtvApp {
         if k.fp_first_party {
             if let Some(host) = &k.fingerprint_host {
                 p.resource(
-                    ResourceLoad::get(
-                        url(&format!("http://{host}/fp.js")),
-                        ResourceKind::Script,
-                    )
-                    .repeating(Duration::from_secs(120)),
+                    ResourceLoad::get(url(&format!("http://{host}/fp.js")), ResourceKind::Script)
+                        .repeating(Duration::from_secs(120)),
                 );
             }
         }
@@ -170,7 +167,7 @@ pub fn build_app(plan: &ChannelPlan, hosts: &HostPlan) -> HbbtvApp {
             // Half the apps store a device identifier, half a consent /
             // channel-switch timestamp — the §V-C3 heuristic's timestamp
             // exclusion exists precisely because such values are common.
-            if slug.len() % 2 == 0 {
+            if slug.len().is_multiple_of(2) {
                 p.store(StorageWrite::new(
                     &format!("app_state_{slug}"),
                     StorageValueKind::Identifier(16),
@@ -226,9 +223,7 @@ pub fn build_app(plan: &ChannelPlan, hosts: &HostPlan) -> HbbtvApp {
         } else {
             None
         };
-        builder = add_content_page(
-            builder, plan, hosts, button, content, detail_id, page_id,
-        );
+        builder = add_content_page(builder, plan, hosts, button, content, detail_id, page_id);
         if let Some(detail) = detail_id {
             let hosts3 = hosts.clone();
             let slug3 = plan.slug.clone();
@@ -245,10 +240,7 @@ pub fn build_app(plan: &ChannelPlan, hosts: &HostPlan) -> HbbtvApp {
                 ));
                 for i in 0..tiles {
                     p.resource(ResourceLoad::get(
-                        url(&format!(
-                            "http://{}/media/{}/d{i}.jpg",
-                            hosts3.cdn, slug3
-                        )),
+                        url(&format!("http://{}/media/{}/d{i}.jpg", hosts3.cdn, slug3)),
                         ResourceKind::Media,
                     ));
                 }
@@ -359,10 +351,12 @@ fn add_content_page(
                     }
                 }
                 if k.tvping_in_library {
-                    let mut load =
-                        ResourceLoad::get(site_url(roster::TVPING, "/ping", &slug), ResourceKind::Image)
-                            .leaking(LeakSpec::beacon_ids())
-                            .repeating(Duration::from_secs(1));
+                    let mut load = ResourceLoad::get(
+                        site_url(roster::TVPING, "/ping", &slug),
+                        ResourceKind::Image,
+                    )
+                    .leaking(LeakSpec::beacon_ids())
+                    .repeating(Duration::from_secs(1));
                     if k.outlier_burst {
                         load = load.bursting(60);
                     }

@@ -235,9 +235,12 @@ impl Ecosystem {
             if plan.knobs.fp_first_party {
                 let fp_host = format!("fp.{}", hosts.fp_domain);
                 registry.register(
-                    TrackerService::new(&fp_host, TrackerKind::Fingerprinter {
-                        uses_library: false,
-                    })
+                    TrackerService::new(
+                        &fp_host,
+                        TrackerKind::Fingerprinter {
+                            uses_library: false,
+                        },
+                    )
                     .with_cookie("fpid", 16),
                 );
             }
@@ -388,8 +391,11 @@ fn register_hosts(
                 .with_per_site_cookie("sess", 14),
         );
         registry.register(
-            TrackerService::new(&format!("media.{}", hosts.fp_domain), TrackerKind::Analytics)
-                .with_per_site_cookie("libid", 16),
+            TrackerService::new(
+                &format!("media.{}", hosts.fp_domain),
+                TrackerKind::Analytics,
+            )
+            .with_per_site_cookie("libid", 16),
         );
     }
     registry.register(TrackerService::new(&hosts.cdn, TrackerKind::Cdn));
@@ -489,7 +495,7 @@ fn assign_languages(plans: &mut [ChannelPlan]) {
     }
 }
 
-fn assign_knobs(network: Network, i: usize, n: usize, ) -> ChannelKnobs {
+fn assign_knobs(network: Network, i: usize, n: usize) -> ChannelKnobs {
     let mut k = ChannelKnobs::default();
     match network {
         Network::Ard => {
@@ -1107,6 +1113,15 @@ fn assign_off_air(
 mod tests {
     use super::*;
 
+    /// [`StudyHarness::run_all`](crate::StudyHarness::run_all) borrows
+    /// one ecosystem from five run threads at once; compilation of this
+    /// test is the guarantee that stays sound.
+    #[test]
+    fn ecosystem_is_shareable_across_run_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Ecosystem>();
+    }
+
     #[test]
     fn paper_scale_population() {
         let eco = Ecosystem::paper(1);
@@ -1118,9 +1133,7 @@ mod tests {
     #[test]
     fn funnel_reproduces_section_iv_b() {
         let eco = Ecosystem::paper(1);
-        let (report, finals) = eco
-            .lineup()
-            .funnel(|_, ait| ait.signals_hbbtv());
+        let (report, finals) = eco.lineup().funnel(|_, ait| ait.signals_hbbtv());
         assert_eq!(report.received, 3575);
         assert_eq!(report.radio, 425);
         assert_eq!(report.tv_channels, 3150);
@@ -1251,10 +1264,7 @@ mod tests {
         let b = Ecosystem::with_scale(9, 0.05);
         assert_eq!(a.final_channels(), b.final_channels());
         let id = a.final_channels()[0];
-        assert_eq!(
-            a.blueprint(id).unwrap().plan,
-            b.blueprint(id).unwrap().plan
-        );
+        assert_eq!(a.blueprint(id).unwrap().plan, b.blueprint(id).unwrap().plan);
         assert_eq!(a.off_air(RunKind::Blue), b.off_air(RunKind::Blue));
     }
 }

@@ -62,10 +62,7 @@ pub fn profile_for(plan: &ChannelPlan, has_route: bool) -> Option<PolicyProfile>
         }
         "Sachsen Eins" => {
             p.vague_statements = true;
-            p.legal_bases = vec![
-                LegalBasis::VitalInterests,
-                LegalBasis::LegalObligation,
-            ];
+            p.legal_bases = vec![LegalBasis::VitalInterests, LegalBasis::LegalObligation];
         }
         "Sport1" => {
             p.language = PolicyLanguage::English;
@@ -176,11 +173,7 @@ mod tests {
 
     #[test]
     fn super_rtl_group_gets_the_window() {
-        let p = profile_for(
-            &plan("Super RTL", Network::RtlGermany, Some(3)),
-            true,
-        )
-        .unwrap();
+        let p = profile_for(&plan("Super RTL", Network::RtlGermany, Some(3)), true).unwrap();
         assert_eq!(p.profiling_window, Some((17, 6)));
     }
 

@@ -36,12 +36,7 @@ pub const ASSETS_CDN: &str = "cdn.hbbtv-assets.de";
 /// The connector third parties smaller (own-first-party) channels embed,
 /// rotated per channel. These keep the ecosystem graph a single
 /// component, as §V-E observes.
-pub const CONNECTORS: [&str; 4] = [
-    "devicestats.tv",
-    PROGRAMSTATS,
-    GOOGLE_ANALYTICS,
-    ASSETS_CDN,
-];
+pub const CONNECTORS: [&str; 4] = ["devicestats.tv", PROGRAMSTATS, GOOGLE_ANALYTICS, ASSETS_CDN];
 
 /// The host an application fetches a provider's fingerprint script from
 /// (flashtalking's script lives on a dedicated subdomain; its apex is an
@@ -126,14 +121,16 @@ pub fn build_third_party_registry() -> TrackerRegistry {
     // §V-D1 pixel heuristic, and its cookies are set by tracking
     // requests — the §V-C1 92% observation).
     reg.register(
-        TrackerService::new(PROGRAMSTATS, TrackerKind::PixelBeacon)
-            .with_per_site_cookie("ps", 16),
+        TrackerService::new(PROGRAMSTATS, TrackerKind::PixelBeacon).with_per_site_cookie("ps", 16),
     );
     reg.register(TrackerService::new(ASSETS_CDN, TrackerKind::Cdn));
     reg.register(
         TrackerService::new(GOOGLE_ANALYTICS, TrackerKind::Analytics).with_cookie("_ga", 14),
     );
-    reg.register(TrackerService::new("googletagmanager.com", TrackerKind::Cdn));
+    reg.register(TrackerService::new(
+        "googletagmanager.com",
+        TrackerKind::Cdn,
+    ));
 
     // Ad servers + their pixel endpoints.
     let ad_cookies = [
@@ -163,8 +160,12 @@ pub fn build_third_party_registry() -> TrackerRegistry {
     );
 
     // Analytics-style ad tech.
-    reg.register(TrackerService::new("theadex.com", TrackerKind::Analytics).with_cookie("adex_id", 18));
-    reg.register(TrackerService::new("emetriq.de", TrackerKind::Analytics).with_cookie("emq_uid", 18));
+    reg.register(
+        TrackerService::new("theadex.com", TrackerKind::Analytics).with_cookie("adex_id", 18),
+    );
+    reg.register(
+        TrackerService::new("emetriq.de", TrackerKind::Analytics).with_cookie("emq_uid", 18),
+    );
     reg.register(TrackerService::new(SMARTCLIP, TrackerKind::AdServer).with_cookie("sc_uid", 16));
 
     // Cookie syncing pair.

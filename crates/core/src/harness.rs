@@ -20,7 +20,7 @@ use crate::dataset::{RunDataset, StudyDataset};
 use crate::ecosystem::Ecosystem;
 use crate::run::RunKind;
 use hbbtv_filterlists::{FilterList, RequestContext, ResourceKind};
-use hbbtv_net::{ContentType, Duration, Request, Response, SimClock, Status};
+use hbbtv_net::{ContentType, Duration, Etld1, Request, Response, SimClock, Status};
 use hbbtv_proxy::Proxy;
 use hbbtv_trackers::ResponderContext;
 use hbbtv_tv::{ChannelContext, DeviceProfile, NetworkBackend, RcButton, Tv};
@@ -41,16 +41,25 @@ struct EcoBackend<'a> {
     /// evaluation): matching requests never leave the TV and are not
     /// captured.
     blocklist: Option<&'a FilterList>,
+    /// The eTLD+1 of the channel currently tuned; the harness updates it
+    /// on every channel switch so `$third-party`/`$~third-party` rules
+    /// see the real party relationship instead of a hardcoded guess.
+    current_first_party: Option<Etld1>,
 }
 
 impl NetworkBackend for EcoBackend<'_> {
     fn fetch(&mut self, request: Request) -> Response {
         if let Some(list) = self.blocklist {
+            let third_party = self
+                .current_first_party
+                .as_ref()
+                .map(|fp| request.url.etld1() != fp)
+                .unwrap_or(true);
             let blocked = list.matches(
                 &request.url,
                 RequestContext {
-                    third_party: true,
-                    kind: ResourceKind::Image,
+                    third_party,
+                    kind: resource_kind_of(&request),
                 },
             );
             if blocked {
@@ -61,10 +70,7 @@ impl NetworkBackend for EcoBackend<'_> {
                     .build();
             }
         }
-        let response = match self
-            .eco
-            .policy_text(request.url.host(), request.url.path())
-        {
+        let response = match self.eco.policy_text(request.url.host(), request.url.path()) {
             Some(text) => Response::builder(Status::OK)
                 .content_type(hbbtv_net::ContentType::Html)
                 .body(format!("MENU | Zurueck | OK = Auswahl\n\n{text}"))
@@ -94,8 +100,36 @@ impl<'a> StudyHarness<'a> {
         StudyHarness { eco }
     }
 
-    /// Performs all five measurement runs.
+    /// Performs all five measurement runs, one worker thread per run.
+    ///
+    /// The physical study ran the five protocols on independent days
+    /// against freshly wiped TV state; here each run owns an isolated
+    /// [`SimClock`], [`Proxy`], [`Tv`], and RNG seeded only from
+    /// `(ecosystem seed, run kind)`, so the parallel execution is
+    /// byte-identical to [`StudyHarness::run_all_sequential`]. Results
+    /// are assembled in [`RunKind::ALL`] order regardless of which
+    /// worker finishes first.
     pub fn run_all(&mut self) -> StudyDataset {
+        let eco = self.eco;
+        let runs = std::thread::scope(|scope| {
+            let handles: Vec<_> = RunKind::ALL
+                .iter()
+                .map(|&kind| scope.spawn(move || StudyHarness::new(eco).run(kind)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run worker panicked"))
+                .collect()
+        });
+        StudyDataset { runs }
+    }
+
+    /// Performs all five measurement runs on the calling thread — the
+    /// reference the determinism guarantee test compares [`run_all`]
+    /// against.
+    ///
+    /// [`run_all`]: StudyHarness::run_all
+    pub fn run_all_sequential(&mut self) -> StudyDataset {
         StudyDataset {
             runs: RunKind::ALL.iter().map(|&r| self.run(r)).collect(),
         }
@@ -124,6 +158,7 @@ impl<'a> StudyHarness<'a> {
             clock: clock.clone(),
             rng: StdRng::seed_from_u64(run_seed ^ 0xBAC5),
             blocklist,
+            current_first_party: None,
         };
         let mut tv = Tv::new(DeviceProfile::study_tv(), clock.clone(), backend, run_seed);
         let mut script_rng = StdRng::seed_from_u64(run_seed ^ 0x5C21);
@@ -147,15 +182,19 @@ impl<'a> StudyHarness<'a> {
             if off_air.contains(&id) {
                 continue;
             }
-            let bp = self.eco.blueprint(id).expect("final channels have blueprints");
+            let bp = self
+                .eco
+                .blueprint(id)
+                .expect("final channels have blueprints");
             channels_measured.push(id);
             channel_names.insert(id, bp.plan.name.clone());
 
             proxy.notify_channel_switch(id, &bp.plan.name, clock.now());
+            tv.backend_mut().current_first_party = Some(Etld1::from_host(&bp.first_party_host));
             interactions += 1; // the channel switch itself
-            // Consent notices are frequency-capped: roughly one in four
-            // tune-ins does not show the notice (deterministic per
-            // channel and run).
+                               // Consent notices are frequency-capped: roughly one in four
+                               // tune-ins does not show the notice (deterministic per
+                               // channel and run).
             let suppress_notice = (id.0 as u64)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(kind as u64)
@@ -173,15 +212,16 @@ impl<'a> StudyHarness<'a> {
             tv.tune(ctx, &bp.ait);
 
             let weak = bp.plan.knobs.weak_signal;
-            let shoot =
-                |tv: &mut Tv<EcoBackend>, rng: &mut StdRng, shots: &mut Vec<hbbtv_tv::Screenshot>| {
-                    if weak {
-                        tv.set_signal_ok(rng.gen_bool(0.7));
-                    }
-                    if let Some(s) = tv.screenshot() {
-                        shots.push(s);
-                    }
-                };
+            let shoot = |tv: &mut Tv<EcoBackend>,
+                         rng: &mut StdRng,
+                         shots: &mut Vec<hbbtv_tv::Screenshot>| {
+                if weak {
+                    tv.set_signal_ok(rng.gen_bool(0.7));
+                }
+                if let Some(s) = tv.screenshot() {
+                    shots.push(s);
+                }
+            };
 
             // Wait 10 s, first screenshot.
             tv.advance(Duration::from_secs(10));
@@ -246,6 +286,25 @@ impl<'a> StudyHarness<'a> {
             interactions,
             consented_channels,
         }
+    }
+}
+
+/// Classifies a request for filter-list purposes from its path
+/// extension (requests carry no `Accept` header in this simulation, so
+/// the extension is the only signal available before the response).
+fn resource_kind_of(request: &Request) -> ResourceKind {
+    let path = request.url.path();
+    let ext = path
+        .rsplit('/')
+        .next()
+        .and_then(|seg| seg.rsplit_once('.'))
+        .map(|(_, e)| e.to_ascii_lowercase());
+    match ext.as_deref() {
+        Some("js") => ResourceKind::Script,
+        Some("gif" | "png" | "jpg" | "jpeg" | "webp" | "ico" | "svg") => ResourceKind::Image,
+        Some("html" | "htm") => ResourceKind::Document,
+        None if path == "/" || path.is_empty() => ResourceKind::Document,
+        _ => ResourceKind::Other,
     }
 }
 

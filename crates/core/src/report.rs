@@ -74,8 +74,7 @@ impl StudyReport {
                 }
             }
         }
-        let children =
-            ChildrenCaseStudy::compute(eco, &tracking, &targeting, &cookie_channels);
+        let children = ChildrenCaseStudy::compute(eco, &tracking, &targeting, &cookie_channels);
 
         StudyReport {
             leakage: LeakageAnalysis::compute(dataset),

@@ -65,11 +65,11 @@ impl RunKind {
     pub fn start_time(self) -> Timestamp {
         // Days since 2023-08-21 per Table I.
         let day_offset: u64 = match self {
-            RunKind::General => 0,  // 2023-08-21
-            RunKind::Red => 24,     // 2023-09-14
-            RunKind::Green => 32,   // 2023-09-22
-            RunKind::Blue => 37,    // 2023-09-27
-            RunKind::Yellow => 52,  // 2023-10-12
+            RunKind::General => 0, // 2023-08-21
+            RunKind::Red => 24,    // 2023-09-14
+            RunKind::Green => 32,  // 2023-09-22
+            RunKind::Blue => 37,   // 2023-09-27
+            RunKind::Yellow => 52, // 2023-10-12
         };
         // 2023-08-21T08:00:00Z.
         Timestamp::from_unix(1_692_576_000 + day_offset * 86_400)
@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn runs_are_chronological() {
-        let times: Vec<u64> = RunKind::ALL.iter().map(|r| r.start_time().as_unix()).collect();
+        let times: Vec<u64> = RunKind::ALL
+            .iter()
+            .map(|r| r.start_time().as_unix())
+            .collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]));
     }
 

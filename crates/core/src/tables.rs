@@ -310,19 +310,28 @@ mod tests {
         let consent = ConsentAnalysis::compute(&ds);
         let t = table4(&consent);
         let header = t.lines().nth(2).unwrap();
-        let cols: Vec<usize> = ["No Sign.", "CTM", "TV Only", "Media Lib.", "Privacy", "Other"]
-            .iter()
-            .map(|c| header.find(c).unwrap_or_else(|| panic!("missing column {c}")))
-            .collect();
-        assert!(cols.windows(2).all(|w| w[0] < w[1]), "column order: {header}");
+        let cols: Vec<usize> = [
+            "No Sign.",
+            "CTM",
+            "TV Only",
+            "Media Lib.",
+            "Privacy",
+            "Other",
+        ]
+        .iter()
+        .map(|c| {
+            header
+                .find(c)
+                .unwrap_or_else(|| panic!("missing column {c}"))
+        })
+        .collect();
+        assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "column order: {header}"
+        );
         // Row totals equal the screenshot count.
         let row = t.lines().nth(3).unwrap();
-        let total: usize = row
-            .split_whitespace()
-            .last()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let total: usize = row.split_whitespace().last().unwrap().parse().unwrap();
         assert_eq!(total, ds.runs[0].screenshots.len());
     }
 

@@ -131,10 +131,7 @@ impl FilterList {
             return MatchOutcome::HostBlocked;
         }
         let text = url.to_string();
-        let hit = self
-            .rules
-            .iter()
-            .find(|r| rule_applies(r, &text, url, ctx));
+        let hit = self.rules.iter().find(|r| rule_applies(r, &text, url, ctx));
         match hit {
             None => MatchOutcome::NoMatch,
             Some(rule) => {
@@ -187,6 +184,14 @@ mod tests {
 
     fn url(s: &str) -> Url {
         s.parse().unwrap()
+    }
+
+    /// The study harness shares one borrowed list across all run worker
+    /// threads; a non-`Sync` field sneaking in must fail compilation.
+    #[test]
+    fn filter_lists_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FilterList>();
     }
 
     fn any_ctx() -> RequestContext {

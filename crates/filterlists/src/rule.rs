@@ -144,8 +144,7 @@ impl Rule {
                     Some(i) => (&self.pattern[..i], &self.pattern[i..]),
                     None => (self.pattern.as_str(), ""),
                 };
-                let host_ok =
-                    host == dom || host.ends_with(&format!(".{dom}")) && !dom.is_empty();
+                let host_ok = host == dom || host.ends_with(&format!(".{dom}")) && !dom.is_empty();
                 if !host_ok {
                     return false;
                 }
@@ -166,8 +165,10 @@ impl Rule {
                     None => false,
                 }
             }
-            Anchor::Start => wildcard_match(url_text, &self.pattern, self.end_separator)
-                && url_text.starts_with(first_literal(&self.pattern)),
+            Anchor::Start => {
+                wildcard_match(url_text, &self.pattern, self.end_separator)
+                    && url_text.starts_with(first_literal(&self.pattern))
+            }
             Anchor::None => wildcard_find(url_text, &self.pattern, self.end_separator),
         }
     }
@@ -194,9 +195,7 @@ fn is_separator(c: char) -> bool {
 /// the end of the text).
 fn parts_match(text: &str, parts: &[&str], anchored: bool, end_sep: bool) -> bool {
     match parts.split_first() {
-        None => {
-            !end_sep || text.is_empty() || text.chars().next().map(is_separator) == Some(true)
-        }
+        None => !end_sep || text.is_empty() || text.chars().next().map(is_separator) == Some(true),
         Some((p, rest)) => {
             if anchored {
                 match text.strip_prefix(*p) {
@@ -275,7 +274,10 @@ mod tests {
         assert!(r.pattern_matches("http://doubleclick.net/x", "doubleclick.net"));
         assert!(r.pattern_matches("http://ad.doubleclick.net/x", "ad.doubleclick.net"));
         assert!(!r.pattern_matches("http://notdoubleclick.net/x", "notdoubleclick.net"));
-        assert!(!r.pattern_matches("http://doubleclick.net.evil.com/x", "doubleclick.net.evil.com"));
+        assert!(!r.pattern_matches(
+            "http://doubleclick.net.evil.com/x",
+            "doubleclick.net.evil.com"
+        ));
     }
 
     #[test]
@@ -310,7 +312,10 @@ mod tests {
     fn end_separator_semantics() {
         let r = rule("/pixel^");
         assert!(r.pattern_matches("http://x.de/pixel?u=1", "x.de"));
-        assert!(r.pattern_matches("http://x.de/pixel", "x.de"), "end of URL counts");
+        assert!(
+            r.pattern_matches("http://x.de/pixel", "x.de"),
+            "end of URL counts"
+        );
         assert!(!r.pattern_matches("http://x.de/pixels", "x.de"));
     }
 

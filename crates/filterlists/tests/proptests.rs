@@ -1,11 +1,16 @@
 //! Property-based tests for the filter-list matcher.
 
-use hbbtv_filterlists::{parse_adblock_line, parse_hosts, FilterList, RequestContext, ResourceKind};
+use hbbtv_filterlists::{
+    parse_adblock_line, parse_hosts, FilterList, RequestContext, ResourceKind,
+};
 use hbbtv_net::Url;
 use proptest::prelude::*;
 
 fn domain() -> impl Strategy<Value = String> {
-    ("[a-z]{2,8}", prop_oneof![Just("de"), Just("com"), Just("net"), Just("tv")])
+    (
+        "[a-z]{2,8}",
+        prop_oneof![Just("de"), Just("com"), Just("net"), Just("tv")],
+    )
         .prop_map(|(name, tld)| format!("{name}.{tld}"))
 }
 

@@ -160,6 +160,10 @@ impl SetCookie {
             return Err(ParseCookieError::EmptyName);
         }
         let mut sc = SetCookie::session(name, value.trim());
+        // RFC 6265 §4.1.2.2: when both attributes are present, `Max-Age`
+        // takes precedence over `Expires` regardless of order.
+        let mut expires_attr = None;
+        let mut max_age_attr = None;
         for attr in parts {
             let (key, val) = match attr.split_once('=') {
                 Some((k, v)) => (k.trim(), v.trim()),
@@ -168,10 +172,14 @@ impl SetCookie {
             if key.eq_ignore_ascii_case("domain") {
                 sc.cookie.domain = Etld1::from_host(val.trim_start_matches('.'));
                 sc.explicit_domain = true;
-            } else if key.eq_ignore_ascii_case("expires") || key.eq_ignore_ascii_case("max-age") {
+            } else if key.eq_ignore_ascii_case("expires") {
                 // We serialize expiry as unix seconds in both attributes.
                 if let Ok(secs) = val.parse::<u64>() {
-                    sc.expires = Some(Timestamp::from_unix(secs));
+                    expires_attr = Some(Timestamp::from_unix(secs));
+                }
+            } else if key.eq_ignore_ascii_case("max-age") {
+                if let Ok(secs) = val.parse::<u64>() {
+                    max_age_attr = Some(Timestamp::from_unix(secs));
                 }
             } else if key.eq_ignore_ascii_case("secure") {
                 sc.secure = true;
@@ -187,6 +195,7 @@ impl SetCookie {
                 };
             }
         }
+        sc.expires = max_age_attr.or(expires_attr);
         Ok(sc)
     }
 
@@ -248,7 +257,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        assert_eq!(SetCookie::parse("noequals"), Err(ParseCookieError::MissingPair));
+        assert_eq!(
+            SetCookie::parse("noequals"),
+            Err(ParseCookieError::MissingPair)
+        );
         assert_eq!(SetCookie::parse("=v"), Err(ParseCookieError::EmptyName));
     }
 
@@ -266,6 +278,23 @@ mod tests {
         let c = Cookie::new("uid", "1", Etld1::new("y.de"));
         assert_ne!(a.key(), c.key());
         assert_eq!(a.key().to_string(), "x.de/uid");
+    }
+
+    #[test]
+    fn max_age_takes_precedence_over_expires() {
+        // RFC 6265: Max-Age wins no matter which attribute comes last.
+        let sc = SetCookie::parse("a=1; Expires=1000; Max-Age=2000").unwrap();
+        assert_eq!(sc.expires, Some(Timestamp::from_unix(2000)));
+        let sc = SetCookie::parse("a=1; Max-Age=2000; Expires=1000").unwrap();
+        assert_eq!(sc.expires, Some(Timestamp::from_unix(2000)));
+    }
+
+    #[test]
+    fn expires_alone_still_applies() {
+        let sc = SetCookie::parse("a=1; Expires=1234").unwrap();
+        assert_eq!(sc.expires, Some(Timestamp::from_unix(1234)));
+        let sc = SetCookie::parse("a=1; Max-Age=4321").unwrap();
+        assert_eq!(sc.expires, Some(Timestamp::from_unix(4321)));
     }
 
     #[test]

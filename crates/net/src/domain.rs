@@ -22,9 +22,9 @@ const TWO_LABEL_SUFFIXES: &[&str] = &[
 
 /// Single-label public suffixes (generic and European ccTLDs).
 const ONE_LABEL_SUFFIXES: &[&str] = &[
-    "com", "net", "org", "info", "biz", "tv", "io", "de", "at", "ch", "fr", "it", "nl", "be",
-    "lu", "pl", "cz", "sk", "hu", "es", "pt", "dk", "se", "no", "fi", "gr", "ro", "bg", "hr",
-    "si", "rs", "ba", "mk", "al", "tr", "ru", "ua", "uk", "eu", "me", "li",
+    "com", "net", "org", "info", "biz", "tv", "io", "de", "at", "ch", "fr", "it", "nl", "be", "lu",
+    "pl", "cz", "sk", "hu", "es", "pt", "dk", "se", "no", "fi", "gr", "ro", "bg", "hr", "si", "rs",
+    "ba", "mk", "al", "tr", "ru", "ua", "uk", "eu", "me", "li",
 ];
 
 /// A syntactically valid DNS host name (lower-cased).
@@ -54,9 +54,12 @@ impl Host {
             return Err(ParseUrlError::EmptyHost);
         }
         let lower = s.to_ascii_lowercase();
-        let valid = lower
-            .split('.')
-            .all(|label| !label.is_empty() && label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'));
+        let valid = lower.split('.').all(|label| {
+            !label.is_empty()
+                && label
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-')
+        });
         if !valid {
             return Err(ParseUrlError::InvalidHost(s.to_string()));
         }

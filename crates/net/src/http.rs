@@ -321,7 +321,9 @@ impl Response {
 
     /// The `Location` redirect target, if present and valid.
     pub fn location(&self) -> Option<Url> {
-        self.headers.get("Location").and_then(|v| Url::parse(v).ok())
+        self.headers
+            .get("Location")
+            .and_then(|v| Url::parse(v).ok())
     }
 }
 

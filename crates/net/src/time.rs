@@ -211,8 +211,10 @@ mod tests {
     fn measurement_window_bounds_are_inclusive() {
         assert!(Timestamp::MEASUREMENT_START.in_measurement_window());
         assert!(Timestamp::MEASUREMENT_END.in_measurement_window());
-        assert!(!Timestamp::from_unix(Timestamp::MEASUREMENT_START.as_unix() - 1)
-            .in_measurement_window());
+        assert!(
+            !Timestamp::from_unix(Timestamp::MEASUREMENT_START.as_unix() - 1)
+                .in_measurement_window()
+        );
         assert!(
             !Timestamp::from_unix(Timestamp::MEASUREMENT_END.as_unix() + 1).in_measurement_window()
         );

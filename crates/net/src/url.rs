@@ -265,9 +265,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert_eq!(Url::parse("ftp://x.de"), Err(ParseUrlError::UnsupportedScheme("ftp".into())));
-        assert_eq!(Url::parse("no-scheme.de"), Err(ParseUrlError::MissingScheme));
-        assert!(matches!(Url::parse("http://"), Err(ParseUrlError::EmptyHost)));
+        assert_eq!(
+            Url::parse("ftp://x.de"),
+            Err(ParseUrlError::UnsupportedScheme("ftp".into()))
+        );
+        assert_eq!(
+            Url::parse("no-scheme.de"),
+            Err(ParseUrlError::MissingScheme)
+        );
+        assert!(matches!(
+            Url::parse("http://"),
+            Err(ParseUrlError::EmptyHost)
+        ));
         assert!(matches!(
             Url::parse("http://h.de:70000/"),
             Err(ParseUrlError::InvalidPort(_))

@@ -108,25 +108,43 @@ pub fn annotate_policy(text: &str) -> PolicyAnnotation {
     }
     if contains_any(
         &lower,
-        &["reichweitenmessung", "audience measurement", "coverage analysis"],
+        &[
+            "reichweitenmessung",
+            "audience measurement",
+            "coverage analysis",
+        ],
     ) {
         practices.push(DataPractice::CoverageAnalysisCookies);
     }
     if contains_any(
         &lower,
-        &["profilbildung", "personalisierung von werbung", "profiling", "ad personalization"],
+        &[
+            "profilbildung",
+            "personalisierung von werbung",
+            "profiling",
+            "ad personalization",
+        ],
     ) {
         practices.push(DataPractice::Profiling);
     }
 
     let ip_anonymization = if contains_any(
         &lower,
-        &["vollständig anonymisiert", "fully anonymized", "fully anonymised"],
+        &[
+            "vollständig anonymisiert",
+            "fully anonymized",
+            "fully anonymised",
+        ],
     ) {
         IpAnonymization::Full
     } else if contains_any(
         &lower,
-        &["gekürzt", "letzten drei ziffern", "truncated", "last three digits"],
+        &[
+            "gekürzt",
+            "letzten drei ziffern",
+            "truncated",
+            "last three digits",
+        ],
     ) {
         IpAnonymization::Truncated
     } else {
@@ -151,7 +169,11 @@ pub fn annotate_policy(text: &str) -> PolicyAnnotation {
         opt_out_statements: lower.contains("opt-out") || lower.contains("opt out"),
         vague_statements: contains_any(
             &lower,
-            &["gegebenenfalls", "soweit dies erforderlich erscheint", "where appropriate"],
+            &[
+                "gegebenenfalls",
+                "soweit dies erforderlich erscheint",
+                "where appropriate",
+            ],
         ),
         hbbtv_email: lower.contains("hbbtv-datenschutz@"),
         indefinite_retention: contains_any(
@@ -219,7 +241,9 @@ mod tests {
         assert!(ann.practices.contains(&DataPractice::FirstPartyCollection));
         assert!(ann.practices.contains(&DataPractice::ThirdPartySharing));
         assert!(ann.practices.contains(&DataPractice::IpAddressCollection));
-        assert!(ann.practices.contains(&DataPractice::CoverageAnalysisCookies));
+        assert!(ann
+            .practices
+            .contains(&DataPractice::CoverageAnalysisCookies));
         assert_eq!(ann.rights, profile.rights);
         assert_eq!(ann.legal_bases, profile.legal_bases);
         assert_eq!(ann.ip_anonymization, IpAnonymization::Truncated);

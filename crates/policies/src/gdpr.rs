@@ -147,7 +147,9 @@ impl LegalBasis {
             LegalBasis::Consent => &["einwilligung", "eingewilligt"],
             LegalBasis::Contract => &["vertragserfüllung", "erfüllung eines vertrags"],
             LegalBasis::LegalObligation => &["rechtliche verpflichtung", "gesetzliche pflicht"],
-            LegalBasis::VitalInterests => &["lebenswichtige interessen", "lebenswichtiger interessen"],
+            LegalBasis::VitalInterests => {
+                &["lebenswichtige interessen", "lebenswichtiger interessen"]
+            }
             // "berechtigten interesse" also matches the genitive
             // ("berechtigten interesses") and plural ("… interessen").
             LegalBasis::LegitimateInterest => &["berechtigtes interesse", "berechtigten interesse"],

@@ -315,9 +315,7 @@ fn render_english(p: &PolicyProfile) -> String {
                 LegalBasis::Contract => "the performance of a contract (Article 6(1)(b) GDPR)",
                 LegalBasis::LegalObligation => "a legal obligation (Article 6(1)(c) GDPR)",
                 LegalBasis::VitalInterests => "vital interests (Article 6(1)(d) GDPR)",
-                LegalBasis::LegitimateInterest => {
-                    "our legitimate interest (Article 6(1)(f) GDPR)"
-                }
+                LegalBasis::LegitimateInterest => "our legitimate interest (Article 6(1)(f) GDPR)",
             })
             .collect();
         s.push_str(&phrases.join(" and "));

@@ -20,7 +20,13 @@ pub fn sha1_hex(data: &[u8]) -> String {
 
 /// SHA-1 core (FIPS 180-1).
 fn sha1(data: &[u8]) -> [u8; 20] {
-    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
     let ml = (data.len() as u64).wrapping_mul(8);
 
     // Pad: 0x80, zeros, 64-bit big-endian length.
@@ -87,16 +93,7 @@ fn sha1(data: &[u8]) -> [u8; 20] {
 /// let c = SimHash::of_text("completely unrelated english text about something else");
 /// assert!(hamming_distance(a.0, b.0) < hamming_distance(a.0, c.0));
 /// ```
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SimHash(pub u64);
 
 impl SimHash {
@@ -176,10 +173,7 @@ mod tests {
         );
         // Multi-block message (> 64 bytes).
         let long = vec![b'a'; 1000];
-        assert_eq!(
-            sha1_hex(&long),
-            "291e9a6c66994949b57ba5e650361e98fc36b1ba"
-        );
+        assert_eq!(sha1_hex(&long), "291e9a6c66994949b57ba5e650361e98fc36b1ba");
     }
 
     #[test]

@@ -22,16 +22,16 @@ pub enum DetectedLanguage {
 }
 
 const GERMAN_STOPWORDS: &[&str] = &[
-    "und", "der", "die", "das", "den", "dem", "des", "ein", "eine", "einer", "nicht", "mit",
-    "für", "auf", "werden", "wird", "wurde", "sind", "ist", "sie", "wir", "ihre", "ihrer",
-    "oder", "auch", "nach", "über", "durch", "bei", "zur", "zum", "von", "dass", "haben",
-    "können", "gemäß", "sowie",
+    "und", "der", "die", "das", "den", "dem", "des", "ein", "eine", "einer", "nicht", "mit", "für",
+    "auf", "werden", "wird", "wurde", "sind", "ist", "sie", "wir", "ihre", "ihrer", "oder", "auch",
+    "nach", "über", "durch", "bei", "zur", "zum", "von", "dass", "haben", "können", "gemäß",
+    "sowie",
 ];
 
 const ENGLISH_STOPWORDS: &[&str] = &[
     "the", "and", "of", "to", "in", "is", "are", "that", "this", "with", "for", "you", "your",
-    "our", "we", "not", "will", "may", "have", "has", "been", "from", "can", "any", "all",
-    "such", "which", "their", "other", "when",
+    "our", "we", "not", "will", "may", "have", "has", "been", "from", "can", "any", "all", "such",
+    "which", "their", "other", "when",
 ];
 
 const GERMAN_TRIGRAMS: &[&str] = &[
@@ -56,16 +56,19 @@ fn stopword_votes(words: &[String]) -> (usize, usize) {
 
 fn trigram_votes(text: &str) -> (usize, usize) {
     let lower = text.to_lowercase();
-    let de = GERMAN_TRIGRAMS.iter().map(|t| lower.matches(t).count()).sum();
-    let en = ENGLISH_TRIGRAMS.iter().map(|t| lower.matches(t).count()).sum();
+    let de = GERMAN_TRIGRAMS
+        .iter()
+        .map(|t| lower.matches(t).count())
+        .sum();
+    let en = ENGLISH_TRIGRAMS
+        .iter()
+        .map(|t| lower.matches(t).count())
+        .sum();
     (de, en)
 }
 
 fn orthography_votes(text: &str) -> (usize, usize) {
-    let umlauts = text
-        .chars()
-        .filter(|c| "äöüÄÖÜß".contains(*c))
-        .count();
+    let umlauts = text.chars().filter(|c| "äöüÄÖÜß".contains(*c)).count();
     // English evidence: apostrophe-s and "th" digraph density.
     let th = text.to_lowercase().matches("th").count();
     (umlauts, th / 4)
@@ -159,6 +162,9 @@ mod tests {
 
     #[test]
     fn numbers_and_noise_are_unknown() {
-        assert_eq!(detect_language("12345 67890 11 22 33"), DetectedLanguage::Unknown);
+        assert_eq!(
+            detect_language("12345 67890 11 22 33"),
+            DetectedLanguage::Unknown
+        );
     }
 }

@@ -101,7 +101,11 @@ impl PolicyPipeline {
     /// `manual_override` plays the role of the authors' manual
     /// evaluation: it receives documents the classifier rejected and may
     /// rescue false negatives (the paper corrected 18).
-    pub fn run<F>(&self, documents: &[CollectedDocument], mut manual_override: F) -> PolicyCorpusReport
+    pub fn run<F>(
+        &self,
+        documents: &[CollectedDocument],
+        mut manual_override: F,
+    ) -> PolicyCorpusReport
     where
         F: FnMut(&CollectedDocument) -> bool,
     {
@@ -125,9 +129,7 @@ impl PolicyPipeline {
             }
             let language = detect_language(&main);
             *policies_per_run.entry(doc.run.clone()).or_insert(0) += 1;
-            *language_counts
-                .entry(format!("{language:?}"))
-                .or_insert(0) += 1;
+            *language_counts.entry(format!("{language:?}")).or_insert(0) += 1;
             accepted.push((doc, main, language));
         }
         let policies_collected = accepted.len();
@@ -254,10 +256,7 @@ mod tests {
         // the corrected run must contain it and count corrections
         // consistently.
         assert_eq!(corrected.policies_collected, 1);
-        assert_eq!(
-            corrected.manual_corrections,
-            1 - strict.policies_collected
-        );
+        assert_eq!(corrected.manual_corrections, 1 - strict.policies_collected);
     }
 
     #[test]
@@ -294,7 +293,11 @@ mod tests {
         ];
         let report = PolicyPipeline::new().run(&docs, |_| false);
         assert_eq!(report.unique.len(), 2);
-        assert!(report.simhash_groups.is_empty(), "{:?}", report.simhash_groups);
+        assert!(
+            report.simhash_groups.is_empty(),
+            "{:?}",
+            report.simhash_groups
+        );
     }
 
     #[test]

@@ -49,8 +49,19 @@ pub fn extract_main_text(page: &str) -> String {
 }
 
 const NAV_MARKERS: &[&str] = &[
-    "menu", "menü", "zurück", "back", "home", "impressum", "ok =", "exit", "taste", "drücken",
-    "press", "button", "|",
+    "menu",
+    "menü",
+    "zurück",
+    "back",
+    "home",
+    "impressum",
+    "ok =",
+    "exit",
+    "taste",
+    "drücken",
+    "press",
+    "button",
+    "|",
 ];
 
 fn is_content_block(block: &str) -> bool {
@@ -90,7 +101,8 @@ mod tests {
 
     #[test]
     fn drops_navigation_chrome() {
-        let page = "Home | Programm | Mediathek | Impressum | Datenschutz | Kontakt | Hilfe | Suche\n\n\
+        let page =
+            "Home | Programm | Mediathek | Impressum | Datenschutz | Kontakt | Hilfe | Suche\n\n\
                     Die Verarbeitung Ihrer Daten im Rahmen des HbbTV Angebots erfolgt auf \
                     Grundlage der von Ihnen erteilten Einwilligung nach Artikel sechs.";
         let main = extract_main_text(page);

@@ -159,8 +159,7 @@ impl Proxy {
             }
         }
 
-        if attributed.as_ref().map(|(id, _)| *id) == s.current.channel.as_ref().map(|(id, _)| *id)
-        {
+        if attributed.as_ref().map(|(id, _)| *id) == s.current.channel.as_ref().map(|(id, _)| *id) {
             s.current.hosts.insert(host);
         }
 
@@ -205,6 +204,16 @@ impl Proxy {
 mod tests {
     use super::*;
     use hbbtv_net::Status;
+
+    /// Each parallel study run owns its proxy, but capture logs cross
+    /// thread boundaries when runs are assembled — both ends must stay
+    /// `Send + Sync`.
+    #[test]
+    fn proxy_and_captures_cross_thread_boundaries() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Proxy>();
+        assert_send_sync::<CapturedExchange>();
+    }
 
     fn req(url: &str, at: u64) -> Request {
         Request::get(url.parse().unwrap())
@@ -269,7 +278,11 @@ mod tests {
         // A genuine RTL request follows.
         p.record(req("http://hbbtv.rtl.de/app", T0 + 905), ok());
         let log = p.captures();
-        assert_eq!(log[1].channel, Some(ChannelId(1)), "stale beacon goes to ZDF");
+        assert_eq!(
+            log[1].channel,
+            Some(ChannelId(1)),
+            "stale beacon goes to ZDF"
+        );
         assert_eq!(log[2].channel, Some(ChannelId(2)));
     }
 

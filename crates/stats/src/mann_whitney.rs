@@ -21,7 +21,9 @@ pub struct MannWhitney {
     pub z: f64,
     /// Two-sided p-value.
     pub p_value: f64,
-    /// Rank-biserial correlation `1 − 2·min(U)/（n1·n2)` as an effect size.
+    /// Signed rank-biserial correlation `2·U1/(n1·n2) − 1` as an effect
+    /// size: positive when the first sample tends to rank higher,
+    /// negative when it tends to rank lower.
     pub rank_biserial: f64,
 }
 
@@ -73,7 +75,6 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitney, StatsError> {
     let (_, tie_sum) = tie_correction(&pooled);
     let mean_u = n1 * n2 / 2.0;
     let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
-    let u_min = u1.min(u2);
     // Continuity correction pushes |z| toward zero (conservative).
     let z = if var_u > 0.0 {
         let diff = u1 - mean_u;
@@ -83,7 +84,9 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitney, StatsError> {
         0.0
     };
     let p_value = (2.0 * standard_normal_sf(z.abs())).min(1.0);
-    let rank_biserial = 1.0 - 2.0 * u_min / (n1 * n2);
+    // Signed form: min(U) would clamp the effect size non-negative and
+    // lose which sample ranks higher.
+    let rank_biserial = 2.0 * u1 / (n1 * n2) - 1.0;
     Ok(MannWhitney {
         u1,
         u2,
@@ -112,7 +115,14 @@ mod tests {
         let r = mann_whitney_u(&a, &b).unwrap();
         assert!(r.p_value < 1e-6, "p was {}", r.p_value);
         assert!(r.significant());
-        assert!((r.rank_biserial - 1.0).abs() < 1e-9, "complete separation");
+        // a sits entirely below b, so the effect is complete separation
+        // with a ranking *lower*: exactly −1.
+        assert!((r.rank_biserial + 1.0).abs() < 1e-9, "complete separation");
+        let rev = mann_whitney_u(&b, &a).unwrap();
+        assert!(
+            (rev.rank_biserial - 1.0).abs() < 1e-9,
+            "complete separation"
+        );
     }
 
     #[test]
@@ -130,11 +140,7 @@ mod tests {
         // scipy.stats.mannwhitneyu([1,2,3,4,5],[6,7,8,9,10],
         //   alternative='two-sided') → U1 = 0, p ≈ 0.01167 (normal approx
         //   with continuity gives ≈ 0.01141).
-        let r = mann_whitney_u(
-            &[1.0, 2.0, 3.0, 4.0, 5.0],
-            &[6.0, 7.0, 8.0, 9.0, 10.0],
-        )
-        .unwrap();
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0, 4.0, 5.0], &[6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
         assert_eq!(r.u1, 0.0);
         assert!((r.p_value - 0.0114).abs() < 5e-3, "p was {}", r.p_value);
     }
@@ -147,6 +153,13 @@ mod tests {
         let rev = mann_whitney_u(&b, &a).unwrap();
         assert!((fwd.p_value - rev.p_value).abs() < 1e-12);
         assert!((fwd.u1 - rev.u2).abs() < 1e-12);
+        // Swapping the samples flips the direction of the effect.
+        assert!(
+            (fwd.rank_biserial + rev.rank_biserial).abs() < 1e-12,
+            "rank-biserial must be antisymmetric: {} vs {}",
+            fwd.rank_biserial,
+            rev.rank_biserial
+        );
     }
 
     #[test]

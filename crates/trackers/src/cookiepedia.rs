@@ -108,10 +108,7 @@ impl Cookiepedia {
             ("language", Functionality),
             ("resolution", Functionality),
         ];
-        let by_name = entries
-            .iter()
-            .map(|(n, c)| (n.to_string(), *c))
-            .collect();
+        let by_name = entries.iter().map(|(n, c)| (n.to_string(), *c)).collect();
         Cookiepedia { by_name }
     }
 
@@ -208,6 +205,9 @@ mod tests {
 
     #[test]
     fn category_display() {
-        assert_eq!(CookieCategory::Targeting.to_string(), "Targeting/Advertising");
+        assert_eq!(
+            CookieCategory::Targeting.to_string(),
+            "Targeting/Advertising"
+        );
     }
 }

@@ -74,7 +74,9 @@ mod tests {
         for len in [10, 16, 25] {
             let id = mint_id(&mut rng, len);
             assert_eq!(id.len(), len);
-            assert!(id.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            assert!(id
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
         }
     }
 

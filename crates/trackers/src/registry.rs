@@ -105,6 +105,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// The ecosystem (and through it this registry) is borrowed by every
+    /// parallel run worker; keep the type `Send + Sync`.
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrackerRegistry>();
+    }
+
     #[test]
     fn resolve_walks_up_labels() {
         let mut r = TrackerRegistry::new();
@@ -119,14 +127,20 @@ mod tests {
     fn exact_host_wins_over_parent() {
         let mut r = TrackerRegistry::new();
         r.register(TrackerService::new("x.de", TrackerKind::Cdn));
-        r.register(TrackerService::new("fp.x.de", TrackerKind::Fingerprinter {
-            uses_library: false,
-        }));
+        r.register(TrackerService::new(
+            "fp.x.de",
+            TrackerKind::Fingerprinter {
+                uses_library: false,
+            },
+        ));
         assert!(matches!(
             r.resolve("fp.x.de").unwrap().kind(),
             TrackerKind::Fingerprinter { .. }
         ));
-        assert!(matches!(r.resolve("cdn.x.de").unwrap().kind(), TrackerKind::Cdn));
+        assert!(matches!(
+            r.resolve("cdn.x.de").unwrap().kind(),
+            TrackerKind::Cdn
+        ));
     }
 
     #[test]

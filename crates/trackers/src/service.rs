@@ -203,11 +203,7 @@ impl TrackerService {
         ))
     }
 
-    fn pixel_response<R: Rng>(
-        &self,
-        req: &Request,
-        ctx: &mut ResponderContext<'_, R>,
-    ) -> Response {
+    fn pixel_response<R: Rng>(&self, req: &Request, ctx: &mut ResponderContext<'_, R>) -> Response {
         let mut b = Response::builder(Status::OK)
             .content_type(ContentType::Image)
             // A 43-byte GIF89a — below the 45-byte pixel threshold.
@@ -287,7 +283,9 @@ impl TrackerService {
         let location: Url = format!("http://{partner_host}/sync")
             .parse()
             .expect("partner host yields a valid URL");
-        let location = location.with_param("uid", &uid).with_param("src", &self.host);
+        let location = location
+            .with_param("uid", &uid)
+            .with_param("src", &self.host);
         let mut b = Response::builder(Status::FOUND)
             .content_type(ContentType::Other)
             .header("Location", &location.to_string());
@@ -356,8 +354,8 @@ mod tests {
 
     #[test]
     fn pixel_is_a_tracking_pixel_by_the_papers_heuristic() {
-        let svc = TrackerService::new("tvping.com", TrackerKind::PixelBeacon)
-            .with_cookie("tvp_uid", 16);
+        let svc =
+            TrackerService::new("tvping.com", TrackerKind::PixelBeacon).with_cookie("tvp_uid", 16);
         let (mut rng, now) = ctx_pair();
         let mut ctx = ResponderContext { now, rng: &mut rng };
         let resp = svc.respond(&get("http://tvping.com/ping"), &mut ctx);
@@ -373,8 +371,8 @@ mod tests {
 
     #[test]
     fn presented_cookie_id_is_reused() {
-        let svc = TrackerService::new("an.xiti.com", TrackerKind::Analytics)
-            .with_cookie("atuserid", 20);
+        let svc =
+            TrackerService::new("an.xiti.com", TrackerKind::Analytics).with_cookie("atuserid", 20);
         let (mut rng, now) = ctx_pair();
         let mut ctx = ResponderContext { now, rng: &mut rng };
         let req = get_with_cookie("http://an.xiti.com/hit", "atuserid=knownuser12345678901");
@@ -384,23 +382,32 @@ mod tests {
 
     #[test]
     fn fingerprint_script_contains_detectable_markers() {
-        let svc = TrackerService::new("fp.metrics.de", TrackerKind::Fingerprinter {
-            uses_library: true,
-        });
+        let svc = TrackerService::new(
+            "fp.metrics.de",
+            TrackerKind::Fingerprinter { uses_library: true },
+        );
         let (mut rng, now) = ctx_pair();
         let mut ctx = ResponderContext { now, rng: &mut rng };
         let resp = svc.respond(&get("http://fp.metrics.de/fp.js"), &mut ctx);
         assert!(resp.content_type.is_javascript());
-        for marker in ["getContext('2d')", "toDataURL", "WebGLRenderingContext", "Fingerprint2"] {
+        for marker in [
+            "getContext('2d')",
+            "toDataURL",
+            "WebGLRenderingContext",
+            "Fingerprint2",
+        ] {
             assert!(resp.body.contains(marker), "missing marker {marker}");
         }
     }
 
     #[test]
     fn handrolled_fingerprinter_omits_library() {
-        let svc = TrackerService::new("fp.zdf.de", TrackerKind::Fingerprinter {
-            uses_library: false,
-        });
+        let svc = TrackerService::new(
+            "fp.zdf.de",
+            TrackerKind::Fingerprinter {
+                uses_library: false,
+            },
+        );
         let (mut rng, now) = ctx_pair();
         let mut ctx = ResponderContext { now, rng: &mut rng };
         let resp = svc.respond(&get("http://fp.zdf.de/fp.js"), &mut ctx);
@@ -466,8 +473,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let svc = TrackerService::new("a.b.tracker.de", TrackerKind::Analytics)
-            .with_cookie("uid", 12);
+        let svc =
+            TrackerService::new("a.b.tracker.de", TrackerKind::Analytics).with_cookie("uid", 12);
         assert_eq!(svc.host(), "a.b.tracker.de");
         assert_eq!(svc.domain().as_str(), "tracker.de");
         assert_eq!(svc.cookie_name(), Some("uid"));

@@ -111,15 +111,28 @@ mod tests {
         let d = DeviceProfile::study_tv();
         let p = ProgramInfo::new("PAW Patrol", "Children");
         let t = Timestamp::from_unix(1_700_000_000);
-        assert_eq!(d.leak_value(LeakItem::Genre, &p, "KiKA", t).unwrap(), "Children");
-        assert_eq!(d.leak_value(LeakItem::ShowTitle, &p, "KiKA", t).unwrap(), "PAW Patrol");
-        assert_eq!(d.leak_value(LeakItem::ChannelName, &p, "KiKA", t).unwrap(), "KiKA");
+        assert_eq!(
+            d.leak_value(LeakItem::Genre, &p, "KiKA", t).unwrap(),
+            "Children"
+        );
+        assert_eq!(
+            d.leak_value(LeakItem::ShowTitle, &p, "KiKA", t).unwrap(),
+            "PAW Patrol"
+        );
+        assert_eq!(
+            d.leak_value(LeakItem::ChannelName, &p, "KiKA", t).unwrap(),
+            "KiKA"
+        );
         assert_eq!(
             d.leak_value(LeakItem::LocalTime, &p, "KiKA", t).unwrap(),
             "1700000000"
         );
         assert_eq!(d.leak_value(LeakItem::Brand, &p, "KiKA", t), None);
-        assert_eq!(d.leak_value(LeakItem::UserId, &p, "KiKA", t), None, "runtime-resolved");
+        assert_eq!(
+            d.leak_value(LeakItem::UserId, &p, "KiKA", t),
+            None,
+            "runtime-resolved"
+        );
     }
 
     #[test]
@@ -128,6 +141,9 @@ mod tests {
         let mut p = ProgramInfo::new("Movie", "Movies");
         p.brand = Some("L'Oreal".to_string());
         let t = Timestamp::from_unix(0);
-        assert_eq!(d.leak_value(LeakItem::Brand, &p, "RTL", t).unwrap(), "L'Oreal");
+        assert_eq!(
+            d.leak_value(LeakItem::Brand, &p, "RTL", t).unwrap(),
+            "L'Oreal"
+        );
     }
 }

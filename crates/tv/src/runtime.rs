@@ -157,6 +157,14 @@ impl<B: NetworkBackend> Tv<B> {
         }
     }
 
+    /// Mutable access to the network backend, for drivers that need to
+    /// feed it out-of-band context (e.g. the harness tells its backend
+    /// which first party is currently tuned so an on-device block list
+    /// can evaluate `$third-party` rules).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
     /// Connects or disconnects the TV from the Internet. Without a
     /// connection the linear program still shows but no HbbTV content
     /// loads (§II).
@@ -576,9 +584,7 @@ impl<B: NetworkBackend> Tv<B> {
                         .unwrap_or_else(|| self.session_id.clone()),
                 ),
                 LeakItem::SessionId => Some(self.session_id.clone()),
-                other => self
-                    .device
-                    .leak_value(other, &program, &channel_name, now),
+                other => self.device.leak_value(other, &program, &channel_name, now),
             };
             if let Some(v) = value {
                 match load.method {
@@ -740,7 +746,10 @@ mod tests {
         let backend = LogBackend::default();
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         let urls: Vec<String> = log.borrow().iter().map(|r| r.url.to_string()).collect();
         assert!(urls[0].starts_with("http://hbbtv.rtl.de/start"));
         assert!(urls.iter().any(|u| u.contains("bar.js")));
@@ -753,7 +762,10 @@ mod tests {
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
         tv.set_connected(false);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         assert!(log.borrow().is_empty());
         // Screenshot still shows the program.
         let shot = tv.screenshot().unwrap();
@@ -765,7 +777,10 @@ mod tests {
         let backend = LogBackend::default();
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         let before = log.borrow().len();
         tv.advance(Duration::from_secs(10));
         let after = log.borrow().len();
@@ -785,7 +800,10 @@ mod tests {
         let backend = LogBackend::default();
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         let log_ref = log.borrow();
         let ping = log_ref
             .iter()
@@ -800,7 +818,10 @@ mod tests {
     fn red_button_opens_media_library_and_enter_navigates() {
         let backend = LogBackend::default();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         assert_eq!(
             hbbtv_consent::annotate(&tv.screenshot().unwrap().content).overlay,
             OverlayKind::TvOnly,
@@ -822,7 +843,10 @@ mod tests {
         let backend = LogBackend::default();
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         tv.press(RcButton::Blue);
         let a = hbbtv_consent::annotate(&tv.screenshot().unwrap().content);
         assert_eq!(a.overlay, OverlayKind::Privacy);
@@ -850,7 +874,10 @@ mod tests {
         let backend = LogBackend::default();
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(app_with_notice()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(app_with_notice()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         assert_eq!(tv.notice_layer(), Some(0));
         let a = hbbtv_consent::annotate(&tv.screenshot().unwrap().content);
         assert_eq!(a.overlay, OverlayKind::Privacy);
@@ -866,7 +893,10 @@ mod tests {
     fn navigating_to_settings_descends_layers() {
         let backend = LogBackend::default();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(app_with_notice()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(app_with_notice()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         // Move focus right to "Settings", then ENTER → layer 2.
         tv.press(RcButton::Right);
         tv.press(RcButton::Enter);
@@ -883,7 +913,10 @@ mod tests {
     fn cursor_clamps_at_edges() {
         let backend = LogBackend::default();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(app_with_notice()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(app_with_notice()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         for _ in 0..5 {
             tv.press(RcButton::Left);
         }
@@ -900,10 +933,16 @@ mod tests {
         };
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         assert_eq!(tv.cookie_jar().len(), 1);
         // Re-tune: the beacon now carries the cookie.
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         let with_cookie = log
             .borrow()
             .iter()
@@ -1002,7 +1041,10 @@ mod tests {
         };
         let log = backend.log.clone();
         let mut tv = new_tv(backend);
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         tv.power_off();
         let before = log.borrow().len();
         tv.advance(Duration::from_secs(30));
@@ -1043,7 +1085,10 @@ mod tests {
             let log = backend.log.clone();
             let mut tv = new_tv(backend);
             tv.set_dnt(dnt);
-            tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+            tv.tune(
+                ctx_with_app(simple_app()),
+                &ait_for("http://hbbtv.rtl.de/start"),
+            );
             tv.advance(Duration::from_secs(30));
             let requests = log.borrow().len();
             let dnt_headers = log
@@ -1066,7 +1111,10 @@ mod tests {
         let backend = LogBackend::default();
         let mut tv = new_tv(backend);
         assert!(tv.channel_metadata().is_none());
-        tv.tune(ctx_with_app(simple_app()), &ait_for("http://hbbtv.rtl.de/start"));
+        tv.tune(
+            ctx_with_app(simple_app()),
+            &ait_for("http://hbbtv.rtl.de/start"),
+        );
         let (desc, program) = tv.channel_metadata().unwrap();
         assert_eq!(desc.name, "RTL");
         assert_eq!(program.show_title, "GZSZ");

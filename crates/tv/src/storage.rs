@@ -208,7 +208,10 @@ mod tests {
         let sc = SetCookie::persistent("u", "v", d("t.de"), T1);
         jar.apply(&sc, &d("t.de"), T0);
         assert!(jar.header_for(&d("t.de"), T0).is_some());
-        assert!(jar.header_for(&d("t.de"), T1).is_none(), "expiry is inclusive");
+        assert!(
+            jar.header_for(&d("t.de"), T1).is_none(),
+            "expiry is inclusive"
+        );
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! cargo run -p hbbtv-study --example consent_walkthrough
 //! ```
 
+use hbbtv_broadcast::{Ait, AppControlCode, ChannelDescriptor, Network, Satellite};
 use hbbtv_consent::{analyze_nudging, annotate, branding_catalog, NoticeBranding};
 use hbbtv_net::{Request, Response, SimClock, Status, Timestamp};
 use hbbtv_study::ecosystem::apps_gen::{build_app, HostPlan};
 use hbbtv_study::ecosystem::channels::{slugify, ButtonContent, ChannelKnobs, ChannelPlan};
-use hbbtv_broadcast::{Ait, AppControlCode, ChannelDescriptor, Network, Satellite};
 use hbbtv_tv::{ChannelContext, DeviceProfile, NetworkBackend, ProgramInfo, RcButton, Tv};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,8 +52,14 @@ fn main() {
     let notice = branding_catalog(NoticeBranding::RtlGermany);
     let nudge = analyze_nudging(&notice);
     println!("notice: {}", notice.branding);
-    println!("  default focus on accept: {}", nudge.default_focus_on_accept);
-    println!("  decline requires deeper layer: {}", nudge.decline_requires_deeper_layer);
+    println!(
+        "  default focus on accept: {}",
+        nudge.default_focus_on_accept
+    );
+    println!(
+        "  decline requires deeper layer: {}",
+        nudge.decline_requires_deeper_layer
+    );
     println!("  dark-pattern score: {}/5\n", nudge.score());
 
     // Tune in.

@@ -44,7 +44,10 @@ fn main() {
     }
 
     // Meanwhile, the pixel heuristic finds the real volume.
-    let pixels = dataset.all_captures().filter(|c| is_tracking_pixel(c)).count();
+    let pixels = dataset
+        .all_captures()
+        .filter(|c| is_tracking_pixel(c))
+        .count();
     println!(
         "\npixel heuristic: {pixels} tracking pixels ({:.1}% of all traffic)",
         pixels as f64 / total as f64 * 100.0

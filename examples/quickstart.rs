@@ -44,7 +44,10 @@ fn main() {
     }
 
     // What ended up in the cookie jar?
-    println!("\ncookie jar after the run ({} cookies):", dataset.cookies.len());
+    println!(
+        "\ncookie jar after the run ({} cookies):",
+        dataset.cookies.len()
+    );
     for c in dataset.cookies.iter().take(10) {
         println!("  {} = {}", c.cookie.key(), c.cookie.value);
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Pre-merge gate: formatting, lints, and the full test suite.
+#
+# Run from the repository root before every merge:
+#
+#     scripts/check.sh
+#
+# Each stage must pass; the script stops at the first failure.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

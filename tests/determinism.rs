@@ -1,6 +1,10 @@
-//! Reproducibility: the whole study is a pure function of (seed, scale).
+//! Reproducibility: the whole study is a pure function of (seed, scale),
+//! and the parallel execution paths are byte-identical to sequential.
 
+use hbbtv_study::analysis::par_chunks;
+use hbbtv_study::report::StudyReport;
 use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+use proptest::prelude::*;
 
 #[test]
 fn same_seed_same_study() {
@@ -8,7 +12,11 @@ fn same_seed_same_study() {
         let eco = Ecosystem::with_scale(seed, 0.08);
         let mut harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::Red);
-        let urls: Vec<String> = ds.captures.iter().map(|c| c.request.url.to_string()).collect();
+        let urls: Vec<String> = ds
+            .captures
+            .iter()
+            .map(|c| c.request.url.to_string())
+            .collect();
         let cookies: Vec<String> = ds
             .cookies
             .iter()
@@ -21,6 +29,87 @@ fn same_seed_same_study() {
     assert_eq!(a.0, b.0, "captured URLs are bit-identical");
     assert_eq!(a.1, b.1, "cookie jars are bit-identical");
     assert_eq!(a.2, b.2);
+}
+
+/// The tentpole guarantee: five runs on five worker threads produce the
+/// same study, byte for byte, as five runs on one thread — down to the
+/// serialized JSON and the rendered Tables I–V.
+#[test]
+fn parallel_run_all_matches_sequential() {
+    let eco = Ecosystem::with_scale(13, 0.05);
+    let parallel = StudyHarness::new(&eco).run_all();
+    let sequential = StudyHarness::new(&eco).run_all_sequential();
+
+    let kinds: Vec<RunKind> = parallel.runs.iter().map(|r| r.run).collect();
+    assert_eq!(
+        kinds,
+        RunKind::ALL.to_vec(),
+        "runs assemble in Table I order"
+    );
+
+    for (p, s) in parallel.runs.iter().zip(&sequential.runs) {
+        assert_eq!(p.run, s.run);
+        assert_eq!(p.channels_measured, s.channels_measured);
+        assert_eq!(p.captures, s.captures, "{:?} captures diverge", p.run);
+        assert_eq!(p.screenshots.len(), s.screenshots.len());
+        assert_eq!(p.interactions, s.interactions);
+        assert_eq!(p.consented_channels, s.consented_channels);
+        let p_cookies: Vec<String> = p
+            .cookies
+            .iter()
+            .map(|c| format!("{}={}", c.cookie.key(), c.cookie.value))
+            .collect();
+        let s_cookies: Vec<String> = s
+            .cookies
+            .iter()
+            .map(|c| format!("{}={}", c.cookie.key(), c.cookie.value))
+            .collect();
+        assert_eq!(p_cookies, s_cookies, "{:?} cookie jars diverge", p.run);
+    }
+
+    // Strongest form: the BigQuery-bound serialization is bit-identical.
+    let p_json = serde_json::to_string(&parallel).expect("serializes");
+    let s_json = serde_json::to_string(&sequential).expect("serializes");
+    assert_eq!(p_json, s_json, "serialized datasets diverge");
+
+    // And so is everything the paper prints: the chunked parallel
+    // analyses behind Tables I–V reduce to the sequential fold.
+    let p_report = StudyReport::compute(&eco, &parallel).render(&parallel);
+    let s_report = StudyReport::compute(&eco, &sequential).render(&sequential);
+    assert_eq!(p_report, s_report, "rendered reports diverge");
+}
+
+proptest! {
+    /// `par_chunks` + left-to-right merge equals the sequential fold for
+    /// arbitrary inputs and chunk lengths (including chunks longer than
+    /// the input).
+    #[test]
+    fn par_chunks_merge_equals_sequential_fold(seed in 0u64..5000, chunk_len in 1usize..80) {
+        // Deterministic pseudo-random items derived from the seed.
+        let items: Vec<u64> = (0..257)
+            .map(|i| {
+                let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^ (x >> 27)
+            })
+            .collect();
+        let sequential = items
+            .iter()
+            .fold((0u64, u64::MAX, 0usize), |(sum, min, n), &v| {
+                (sum.wrapping_add(v), min.min(v), n + 1)
+            });
+        let merged = par_chunks(&items, chunk_len, |chunk| {
+            chunk.iter().fold((0u64, u64::MAX, 0usize), |(sum, min, n), &v| {
+                (sum.wrapping_add(v), min.min(v), n + 1)
+            })
+        })
+        .into_iter()
+        .fold((0u64, u64::MAX, 0usize), |(sum, min, n), (s, m, c)| {
+            (sum.wrapping_add(s), min.min(m), n + c)
+        });
+        prop_assert_eq!(merged, sequential);
+    }
 }
 
 #[test]

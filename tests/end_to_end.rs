@@ -26,8 +26,15 @@ fn five_runs_produce_a_complete_study() {
     }
     // The Green run measures far fewer channels (daytime-only effect).
     let green = dataset.run(RunKind::Green).unwrap().channels_measured.len();
-    let general = dataset.run(RunKind::General).unwrap().channels_measured.len();
-    assert!(green < general * 7 / 10, "green {green} vs general {general}");
+    let general = dataset
+        .run(RunKind::General)
+        .unwrap()
+        .channels_measured
+        .len();
+    assert!(
+        green < general * 7 / 10,
+        "green {green} vs general {general}"
+    );
 
     let report = StudyReport::compute(&eco, &dataset);
     // The report's headline structure holds even at reduced scale.
@@ -60,7 +67,10 @@ fn the_ecosystem_is_independent_of_the_web() {
     let probe: hbbtv_net::Url = format!("http://{dominant}/p").parse().unwrap();
     for list in &lists {
         assert!(
-            !list.matches(&probe, hbbtv_filterlists::RequestContext::third_party_image()),
+            !list.matches(
+                &probe,
+                hbbtv_filterlists::RequestContext::third_party_image()
+            ),
             "{} unexpectedly lists {dominant}",
             list.name()
         );

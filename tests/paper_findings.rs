@@ -71,8 +71,8 @@ fn finding_notices_nudge_and_policies_diverge() {
     // profiling-window violation when slots landed in daytime).
     let (_e, _d, r) = report();
     assert!(r.consent.all_notices_nudge_to_accept());
-    let has_contradiction = !r.policies.opt_out_contradictions.is_empty()
-        || !r.policies.window_violators().is_empty();
+    let has_contradiction =
+        !r.policies.opt_out_contradictions.is_empty() || !r.policies.window_violators().is_empty();
     assert!(has_contradiction, "some policy contradicts practice");
 }
 

@@ -1,10 +1,12 @@
 //! The §VIII Future-Work extension, end to end: rule derivation and
 //! on-device blocking.
 
-use hbbtv_filterlists::bundled;
+use hbbtv_filterlists::{bundled, FilterList};
+use hbbtv_net::Etld1;
 use hbbtv_study::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use hbbtv_study::analysis::{DerivedList, FirstPartyMap};
 use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
+use std::collections::BTreeSet;
 
 fn tracking(ds: &hbbtv_study::RunDataset) -> usize {
     ds.captures
@@ -62,7 +64,78 @@ fn blocking_also_suppresses_tracker_cookies() {
             .count()
     };
     assert!(tvping_cookies(&unprotected) > 0);
-    assert_eq!(tvping_cookies(&protected), 0, "blocked trackers set no cookies");
+    assert_eq!(
+        tvping_cookies(&protected),
+        0,
+        "blocked trackers set no cookies"
+    );
+}
+
+/// The ground-truth first-party eTLD+1 of every final channel.
+fn first_parties(eco: &Ecosystem) -> BTreeSet<Etld1> {
+    eco.final_channels()
+        .iter()
+        .filter_map(|&id| eco.blueprint(id))
+        .map(|bp| Etld1::from_host(&bp.first_party_host))
+        .collect()
+}
+
+#[test]
+fn third_party_rules_spare_first_party_traffic() {
+    let eco = Ecosystem::with_scale(55, 0.08);
+    let mut harness = StudyHarness::new(&eco);
+    let unprotected = harness.run(RunKind::General);
+
+    // A channel's own app traffic, per the ground truth.
+    let id = unprotected.channels_measured[0];
+    let fp = Etld1::from_host(&eco.blueprint(id).unwrap().first_party_host);
+    let count_fp = |ds: &hbbtv_study::RunDataset| {
+        ds.captures
+            .iter()
+            .filter(|c| c.request.url.etld1() == &fp)
+            .count()
+    };
+    assert!(
+        count_fp(&unprotected) > 0,
+        "channel loads from its first party"
+    );
+
+    // A `$third-party` rule over that very domain must not touch the
+    // channel's own requests to it.
+    let list = FilterList::parse_adblock("tp-only", &format!("||{fp}^$third-party\n"));
+    let protected = harness.run_with_blocklist(RunKind::General, &list);
+    assert!(
+        count_fp(&protected) > 0,
+        "$third-party rules must not block the first party's own traffic"
+    );
+}
+
+#[test]
+fn script_rules_block_scripts() {
+    let eco = Ecosystem::with_scale(55, 0.08);
+    let mut harness = StudyHarness::new(&eco);
+    let unprotected = harness.run(RunKind::General);
+
+    // Pick a third-party domain observed serving JavaScript.
+    let fps = first_parties(&eco);
+    let script_domain = unprotected
+        .captures
+        .iter()
+        .filter(|c| c.request.url.path().ends_with(".js") && !fps.contains(c.request.url.etld1()))
+        .map(|c| c.request.url.etld1().clone())
+        .next()
+        .expect("some third party serves scripts");
+
+    let list = FilterList::parse_adblock("scripts", &format!("||{script_domain}^$script\n"));
+    let protected = harness.run_with_blocklist(RunKind::General, &list);
+    let surviving_js = protected
+        .captures
+        .iter()
+        .filter(|c| {
+            c.request.url.etld1() == &script_domain && c.request.url.path().ends_with(".js")
+        })
+        .count();
+    assert_eq!(surviving_js, 0, "$script rules must block script fetches");
 }
 
 #[test]
