@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e4b5f9de5a30c10b.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e4b5f9de5a30c10b: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

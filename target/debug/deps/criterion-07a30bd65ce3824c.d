@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-07a30bd65ce3824c.d: .verify-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-07a30bd65ce3824c.rlib: .verify-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-07a30bd65ce3824c.rmeta: .verify-stubs/criterion/src/lib.rs
+
+.verify-stubs/criterion/src/lib.rs:

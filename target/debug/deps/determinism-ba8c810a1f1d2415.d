@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ba8c810a1f1d2415.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ba8c810a1f1d2415: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7e36e289080e4b7d.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7e36e289080e4b7d: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a56d31fe78d4d43a.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-a56d31fe78d4d43a: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

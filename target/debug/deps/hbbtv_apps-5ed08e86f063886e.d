@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbbtv_apps-5ed08e86f063886e.d: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+/root/repo/target/debug/deps/libhbbtv_apps-5ed08e86f063886e.rlib: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+/root/repo/target/debug/deps/libhbbtv_apps-5ed08e86f063886e.rmeta: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/app.rs:
+crates/apps/src/leak.rs:
+crates/apps/src/page.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbbtv_apps-6f6fe8e9e58c6b3f.d: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_apps-6f6fe8e9e58c6b3f.rmeta: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/app.rs:
+crates/apps/src/leak.rs:
+crates/apps/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

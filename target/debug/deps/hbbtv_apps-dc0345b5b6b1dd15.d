@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbbtv_apps-dc0345b5b6b1dd15.d: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+/root/repo/target/debug/deps/hbbtv_apps-dc0345b5b6b1dd15: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/app.rs:
+crates/apps/src/leak.rs:
+crates/apps/src/page.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_bench-30bdd3ce97425913.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_bench-30bdd3ce97425913.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

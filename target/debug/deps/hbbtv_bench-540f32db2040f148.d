@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbbtv_bench-540f32db2040f148.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hbbtv_bench-540f32db2040f148: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbbtv_bench-5cbbee07e3824720.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_bench-5cbbee07e3824720.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_bench-5cbbee07e3824720.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

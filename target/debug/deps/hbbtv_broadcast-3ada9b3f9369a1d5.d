@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbbtv_broadcast-3ada9b3f9369a1d5.d: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_broadcast-3ada9b3f9369a1d5.rmeta: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs Cargo.toml
+
+crates/broadcast/src/lib.rs:
+crates/broadcast/src/ait.rs:
+crates/broadcast/src/channel.rs:
+crates/broadcast/src/lineup.rs:
+crates/broadcast/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbbtv_broadcast-a6cb13fde561a30e.d: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+/root/repo/target/debug/deps/libhbbtv_broadcast-a6cb13fde561a30e.rlib: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+/root/repo/target/debug/deps/libhbbtv_broadcast-a6cb13fde561a30e.rmeta: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+crates/broadcast/src/lib.rs:
+crates/broadcast/src/ait.rs:
+crates/broadcast/src/channel.rs:
+crates/broadcast/src/lineup.rs:
+crates/broadcast/src/schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_broadcast-b46c002c0c33287d.d: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+/root/repo/target/debug/deps/hbbtv_broadcast-b46c002c0c33287d: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+crates/broadcast/src/lib.rs:
+crates/broadcast/src/ait.rs:
+crates/broadcast/src/channel.rs:
+crates/broadcast/src/lineup.rs:
+crates/broadcast/src/schedule.rs:

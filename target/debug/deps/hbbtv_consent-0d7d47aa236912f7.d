@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_consent-0d7d47aa236912f7.d: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+/root/repo/target/debug/deps/hbbtv_consent-0d7d47aa236912f7: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+crates/consent/src/lib.rs:
+crates/consent/src/annotate.rs:
+crates/consent/src/catalog.rs:
+crates/consent/src/notice.rs:
+crates/consent/src/nudging.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbbtv_consent-3549e468ce7f2bea.d: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_consent-3549e468ce7f2bea.rmeta: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs Cargo.toml
+
+crates/consent/src/lib.rs:
+crates/consent/src/annotate.rs:
+crates/consent/src/catalog.rs:
+crates/consent/src/notice.rs:
+crates/consent/src/nudging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbbtv_consent-b716d2704b4ccad6.d: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+/root/repo/target/debug/deps/libhbbtv_consent-b716d2704b4ccad6.rlib: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+/root/repo/target/debug/deps/libhbbtv_consent-b716d2704b4ccad6.rmeta: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+crates/consent/src/lib.rs:
+crates/consent/src/annotate.rs:
+crates/consent/src/catalog.rs:
+crates/consent/src/notice.rs:
+crates/consent/src/nudging.rs:

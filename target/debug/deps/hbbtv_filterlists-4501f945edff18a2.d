@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbbtv_filterlists-4501f945edff18a2.d: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+/root/repo/target/debug/deps/libhbbtv_filterlists-4501f945edff18a2.rlib: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+/root/repo/target/debug/deps/libhbbtv_filterlists-4501f945edff18a2.rmeta: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+crates/filterlists/src/lib.rs:
+crates/filterlists/src/bundled.rs:
+crates/filterlists/src/hosts.rs:
+crates/filterlists/src/matcher.rs:
+crates/filterlists/src/rule.rs:

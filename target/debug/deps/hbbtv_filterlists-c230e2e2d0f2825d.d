@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbbtv_filterlists-c230e2e2d0f2825d.d: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_filterlists-c230e2e2d0f2825d.rmeta: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs Cargo.toml
+
+crates/filterlists/src/lib.rs:
+crates/filterlists/src/bundled.rs:
+crates/filterlists/src/hosts.rs:
+crates/filterlists/src/matcher.rs:
+crates/filterlists/src/rule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

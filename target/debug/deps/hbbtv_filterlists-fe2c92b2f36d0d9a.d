@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_filterlists-fe2c92b2f36d0d9a.d: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+/root/repo/target/debug/deps/hbbtv_filterlists-fe2c92b2f36d0d9a: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+crates/filterlists/src/lib.rs:
+crates/filterlists/src/bundled.rs:
+crates/filterlists/src/hosts.rs:
+crates/filterlists/src/matcher.rs:
+crates/filterlists/src/rule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_graph-1e40efd2c2d1121e.d: crates/graph/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_graph-1e40efd2c2d1121e.rmeta: crates/graph/src/lib.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

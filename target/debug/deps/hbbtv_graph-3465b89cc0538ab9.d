@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbbtv_graph-3465b89cc0538ab9.d: crates/graph/src/lib.rs
+
+/root/repo/target/debug/deps/hbbtv_graph-3465b89cc0538ab9: crates/graph/src/lib.rs
+
+crates/graph/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbbtv_graph-9ff27d099db74fc4.d: crates/graph/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_graph-9ff27d099db74fc4.rlib: crates/graph/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_graph-9ff27d099db74fc4.rmeta: crates/graph/src/lib.rs
+
+crates/graph/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbbtv_net-3038d0542cfd3da0.d: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/hbbtv_net-3038d0542cfd3da0: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cookie.rs:
+crates/net/src/domain.rs:
+crates/net/src/error.rs:
+crates/net/src/http.rs:
+crates/net/src/time.rs:
+crates/net/src/url.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbbtv_net-5961f9fbcb57096e.d: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/libhbbtv_net-5961f9fbcb57096e.rlib: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+/root/repo/target/debug/deps/libhbbtv_net-5961f9fbcb57096e.rmeta: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cookie.rs:
+crates/net/src/domain.rs:
+crates/net/src/error.rs:
+crates/net/src/http.rs:
+crates/net/src/time.rs:
+crates/net/src/url.rs:

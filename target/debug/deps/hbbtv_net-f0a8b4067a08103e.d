@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hbbtv_net-f0a8b4067a08103e.d: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_net-f0a8b4067a08103e.rmeta: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cookie.rs:
+crates/net/src/domain.rs:
+crates/net/src/error.rs:
+crates/net/src/http.rs:
+crates/net/src/time.rs:
+crates/net/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbbtv_policies-09259fff5f7c56dd.d: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+/root/repo/target/debug/deps/hbbtv_policies-09259fff5f7c56dd: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/compliance.rs:
+crates/policies/src/generator.rs:
+crates/policies/src/annotate.rs:
+crates/policies/src/classifier.rs:
+crates/policies/src/gdpr.rs:
+crates/policies/src/hashing.rs:
+crates/policies/src/language.rs:
+crates/policies/src/pipeline.rs:
+crates/policies/src/text.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hbbtv_policies-16219dfe3a352167.d: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_policies-16219dfe3a352167.rmeta: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs Cargo.toml
+
+crates/policies/src/lib.rs:
+crates/policies/src/compliance.rs:
+crates/policies/src/generator.rs:
+crates/policies/src/annotate.rs:
+crates/policies/src/classifier.rs:
+crates/policies/src/gdpr.rs:
+crates/policies/src/hashing.rs:
+crates/policies/src/language.rs:
+crates/policies/src/pipeline.rs:
+crates/policies/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hbbtv_policies-d09c1c4c36f5ca0a.d: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+/root/repo/target/debug/deps/libhbbtv_policies-d09c1c4c36f5ca0a.rlib: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+/root/repo/target/debug/deps/libhbbtv_policies-d09c1c4c36f5ca0a.rmeta: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/compliance.rs:
+crates/policies/src/generator.rs:
+crates/policies/src/annotate.rs:
+crates/policies/src/classifier.rs:
+crates/policies/src/gdpr.rs:
+crates/policies/src/hashing.rs:
+crates/policies/src/language.rs:
+crates/policies/src/pipeline.rs:
+crates/policies/src/text.rs:

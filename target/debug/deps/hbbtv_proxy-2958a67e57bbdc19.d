@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbbtv_proxy-2958a67e57bbdc19.d: crates/proxy/src/lib.rs
+
+/root/repo/target/debug/deps/hbbtv_proxy-2958a67e57bbdc19: crates/proxy/src/lib.rs
+
+crates/proxy/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbbtv_proxy-646514c22baeaacc.d: crates/proxy/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_proxy-646514c22baeaacc.rlib: crates/proxy/src/lib.rs
+
+/root/repo/target/debug/deps/libhbbtv_proxy-646514c22baeaacc.rmeta: crates/proxy/src/lib.rs
+
+crates/proxy/src/lib.rs:

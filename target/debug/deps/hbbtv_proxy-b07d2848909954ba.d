@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_proxy-b07d2848909954ba.d: crates/proxy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_proxy-b07d2848909954ba.rmeta: crates/proxy/src/lib.rs Cargo.toml
+
+crates/proxy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

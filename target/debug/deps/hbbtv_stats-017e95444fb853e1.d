@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbbtv_stats-017e95444fb853e1.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_stats-017e95444fb853e1.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/kruskal.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbbtv_stats-9021d7e6e477f5b2.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+/root/repo/target/debug/deps/libhbbtv_stats-9021d7e6e477f5b2.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+/root/repo/target/debug/deps/libhbbtv_stats-9021d7e6e477f5b2.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/kruskal.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/rank.rs:

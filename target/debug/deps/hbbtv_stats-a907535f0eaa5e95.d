@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbbtv_stats-a907535f0eaa5e95.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+/root/repo/target/debug/deps/hbbtv_stats-a907535f0eaa5e95: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/kruskal.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/rank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbbtv_trackers-21983fac3a2cd8aa.d: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+/root/repo/target/debug/deps/hbbtv_trackers-21983fac3a2cd8aa: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+crates/trackers/src/lib.rs:
+crates/trackers/src/cookiepedia.rs:
+crates/trackers/src/ids.rs:
+crates/trackers/src/registry.rs:
+crates/trackers/src/service.rs:

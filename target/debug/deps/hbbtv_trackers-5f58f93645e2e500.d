@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbbtv_trackers-5f58f93645e2e500.d: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_trackers-5f58f93645e2e500.rmeta: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs Cargo.toml
+
+crates/trackers/src/lib.rs:
+crates/trackers/src/cookiepedia.rs:
+crates/trackers/src/ids.rs:
+crates/trackers/src/registry.rs:
+crates/trackers/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbbtv_trackers-ab75b3eb23a521ee.d: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+/root/repo/target/debug/deps/libhbbtv_trackers-ab75b3eb23a521ee.rlib: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+/root/repo/target/debug/deps/libhbbtv_trackers-ab75b3eb23a521ee.rmeta: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+crates/trackers/src/lib.rs:
+crates/trackers/src/cookiepedia.rs:
+crates/trackers/src/ids.rs:
+crates/trackers/src/registry.rs:
+crates/trackers/src/service.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbbtv_tv-0ed259c6efc61c4a.d: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbbtv_tv-0ed259c6efc61c4a.rmeta: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs Cargo.toml
+
+crates/tv/src/lib.rs:
+crates/tv/src/backend.rs:
+crates/tv/src/device.rs:
+crates/tv/src/runtime.rs:
+crates/tv/src/screen.rs:
+crates/tv/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

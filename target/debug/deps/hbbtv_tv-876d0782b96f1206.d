@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbbtv_tv-876d0782b96f1206.d: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+/root/repo/target/debug/deps/hbbtv_tv-876d0782b96f1206: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/backend.rs:
+crates/tv/src/device.rs:
+crates/tv/src/runtime.rs:
+crates/tv/src/screen.rs:
+crates/tv/src/storage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbbtv_tv-d65e212243c8f101.d: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+/root/repo/target/debug/deps/libhbbtv_tv-d65e212243c8f101.rlib: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+/root/repo/target/debug/deps/libhbbtv_tv-d65e212243c8f101.rmeta: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/backend.rs:
+crates/tv/src/device.rs:
+crates/tv/src/runtime.rs:
+crates/tv/src/screen.rs:
+crates/tv/src/storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-1baa582afb5720fd.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-1baa582afb5720fd: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

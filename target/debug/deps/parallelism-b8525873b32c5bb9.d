@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallelism-b8525873b32c5bb9.d: crates/bench/benches/parallelism.rs
+
+/root/repo/target/debug/deps/parallelism-b8525873b32c5bb9: crates/bench/benches/parallelism.rs
+
+crates/bench/benches/parallelism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-19d82e8f782c8756.d: .verify-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-19d82e8f782c8756.rlib: .verify-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-19d82e8f782c8756.rmeta: .verify-stubs/parking_lot/src/lib.rs
+
+.verify-stubs/parking_lot/src/lib.rs:

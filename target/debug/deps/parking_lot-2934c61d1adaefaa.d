@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-2934c61d1adaefaa.d: .verify-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-2934c61d1adaefaa.rmeta: .verify-stubs/parking_lot/src/lib.rs
+
+.verify-stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d328d9d9d1b3e524.d: .verify-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d328d9d9d1b3e524.rlib: .verify-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d328d9d9d1b3e524.rmeta: .verify-stubs/proptest/src/lib.rs
+
+.verify-stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4e82f3f02449b70e.d: .verify-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4e82f3f02449b70e.rlib: .verify-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4e82f3f02449b70e.rmeta: .verify-stubs/rand/src/lib.rs
+
+.verify-stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d55b86239d2f1570.d: .verify-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d55b86239d2f1570.rmeta: .verify-stubs/rand/src/lib.rs
+
+.verify-stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-592192c5007cf805.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-592192c5007cf805: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

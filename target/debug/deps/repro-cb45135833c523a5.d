@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cb45135833c523a5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cb45135833c523a5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

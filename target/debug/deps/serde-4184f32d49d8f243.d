@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4184f32d49d8f243.d: .verify-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4184f32d49d8f243.rlib: .verify-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4184f32d49d8f243.rmeta: .verify-stubs/serde/src/lib.rs
+
+.verify-stubs/serde/src/lib.rs:

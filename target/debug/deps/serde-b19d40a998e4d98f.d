@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b19d40a998e4d98f.d: .verify-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b19d40a998e4d98f.rmeta: .verify-stubs/serde/src/lib.rs
+
+.verify-stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3b2a0aa49c3e1254.d: .verify-stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-3b2a0aa49c3e1254.so: .verify-stubs/serde_derive/src/lib.rs
+
+.verify-stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-04817f3e4d42efd9.d: .verify-stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-04817f3e4d42efd9.rlib: .verify-stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-04817f3e4d42efd9.rmeta: .verify-stubs/serde_json/src/lib.rs
+
+.verify-stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-1296033d5ba4dbb1.d: crates/core/../../tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-1296033d5ba4dbb1: crates/core/../../tests/serialization.rs
+
+crates/core/../../tests/serialization.rs:

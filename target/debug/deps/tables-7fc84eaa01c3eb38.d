@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-7fc84eaa01c3eb38.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-7fc84eaa01c3eb38: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

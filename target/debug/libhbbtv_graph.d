@@ -1,0 +1,1 @@
+/root/repo/target/debug/libhbbtv_graph.rlib: /root/repo/.verify-stubs/serde/src/lib.rs /root/repo/.verify-stubs/serde_derive/src/lib.rs /root/repo/crates/graph/src/lib.rs

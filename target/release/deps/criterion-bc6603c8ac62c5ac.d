@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-bc6603c8ac62c5ac.d: .verify-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bc6603c8ac62c5ac.rlib: .verify-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bc6603c8ac62c5ac.rmeta: .verify-stubs/criterion/src/lib.rs
+
+.verify-stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-1b78475b88810dd5.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1b78475b88810dd5: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a5aac9f7b14916f2.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a5aac9f7b14916f2: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hbbtv_apps-12cdc219f5a8c935.d: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+/root/repo/target/release/deps/libhbbtv_apps-12cdc219f5a8c935.rlib: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+/root/repo/target/release/deps/libhbbtv_apps-12cdc219f5a8c935.rmeta: crates/apps/src/lib.rs crates/apps/src/app.rs crates/apps/src/leak.rs crates/apps/src/page.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/app.rs:
+crates/apps/src/leak.rs:
+crates/apps/src/page.rs:

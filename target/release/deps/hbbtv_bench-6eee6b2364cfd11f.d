@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbbtv_bench-6eee6b2364cfd11f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_bench-6eee6b2364cfd11f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_bench-6eee6b2364cfd11f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

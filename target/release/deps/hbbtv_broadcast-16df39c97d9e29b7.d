@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbbtv_broadcast-16df39c97d9e29b7.d: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+/root/repo/target/release/deps/libhbbtv_broadcast-16df39c97d9e29b7.rlib: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+/root/repo/target/release/deps/libhbbtv_broadcast-16df39c97d9e29b7.rmeta: crates/broadcast/src/lib.rs crates/broadcast/src/ait.rs crates/broadcast/src/channel.rs crates/broadcast/src/lineup.rs crates/broadcast/src/schedule.rs
+
+crates/broadcast/src/lib.rs:
+crates/broadcast/src/ait.rs:
+crates/broadcast/src/channel.rs:
+crates/broadcast/src/lineup.rs:
+crates/broadcast/src/schedule.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbbtv_consent-d3b568c5aa06f4bd.d: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+/root/repo/target/release/deps/libhbbtv_consent-d3b568c5aa06f4bd.rlib: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+/root/repo/target/release/deps/libhbbtv_consent-d3b568c5aa06f4bd.rmeta: crates/consent/src/lib.rs crates/consent/src/annotate.rs crates/consent/src/catalog.rs crates/consent/src/notice.rs crates/consent/src/nudging.rs
+
+crates/consent/src/lib.rs:
+crates/consent/src/annotate.rs:
+crates/consent/src/catalog.rs:
+crates/consent/src/notice.rs:
+crates/consent/src/nudging.rs:

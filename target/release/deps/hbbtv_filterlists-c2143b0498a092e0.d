@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbbtv_filterlists-c2143b0498a092e0.d: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+/root/repo/target/release/deps/libhbbtv_filterlists-c2143b0498a092e0.rlib: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+/root/repo/target/release/deps/libhbbtv_filterlists-c2143b0498a092e0.rmeta: crates/filterlists/src/lib.rs crates/filterlists/src/bundled.rs crates/filterlists/src/hosts.rs crates/filterlists/src/matcher.rs crates/filterlists/src/rule.rs
+
+crates/filterlists/src/lib.rs:
+crates/filterlists/src/bundled.rs:
+crates/filterlists/src/hosts.rs:
+crates/filterlists/src/matcher.rs:
+crates/filterlists/src/rule.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbbtv_graph-6b3a59274e9fc422.d: crates/graph/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_graph-6b3a59274e9fc422.rlib: crates/graph/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_graph-6b3a59274e9fc422.rmeta: crates/graph/src/lib.rs
+
+crates/graph/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hbbtv_net-6809922c7484bf4b.d: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+/root/repo/target/release/deps/libhbbtv_net-6809922c7484bf4b.rlib: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+/root/repo/target/release/deps/libhbbtv_net-6809922c7484bf4b.rmeta: crates/net/src/lib.rs crates/net/src/cookie.rs crates/net/src/domain.rs crates/net/src/error.rs crates/net/src/http.rs crates/net/src/time.rs crates/net/src/url.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cookie.rs:
+crates/net/src/domain.rs:
+crates/net/src/error.rs:
+crates/net/src/http.rs:
+crates/net/src/time.rs:
+crates/net/src/url.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hbbtv_policies-c8eb55d7a439f922.d: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+/root/repo/target/release/deps/libhbbtv_policies-c8eb55d7a439f922.rlib: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+/root/repo/target/release/deps/libhbbtv_policies-c8eb55d7a439f922.rmeta: crates/policies/src/lib.rs crates/policies/src/compliance.rs crates/policies/src/generator.rs crates/policies/src/annotate.rs crates/policies/src/classifier.rs crates/policies/src/gdpr.rs crates/policies/src/hashing.rs crates/policies/src/language.rs crates/policies/src/pipeline.rs crates/policies/src/text.rs
+
+crates/policies/src/lib.rs:
+crates/policies/src/compliance.rs:
+crates/policies/src/generator.rs:
+crates/policies/src/annotate.rs:
+crates/policies/src/classifier.rs:
+crates/policies/src/gdpr.rs:
+crates/policies/src/hashing.rs:
+crates/policies/src/language.rs:
+crates/policies/src/pipeline.rs:
+crates/policies/src/text.rs:

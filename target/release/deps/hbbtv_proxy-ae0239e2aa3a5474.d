@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbbtv_proxy-ae0239e2aa3a5474.d: crates/proxy/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_proxy-ae0239e2aa3a5474.rlib: crates/proxy/src/lib.rs
+
+/root/repo/target/release/deps/libhbbtv_proxy-ae0239e2aa3a5474.rmeta: crates/proxy/src/lib.rs
+
+crates/proxy/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbbtv_stats-1af96fd119933d51.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+/root/repo/target/release/deps/libhbbtv_stats-1af96fd119933d51.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+/root/repo/target/release/deps/libhbbtv_stats-1af96fd119933d51.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/kruskal.rs crates/stats/src/mann_whitney.rs crates/stats/src/rank.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/kruskal.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/rank.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/release/deps/hbbtv_study-e735c6997b8d343b.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/category.rs crates/core/src/analysis/consent_analysis.rs crates/core/src/analysis/cookies.rs crates/core/src/analysis/ecosystem_graph.rs crates/core/src/analysis/first_party.rs crates/core/src/analysis/leakage.rs crates/core/src/analysis/parallel.rs crates/core/src/analysis/policy_analysis.rs crates/core/src/analysis/rule_derivation.rs crates/core/src/analysis/significance.rs crates/core/src/analysis/syncing.rs crates/core/src/analysis/tracking.rs crates/core/src/ecosystem/mod.rs crates/core/src/ecosystem/apps_gen.rs crates/core/src/ecosystem/channels.rs crates/core/src/ecosystem/policies_gen.rs crates/core/src/ecosystem/roster.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/tables.rs crates/core/src/dataset.rs crates/core/src/run.rs
+
+/root/repo/target/release/deps/libhbbtv_study-e735c6997b8d343b.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/category.rs crates/core/src/analysis/consent_analysis.rs crates/core/src/analysis/cookies.rs crates/core/src/analysis/ecosystem_graph.rs crates/core/src/analysis/first_party.rs crates/core/src/analysis/leakage.rs crates/core/src/analysis/parallel.rs crates/core/src/analysis/policy_analysis.rs crates/core/src/analysis/rule_derivation.rs crates/core/src/analysis/significance.rs crates/core/src/analysis/syncing.rs crates/core/src/analysis/tracking.rs crates/core/src/ecosystem/mod.rs crates/core/src/ecosystem/apps_gen.rs crates/core/src/ecosystem/channels.rs crates/core/src/ecosystem/policies_gen.rs crates/core/src/ecosystem/roster.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/tables.rs crates/core/src/dataset.rs crates/core/src/run.rs
+
+/root/repo/target/release/deps/libhbbtv_study-e735c6997b8d343b.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/category.rs crates/core/src/analysis/consent_analysis.rs crates/core/src/analysis/cookies.rs crates/core/src/analysis/ecosystem_graph.rs crates/core/src/analysis/first_party.rs crates/core/src/analysis/leakage.rs crates/core/src/analysis/parallel.rs crates/core/src/analysis/policy_analysis.rs crates/core/src/analysis/rule_derivation.rs crates/core/src/analysis/significance.rs crates/core/src/analysis/syncing.rs crates/core/src/analysis/tracking.rs crates/core/src/ecosystem/mod.rs crates/core/src/ecosystem/apps_gen.rs crates/core/src/ecosystem/channels.rs crates/core/src/ecosystem/policies_gen.rs crates/core/src/ecosystem/roster.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/tables.rs crates/core/src/dataset.rs crates/core/src/run.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/category.rs:
+crates/core/src/analysis/consent_analysis.rs:
+crates/core/src/analysis/cookies.rs:
+crates/core/src/analysis/ecosystem_graph.rs:
+crates/core/src/analysis/first_party.rs:
+crates/core/src/analysis/leakage.rs:
+crates/core/src/analysis/parallel.rs:
+crates/core/src/analysis/policy_analysis.rs:
+crates/core/src/analysis/rule_derivation.rs:
+crates/core/src/analysis/significance.rs:
+crates/core/src/analysis/syncing.rs:
+crates/core/src/analysis/tracking.rs:
+crates/core/src/ecosystem/mod.rs:
+crates/core/src/ecosystem/apps_gen.rs:
+crates/core/src/ecosystem/channels.rs:
+crates/core/src/ecosystem/policies_gen.rs:
+crates/core/src/ecosystem/roster.rs:
+crates/core/src/harness.rs:
+crates/core/src/report.rs:
+crates/core/src/tables.rs:
+crates/core/src/dataset.rs:
+crates/core/src/run.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbbtv_trackers-d2ebc81da70aa31a.d: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+/root/repo/target/release/deps/libhbbtv_trackers-d2ebc81da70aa31a.rlib: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+/root/repo/target/release/deps/libhbbtv_trackers-d2ebc81da70aa31a.rmeta: crates/trackers/src/lib.rs crates/trackers/src/cookiepedia.rs crates/trackers/src/ids.rs crates/trackers/src/registry.rs crates/trackers/src/service.rs
+
+crates/trackers/src/lib.rs:
+crates/trackers/src/cookiepedia.rs:
+crates/trackers/src/ids.rs:
+crates/trackers/src/registry.rs:
+crates/trackers/src/service.rs:

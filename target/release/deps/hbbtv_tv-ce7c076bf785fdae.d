@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbbtv_tv-ce7c076bf785fdae.d: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+/root/repo/target/release/deps/libhbbtv_tv-ce7c076bf785fdae.rlib: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+/root/repo/target/release/deps/libhbbtv_tv-ce7c076bf785fdae.rmeta: crates/tv/src/lib.rs crates/tv/src/backend.rs crates/tv/src/device.rs crates/tv/src/runtime.rs crates/tv/src/screen.rs crates/tv/src/storage.rs
+
+crates/tv/src/lib.rs:
+crates/tv/src/backend.rs:
+crates/tv/src/device.rs:
+crates/tv/src/runtime.rs:
+crates/tv/src/screen.rs:
+crates/tv/src/storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_findings-05f50058975970db.d: crates/core/../../tests/paper_findings.rs
+
+/root/repo/target/release/deps/paper_findings-05f50058975970db: crates/core/../../tests/paper_findings.rs
+
+crates/core/../../tests/paper_findings.rs:

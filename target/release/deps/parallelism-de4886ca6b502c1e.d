@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallelism-de4886ca6b502c1e.d: crates/bench/benches/parallelism.rs
+
+/root/repo/target/release/deps/parallelism-de4886ca6b502c1e: crates/bench/benches/parallelism.rs
+
+crates/bench/benches/parallelism.rs:

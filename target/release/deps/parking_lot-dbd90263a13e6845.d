@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-dbd90263a13e6845.d: .verify-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-dbd90263a13e6845.rlib: .verify-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-dbd90263a13e6845.rmeta: .verify-stubs/parking_lot/src/lib.rs
+
+.verify-stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-416b1a13dc84695d.d: .verify-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-416b1a13dc84695d.rlib: .verify-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-416b1a13dc84695d.rmeta: .verify-stubs/proptest/src/lib.rs
+
+.verify-stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protection-df710f28ced47af5.d: crates/core/../../tests/protection.rs
+
+/root/repo/target/release/deps/protection-df710f28ced47af5: crates/core/../../tests/protection.rs
+
+crates/core/../../tests/protection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-29a9be9169356c4f.d: .verify-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29a9be9169356c4f.rlib: .verify-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29a9be9169356c4f.rmeta: .verify-stubs/rand/src/lib.rs
+
+.verify-stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e3bc7324f75c8cb7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e3bc7324f75c8cb7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-35985133c57ecda8.d: .verify-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-35985133c57ecda8.rlib: .verify-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-35985133c57ecda8.rmeta: .verify-stubs/serde/src/lib.rs
+
+.verify-stubs/serde/src/lib.rs:

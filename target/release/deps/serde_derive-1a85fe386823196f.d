@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-1a85fe386823196f.d: .verify-stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-1a85fe386823196f.so: .verify-stubs/serde_derive/src/lib.rs
+
+.verify-stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5c70617fd54b45ed.d: .verify-stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5c70617fd54b45ed.rlib: .verify-stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5c70617fd54b45ed.rmeta: .verify-stubs/serde_json/src/lib.rs
+
+.verify-stubs/serde_json/src/lib.rs:

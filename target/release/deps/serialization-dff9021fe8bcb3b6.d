@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serialization-dff9021fe8bcb3b6.d: crates/core/../../tests/serialization.rs
+
+/root/repo/target/release/deps/serialization-dff9021fe8bcb3b6: crates/core/../../tests/serialization.rs
+
+crates/core/../../tests/serialization.rs:

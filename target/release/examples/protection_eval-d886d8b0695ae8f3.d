@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protection_eval-d886d8b0695ae8f3.d: crates/core/../../examples/protection_eval.rs
+
+/root/repo/target/release/examples/protection_eval-d886d8b0695ae8f3: crates/core/../../examples/protection_eval.rs
+
+crates/core/../../examples/protection_eval.rs:
