@@ -1,20 +1,32 @@
 //! Benches of the parallel execution layer: the five-way threaded study
-//! against its sequential reference, and the chunked analysis map.
+//! against its sequential reference, the channel-parallel single run
+//! against the in-order protocol, and the chunked analysis map.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hbbtv_study::analysis::par_chunks;
-use hbbtv_study::{Ecosystem, StudyHarness};
+use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
 use std::hint::black_box;
 
 fn bench_parallelism(c: &mut Criterion) {
-    // Whole-study wall clock: one worker thread per run vs. one thread
-    // for everything. The speedup ceiling is min(5, cores).
+    // Whole-study wall clock: one worker thread per run (each fanning
+    // its visits over the pool) vs. one thread for everything. The
+    // speedup ceiling is min(channels, cores) — no longer just 5.
     let eco = Ecosystem::with_scale(42, 0.05);
     c.bench_function("run_all_parallel_scale_0_05", |b| {
         b.iter(|| black_box(StudyHarness::new(&eco).run_all()))
     });
     c.bench_function("run_all_sequential_scale_0_05", |b| {
         b.iter(|| black_box(StudyHarness::new(&eco).run_all_sequential()))
+    });
+
+    // Per-channel fan-out inside a single run: hermetic visits over the
+    // par_map worker pool vs. the same visits in protocol order on one
+    // thread. Isolates the visit-level grain from the run-level one.
+    c.bench_function("single_run_channel_parallel_scale_0_05", |b| {
+        b.iter(|| black_box(StudyHarness::new(&eco).run_parallel(RunKind::Red)))
+    });
+    c.bench_function("single_run_sequential_scale_0_05", |b| {
+        b.iter(|| black_box(StudyHarness::new(&eco).run(RunKind::Red)))
     });
 
     // The chunked map against a plain fold on an analysis-shaped

@@ -23,7 +23,7 @@ pub fn run_study(seed: u64, scale: f64) -> (Ecosystem, StudyDataset) {
 /// Builds a world and runs a subset of runs (cheaper for benches).
 pub fn run_study_subset(seed: u64, scale: f64, runs: &[RunKind]) -> (Ecosystem, StudyDataset) {
     let eco = Ecosystem::with_scale(seed, scale);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let dataset = StudyDataset {
         runs: runs.iter().map(|&r| harness.run(r)).collect(),
     };

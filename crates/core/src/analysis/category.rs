@@ -156,7 +156,7 @@ mod tests {
 
     fn world() -> (Ecosystem, StudyDataset) {
         let eco = Ecosystem::with_scale(13, 0.15);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };

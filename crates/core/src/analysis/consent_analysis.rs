@@ -173,7 +173,7 @@ mod tests {
 
     fn dataset() -> StudyDataset {
         let eco = Ecosystem::with_scale(17, 0.15);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         StudyDataset {
             runs: vec![
                 harness.run(RunKind::General),

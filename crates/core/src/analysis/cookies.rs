@@ -317,7 +317,7 @@ mod tests {
 
     fn dataset() -> StudyDataset {
         let eco = Ecosystem::with_scale(11, 0.08);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         StudyDataset {
             runs: vec![
                 harness.run(RunKind::General),

@@ -89,7 +89,7 @@ mod tests {
 
     fn analysis() -> GraphAnalysis {
         let eco = Ecosystem::with_scale(21, 0.15);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = crate::StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn first_parties_match_ground_truth_hubs() {
         let eco = Ecosystem::with_scale(42, 0.05);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let dataset = crate::StudyDataset {
             runs: vec![harness.run(RunKind::General)],
         };
@@ -134,7 +134,7 @@ mod tests {
                 .unwrap_or(false)
         });
         assert!(has_ga_ait, "the §V-A cohort exists at this scale");
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let dataset = crate::StudyDataset {
             runs: vec![harness.run(RunKind::General)],
         };

@@ -116,7 +116,7 @@ mod tests {
 
     fn dataset() -> StudyDataset {
         let eco = Ecosystem::with_scale(5, 0.1);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         }
@@ -150,7 +150,7 @@ mod tests {
         if !has_mediashop {
             return; // cohort absent at this scale
         }
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::Red)],
         };

@@ -1,13 +1,19 @@
-//! Deterministic chunked parallel map for capture-slice analyses.
+//! Deterministic parallel maps: the ordered worker pool behind both the
+//! capture-slice analyses and the channel-parallel harness.
 //!
-//! The heavy analysis loops (filter-list matching in Table III, cookie
-//! classification, tracking-pixel scans) are folds over independent
-//! captures: each capture contributes to a partial statistic and the
-//! partials merge associatively. [`par_chunks`] exploits that by
-//! splitting the slice into fixed-length chunks, mapping every chunk on
-//! a scoped worker thread, and returning the per-chunk results **in
-//! chunk order** — so merging the partials left-to-right produces
-//! exactly the sequential fold, regardless of thread scheduling.
+//! [`par_map`] maps a function over a slice on scoped worker threads
+//! (atomic-index work stealing) and returns the results **in item
+//! order** — so any left-to-right merge over them produces exactly the
+//! sequential result, regardless of thread scheduling. Two callers build
+//! on it:
+//!
+//! * The heavy analysis loops (filter-list matching in Table III, cookie
+//!   classification, tracking-pixel scans) are folds over independent
+//!   captures; [`par_chunks`] splits the capture slice into fixed-length
+//!   chunks and `par_map`s the per-chunk partial statistics.
+//! * The study harness fans the channel visits of one run out over
+//!   workers (`StudyHarness::run_parallel`); each item is one hermetic
+//!   visit and the ordered results merge in canonical channel order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -44,17 +50,49 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    par_map(&chunks, |_, chunk| f(chunk))
+}
+
+/// Maps `f` over `items` on scoped worker threads and returns the
+/// results **in item order**. `f` receives `(index, &item)` so callers
+/// can derive per-item state (seeds, clock offsets) from the canonical
+/// position rather than from scheduling order.
+///
+/// Workers steal the next unclaimed index from a shared atomic counter,
+/// so the threads can finish in any order without perturbing the output.
+/// With one item, or on a single-core machine, `f` runs on the calling
+/// thread — the result is identical either way, which is what makes
+/// everything built on top of it deterministic.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_study::analysis::par_map;
+/// let items = ["a", "bb", "ccc"];
+/// let lens = par_map(&items, |i, s| (i, s.len()));
+/// assert_eq!(lens, vec![(0, 1), (1, 2), (2, 3)]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(chunks.len());
+        .min(items.len());
     if workers <= 1 {
-        return chunks.into_iter().map(f).collect();
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(chunks.len(), || None);
+    slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -62,22 +100,22 @@ where
                     let mut out = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(chunk) = chunks.get(idx) else { break };
-                        out.push((idx, f(chunk)));
+                        let Some(item) = items.get(idx) else { break };
+                        out.push((idx, f(idx, item)));
                     }
                     out
                 })
             })
             .collect();
         for handle in handles {
-            for (idx, result) in handle.join().expect("par_chunks worker panicked") {
+            for (idx, result) in handle.join().expect("par_map worker panicked") {
                 slots[idx] = Some(result);
             }
         }
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every chunk produces a result"))
+        .map(|r| r.expect("every item produces a result"))
         .collect()
 }
 
@@ -118,5 +156,20 @@ mod tests {
     #[should_panic(expected = "chunk_len must be positive")]
     fn zero_chunk_len_panics() {
         par_chunks(&[1, 2, 3], 0, |c| c.len());
+    }
+
+    #[test]
+    fn par_map_preserves_item_order_and_indices() {
+        let items: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let mapped = par_map(&items, |i, &v| (i, v + 1));
+        let expected: Vec<(usize, u64)> =
+            items.iter().enumerate().map(|(i, &v)| (i, v + 1)).collect();
+        assert_eq!(mapped, expected);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(&[] as &[u8], |_, &b| b).is_empty());
+        assert_eq!(par_map(&[9u8], |i, &b| (i, b)), vec![(0, 9)]);
     }
 }

@@ -159,7 +159,7 @@ mod tests {
 
     fn dataset(scale: f64) -> StudyDataset {
         let eco = Ecosystem::with_scale(23, scale);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         StudyDataset {
             runs: vec![
                 harness.run(RunKind::General),
@@ -210,7 +210,7 @@ mod tests {
         if !has_super {
             return;
         }
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };

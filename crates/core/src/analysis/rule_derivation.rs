@@ -229,7 +229,7 @@ mod tests {
 
     fn derived() -> DerivedList {
         let eco = Ecosystem::with_scale(19, 0.1);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = crate::StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };
@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn min_channel_threshold_prunes_boutique_trackers() {
         let eco = Ecosystem::with_scale(19, 0.1);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = crate::StudyDataset {
             runs: vec![harness.run(RunKind::General)],
         };

@@ -77,7 +77,7 @@ mod tests {
     fn run_effects_are_significant() {
         // General vs Red maximizes the interaction contrast (§IV-D).
         let eco = Ecosystem::with_scale(31, 0.15);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };

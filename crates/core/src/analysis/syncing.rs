@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn sync_chain_is_detected_in_button_runs() {
         let eco = Ecosystem::with_scale(3, 0.12);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn syncing_is_rare_relative_to_potential_ids() {
         let eco = Ecosystem::with_scale(3, 0.12);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::Red)],
         };

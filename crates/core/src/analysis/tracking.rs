@@ -366,7 +366,7 @@ mod tests {
 
     fn dataset() -> (Ecosystem, StudyDataset) {
         let eco = Ecosystem::with_scale(7, 0.06);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let runs = vec![harness.run(RunKind::General), harness.run(RunKind::Red)];
         (eco, StudyDataset { runs })
     }
@@ -413,7 +413,7 @@ mod tests {
         // Larger slice so both first-party and third-party fingerprint
         // cohorts exist.
         let eco = Ecosystem::with_scale(7, 0.18);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };
@@ -452,6 +452,7 @@ mod tests {
         use hbbtv_net::{Request, Response};
         let mk = |len: usize, status: Status, ct: ContentType| CapturedExchange {
             session: "t".into(),
+            visit: None,
             channel: None,
             channel_name: None,
             request: Request::get("http://x.de/p".parse().unwrap()).build(),

@@ -2,10 +2,27 @@
 
 use crate::run::RunKind;
 use hbbtv_broadcast::ChannelId;
-use hbbtv_proxy::CapturedExchange;
+use hbbtv_net::Timestamp;
+use hbbtv_proxy::{CapturedExchange, VisitId};
 use hbbtv_tv::{Screenshot, StoredCookie};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// One channel visit of a run: the unit of capture attribution and of
+/// channel-parallel execution. Visits appear in canonical (shuffled)
+/// protocol order; `visit` ids are their sequence numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitSummary {
+    /// The visit's id (its position in the run's channel order).
+    pub visit: VisitId,
+    /// The channel visited.
+    pub channel: ChannelId,
+    /// When the visit opened on the run's simulated clock.
+    pub opened: Timestamp,
+    /// Number of exchanges captured during the visit (before grace
+    /// re-attribution, which can only move an exchange one visit back).
+    pub captures: usize,
+}
 
 /// Everything one measurement run produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -16,6 +33,8 @@ pub struct RunDataset {
     pub channels_measured: Vec<ChannelId>,
     /// Channel names by id, for reporting.
     pub channel_names: BTreeMap<ChannelId, String>,
+    /// Per-visit summaries, in protocol order.
+    pub visits: Vec<VisitSummary>,
     /// All captured HTTP(S) exchanges.
     pub captures: Vec<CapturedExchange>,
     /// The cookie jar extracted after the run (then wiped).
@@ -51,6 +70,30 @@ impl RunDataset {
             return 0.0;
         }
         self.https_count() as f64 / self.captures.len() as f64 * 100.0
+    }
+
+    /// Captures attributed to each channel (after grace re-attribution)
+    /// — the per-channel traffic slices every downstream analysis is
+    /// computed over.
+    pub fn per_channel_capture_counts(&self) -> BTreeMap<ChannelId, usize> {
+        let mut counts = BTreeMap::new();
+        for c in &self.captures {
+            if let Some(ch) = c.channel {
+                *counts.entry(ch).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Captures attributed to each visit (after grace re-attribution).
+    pub fn per_visit_capture_counts(&self) -> BTreeMap<VisitId, usize> {
+        let mut counts = BTreeMap::new();
+        for c in &self.captures {
+            if let Some(v) = c.visit {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts
     }
 }
 
@@ -110,6 +153,7 @@ mod tests {
         };
         CapturedExchange {
             session: "General".to_string(),
+            visit: Some(VisitId(0)),
             channel: Some(ChannelId(1)),
             channel_name: Some("X".to_string()),
             request: Request::get(url.parse().unwrap())
@@ -124,6 +168,7 @@ mod tests {
             run: RunKind::General,
             channels_measured: vec![ChannelId(1)],
             channel_names: BTreeMap::new(),
+            visits: vec![],
             captures: (0..https)
                 .map(|_| capture(true))
                 .chain((0..http).map(|_| capture(false)))
@@ -148,6 +193,28 @@ mod tests {
     fn empty_dataset_share_is_zero() {
         let d = dataset(0, 0);
         assert_eq!(d.https_share_percent(), 0.0);
+    }
+
+    #[test]
+    fn per_channel_and_per_visit_counts() {
+        let d = dataset(2, 3);
+        assert_eq!(d.per_channel_capture_counts()[&ChannelId(1)], 5);
+        assert_eq!(d.per_visit_capture_counts()[&VisitId(0)], 5);
+        let mut with_unattributed = dataset(1, 0);
+        with_unattributed.captures.push(CapturedExchange {
+            channel: None,
+            visit: None,
+            ..capture(false)
+        });
+        assert_eq!(with_unattributed.per_channel_capture_counts().len(), 1);
+        assert_eq!(
+            with_unattributed
+                .per_visit_capture_counts()
+                .values()
+                .sum::<usize>(),
+            1,
+            "unattributed captures count toward no visit"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The measurement harness: §IV-C's remote-control script.
 //!
 //! One [`StudyHarness::run`] call performs a complete measurement run:
-//! it starts the proxy session, shuffles the channel order (runs were
-//! randomized to minimize order effects), and for every available
-//! channel follows the exact §IV-C protocol:
+//! it shuffles the channel order (runs were randomized to minimize
+//! order effects), and for every available channel follows the exact
+//! §IV-C protocol:
 //!
 //! * **General**: switch, wait 10 s, screenshot, then a screenshot every
 //!   60 s until 900 s of watch time — 16 screenshots.
@@ -13,48 +13,66 @@
 //!   after each), then screenshots every 60 s until 1000 s —
 //!   27 screenshots.
 //!
-//! After the run, cookies and local storage are extracted and wiped, and
-//! the TV is powered off — exactly the §IV-C run lifecycle.
+//! After each visit, cookies and local storage are extracted and wiped,
+//! and the TV is powered off — the §IV-C lifecycle.
+//!
+//! # Visits are hermetic — and therefore parallel
+//!
+//! Each channel visit is a pure function of `(ecosystem, run kind,
+//! visit position, channel id)`: it owns a fresh [`Tv`] (empty cookie
+//! jar and local storage), a [`SimClock`] offset to the visit's slot in
+//! the run's timeline, RNGs seeded from `(run seed, channel id)`, and a
+//! [`Proxy`] shard into which a single [`hbbtv_proxy::VisitHandle`]
+//! records. Because no state flows between visits,
+//! [`StudyHarness::run_parallel`] can fan the visits of one run out over
+//! a scoped-thread worker pool ([`par_map`]) and merge the results in
+//! canonical channel order — byte-identical to the sequential
+//! [`StudyHarness::run`], which drives the very same per-visit function
+//! on the calling thread. [`StudyHarness::run_all`] stacks the two
+//! grains: one worker thread per run, channel-parallel visits inside
+//! each.
 
-use crate::dataset::{RunDataset, StudyDataset};
+use crate::analysis::parallel::par_map;
+use crate::dataset::{RunDataset, StudyDataset, VisitSummary};
 use crate::ecosystem::Ecosystem;
 use crate::run::RunKind;
 use hbbtv_filterlists::{FilterList, RequestContext, ResourceKind};
-use hbbtv_net::{ContentType, Duration, Etld1, Request, Response, SimClock, Status};
-use hbbtv_proxy::Proxy;
+use hbbtv_net::{
+    ContentType, CookieKey, Duration, Etld1, Request, Response, SimClock, Status, Timestamp,
+};
+use hbbtv_proxy::{CapturedExchange, Proxy, VisitHandle};
 use hbbtv_trackers::ResponderContext;
-use hbbtv_tv::{ChannelContext, DeviceProfile, NetworkBackend, RcButton, Tv};
+use hbbtv_tv::{
+    ChannelContext, DeviceProfile, NetworkBackend, RcButton, Screenshot, StoredCookie, Tv,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
-/// The network backend for the simulated TV: answers from the tracker
-/// registry (plus the first parties' policy routes) and records every
-/// exchange in the proxy.
+/// The network backend for one simulated channel visit: answers from
+/// the tracker registry (plus the first parties' policy routes) and
+/// records every exchange through the visit's proxy handle.
 struct EcoBackend<'a> {
     eco: &'a Ecosystem,
-    proxy: Proxy,
+    visit: VisitHandle,
     clock: SimClock,
     rng: StdRng,
     /// An on-device block list (the §VIII protection-mechanism
     /// evaluation): matching requests never leave the TV and are not
     /// captured.
     blocklist: Option<&'a FilterList>,
-    /// The eTLD+1 of the channel currently tuned; the harness updates it
-    /// on every channel switch so `$third-party`/`$~third-party` rules
-    /// see the real party relationship instead of a hardcoded guess.
-    current_first_party: Option<Etld1>,
+    /// The eTLD+1 of the channel being visited, so
+    /// `$third-party`/`$~third-party` rules see the real party
+    /// relationship instead of a hardcoded guess.
+    first_party: Etld1,
 }
 
 impl NetworkBackend for EcoBackend<'_> {
     fn fetch(&mut self, request: Request) -> Response {
         if let Some(list) = self.blocklist {
-            let third_party = self
-                .current_first_party
-                .as_ref()
-                .map(|fp| request.url.etld1() != fp)
-                .unwrap_or(true);
+            let third_party = request.url.etld1() != &self.first_party;
             let blocked = list.matches(
                 &request.url,
                 RequestContext {
@@ -83,9 +101,23 @@ impl NetworkBackend for EcoBackend<'_> {
                 self.eco.registry().respond(&request, &mut ctx)
             }
         };
-        self.proxy.record(request, response.clone());
+        self.visit.record(request, response.clone());
         response
     }
+}
+
+/// Everything one hermetic channel visit produced; merged into a
+/// [`RunDataset`] in canonical channel order.
+struct VisitOutcome {
+    id: hbbtv_broadcast::ChannelId,
+    name: String,
+    opened: Timestamp,
+    captures: Vec<CapturedExchange>,
+    cookies: Vec<StoredCookie>,
+    local_storage: Vec<(String, String, String)>,
+    screenshots: Vec<Screenshot>,
+    interactions: usize,
+    consented: bool,
 }
 
 /// Drives the full study over a generated ecosystem.
@@ -100,21 +132,22 @@ impl<'a> StudyHarness<'a> {
         StudyHarness { eco }
     }
 
-    /// Performs all five measurement runs, one worker thread per run.
+    /// Performs all five measurement runs, one worker thread per run,
+    /// with channel-parallel visits inside each run.
     ///
     /// The physical study ran the five protocols on independent days
     /// against freshly wiped TV state; here each run owns an isolated
-    /// [`SimClock`], [`Proxy`], [`Tv`], and RNG seeded only from
-    /// `(ecosystem seed, run kind)`, so the parallel execution is
-    /// byte-identical to [`StudyHarness::run_all_sequential`]. Results
-    /// are assembled in [`RunKind::ALL`] order regardless of which
-    /// worker finishes first.
-    pub fn run_all(&mut self) -> StudyDataset {
+    /// timeline and RNGs seeded only from `(ecosystem seed, run kind)`,
+    /// and each visit inside a run is hermetic (see the module docs), so
+    /// the parallel execution is byte-identical to
+    /// [`StudyHarness::run_all_sequential`]. Results are assembled in
+    /// [`RunKind::ALL`] order regardless of which worker finishes first.
+    pub fn run_all(&self) -> StudyDataset {
         let eco = self.eco;
         let runs = std::thread::scope(|scope| {
             let handles: Vec<_> = RunKind::ALL
                 .iter()
-                .map(|&kind| scope.spawn(move || StudyHarness::new(eco).run(kind)))
+                .map(|&kind| scope.spawn(move || StudyHarness::new(eco).run_parallel(kind)))
                 .collect();
             handles
                 .into_iter()
@@ -124,168 +157,281 @@ impl<'a> StudyHarness<'a> {
         StudyDataset { runs }
     }
 
-    /// Performs all five measurement runs on the calling thread — the
-    /// reference the determinism guarantee test compares [`run_all`]
-    /// against.
+    /// Performs all five measurement runs on the calling thread, visits
+    /// strictly in protocol order — the reference the determinism
+    /// guarantee tests compare [`run_all`] against.
     ///
     /// [`run_all`]: StudyHarness::run_all
-    pub fn run_all_sequential(&mut self) -> StudyDataset {
+    pub fn run_all_sequential(&self) -> StudyDataset {
         StudyDataset {
             runs: RunKind::ALL.iter().map(|&r| self.run(r)).collect(),
         }
     }
 
-    /// Performs one measurement run.
-    pub fn run(&mut self, kind: RunKind) -> RunDataset {
-        self.run_inner(kind, None)
+    /// Performs one measurement run, visits in protocol order on the
+    /// calling thread.
+    pub fn run(&self, kind: RunKind) -> RunDataset {
+        self.run_inner(kind, None, false)
+    }
+
+    /// Performs one measurement run with its channel visits fanned out
+    /// over a scoped-thread worker pool. Byte-identical to
+    /// [`StudyHarness::run`]: both drive the same hermetic per-visit
+    /// function, and [`par_map`] returns visit outcomes in canonical
+    /// channel order regardless of scheduling.
+    pub fn run_parallel(&self, kind: RunKind) -> RunDataset {
+        self.run_inner(kind, None, true)
     }
 
     /// Performs one measurement run with an on-device block list active
     /// (the §VIII protection evaluation: blocked requests never leave
     /// the TV).
-    pub fn run_with_blocklist(&mut self, kind: RunKind, blocklist: &FilterList) -> RunDataset {
-        self.run_inner(kind, Some(blocklist))
+    pub fn run_with_blocklist(&self, kind: RunKind, blocklist: &FilterList) -> RunDataset {
+        self.run_inner(kind, Some(blocklist), false)
     }
 
-    fn run_inner(&mut self, kind: RunKind, blocklist: Option<&FilterList>) -> RunDataset {
-        let clock = SimClock::starting_at(kind.start_time());
-        let proxy = Proxy::new();
-        proxy.start_session(kind.label());
-        let run_seed = self.eco.seed() ^ (kind as u64).wrapping_mul(0x9E37_79B9);
-        let backend = EcoBackend {
-            eco: self.eco,
-            proxy: proxy.clone(),
-            clock: clock.clone(),
-            rng: StdRng::seed_from_u64(run_seed ^ 0xBAC5),
-            blocklist,
-            current_first_party: None,
-        };
-        let mut tv = Tv::new(DeviceProfile::study_tv(), clock.clone(), backend, run_seed);
-        let mut script_rng = StdRng::seed_from_u64(run_seed ^ 0x5C21);
+    /// [`StudyHarness::run_with_blocklist`] with channel-parallel
+    /// visits.
+    pub fn run_parallel_with_blocklist(&self, kind: RunKind, blocklist: &FilterList) -> RunDataset {
+        self.run_inner(kind, Some(blocklist), true)
+    }
 
-        // Randomize channel order (§IV-C).
+    fn run_inner(
+        &self,
+        kind: RunKind,
+        blocklist: Option<&FilterList>,
+        parallel: bool,
+    ) -> RunDataset {
+        let run_seed = self.eco.seed() ^ (kind as u64).wrapping_mul(0x9E37_79B9);
+        let (order, sequence) = self.visit_plan(kind, run_seed);
+        let outcomes: Vec<VisitOutcome> = if parallel {
+            par_map(&order, |seq, &id| {
+                self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist)
+            })
+        } else {
+            order
+                .iter()
+                .enumerate()
+                .map(|(seq, &id)| self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist))
+                .collect()
+        };
+        merge_run(kind, outcomes)
+    }
+
+    /// The run-level script state, fixed before any visit starts: the
+    /// shuffled channel order (off-air channels removed) and the fixed
+    /// 10-press interaction sequence shared by all visits (§IV-C
+    /// generates it once per run).
+    fn visit_plan(
+        &self,
+        kind: RunKind,
+        run_seed: u64,
+    ) -> (Vec<hbbtv_broadcast::ChannelId>, Vec<RcButton>) {
+        let mut script_rng = StdRng::seed_from_u64(run_seed ^ 0x5C21);
         let mut order: Vec<_> = self.eco.final_channels().to_vec();
         order.shuffle(&mut script_rng);
-        let off_air = self.eco.off_air(kind);
-
-        // The fixed interaction sequence: 10 presses from the cursor set
-        // with at least one ENTER (§IV-C), generated once per run.
         let sequence = interaction_sequence(&mut script_rng);
+        let off_air = self.eco.off_air(kind);
+        order.retain(|id| !off_air.contains(id));
+        (order, sequence)
+    }
 
-        let mut channels_measured = Vec::new();
-        let mut channel_names = BTreeMap::new();
+    /// One hermetic channel visit: a pure function of `(ecosystem, run
+    /// kind, visit position, channel id)`. Owns a fresh TV, a clock
+    /// offset to the visit's slot (`start_time + seq · watch_time`), a
+    /// proxy shard, and RNGs seeded from `(run_seed, channel_id)` — so
+    /// the same arguments produce the same outcome on any thread in any
+    /// order.
+    fn visit_channel(
+        &self,
+        kind: RunKind,
+        run_seed: u64,
+        seq: usize,
+        id: hbbtv_broadcast::ChannelId,
+        sequence: &[RcButton],
+        blocklist: Option<&FilterList>,
+    ) -> VisitOutcome {
+        let bp = self
+            .eco
+            .blueprint(id)
+            .expect("final channels have blueprints");
+        let opened =
+            kind.start_time() + Duration::from_secs(seq as u64 * kind.watch_time().as_secs());
+        let clock = SimClock::starting_at(opened);
+        let proxy = Proxy::new();
+        proxy.start_session_at(kind.label(), seq as u32);
+        let visit = proxy.begin_visit(id, &bp.plan.name, clock.now());
+
+        let visit_seed = run_seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let backend = EcoBackend {
+            eco: self.eco,
+            visit,
+            clock: clock.clone(),
+            rng: StdRng::seed_from_u64(visit_seed ^ 0xBAC5),
+            blocklist,
+            first_party: Etld1::from_host(&bp.first_party_host),
+        };
+        let mut tv = Tv::new(
+            DeviceProfile::study_tv(),
+            clock.clone(),
+            backend,
+            visit_seed,
+        );
+        // The visit-local script RNG drives the weak-signal model.
+        let mut script_rng = StdRng::seed_from_u64(visit_seed ^ 0x51C7);
+
         let mut screenshots = Vec::new();
-        let mut interactions = 0usize;
-        let mut consented_channels = Vec::new();
+        let mut interactions = 1usize; // the channel switch itself
 
-        for id in order {
-            if off_air.contains(&id) {
-                continue;
+        // Consent notices are frequency-capped: roughly one in four
+        // tune-ins does not show the notice (deterministic per channel
+        // and run).
+        let suppress_notice = (id.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(kind as u64)
+            % 4
+            == 1;
+        let ctx = ChannelContext {
+            descriptor: bp.descriptor.clone(),
+            app: bp.app.clone(),
+            program: bp.program.clone(),
+            signal_ok: true,
+            tech_message: false,
+            ctm_on_missing: bp.plan.knobs.ctm_on_missing,
+            suppress_notice,
+        };
+        tv.tune(ctx, &bp.ait);
+
+        let weak = bp.plan.knobs.weak_signal;
+        let shoot = |tv: &mut Tv<EcoBackend>, rng: &mut StdRng, shots: &mut Vec<Screenshot>| {
+            if weak {
+                tv.set_signal_ok(rng.gen_bool(0.7));
             }
-            let bp = self
-                .eco
-                .blueprint(id)
-                .expect("final channels have blueprints");
-            channels_measured.push(id);
-            channel_names.insert(id, bp.plan.name.clone());
+            if let Some(s) = tv.screenshot() {
+                shots.push(s);
+            }
+        };
 
-            proxy.notify_channel_switch(id, &bp.plan.name, clock.now());
-            tv.backend_mut().current_first_party = Some(Etld1::from_host(&bp.first_party_host));
-            interactions += 1; // the channel switch itself
-                               // Consent notices are frequency-capped: roughly one in four
-                               // tune-ins does not show the notice (deterministic per
-                               // channel and run).
-            let suppress_notice = (id.0 as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(kind as u64)
-                % 4
-                == 1;
-            let ctx = ChannelContext {
-                descriptor: bp.descriptor.clone(),
-                app: bp.app.clone(),
-                program: bp.program.clone(),
-                signal_ok: true,
-                tech_message: false,
-                ctm_on_missing: bp.plan.knobs.ctm_on_missing,
-                suppress_notice,
-            };
-            tv.tune(ctx, &bp.ait);
+        // Wait 10 s, first screenshot.
+        tv.advance(Duration::from_secs(10));
+        shoot(&mut tv, &mut script_rng, &mut screenshots);
 
-            let weak = bp.plan.knobs.weak_signal;
-            let shoot = |tv: &mut Tv<EcoBackend>,
-                         rng: &mut StdRng,
-                         shots: &mut Vec<hbbtv_tv::Screenshot>| {
-                if weak {
-                    tv.set_signal_ok(rng.gen_bool(0.7));
-                }
-                if let Some(s) = tv.screenshot() {
-                    shots.push(s);
-                }
-            };
-
-            // Wait 10 s, first screenshot.
+        let mut elapsed = 10u64;
+        if let Some(button) = kind.button() {
+            // Press the run's color button, wait 10 s, screenshot.
+            tv.press(color_to_rc(button));
+            interactions += 1;
             tv.advance(Duration::from_secs(10));
+            elapsed += 10;
             shoot(&mut tv, &mut script_rng, &mut screenshots);
-
-            let mut elapsed = 10u64;
-            if let Some(button) = kind.button() {
-                // Press the run's color button, wait 10 s, screenshot.
-                tv.press(color_to_rc(button));
+            // Fixed interaction sequence, 5 s apart, screenshot each.
+            for &press in sequence {
+                tv.press(press);
                 interactions += 1;
-                tv.advance(Duration::from_secs(10));
-                elapsed += 10;
+                tv.advance(Duration::from_secs(5));
+                elapsed += 5;
                 shoot(&mut tv, &mut script_rng, &mut screenshots);
-                // Fixed interaction sequence, 5 s apart, screenshot each.
-                for &press in &sequence {
-                    tv.press(press);
-                    interactions += 1;
-                    tv.advance(Duration::from_secs(5));
-                    elapsed += 5;
-                    shoot(&mut tv, &mut script_rng, &mut screenshots);
-                }
-            }
-
-            // Periodic screenshots every 60 s until the watch time ends.
-            let total = kind.watch_time().as_secs();
-            loop {
-                let next = (elapsed / 60 + 1) * 60;
-                if next > total {
-                    break;
-                }
-                tv.advance(Duration::from_secs(next - elapsed));
-                elapsed = next;
-                shoot(&mut tv, &mut script_rng, &mut screenshots);
-            }
-            if total > elapsed {
-                tv.advance(Duration::from_secs(total - elapsed));
-            }
-            if tv.consent_granted() {
-                consented_channels.push(id);
             }
         }
 
-        // Post-run extraction (SSH in the physical study), then wipe and
-        // power off.
-        let cookies: Vec<_> = tv.cookie_jar().all().cloned().collect();
-        let local_storage: Vec<(String, String, String)> = tv
-            .local_storage()
-            .all()
-            .map(|(origin, key, value)| (origin.to_string(), key.to_string(), value.to_string()))
-            .collect();
-        tv.wipe_storage();
+        // Periodic screenshots every 60 s until the watch time ends.
+        let total = kind.watch_time().as_secs();
+        loop {
+            let next = (elapsed / 60 + 1) * 60;
+            if next > total {
+                break;
+            }
+            tv.advance(Duration::from_secs(next - elapsed));
+            elapsed = next;
+            shoot(&mut tv, &mut script_rng, &mut screenshots);
+        }
+        if total > elapsed {
+            tv.advance(Duration::from_secs(total - elapsed));
+        }
+        let consented = tv.consent_granted();
+
+        // Post-visit extraction (SSH in the physical study), then wipe
+        // and power off.
+        let (cookies, local_storage) = tv.extract_storage();
         tv.power_off();
 
-        RunDataset {
-            run: kind,
-            channels_measured,
-            channel_names,
+        VisitOutcome {
+            id,
+            name: bp.plan.name.clone(),
+            opened,
             captures: proxy.captures(),
             cookies,
             local_storage,
             screenshots,
             interactions,
-            consented_channels,
+            consented,
         }
+    }
+}
+
+/// Merges visit outcomes, already in canonical channel order, into one
+/// [`RunDataset`]. Cookie jars merge the way one jar would have
+/// accumulated them (keyed by `(domain, name)`, later visits overwrite
+/// values while the earliest `created` survives); local storage merges
+/// keyed by `(origin, key)`.
+fn merge_run(kind: RunKind, outcomes: Vec<VisitOutcome>) -> RunDataset {
+    let mut channels_measured = Vec::new();
+    let mut channel_names = BTreeMap::new();
+    let mut visits = Vec::new();
+    let mut captures = Vec::new();
+    let mut cookie_jar: BTreeMap<CookieKey, StoredCookie> = BTreeMap::new();
+    let mut storage: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut screenshots = Vec::new();
+    let mut interactions = 0usize;
+    let mut consented_channels = Vec::new();
+
+    for (seq, outcome) in outcomes.into_iter().enumerate() {
+        channels_measured.push(outcome.id);
+        channel_names.insert(outcome.id, outcome.name);
+        visits.push(VisitSummary {
+            visit: hbbtv_proxy::VisitId(seq as u32),
+            channel: outcome.id,
+            opened: outcome.opened,
+            captures: outcome.captures.len(),
+        });
+        captures.extend(outcome.captures);
+        for cookie in outcome.cookies {
+            match cookie_jar.entry(cookie.cookie.key()) {
+                Entry::Vacant(slot) => {
+                    slot.insert(cookie);
+                }
+                Entry::Occupied(mut slot) => {
+                    let created = slot.get().created.min(cookie.created);
+                    let mut merged = cookie;
+                    merged.created = created;
+                    slot.insert(merged);
+                }
+            }
+        }
+        for (origin, key, value) in outcome.local_storage {
+            storage.insert((origin, key), value);
+        }
+        screenshots.extend(outcome.screenshots);
+        interactions += outcome.interactions;
+        if outcome.consented {
+            consented_channels.push(outcome.id);
+        }
+    }
+
+    RunDataset {
+        run: kind,
+        channels_measured,
+        channel_names,
+        visits,
+        captures,
+        cookies: cookie_jar.into_values().collect(),
+        local_storage: storage
+            .into_iter()
+            .map(|((origin, key), value)| (origin, key, value))
+            .collect(),
+        screenshots,
+        interactions,
+        consented_channels,
     }
 }
 
@@ -348,7 +494,7 @@ mod tests {
     #[test]
     fn general_run_produces_the_protocol_artifacts() {
         let eco = small_world();
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::General);
         assert!(!ds.captures.is_empty());
         assert!(!ds.channels_measured.is_empty());
@@ -365,7 +511,7 @@ mod tests {
     #[test]
     fn button_runs_take_27_screenshots_per_channel() {
         let eco = small_world();
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::Red);
         assert_eq!(ds.screenshots.len(), ds.channels_measured.len() * 27);
     }
@@ -373,7 +519,7 @@ mod tests {
     #[test]
     fn green_run_measures_fewer_channels() {
         let eco = small_world();
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let general = harness.run(RunKind::General);
         let green = harness.run(RunKind::Green);
         assert!(
@@ -385,19 +531,67 @@ mod tests {
     #[test]
     fn cookies_and_storage_are_extracted() {
         let eco = small_world();
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::Red);
         assert!(!ds.cookies.is_empty(), "trackers set cookies");
         assert!(!ds.local_storage.is_empty(), "apps write local storage");
     }
 
     #[test]
-    fn most_traffic_is_attributed_to_channels() {
+    fn all_traffic_is_attributed_to_visits() {
         let eco = small_world();
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::General);
         let attributed = ds.captures.iter().filter(|c| c.channel.is_some()).count();
         assert!(attributed * 10 >= ds.captures.len() * 9, "≥90% attributed");
+        // Visit tags and channel tags agree with the visit summaries.
+        for c in &ds.captures {
+            assert_eq!(c.channel.is_some(), c.visit.is_some());
+            if let (Some(v), Some(ch)) = (c.visit, c.channel) {
+                let summary = &ds.visits[v.0 as usize];
+                assert_eq!(summary.visit, v);
+                assert_eq!(summary.channel, ch);
+            }
+        }
+        // Per-visit capture counts re-derive from the tags; the grace
+        // rule can only shift counts between adjacent visits.
+        let tagged: usize = ds.per_visit_capture_counts().values().sum();
+        assert_eq!(tagged, attributed);
+    }
+
+    #[test]
+    fn visit_summaries_mirror_the_channel_order() {
+        let eco = small_world();
+        let harness = StudyHarness::new(&eco);
+        let ds = harness.run(RunKind::Red);
+        assert_eq!(ds.visits.len(), ds.channels_measured.len());
+        for (i, (summary, &ch)) in ds.visits.iter().zip(&ds.channels_measured).enumerate() {
+            assert_eq!(summary.visit.0 as usize, i);
+            assert_eq!(summary.channel, ch);
+        }
+        // Visits tile the run's timeline back-to-back.
+        let watch = RunKind::Red.watch_time().as_secs();
+        for (i, summary) in ds.visits.iter().enumerate() {
+            assert_eq!(
+                summary.opened,
+                RunKind::Red.start_time() + Duration::from_secs(i as u64 * watch)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_visits_match_sequential_visits() {
+        let eco = small_world();
+        let harness = StudyHarness::new(&eco);
+        let sequential = harness.run(RunKind::Blue);
+        let parallel = harness.run_parallel(RunKind::Blue);
+        assert_eq!(sequential.captures, parallel.captures);
+        assert_eq!(sequential.cookies, parallel.cookies);
+        assert_eq!(sequential.local_storage, parallel.local_storage);
+        assert_eq!(sequential.visits, parallel.visits);
+        assert_eq!(sequential.screenshots.len(), parallel.screenshots.len());
+        assert_eq!(sequential.interactions, parallel.interactions);
+        assert_eq!(sequential.consented_channels, parallel.consented_channels);
     }
 
     #[test]

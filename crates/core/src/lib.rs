@@ -25,7 +25,7 @@
 //! // A small world keeps the doctest fast; `Ecosystem::paper()` builds
 //! // the full 3,575-service scan.
 //! let eco = Ecosystem::with_scale(42, 0.05);
-//! let mut harness = StudyHarness::new(&eco);
+//! let harness = StudyHarness::new(&eco);
 //! let dataset = harness.run(RunKind::General);
 //! assert!(!dataset.captures.is_empty());
 //! ```
@@ -42,7 +42,7 @@ pub mod tables;
 mod dataset;
 mod run;
 
-pub use dataset::{RunDataset, StudyDataset};
+pub use dataset::{RunDataset, StudyDataset, VisitSummary};
 pub use ecosystem::{ChannelBlueprint, Ecosystem};
 pub use harness::StudyHarness;
 pub use run::RunKind;

@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn full_report_computes_and_renders() {
         let eco = Ecosystem::with_scale(51, 0.08);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![
                 harness.run(RunKind::General),

@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn tables_render_nonempty() {
         let eco = Ecosystem::with_scale(3, 0.06);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn table4_renders_columns_in_codebook_order() {
         let eco = Ecosystem::with_scale(3, 0.05);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::Red)],
         };
@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn figure8_mentions_key_domains() {
         let eco = Ecosystem::with_scale(3, 0.08);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General)],
         };
@@ -352,7 +352,7 @@ mod tests {
     #[test]
     fn table1_contains_run_labels() {
         let eco = Ecosystem::with_scale(3, 0.05);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = StudyDataset {
             runs: vec![harness.run(RunKind::General)],
         };

@@ -1,22 +1,34 @@
-//! The intercepting proxy: traffic capture and channel attribution.
+//! The intercepting proxy: traffic capture and per-visit attribution.
 //!
 //! The study routed all TV traffic through mitmproxy on an analysis
 //! machine. Since no channel validated certificates, *all* HTTP(S)
 //! traffic could be decrypted and recorded. Two details of §IV-C matter
 //! for correctness and are reproduced exactly:
 //!
-//! 1. **Channel attribution.** The remote-control script tells the proxy
-//!    the current channel on every switch. Requests are attributed to the
-//!    channel active at their timestamp — but if a request arrives just
-//!    after a switch and its `Referer` still points at a host seen during
-//!    the *previous* channel's window, it is re-attributed to that
-//!    previous channel ("accounting for delays during switching").
-//! 2. **The 15-minute window.** Only requests from the last 15 minutes of
-//!    a channel's watch time are attributed, bounding stale matches.
+//! 1. **Visit attribution.** The remote-control script opens an explicit
+//!    *visit* on every channel switch ([`Proxy::begin_visit`] returns a
+//!    [`VisitHandle`] carrying the [`ChannelId`], session label, and the
+//!    visit-local start time). Exchanges recorded through a handle are
+//!    tagged with that visit — attribution is a property of *which visit
+//!    recorded the exchange*, not of wall-clock arrival windows, which is
+//!    what makes channel visits safe to run in parallel. The one
+//!    timestamp rule kept from the physical setup is the visit-boundary
+//!    referer correction: a request arriving within [`SWITCH_GRACE`] of
+//!    a visit's start whose `Referer` points at a host seen only during
+//!    the *immediately preceding* visit of the same session is
+//!    re-attributed to that previous visit ("accounting for delays
+//!    during switching").
+//! 2. **The 15-minute window.** Only requests from a bounded window of a
+//!    visit's watch time are attributed, bounding stale matches.
 //!
-//! The [`Proxy`] is cheaply cloneable; the TV runtime records through one
-//! handle while the study harness reads through another, mirroring the
-//! separate capture and analysis processes of the physical setup.
+//! The [`Proxy`] is cheaply cloneable; the TV runtime records through a
+//! [`VisitHandle`] while the study harness reads through the proxy,
+//! mirroring the separate capture and analysis processes of the physical
+//! setup. The legacy switch-notification API
+//! ([`Proxy::notify_channel_switch`] + [`Proxy::record`]) is kept as a
+//! thin layer over visits: a switch notification opens a visit, and a
+//! plain `record` targets the most recently opened visit of the current
+//! session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +40,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Grace period after a channel switch in which a stale `Referer` moves a
-/// request back to the previous channel.
+/// Grace period after a visit opens in which a stale `Referer` moves a
+/// request back to the immediately preceding visit of the same session.
 const SWITCH_GRACE: Duration = Duration::from_secs(15);
 
 /// Attribution horizon (§IV-C speaks of a 15-minute window; ours is
@@ -38,11 +50,24 @@ const SWITCH_GRACE: Duration = Duration::from_secs(15);
 /// attributed — see EXPERIMENTS.md).
 const ATTRIBUTION_WINDOW: Duration = Duration::from_secs(17 * 60);
 
+/// Identifier of one channel visit within a measurement session.
+///
+/// Visit ids are assigned by [`Proxy::begin_visit`] in open order;
+/// sharded harness runs seed each shard's counter via
+/// [`Proxy::start_session_at`] so that merged capture logs carry the
+/// canonical visit sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VisitId(pub u32);
+
 /// One recorded request/response pair with its attribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CapturedExchange {
     /// Label of the measurement session (e.g. `"Red"`).
     pub session: String,
+    /// The visit this exchange is attributed to, if any. Set exactly
+    /// when `channel` is set; the grace rule can move an exchange to the
+    /// preceding visit, never anywhere else.
+    pub visit: Option<VisitId>,
     /// The channel this exchange is attributed to, if any.
     pub channel: Option<ChannelId>,
     /// Name of the attributed channel (for reports).
@@ -60,18 +85,24 @@ impl CapturedExchange {
     }
 }
 
-#[derive(Debug, Default)]
-struct ChannelWindow {
-    channel: Option<(ChannelId, String)>,
-    since: Timestamp,
+#[derive(Debug)]
+struct VisitState {
+    id: VisitId,
+    channel: ChannelId,
+    name: String,
+    session: String,
+    opened: Timestamp,
     hosts: HashSet<String>,
 }
 
 #[derive(Debug, Default)]
 struct ProxyState {
     session: String,
-    current: ChannelWindow,
-    previous: ChannelWindow,
+    /// Index into `visits` where the current session began; plain
+    /// `record` calls and the grace rule never look behind it.
+    session_start: usize,
+    next_visit: u32,
+    visits: Vec<VisitState>,
     log: Vec<CapturedExchange>,
 }
 
@@ -80,24 +111,64 @@ struct ProxyState {
 /// # Examples
 ///
 /// ```
-/// use hbbtv_proxy::Proxy;
+/// use hbbtv_proxy::{Proxy, VisitId};
 /// use hbbtv_broadcast::ChannelId;
 /// use hbbtv_net::{Request, Response, Status, Timestamp};
 ///
 /// let proxy = Proxy::new();
 /// proxy.start_session("General");
-/// proxy.notify_channel_switch(ChannelId(7), "ZDF", Timestamp::MEASUREMENT_START);
+/// let visit = proxy.begin_visit(ChannelId(7), "ZDF", Timestamp::MEASUREMENT_START);
 /// let req = Request::get("http://hbbtv.zdf.de/app".parse()?)
 ///     .at(Timestamp::MEASUREMENT_START)
 ///     .build();
-/// proxy.record(req, Response::builder(Status::OK).build());
+/// visit.record(req, Response::builder(Status::OK).build());
 /// assert_eq!(proxy.captures().len(), 1);
 /// assert_eq!(proxy.captures()[0].channel, Some(ChannelId(7)));
+/// assert_eq!(proxy.captures()[0].visit, Some(VisitId(0)));
 /// # Ok::<(), hbbtv_net::ParseUrlError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Proxy {
     state: Arc<Mutex<ProxyState>>,
+}
+
+/// A handle on one open channel visit.
+///
+/// The harness opens one per channel switch and hands it to the TV's
+/// network backend; every exchange recorded through it is tagged with
+/// this visit (subject to the window and grace rules). Handles are
+/// cheaply cloneable and `Send + Sync`, so a visit can run on its own
+/// worker thread against its own proxy shard.
+#[derive(Debug, Clone)]
+pub struct VisitHandle {
+    proxy: Proxy,
+    id: VisitId,
+    channel: ChannelId,
+}
+
+impl VisitHandle {
+    /// The visit's id.
+    pub fn id(&self) -> VisitId {
+        self.id
+    }
+
+    /// The channel being visited.
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Records one exchange against this visit, applying the window and
+    /// visit-boundary grace rules.
+    pub fn record(&self, request: Request, response: Response) {
+        let mut s = self.proxy.state.lock();
+        let target = s.visits.iter().rposition(|v| v.id == self.id);
+        record_at(&mut s, target, request, response);
+    }
+
+    /// The proxy this visit records into.
+    pub fn proxy(&self) -> &Proxy {
+        &self.proxy
+    }
 }
 
 impl Proxy {
@@ -107,70 +178,65 @@ impl Proxy {
     }
 
     /// Starts (or renames) the current measurement session; subsequent
-    /// captures carry this label.
+    /// captures carry this label. Visits of earlier sessions are sealed:
+    /// neither plain [`Proxy::record`] calls nor the grace rule reach
+    /// back across a session boundary.
     pub fn start_session(&self, label: &str) {
         let mut s = self.state.lock();
         s.session = label.to_string();
-        s.current = ChannelWindow::default();
-        s.previous = ChannelWindow::default();
+        s.session_start = s.visits.len();
     }
 
-    /// Notifies the proxy of a channel switch (the remote-control script
-    /// sends channel name and id on every switch).
-    pub fn notify_channel_switch(&self, id: ChannelId, name: &str, at: Timestamp) {
+    /// Like [`Proxy::start_session`], but also seeds the visit-id
+    /// counter. Sharded harness runs give each per-channel proxy shard
+    /// its canonical visit sequence number so merged logs are identical
+    /// to a single sequential proxy's.
+    pub fn start_session_at(&self, label: &str, first_visit: u32) {
         let mut s = self.state.lock();
-        let old = std::mem::take(&mut s.current);
-        s.previous = old;
-        s.current = ChannelWindow {
-            channel: Some((id, name.to_string())),
-            since: at,
-            hosts: HashSet::new(),
-        };
+        s.session = label.to_string();
+        s.session_start = s.visits.len();
+        s.next_visit = first_visit;
     }
 
-    /// Records one exchange, attributing it per the §IV-C rules.
+    /// Opens a visit of `channel` at `at` and returns its handle (the
+    /// remote-control script does this on every switch).
+    pub fn begin_visit(&self, channel: ChannelId, name: &str, at: Timestamp) -> VisitHandle {
+        let mut s = self.state.lock();
+        let id = VisitId(s.next_visit);
+        s.next_visit += 1;
+        let session = s.session.clone();
+        s.visits.push(VisitState {
+            id,
+            channel,
+            name: name.to_string(),
+            session,
+            opened: at,
+            hosts: HashSet::new(),
+        });
+        VisitHandle {
+            proxy: self.clone(),
+            id,
+            channel,
+        }
+    }
+
+    /// Notifies the proxy of a channel switch — the legacy spelling of
+    /// [`Proxy::begin_visit`] for callers that record through the proxy
+    /// itself rather than a handle.
+    pub fn notify_channel_switch(&self, id: ChannelId, name: &str, at: Timestamp) {
+        let _ = self.begin_visit(id, name, at);
+    }
+
+    /// Records one exchange against the most recently opened visit of
+    /// the current session (unattributed if the session has none).
     pub fn record(&self, request: Request, response: Response) {
         let mut s = self.state.lock();
-        let t = request.timestamp;
-        let host = request.url.host().to_string();
-        let referer_host = request.referer().map(|u| u.host().to_string());
-
-        // Default attribution: the currently active window, if the
-        // request falls within the 15-minute horizon.
-        let mut attributed = if s.current.channel.is_some()
-            && t >= s.current.since
-            && t.since(s.current.since) <= ATTRIBUTION_WINDOW
-        {
-            s.current.channel.clone()
+        let target = if s.visits.len() > s.session_start {
+            Some(s.visits.len() - 1)
         } else {
             None
         };
-
-        // Referrer correction: shortly after a switch, a request whose
-        // referrer points at a host only seen on the previous channel
-        // belongs to the previous channel.
-        if let (Some(ref_host), Some(prev)) = (&referer_host, &s.previous.channel) {
-            let within_grace = t >= s.current.since && t.since(s.current.since) <= SWITCH_GRACE;
-            let seen_prev = s.previous.hosts.contains(ref_host);
-            let seen_cur = s.current.hosts.contains(ref_host);
-            if within_grace && seen_prev && !seen_cur {
-                attributed = Some(prev.clone());
-                s.previous.hosts.insert(host.clone());
-            }
-        }
-
-        if attributed.as_ref().map(|(id, _)| *id) == s.current.channel.as_ref().map(|(id, _)| *id) {
-            s.current.hosts.insert(host);
-        }
-
-        let session = s.session.clone();
-        s.log.push(CapturedExchange {
-            session,
-            channel: attributed.as_ref().map(|(id, _)| *id),
-            channel_name: attributed.map(|(_, name)| name),
-            request,
-            response,
-        });
+        record_at(&mut s, target, request, response);
     }
 
     /// A snapshot of all captured exchanges.
@@ -200,18 +266,80 @@ impl Proxy {
     }
 }
 
+/// Attributes and logs one exchange. `target` is the index of the visit
+/// the exchange was recorded through, or `None` for traffic outside any
+/// visit (boot traffic, sealed sessions).
+fn record_at(s: &mut ProxyState, target: Option<usize>, request: Request, response: Response) {
+    let t = request.timestamp;
+    let host = request.url.host().to_string();
+    let referer_host = request.referer().map(|u| u.host().to_string());
+
+    // Default attribution: the recording visit, if the request falls
+    // within its attribution window.
+    let mut attributed = target.filter(|&i| {
+        let opened = s.visits[i].opened;
+        t >= opened && t.since(opened) <= ATTRIBUTION_WINDOW
+    });
+
+    // Referer correction at the visit boundary: shortly after a visit
+    // opens, a request whose referer points at a host seen only during
+    // the immediately preceding visit of the same session belongs to
+    // that previous visit. This is the only rule that can move an
+    // exchange, and it can only move it one visit back — never forward,
+    // never further, never across sessions.
+    if let (Some(ref_host), Some(i)) = (&referer_host, target) {
+        if i > 0 {
+            let cur = &s.visits[i];
+            let prev = &s.visits[i - 1];
+            let within_grace = t >= cur.opened && t.since(cur.opened) <= SWITCH_GRACE;
+            if within_grace
+                && prev.session == cur.session
+                && prev.hosts.contains(ref_host)
+                && !cur.hosts.contains(ref_host)
+            {
+                attributed = Some(i - 1);
+            }
+        }
+    }
+
+    let (visit, channel, channel_name) = match attributed {
+        Some(j) => {
+            let v = &mut s.visits[j];
+            v.hosts.insert(host);
+            (Some(v.id), Some(v.channel), Some(v.name.clone()))
+        }
+        None => (None, None, None),
+    };
+    // The session label travels with the recording visit, so handle
+    // recording stays correctly labeled even after another session
+    // started on the same proxy.
+    let session = match target {
+        Some(i) => s.visits[i].session.clone(),
+        None => s.session.clone(),
+    };
+    s.log.push(CapturedExchange {
+        session,
+        visit,
+        channel,
+        channel_name,
+        request,
+        response,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hbbtv_net::Status;
 
-    /// Each parallel study run owns its proxy, but capture logs cross
-    /// thread boundaries when runs are assembled — both ends must stay
-    /// `Send + Sync`.
+    /// Each parallel visit owns its proxy shard, but handles and capture
+    /// logs cross thread boundaries when runs are assembled — all of
+    /// them must stay `Send + Sync`.
     #[test]
     fn proxy_and_captures_cross_thread_boundaries() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Proxy>();
+        assert_send_sync::<VisitHandle>();
         assert_send_sync::<CapturedExchange>();
     }
 
@@ -244,6 +372,7 @@ mod tests {
         assert_eq!(log[0].channel, Some(ChannelId(1)));
         assert_eq!(log[0].channel_name.as_deref(), Some("ZDF"));
         assert_eq!(log[0].session, "General");
+        assert_eq!(log[0].visit, Some(VisitId(0)));
     }
 
     #[test]
@@ -252,6 +381,7 @@ mod tests {
         p.start_session("General");
         p.record(req("http://lge.com/firmware", T0), ok());
         assert_eq!(p.captures()[0].channel, None);
+        assert_eq!(p.captures()[0].visit, None);
     }
 
     #[test]
@@ -261,10 +391,11 @@ mod tests {
         p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
         p.record(req("http://hbbtv.zdf.de/a", T0 + 17 * 60 + 1), ok());
         assert_eq!(p.captures()[0].channel, None);
+        assert_eq!(p.captures()[0].visit, None);
     }
 
     #[test]
-    fn stale_referer_reattributes_to_previous_channel() {
+    fn stale_referer_reattributes_to_previous_visit() {
         let p = Proxy::new();
         p.start_session("Red");
         p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
@@ -283,7 +414,9 @@ mod tests {
             Some(ChannelId(1)),
             "stale beacon goes to ZDF"
         );
+        assert_eq!(log[1].visit, Some(VisitId(0)), "…and to ZDF's visit");
         assert_eq!(log[2].channel, Some(ChannelId(2)));
+        assert_eq!(log[2].visit, Some(VisitId(1)));
     }
 
     #[test]
@@ -308,12 +441,131 @@ mod tests {
         p.record(req("http://shared-cdn.de/lib", T0 + 2), ok());
         p.notify_channel_switch(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
         p.record(req("http://shared-cdn.de/lib", T0 + 901), ok());
-        // Referer points at a host seen on *both* windows → stays current.
+        // Referer points at a host seen on *both* visits → stays current.
         p.record(
             req_ref("http://tvping.com/p", "http://shared-cdn.de/lib", T0 + 902),
             ok(),
         );
         assert_eq!(p.captures()[2].channel, Some(ChannelId(2)));
+    }
+
+    #[test]
+    fn handle_records_its_own_visit() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        let zdf = p.begin_visit(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        let rtl = p.begin_visit(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
+        // Interleaved recording through both handles: each exchange is
+        // tagged by the handle it came through, not by arrival order.
+        rtl.record(req("http://hbbtv.rtl.de/a", T0 + 901), ok());
+        zdf.record(req("http://hbbtv.zdf.de/a", T0 + 10), ok());
+        let log = p.captures();
+        assert_eq!(log[0].visit, Some(VisitId(1)));
+        assert_eq!(log[0].channel, Some(ChannelId(2)));
+        assert_eq!(log[1].visit, Some(VisitId(0)));
+        assert_eq!(log[1].channel, Some(ChannelId(1)));
+        assert_eq!(zdf.channel(), ChannelId(1));
+        assert_eq!(zdf.id(), VisitId(0));
+        assert!(zdf.proxy().len() == 2);
+    }
+
+    /// Regression: whatever the timestamp says, an exchange recorded
+    /// during visit N attributes to visit N (or, via the grace rule, to
+    /// N−1) — never to any other visit. Timestamp skew can only ever
+    /// *unattribute* a capture.
+    #[test]
+    fn timestamp_skew_never_moves_attribution_to_another_visit() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        let a = p.begin_visit(ChannelId(1), "A", Timestamp::from_unix(T0));
+        let b = p.begin_visit(ChannelId(2), "B", Timestamp::from_unix(T0 + 900));
+        let c = p.begin_visit(ChannelId(3), "C", Timestamp::from_unix(T0 + 1800));
+        // Skewed timestamps landing squarely inside the *other* visits'
+        // windows, recorded through B's handle.
+        for skew in [0u64, 5, 300, 900, 1000, 1805, 2700] {
+            b.record(req("http://hbbtv-b.de/r", T0 + skew), ok());
+        }
+        for cap in p.captures() {
+            assert_ne!(cap.channel, Some(ChannelId(1)), "never attributes to A");
+            assert_ne!(cap.channel, Some(ChannelId(3)), "never attributes to C");
+            assert!(
+                cap.channel.is_none() || cap.visit == Some(VisitId(1)),
+                "either unattributed or visit B, got {:?}",
+                cap.visit
+            );
+        }
+        let _ = (a, c);
+    }
+
+    /// The grace rule works at the visit boundary even when the two
+    /// visits record through independent handles.
+    #[test]
+    fn grace_applies_at_the_visit_boundary_between_handles() {
+        let p = Proxy::new();
+        p.start_session("Red");
+        let zdf = p.begin_visit(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        zdf.record(req("http://hbbtv.zdf.de/app", T0 + 2), ok());
+        let rtl = p.begin_visit(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 900));
+        rtl.record(
+            req_ref("http://tvping.com/p", "http://hbbtv.zdf.de/app", T0 + 903),
+            ok(),
+        );
+        let log = p.captures();
+        assert_eq!(log[1].visit, Some(VisitId(0)));
+        assert_eq!(log[1].channel, Some(ChannelId(1)));
+    }
+
+    /// Sessions are isolated: a new session seals the previous one's
+    /// visits against both plain records and the grace rule.
+    #[test]
+    fn cross_session_isolation() {
+        let p = Proxy::new();
+        p.start_session("General");
+        p.notify_channel_switch(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.record(req("http://hbbtv.zdf.de/app", T0 + 2), ok());
+
+        p.start_session("Red");
+        // Before the Red session opens any visit, traffic must not fall
+        // back to the General session's last visit.
+        p.record(req("http://lge.com/firmware", T0 + 10), ok());
+        assert_eq!(p.captures()[1].channel, None);
+        assert_eq!(p.captures()[1].session, "Red");
+
+        // A first Red visit with a referer pointing at a host seen only
+        // in the General session: the grace rule must not reach across.
+        p.notify_channel_switch(ChannelId(2), "RTL", Timestamp::from_unix(T0 + 20));
+        p.record(
+            req_ref("http://tvping.com/p", "http://hbbtv.zdf.de/app", T0 + 22),
+            ok(),
+        );
+        let cap = &p.captures()[2];
+        assert_eq!(cap.channel, Some(ChannelId(2)), "stays with the Red visit");
+        assert_eq!(cap.session, "Red");
+    }
+
+    /// A handle outlives session changes: exchanges recorded through it
+    /// keep the visit's own session label.
+    #[test]
+    fn handle_keeps_its_session_label() {
+        let p = Proxy::new();
+        p.start_session("General");
+        let v = p.begin_visit(ChannelId(1), "ZDF", Timestamp::from_unix(T0));
+        p.start_session("Red");
+        v.record(req("http://hbbtv.zdf.de/late", T0 + 5), ok());
+        let cap = &p.captures()[0];
+        assert_eq!(cap.session, "General");
+        assert_eq!(cap.visit, Some(VisitId(0)));
+    }
+
+    /// Shards seed their visit counter so merged logs carry the
+    /// canonical sequence.
+    #[test]
+    fn sharded_visit_ids_start_where_told() {
+        let shard = Proxy::new();
+        shard.start_session_at("Red", 7);
+        let v = shard.begin_visit(ChannelId(9), "Ch9", Timestamp::from_unix(T0));
+        v.record(req("http://hbbtv-ch9.de/r", T0 + 1), ok());
+        assert_eq!(shard.captures()[0].visit, Some(VisitId(7)));
     }
 
     #[test]

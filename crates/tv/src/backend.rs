@@ -6,10 +6,16 @@ use hbbtv_net::{Request, Response};
 ///
 /// In the physical setup this is the Wi-Fi hotspot + mitmproxy + the
 /// Internet; in the simulation the study harness implements it by
-/// answering from the tracker registry and recording into the proxy.
+/// answering from the tracker registry and recording through a
+/// per-visit proxy handle (`hbbtv_proxy::VisitHandle`), so every
+/// exchange is tagged with the channel visit that issued it.
 ///
 /// Implementations receive every request the TV issues — including
-/// redirect-chain follow-ups — in the order the TV sends them.
+/// redirect-chain follow-ups — in the order the TV sends them. A
+/// backend is owned by one `Tv`, and in the channel-parallel harness
+/// one `Tv` (hence one backend) exists per visit, on the visit's worker
+/// thread: a backend never needs to be `Sync`, but the harness's is
+/// `Send` so visits can fan out over a worker pool.
 pub trait NetworkBackend {
     /// Delivers a request and returns the response.
     fn fetch(&mut self, request: Request) -> Response;

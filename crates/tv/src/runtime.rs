@@ -3,7 +3,7 @@
 use crate::backend::NetworkBackend;
 use crate::device::{DeviceProfile, ProgramInfo};
 use crate::screen::Screenshot;
-use crate::storage::{CookieJar, LocalStorage};
+use crate::storage::{CookieJar, LocalStorage, StoredCookie};
 use hbbtv_apps::{
     AppPage, ColorButton, HbbtvApp, LeakItem, PageId, PageKind, ResourceLoad, StorageValueKind,
 };
@@ -202,6 +202,21 @@ impl<B: NetworkBackend> Tv<B> {
     pub fn wipe_storage(&mut self) {
         self.jar.wipe();
         self.storage.wipe();
+    }
+
+    /// The §IV-C extract-then-wipe lifecycle in one step: snapshots the
+    /// cookie jar and local storage (the study's post-run SSH pull),
+    /// wipes both, and returns the snapshots. Local-storage entries come
+    /// back as `(origin, key, value)` strings, the dataset's wire shape.
+    pub fn extract_storage(&mut self) -> (Vec<StoredCookie>, Vec<(String, String, String)>) {
+        let cookies = self.jar.all().cloned().collect();
+        let storage = self
+            .storage
+            .all()
+            .map(|(origin, key, value)| (origin.to_string(), key.to_string(), value.to_string()))
+            .collect();
+        self.wipe_storage();
+        (cookies, storage)
     }
 
     /// Turns the TV off: leaves the channel and stops all application

@@ -17,7 +17,7 @@ fn main() {
         .unwrap_or(0.2);
     eprintln!("running General+Red at scale {scale} ...");
     let eco = Ecosystem::with_scale(42, scale);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let dataset = hbbtv_study::StudyDataset {
         runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
     };

@@ -25,7 +25,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.15);
     let eco = Ecosystem::with_scale(42, scale);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
 
     // 1. Baseline measurement: no protection.
     eprintln!("measuring without protection ...");

@@ -18,7 +18,7 @@ fn main() {
     );
 
     // Run one General measurement pass (no button interaction).
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let dataset = harness.run(RunKind::General);
     println!(
         "General run: {} channels watched, {} HTTP(S) exchanges captured, {} screenshots",

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 fn same_seed_same_study() {
     let run = |seed: u64| {
         let eco = Ecosystem::with_scale(seed, 0.08);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::Red);
         let urls: Vec<String> = ds
             .captures
@@ -79,6 +79,74 @@ fn parallel_run_all_matches_sequential() {
     assert_eq!(p_report, s_report, "rendered reports diverge");
 }
 
+/// Channel-parallel execution of a single run is byte-identical to the
+/// sequential protocol order, for every run kind: both paths drive the
+/// same hermetic per-visit function and merge in canonical order.
+#[test]
+fn channel_parallel_single_run_matches_sequential() {
+    let eco = Ecosystem::with_scale(21, 0.05);
+    let harness = StudyHarness::new(&eco);
+    for kind in RunKind::ALL {
+        let sequential = harness.run(kind);
+        let parallel = harness.run_parallel(kind);
+        assert_eq!(
+            serde_json::to_string(&parallel).expect("serializes"),
+            serde_json::to_string(&sequential).expect("serializes"),
+            "{kind} diverges under channel-parallel execution"
+        );
+        assert_eq!(parallel.visits, sequential.visits);
+        assert_eq!(
+            parallel.per_channel_capture_counts(),
+            sequential.per_channel_capture_counts()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The determinism guarantee holds across seeds, not just for one
+    /// hand-picked world: for any seed, the channel-parallel study —
+    /// five run workers, each fanning its visits over the pool — equals
+    /// the fully sequential study down to the serialized JSON, the
+    /// per-channel and per-visit capture counts, and the rendered
+    /// Tables I–V.
+    #[test]
+    fn channel_parallel_study_is_byte_identical_across_seeds(seed in 0u64..1_000_000) {
+        let eco = Ecosystem::with_scale(seed, 0.02);
+        let parallel = StudyHarness::new(&eco).run_all();
+        let sequential = StudyHarness::new(&eco).run_all_sequential();
+
+        prop_assert_eq!(
+            serde_json::to_string(&parallel).expect("serializes"),
+            serde_json::to_string(&sequential).expect("serializes"),
+            "seed {}: serialized studies diverge",
+            seed
+        );
+        for (p, s) in parallel.runs.iter().zip(&sequential.runs) {
+            prop_assert_eq!(
+                p.per_channel_capture_counts(),
+                s.per_channel_capture_counts(),
+                "seed {}: per-channel counts diverge in {}",
+                seed,
+                p.run
+            );
+            prop_assert_eq!(
+                p.per_visit_capture_counts(),
+                s.per_visit_capture_counts(),
+                "seed {}: per-visit counts diverge in {}",
+                seed,
+                p.run
+            );
+            prop_assert_eq!(&p.visits, &s.visits);
+        }
+
+        let p_report = StudyReport::compute(&eco, &parallel).render(&parallel);
+        let s_report = StudyReport::compute(&eco, &sequential).render(&sequential);
+        prop_assert_eq!(p_report, s_report, "seed {}: rendered reports diverge", seed);
+    }
+}
+
 proptest! {
     /// `par_chunks` + left-to-right merge equals the sequential fold for
     /// arbitrary inputs and chunk lengths (including chunks longer than
@@ -116,7 +184,7 @@ proptest! {
 fn different_seed_different_study() {
     let count = |seed: u64| {
         let eco = Ecosystem::with_scale(seed, 0.08);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::General);
         let values: Vec<String> = ds.cookies.iter().map(|c| c.cookie.value.clone()).collect();
         values

@@ -7,7 +7,7 @@ use hbbtv_study::{Ecosystem, RunKind, StudyHarness};
 
 fn report() -> (Ecosystem, hbbtv_study::StudyDataset, StudyReport) {
     let eco = Ecosystem::with_scale(99, 0.15);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let dataset = hbbtv_study::StudyDataset {
         runs: vec![
             harness.run(RunKind::General),

@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn run_attribution_is_consistent(seed in 0u64..10_000) {
         let eco = Ecosystem::with_scale(seed, 0.05);
-        let mut harness = StudyHarness::new(&eco);
+        let harness = StudyHarness::new(&eco);
         let ds = harness.run(RunKind::Red);
         let measured: std::collections::BTreeSet<_> =
             ds.channels_measured.iter().copied().collect();

@@ -18,7 +18,7 @@ fn tracking(ds: &hbbtv_study::RunDataset) -> usize {
 #[test]
 fn derived_list_blocks_what_web_lists_miss() {
     let eco = Ecosystem::with_scale(55, 0.1);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
 
     let unprotected = harness.run(RunKind::Red);
     let baseline = tracking(&unprotected);
@@ -49,7 +49,7 @@ fn derived_list_blocks_what_web_lists_miss() {
 #[test]
 fn blocking_also_suppresses_tracker_cookies() {
     let eco = Ecosystem::with_scale(55, 0.08);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let unprotected = harness.run(RunKind::General);
     let dataset = hbbtv_study::StudyDataset {
         runs: vec![unprotected.clone()],
@@ -83,7 +83,7 @@ fn first_parties(eco: &Ecosystem) -> BTreeSet<Etld1> {
 #[test]
 fn third_party_rules_spare_first_party_traffic() {
     let eco = Ecosystem::with_scale(55, 0.08);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let unprotected = harness.run(RunKind::General);
 
     // A channel's own app traffic, per the ground truth.
@@ -113,7 +113,7 @@ fn third_party_rules_spare_first_party_traffic() {
 #[test]
 fn script_rules_block_scripts() {
     let eco = Ecosystem::with_scale(55, 0.08);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let unprotected = harness.run(RunKind::General);
 
     // Pick a third-party domain observed serving JavaScript.
@@ -141,7 +141,7 @@ fn script_rules_block_scripts() {
 #[test]
 fn blocked_requests_never_reach_the_capture_log() {
     let eco = Ecosystem::with_scale(55, 0.08);
-    let mut harness = StudyHarness::new(&eco);
+    let harness = StudyHarness::new(&eco);
     let dataset = hbbtv_study::StudyDataset {
         runs: vec![harness.run(RunKind::General)],
     };
