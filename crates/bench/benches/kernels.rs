@@ -1,7 +1,8 @@
 //! Micro-benches of the core algorithmic kernels the analyses rest on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hbbtv_filterlists::{bundled, RequestContext};
+use hbbtv_bench::matcher_workload;
+use hbbtv_filterlists::{bundled, RequestContext, UrlView};
 use hbbtv_graph::Graph;
 use hbbtv_net::Url;
 use hbbtv_policies::{render_policy, sha1_hex, PolicyProfile, SimHash};
@@ -36,6 +37,70 @@ fn bench_kernels(c: &mut Criterion) {
             black_box(hits)
         })
     });
+    // Same workload through the zero-alloc view path (one serialization
+    // per URL instead of one per list probe), and through the retained
+    // naive linear scan — the before/after pair for the indexed engine.
+    let list_refs = bundled::all_refs();
+    c.bench_function("filterlist_matching_200_urls_view", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            let mut buf = String::new();
+            for u in &urls {
+                let view = UrlView::of_url(u, &mut buf);
+                for l in &list_refs {
+                    if l.matches_view(&view, RequestContext::third_party_image()) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("filterlist_matching_200_urls_linear", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for u in &urls {
+                for l in &list_refs {
+                    if l.matches_linear(u, RequestContext::third_party_image()) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // Indexed vs linear at synthetic list scales: real lists run from
+    // hundreds (smart-TV lists) to tens of thousands (EasyList) of
+    // rules; the indexed engine should be flat while linear grows.
+    for n in [100usize, 1_000, 10_000] {
+        let list = matcher_workload::synthetic_list(n, 7);
+        let work = matcher_workload::url_workload(64, n, 11);
+        c.bench_function(&format!("matcher_indexed_{n}_rules_64_urls"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                let mut buf = String::new();
+                for u in &work {
+                    let view = UrlView::of_url(u, &mut buf);
+                    if list.matches_view(&view, RequestContext::third_party_image()) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        c.bench_function(&format!("matcher_linear_{n}_rules_64_urls"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for u in &work {
+                    if list.matches_linear(u, RequestContext::third_party_image()) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
 
     // Rank-test kernels on study-shaped samples.
     let groups: Vec<Vec<f64>> = (0..5)

@@ -1,0 +1,156 @@
+//! `matcher_bench` — fixed-seed indexed-vs-linear matcher throughput,
+//! written to `BENCH_matcher.json` for the `--bench-smoke` gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! matcher_bench [output.json]
+//! ```
+//!
+//! Measures the same workloads as the `kernels` criterion bench: the
+//! bundled Table III lists over a mixed 200-URL set, and synthetic
+//! lists of 10^2..10^4 rules over a 64-URL mix. "Linear" is the seed
+//! implementation retained as `matches_linear` (per-call URL
+//! serialization, full rule scan); "indexed" is the bucketed engine
+//! behind `matches_view`.
+
+use hbbtv_bench::matcher_workload::{synthetic_list, url_workload};
+use hbbtv_filterlists::{bundled, FilterList, RequestContext, UrlView};
+use hbbtv_net::Url;
+use std::time::Instant;
+
+/// Runs `work` repeatedly until ~50ms have elapsed (at least 3 times)
+/// and returns the best-observed seconds per run.
+fn time_best<F: FnMut() -> usize>(mut work: F) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    let mut runs = 0;
+    while runs < 3 || spent < 0.05 {
+        let t = Instant::now();
+        std::hint::black_box(work());
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        spent += dt;
+        runs += 1;
+    }
+    best
+}
+
+fn indexed_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usize {
+    let mut hits = 0;
+    let mut buf = String::new();
+    for u in urls {
+        let view = UrlView::of_url(u, &mut buf);
+        for l in lists {
+            if l.matches_view(&view, ctx) {
+                hits += 1;
+            }
+        }
+    }
+    hits
+}
+
+fn linear_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usize {
+    let mut hits = 0;
+    for u in urls {
+        for l in lists {
+            if l.matches_linear(u, ctx) {
+                hits += 1;
+            }
+        }
+    }
+    hits
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_matcher.json".to_string());
+    let ctx = RequestContext::third_party_image();
+    let mut sections = Vec::new();
+
+    // Bundled Table III lists, probed together per URL as the fused
+    // per-exchange classification does.
+    let lists = bundled::all_refs();
+    let urls: Vec<Url> = (0..200)
+        .map(|i| {
+            let host = match i % 5 {
+                0 => "tvping.com".to_string(),
+                1 => "ad.doubleclick.net".to_string(),
+                2 => format!("cdn{i}.hbbtv-kanal{i}.de"),
+                3 => "an.xiti.com".to_string(),
+                _ => format!("track{:02}.de", i % 38 + 1),
+            };
+            format!("http://{host}/path/{i}?site=s{i}").parse().unwrap()
+        })
+        .collect();
+    let hits = indexed_pass(&lists, &urls, ctx);
+    assert_eq!(
+        hits,
+        linear_pass(&lists, &urls, ctx),
+        "engines disagree on the bundled workload"
+    );
+    let checks = (urls.len() * lists.len()) as f64;
+    let t_idx = time_best(|| indexed_pass(&lists, &urls, ctx));
+    let t_lin = time_best(|| linear_pass(&lists, &urls, ctx));
+    let bundled_speedup = t_lin / t_idx;
+    println!(
+        "bundled lists      : indexed {:>12.0} checks/s, linear {:>12.0} checks/s, speedup {:.1}x",
+        checks / t_idx,
+        checks / t_lin,
+        bundled_speedup
+    );
+    sections.push(format!(
+        "  \"bundled\": {{ \"lists\": {}, \"urls\": {}, \"hits\": {}, \"indexed_checks_per_s\": {:.0}, \"linear_checks_per_s\": {:.0}, \"speedup\": {:.2} }}",
+        lists.len(),
+        urls.len(),
+        hits,
+        checks / t_idx,
+        checks / t_lin,
+        bundled_speedup
+    ));
+
+    // Synthetic scales: indexed should stay flat while linear grows
+    // with the rule count.
+    let mut scale_rows = Vec::new();
+    for n in [100usize, 1_000, 10_000] {
+        let list = synthetic_list(n, 7);
+        let work = url_workload(64, n, 11);
+        let one = [&list];
+        let hits = indexed_pass(&one, &work, ctx);
+        assert_eq!(
+            hits,
+            linear_pass(&one, &work, ctx),
+            "engines disagree at {n} rules"
+        );
+        let checks = work.len() as f64;
+        let t_idx = time_best(|| indexed_pass(&one, &work, ctx));
+        let t_lin = time_best(|| linear_pass(&one, &work, ctx));
+        println!(
+            "{n:>6} rules       : indexed {:>12.0} urls/s, linear {:>12.0} urls/s, speedup {:.1}x",
+            checks / t_idx,
+            checks / t_lin,
+            t_lin / t_idx
+        );
+        scale_rows.push(format!(
+            "    {{ \"rules\": {}, \"urls\": {}, \"hits\": {}, \"indexed_urls_per_s\": {:.0}, \"linear_urls_per_s\": {:.0}, \"speedup\": {:.2} }}",
+            n,
+            work.len(),
+            hits,
+            checks / t_idx,
+            checks / t_lin,
+            t_lin / t_idx
+        ));
+    }
+    sections.push(format!("  \"scales\": [\n{}\n  ]", scale_rows.join(",\n")));
+
+    let json = format!(
+        "{{\n  \"seed\": 7,\n  \"context\": \"third_party_image\",\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("writing the benchmark report");
+    println!("wrote {out}");
+    if bundled_speedup < 5.0 {
+        eprintln!("warning: bundled-scale speedup below the 5x target");
+    }
+}

@@ -35,6 +35,91 @@ pub fn full_report(eco: &Ecosystem, dataset: &StudyDataset) -> StudyReport {
     StudyReport::compute(eco, dataset)
 }
 
+/// Deterministic workloads for the filter-list matcher benches.
+///
+/// Shared by the criterion kernels and the `matcher_bench` binary so
+/// that `BENCH_matcher.json` and the criterion numbers describe the
+/// same fixed-seed rule sets and URL mixes.
+pub mod matcher_workload {
+    use hbbtv_filterlists::FilterList;
+    use hbbtv_net::Url;
+
+    /// Tiny xorshift* generator: fixed-seed, dependency-free.
+    pub struct XorShift(u64);
+
+    impl XorShift {
+        /// A generator from a non-zero-coerced seed.
+        pub fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// A value in `0..n`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n.max(1)
+        }
+    }
+
+    const TLDS: [&str; 4] = ["de", "com", "net", "tv"];
+
+    fn domain(i: usize) -> String {
+        format!("svc{i}.{}", TLDS[i % TLDS.len()])
+    }
+
+    /// A synthetic Adblock-style list over a universe of `n` domains:
+    /// mostly `||domain^` anchors (the shape that dominates real lists),
+    /// with a sprinkling of path rules, options, exceptions, and rare
+    /// substring rules that land in the engine's residual scan.
+    pub fn synthetic_list(n: usize, seed: u64) -> FilterList {
+        let mut rng = XorShift::new(seed);
+        let mut text = String::new();
+        for i in 0..n {
+            let d = domain(i);
+            match rng.below(50) {
+                0 => text.push_str(&format!("/frag{i}\n")),
+                1 => text.push_str(&format!("@@||{d}/ok^\n")),
+                2..=6 => text.push_str(&format!("||{d}/track{i}\n")),
+                7..=11 => text.push_str(&format!("||{d}^$third-party\n")),
+                12..=14 => text.push_str(&format!("||{d}^$image\n")),
+                _ => text.push_str(&format!("||{d}^\n")),
+            }
+        }
+        FilterList::parse_adblock("synthetic", &text)
+    }
+
+    /// A URL mix over the same `universe` of domains: direct hits,
+    /// subdomain hits, and out-of-universe misses (the common case in
+    /// real traffic).
+    pub fn url_workload(n: usize, universe: usize, seed: u64) -> Vec<Url> {
+        let mut rng = XorShift::new(seed);
+        (0..n)
+            .map(|i| {
+                let text = match rng.below(4) {
+                    0 => {
+                        let d = domain(rng.below(universe as u64) as usize);
+                        format!("http://{d}/path/{i}?x={i}")
+                    }
+                    1 => {
+                        let d = domain(rng.below(universe as u64) as usize);
+                        format!("http://cdn{i}.{d}/asset/{i}.js")
+                    }
+                    _ => format!("http://clean{i}.example/page/{i}"),
+                };
+                text.parse().expect("workload URLs are well-formed")
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

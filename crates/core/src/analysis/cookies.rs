@@ -128,7 +128,7 @@ impl CookieAnalysis {
     /// Runs the §V-C computation.
     pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
         let cookiepedia = Cookiepedia::bundled();
-        let lists = hbbtv_filterlists::bundled::all();
+        let lists = hbbtv_filterlists::bundled::all_refs();
 
         let mut per_run = BTreeMap::new();
         let mut third_party_per_run = BTreeMap::new();
@@ -144,11 +144,20 @@ impl CookieAnalysis {
             for c in captures {
                 // A "tracking request" per §V-D: pixel, fingerprint, or
                 // known (filter-list-flagged) tracker.
+                // §V-D probes every list with the canonical
+                // third-party-image context here (not the exchange's
+                // real context); serialize the URL once for all five.
+                let text = c.request.url.to_text();
+                let view = hbbtv_filterlists::UrlView::new(
+                    &text,
+                    c.request.url.host(),
+                    c.request.url.etld1().as_str(),
+                );
                 let tracking = is_tracking_pixel(c)
                     || is_fingerprint_script(c)
                     || lists.iter().any(|l| {
-                        l.matches(
-                            &c.request.url,
+                        l.matches_view(
+                            &view,
                             hbbtv_filterlists::RequestContext::third_party_image(),
                         )
                     });

@@ -9,7 +9,7 @@
 
 use crate::dataset::StudyDataset;
 use hbbtv_broadcast::ChannelId;
-use hbbtv_filterlists::{bundled, FilterList, RequestContext, ResourceKind};
+use hbbtv_filterlists::{bundled, FilterList, RequestContext, ResourceKind, UrlView};
 use hbbtv_net::{ContentType, Etld1};
 use std::collections::BTreeMap;
 
@@ -22,7 +22,7 @@ pub struct FirstPartyMap {
 impl FirstPartyMap {
     /// Identifies first parties across the whole dataset.
     pub fn identify(dataset: &StudyDataset) -> Self {
-        let guards: Vec<FilterList> = vec![bundled::easylist(), bundled::easyprivacy()];
+        let guards: [&FilterList; 2] = [bundled::easylist_ref(), bundled::easyprivacy_ref()];
         let mut candidates: BTreeMap<ChannelId, (u64, Etld1)> = BTreeMap::new();
         for capture in dataset.all_captures() {
             let Some(channel) = capture.channel else {
@@ -41,11 +41,14 @@ impl FirstPartyMap {
                 third_party: true,
                 kind: ResourceKind::Document,
             };
-            if guards.iter().any(|g| g.matches(&capture.request.url, ctx)) {
+            let url = &capture.request.url;
+            let text = url.to_text();
+            let view = UrlView::new(&text, url.host(), url.etld1().as_str());
+            if guards.iter().any(|g| g.matches_view(&view, ctx)) {
                 continue;
             }
             let t = capture.request.timestamp.as_unix();
-            let domain = capture.request.url.etld1().clone();
+            let domain = url.etld1().clone();
             candidates
                 .entry(channel)
                 .and_modify(|(best_t, best_d)| {

@@ -7,6 +7,7 @@
 //! the paper derived them from mitmproxy captures.
 
 pub mod category;
+pub mod classify;
 pub mod consent_analysis;
 pub mod cookies;
 pub mod ecosystem_graph;
@@ -20,6 +21,7 @@ pub mod syncing;
 pub mod tracking;
 
 pub use category::{CategoryAnalysis, ChildrenCaseStudy};
+pub use classify::ExchangeClass;
 pub use consent_analysis::ConsentAnalysis;
 pub use cookies::CookieAnalysis;
 pub use ecosystem_graph::GraphAnalysis;

@@ -234,7 +234,7 @@ mod tests {
             runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
         };
         let fp = FirstPartyMap::identify(&ds);
-        DerivedList::derive(&ds, &fp, &bundled::pihole(), 2)
+        DerivedList::derive(&ds, &fp, bundled::pihole_ref(), 2)
     }
 
     #[test]
@@ -287,8 +287,8 @@ mod tests {
             runs: vec![harness.run(RunKind::General)],
         };
         let fp = FirstPartyMap::identify(&ds);
-        let loose = DerivedList::derive(&ds, &fp, &bundled::pihole(), 1);
-        let strict = DerivedList::derive(&ds, &fp, &bundled::pihole(), 5);
+        let loose = DerivedList::derive(&ds, &fp, bundled::pihole_ref(), 1);
+        let strict = DerivedList::derive(&ds, &fp, bundled::pihole_ref(), 5);
         assert!(loose.rules.len() > strict.rules.len());
     }
 }

@@ -1,13 +1,14 @@
 //! Tracking detection (§V-D): filter lists, tracking pixels,
 //! fingerprinting, and per-channel tracker statistics.
 
+use crate::analysis::classify::ExchangeClass;
 use crate::analysis::first_party::FirstPartyMap;
 use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
 use hbbtv_broadcast::ChannelId;
-use hbbtv_filterlists::{bundled, FilterList, RequestContext, ResourceKind};
-use hbbtv_net::{ContentType, Etld1, Status};
+use hbbtv_filterlists::{bundled, RequestContext};
+use hbbtv_net::{Etld1, Status};
 use hbbtv_proxy::CapturedExchange;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -160,35 +161,16 @@ impl TrackingAnalysis {
     /// deterministically, so the result is identical to a sequential
     /// scan.
     pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
-        let easylist = bundled::easylist();
-        let easyprivacy = bundled::easyprivacy();
-        let pihole = bundled::pihole();
-        let perflyst = bundled::perflyst();
-        let kamran = bundled::kamran();
-
         let scan = |chunk: &[CapturedExchange]| -> TrackingPartial {
             let mut p = TrackingPartial::default();
             for c in chunk {
                 p.total += 1;
-                let domain = c.request.url.etld1().clone();
-                let third = c
-                    .channel
-                    .map(|ch| fp_map.is_third_party(ch, &domain))
-                    .unwrap_or(true);
-                let kind = match c.response.content_type {
-                    ContentType::Image => ResourceKind::Image,
-                    ContentType::JavaScript => ResourceKind::Script,
-                    ContentType::Html => ResourceKind::Document,
-                    _ => ResourceKind::Other,
-                };
-                let ctx = RequestContext {
-                    third_party: third,
-                    kind,
-                };
-                let flags = |l: &FilterList| l.matches(&c.request.url, ctx);
-                let on_el = flags(&easylist);
-                let on_ep = flags(&easyprivacy);
-                let on_ph = flags(&pihole);
+                // One fused classification per exchange: eTLD+1, party
+                // relationship, resource kind, and all five list
+                // verdicts over a single serialized URL.
+                let cls = ExchangeClass::classify(c, fp_map);
+                let domain = cls.etld1;
+                let (on_el, on_ep, on_ph) = (cls.on_easylist, cls.on_easyprivacy, cls.on_pihole);
                 if on_el {
                     p.row.on_easylist += 1;
                 }
@@ -198,10 +180,10 @@ impl TrackingAnalysis {
                 if on_ph {
                     p.row.on_pihole += 1;
                 }
-                if flags(&perflyst) {
+                if cls.on_perflyst {
                     p.perflyst_hits += 1;
                 }
-                if flags(&kamran) {
+                if cls.on_kamran {
                     p.kamran_hits += 1;
                 }
 
@@ -282,7 +264,7 @@ impl TrackingAnalysis {
             .iter()
             .filter(|d| {
                 let url: hbbtv_net::Url = format!("http://{d}/p").parse().expect("valid");
-                easylist.matches(&url, RequestContext::third_party_image())
+                bundled::easylist_ref().matches(&url, RequestContext::third_party_image())
             })
             .count();
 
@@ -449,7 +431,7 @@ mod tests {
 
     #[test]
     fn pixel_heuristic_rejects_large_images_and_errors() {
-        use hbbtv_net::{Request, Response};
+        use hbbtv_net::{ContentType, Request, Response};
         let mk = |len: usize, status: Status, ct: ContentType| CapturedExchange {
             session: "t".into(),
             visit: None,

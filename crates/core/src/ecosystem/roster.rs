@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn exactly_eight_pixel_domains_are_on_easylist() {
-        let el = bundled::easylist();
+        let el = bundled::easylist_ref();
         let flagged = EASYLIST_AD_DOMAINS
             .iter()
             .filter(|d| {

@@ -21,6 +21,7 @@
 //! truth for which of them each list covers.
 
 use crate::matcher::FilterList;
+use std::sync::OnceLock;
 
 /// Synthetic EasyList snapshot (Adblock syntax): classic ad-serving
 /// domains plus a handful of generic pixel paths.
@@ -134,32 +135,81 @@ doubleclick.net
 google-analytics.com
 ";
 
-/// The parsed synthetic EasyList.
+/// Process-wide registry: each bundled list is parsed and indexed once,
+/// on first use, then shared by reference from every analysis pass and
+/// worker thread. (`FilterList` is `Sync`; the matcher holds no
+/// interior mutability.)
+static EASYLIST: OnceLock<FilterList> = OnceLock::new();
+static EASYPRIVACY: OnceLock<FilterList> = OnceLock::new();
+static PIHOLE: OnceLock<FilterList> = OnceLock::new();
+static PERFLYST: OnceLock<FilterList> = OnceLock::new();
+static KAMRAN: OnceLock<FilterList> = OnceLock::new();
+
+/// The shared parsed synthetic EasyList.
+pub fn easylist_ref() -> &'static FilterList {
+    EASYLIST.get_or_init(|| FilterList::parse_adblock("EasyList", EASYLIST_TEXT))
+}
+
+/// The shared parsed synthetic EasyPrivacy.
+pub fn easyprivacy_ref() -> &'static FilterList {
+    EASYPRIVACY.get_or_init(|| FilterList::parse_adblock("EasyPrivacy", EASYPRIVACY_TEXT))
+}
+
+/// The shared parsed synthetic Pi-hole hosts list.
+pub fn pihole_ref() -> &'static FilterList {
+    PIHOLE.get_or_init(|| FilterList::parse_hosts_list("Pi-hole", PIHOLE_TEXT))
+}
+
+/// The shared parsed synthetic Perflyst Smart-TV list.
+pub fn perflyst_ref() -> &'static FilterList {
+    PERFLYST.get_or_init(|| FilterList::parse_hosts_list("Perflyst SmartTV", PERFLYST_TEXT))
+}
+
+/// The shared parsed synthetic Kamran Smart-TV list.
+pub fn kamran_ref() -> &'static FilterList {
+    KAMRAN.get_or_init(|| FilterList::parse_hosts_list("Kamran SmartTV", KAMRAN_TEXT))
+}
+
+/// All five shared lists in the order Table III reports them.
+pub fn all_refs() -> [&'static FilterList; 5] {
+    [
+        pihole_ref(),
+        easylist_ref(),
+        easyprivacy_ref(),
+        perflyst_ref(),
+        kamran_ref(),
+    ]
+}
+
+/// The parsed synthetic EasyList (owned; prefer [`easylist_ref`]).
 pub fn easylist() -> FilterList {
-    FilterList::parse_adblock("EasyList", EASYLIST_TEXT)
+    easylist_ref().clone()
 }
 
-/// The parsed synthetic EasyPrivacy.
+/// The parsed synthetic EasyPrivacy (owned; prefer [`easyprivacy_ref`]).
 pub fn easyprivacy() -> FilterList {
-    FilterList::parse_adblock("EasyPrivacy", EASYPRIVACY_TEXT)
+    easyprivacy_ref().clone()
 }
 
-/// The parsed synthetic Pi-hole hosts list.
+/// The parsed synthetic Pi-hole hosts list (owned; prefer
+/// [`pihole_ref`]).
 pub fn pihole() -> FilterList {
-    FilterList::parse_hosts_list("Pi-hole", PIHOLE_TEXT)
+    pihole_ref().clone()
 }
 
-/// The parsed synthetic Perflyst Smart-TV list.
+/// The parsed synthetic Perflyst Smart-TV list (owned; prefer
+/// [`perflyst_ref`]).
 pub fn perflyst() -> FilterList {
-    FilterList::parse_hosts_list("Perflyst SmartTV", PERFLYST_TEXT)
+    perflyst_ref().clone()
 }
 
-/// The parsed synthetic Kamran Smart-TV list.
+/// The parsed synthetic Kamran Smart-TV list (owned; prefer
+/// [`kamran_ref`]).
 pub fn kamran() -> FilterList {
-    FilterList::parse_hosts_list("Kamran SmartTV", KAMRAN_TEXT)
+    kamran_ref().clone()
 }
 
-/// All five lists in the order Table III reports them.
+/// All five lists in Table III order (owned; prefer [`all_refs`]).
 pub fn all() -> Vec<FilterList> {
     vec![pihole(), easylist(), easyprivacy(), perflyst(), kamran()]
 }

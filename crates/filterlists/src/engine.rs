@@ -1,0 +1,301 @@
+//! Indexed match engine: domain-bucketed rule lookup with a residual
+//! scan, in the style of production adblock engines.
+//!
+//! At build time every `||` (domain-anchored) rule lands in a hash
+//! bucket keyed by its domain pattern; at match time a URL only probes
+//! the buckets for its own host suffixes (`a.b.de` probes `a.b.de`,
+//! `b.de`, `de`), so the per-URL cost is bounded by the host's label
+//! count plus the few start-anchored/substring rules in the residual
+//! scan — not by the list size. Wildcard patterns are pre-split into
+//! literal parts once here instead of on every match call.
+//!
+//! The bucket probe is exhaustive and exact: a domain rule matches a
+//! host iff the host equals the rule's domain or ends with `.domain`
+//! (see [`host_matches_domain`]), which is precisely the set of
+//! dot-boundary suffixes [`host_suffixes`] enumerates. Rules whose
+//! domain part is empty or contains `*` can never pass that host check,
+//! so they compile to [`Matcher::Never`] instead of a bucket entry.
+
+use crate::matcher::{options_allow, RequestContext, UrlView};
+use crate::rule::{parts_match, split_domain_pattern, Anchor, Rule};
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+/// A multiply-xor string hasher (the FxHash scheme) for the bucket and
+/// host-table lookups. The keys are short domain labels from curated
+/// filter lists — not attacker-controlled — so SipHash's DoS resistance
+/// buys nothing here, while its per-lookup cost dominates small-list
+/// matching (several suffix probes across five lists per exchange).
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                tail |= u64::from(b) << (8 * i);
+            }
+            self.add(tail);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        // `str`'s Hash impl terminates with a 0xff byte; fold it in as
+        // one word so short keys stay two multiplies total.
+        self.add(u64::from(b));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Build-hasher for the engine's hash tables.
+pub(crate) type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A wildcard pattern pre-split on `*` with its anchoring resolved, so
+/// match calls run straight into the backtracking part matcher.
+#[derive(Debug, Clone)]
+struct CompiledPattern {
+    parts: Vec<Box<str>>,
+    anchored: bool,
+    end_sep: bool,
+}
+
+impl CompiledPattern {
+    fn compile(pattern: &str, anchored: bool, end_separator: bool) -> Self {
+        CompiledPattern {
+            parts: pattern
+                .split('*')
+                .filter(|p| !p.is_empty())
+                .map(Into::into)
+                .collect(),
+            // A leading `*` unanchors the pattern; a trailing `*`
+            // swallows the end-separator requirement — mirroring the
+            // per-call `wildcard_match`/`wildcard_find` exactly.
+            anchored: anchored && !pattern.starts_with('*'),
+            end_sep: end_separator && !pattern.ends_with('*'),
+        }
+    }
+
+    fn matches(&self, text: &str) -> bool {
+        // All-star patterns split into no parts and match everything,
+        // as in the per-call path.
+        self.parts.is_empty() || parts_match(text, &self.parts, self.anchored, self.end_sep)
+    }
+}
+
+/// The per-rule compiled matcher. Domain rules don't re-check the host:
+/// reaching one through its bucket already proves the host suffix.
+#[derive(Debug, Clone)]
+enum Matcher {
+    /// `||dom` or `||dom/path…`: host is proven by the bucket probe,
+    /// only the optional path remainder is matched (against the
+    /// post-host text).
+    Domain { path: Option<CompiledPattern> },
+    /// `|pattern`: anchored at the start of the full URL text.
+    Start(CompiledPattern),
+    /// Unanchored substring pattern over the full URL text.
+    Substring(CompiledPattern),
+    /// A rule that cannot match any valid host (empty or wildcarded
+    /// domain part) — kept so rule indices stay aligned.
+    Never,
+}
+
+/// The index over one rule vector. Bucket entries and the residual list
+/// store rule indices in ascending (list) order, which is what lets
+/// [`RuleIndex::first_match`] reproduce the linear scan's
+/// first-match-wins semantics.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RuleIndex {
+    buckets: HashMap<Box<str>, Vec<u32>, FxBuildHasher>,
+    residual: Vec<u32>,
+    compiled: Vec<Matcher>,
+}
+
+impl RuleIndex {
+    pub(crate) fn build(rules: &[Rule]) -> Self {
+        let mut index = RuleIndex::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let i = u32::try_from(i).expect("filter lists stay below 2^32 rules");
+            let compiled = match rule.anchor {
+                Anchor::Domain => {
+                    let (dom, path) = split_domain_pattern(&rule.pattern);
+                    if dom.is_empty() || dom.contains('*') {
+                        Matcher::Never
+                    } else {
+                        index.buckets.entry(dom.into()).or_default().push(i);
+                        let path = (!path.is_empty())
+                            .then(|| CompiledPattern::compile(path, true, rule.end_separator));
+                        Matcher::Domain { path }
+                    }
+                }
+                Anchor::Start => {
+                    index.residual.push(i);
+                    Matcher::Start(CompiledPattern::compile(
+                        &rule.pattern,
+                        true,
+                        rule.end_separator,
+                    ))
+                }
+                Anchor::None => {
+                    index.residual.push(i);
+                    Matcher::Substring(CompiledPattern::compile(
+                        &rule.pattern,
+                        false,
+                        rule.end_separator,
+                    ))
+                }
+            };
+            index.compiled.push(compiled);
+        }
+        index
+    }
+
+    /// Whether rule `i` fires on the view (options gate + compiled
+    /// pattern). Zero allocations.
+    fn applies(&self, i: u32, rules: &[Rule], view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        if !options_allow(&rules[i as usize], ctx) {
+            return false;
+        }
+        match &self.compiled[i as usize] {
+            Matcher::Domain { path } => match path {
+                None => true,
+                Some(p) => p.matches(view.after_host()),
+            },
+            Matcher::Start(p) => p.matches(view.text),
+            Matcher::Substring(p) => p.matches(view.text),
+            Matcher::Never => false,
+        }
+    }
+
+    /// The lowest-index rule that fires — identical to what a linear
+    /// `rules.iter().find(..)` would report. Each bucket (and the
+    /// residual list) is ascending, so the first hit per probe is that
+    /// probe's minimum and later probes stop as soon as their indices
+    /// pass the current best.
+    pub(crate) fn first_match(
+        &self,
+        rules: &[Rule],
+        view: &UrlView<'_>,
+        ctx: RequestContext,
+    ) -> Option<u32> {
+        if self.compiled.is_empty() {
+            return None;
+        }
+        let mut best: Option<u32> = None;
+        for &i in &self.residual {
+            if best.is_some_and(|b| i >= b) {
+                break;
+            }
+            if self.applies(i, rules, view, ctx) {
+                best = Some(i);
+                break;
+            }
+        }
+        for suffix in host_suffixes(view.host) {
+            if let Some(ids) = self.buckets.get(suffix) {
+                for &i in ids {
+                    if best.is_some_and(|b| i >= b) {
+                        break;
+                    }
+                    if self.applies(i, rules, view, ctx) {
+                        best = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether any rule fires, in no particular order (used for the
+    /// boolean `matches` path and for exception lists, where only
+    /// existence matters).
+    pub(crate) fn any_match(
+        &self,
+        rules: &[Rule],
+        view: &UrlView<'_>,
+        ctx: RequestContext,
+    ) -> bool {
+        if self.compiled.is_empty() {
+            return false;
+        }
+        self.residual
+            .iter()
+            .any(|&i| self.applies(i, rules, view, ctx))
+            || (!self.buckets.is_empty()
+                && host_suffixes(view.host).any(|suffix| {
+                    self.buckets
+                        .get(suffix)
+                        .is_some_and(|ids| ids.iter().any(|&i| self.applies(i, rules, view, ctx)))
+                }))
+    }
+}
+
+/// The host itself plus every suffix starting after a dot:
+/// `a.b.de` → `a.b.de`, `b.de`, `de`.
+fn host_suffixes(host: &str) -> impl Iterator<Item = &str> {
+    std::iter::successors(Some(host), |h| h.find('.').map(|i| &h[i + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_suffixes_walk_label_boundaries() {
+        let got: Vec<&str> = host_suffixes("a.b.c.de").collect();
+        assert_eq!(got, ["a.b.c.de", "b.c.de", "c.de", "de"]);
+        let got: Vec<&str> = host_suffixes("de").collect();
+        assert_eq!(got, ["de"]);
+    }
+
+    #[test]
+    fn compiled_pattern_mirrors_wildcard_semantics() {
+        let p = CompiledPattern::compile("/track/*/pixel", true, false);
+        assert!(p.matches("/track/v2/pixel.gif"));
+        assert!(!p.matches("/track/pixel"));
+        // All-star patterns match everything, end separator or not.
+        let p = CompiledPattern::compile("**", false, true);
+        assert!(p.matches("anything"));
+        // A trailing star swallows the end-separator requirement.
+        let p = CompiledPattern::compile("/pixel*", false, true);
+        assert!(p.matches("/pixels"));
+    }
+
+    #[test]
+    fn never_rules_stay_index_aligned() {
+        let rules: Vec<Rule> = ["||/path-only", "||a*b.de^", "||real.de^"]
+            .iter()
+            .filter_map(|l| crate::rule::parse_adblock_line(l))
+            .collect();
+        assert_eq!(rules.len(), 3);
+        let index = RuleIndex::build(&rules);
+        assert_eq!(index.compiled.len(), 3);
+        // Only the last rule got a bucket; the first two can never match.
+        assert_eq!(index.buckets.len(), 1);
+        assert!(index.buckets.contains_key("real.de"));
+        assert!(index.residual.is_empty());
+    }
+}

@@ -48,8 +48,16 @@ pub fn parse_hosts(text: &str) -> HashSet<String> {
 }
 
 /// Whether `host` is blocked by a parsed domain set: an exact match or a
-/// subdomain of a listed domain.
-pub(crate) fn host_blocked(domains: &HashSet<String>, host: &str) -> bool {
+/// subdomain of a listed domain. Generic over the hasher so the match
+/// path can use the engine's fast table while `parse_hosts` stays on the
+/// std default.
+pub(crate) fn host_blocked<S: std::hash::BuildHasher>(
+    domains: &HashSet<String, S>,
+    host: &str,
+) -> bool {
+    if domains.is_empty() {
+        return false;
+    }
     if domains.contains(host) {
         return true;
     }

@@ -37,10 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod bundled;
+mod engine;
 mod hosts;
 mod matcher;
 mod rule;
 
 pub use hosts::parse_hosts;
-pub use matcher::{FilterList, ListStats, RequestContext};
+pub use matcher::{FilterList, ListStats, MatchOutcome, RequestContext, UrlView};
 pub use rule::{parse_adblock_line, Anchor, ResourceKind, Rule, RuleOptions};

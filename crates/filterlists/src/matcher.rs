@@ -1,7 +1,8 @@
 //! Filter-list matching over captured URLs.
 
+use crate::engine::{FxBuildHasher, RuleIndex};
 use crate::hosts::{host_blocked, parse_hosts};
-use crate::rule::{parse_adblock_line, ResourceKind, Rule};
+use crate::rule::{after_host, parse_adblock_line, ResourceKind, Rule};
 use hbbtv_net::Url;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -24,6 +25,61 @@ impl RequestContext {
             third_party: true,
             kind: ResourceKind::Image,
         }
+    }
+}
+
+/// A borrowed view of one serialized URL: everything the match engine
+/// reads, with the post-host slice precomputed, so a match call does no
+/// allocation at all. Serialize the URL once per exchange, build the
+/// view, and probe as many lists as needed.
+///
+/// `host` must be the URL's actual hostname (as a parsed
+/// [`Url`](hbbtv_net::Url) guarantees); the engine's domain buckets key
+/// on host labels and assume hosts contain no `*`.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_filterlists::{bundled, RequestContext, UrlView};
+///
+/// let text = "http://an.xiti.com/hit?x=1";
+/// let view = UrlView::new(text, "an.xiti.com", "xiti.com");
+/// assert!(bundled::easyprivacy_ref().matches_view(&view, RequestContext::third_party_image()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct UrlView<'a> {
+    /// The full absolute URL text.
+    pub text: &'a str,
+    /// The URL's hostname.
+    pub host: &'a str,
+    /// The host's eTLD+1 — not consulted by the matcher itself, but
+    /// carried so per-exchange classification can share one view.
+    pub etld1: &'a str,
+    /// `text` after the host: `[:port]/path[?query]`.
+    after_host: &'a str,
+}
+
+impl<'a> UrlView<'a> {
+    /// Builds a view over an already-serialized URL.
+    pub fn new(text: &'a str, host: &'a str, etld1: &'a str) -> Self {
+        UrlView {
+            text,
+            host,
+            etld1,
+            after_host: after_host(text, host),
+        }
+    }
+
+    /// Serializes `url` into `buf` and views it. The buffer is cleared
+    /// first, so scan loops can reuse one allocation across exchanges.
+    pub fn of_url(url: &'a Url, buf: &'a mut String) -> Self {
+        buf.clear();
+        url.write_into(buf);
+        UrlView::new(buf, url.host(), url.etld1().as_str())
+    }
+
+    pub(crate) fn after_host(&self) -> &'a str {
+        self.after_host
     }
 }
 
@@ -65,11 +121,13 @@ pub struct FilterList {
     name: String,
     rules: Vec<Rule>,
     exceptions: Vec<Rule>,
-    hosts: HashSet<String>,
+    hosts: HashSet<String, FxBuildHasher>,
+    index: RuleIndex,
+    exception_index: RuleIndex,
 }
 
 impl FilterList {
-    /// Parses an Adblock-syntax list.
+    /// Parses an Adblock-syntax list and builds its match index.
     pub fn parse_adblock(name: &str, text: &str) -> Self {
         let mut rules = Vec::new();
         let mut exceptions = Vec::new();
@@ -82,11 +140,15 @@ impl FilterList {
                 }
             }
         }
+        let index = RuleIndex::build(&rules);
+        let exception_index = RuleIndex::build(&exceptions);
         FilterList {
             name: name.to_string(),
             rules,
             exceptions,
-            hosts: HashSet::new(),
+            hosts: HashSet::default(),
+            index,
+            exception_index,
         }
     }
 
@@ -96,7 +158,9 @@ impl FilterList {
             name: name.to_string(),
             rules: Vec::new(),
             exceptions: Vec::new(),
-            hosts: parse_hosts(text),
+            hosts: parse_hosts(text).into_iter().collect(),
+            index: RuleIndex::default(),
+            exception_index: RuleIndex::default(),
         }
     }
 
@@ -118,27 +182,80 @@ impl FilterList {
     /// Whether the list flags this request.
     ///
     /// Exception (`@@`) rules override block rules, as in Adblock Plus.
+    /// Serializes the URL once; callers probing several lists per
+    /// exchange should build a [`UrlView`] themselves and use
+    /// [`FilterList::matches_view`].
     pub fn matches(&self, url: &Url, ctx: RequestContext) -> bool {
-        match self.matching_rule(url, ctx) {
+        let text = url.to_text();
+        let view = UrlView::new(&text, url.host(), url.etld1().as_str());
+        self.matches_view(&view, ctx)
+    }
+
+    /// Detailed match outcome, exposing which rule fired.
+    pub fn matching_rule(&self, url: &Url, ctx: RequestContext) -> MatchOutcome<'_> {
+        let text = url.to_text();
+        let view = UrlView::new(&text, url.host(), url.etld1().as_str());
+        self.matching_rule_view(&view, ctx)
+    }
+
+    /// [`FilterList::matches`] over a prebuilt view — the zero-alloc
+    /// steady-state path.
+    pub fn matches_view(&self, view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        if host_blocked(&self.hosts, view.host) {
+            return true;
+        }
+        self.index.any_match(&self.rules, view, ctx)
+            && !self.exception_index.any_match(&self.exceptions, view, ctx)
+    }
+
+    /// [`FilterList::matching_rule`] over a prebuilt view. The indexed
+    /// lookup reports the same first-in-list-order rule as the linear
+    /// scan (see [`FilterList::matching_rule_linear`]).
+    pub fn matching_rule_view(&self, view: &UrlView<'_>, ctx: RequestContext) -> MatchOutcome<'_> {
+        if host_blocked(&self.hosts, view.host) {
+            return MatchOutcome::HostBlocked;
+        }
+        match self.index.first_match(&self.rules, view, ctx) {
+            None => MatchOutcome::NoMatch,
+            Some(i) => {
+                if self.exception_index.any_match(&self.exceptions, view, ctx) {
+                    MatchOutcome::Allowed
+                } else {
+                    MatchOutcome::Blocked(&self.rules[i as usize])
+                }
+            }
+        }
+    }
+
+    /// Reference implementation: the naive O(rules) scan the indexed
+    /// engine replaced, kept verbatim for differential tests and the
+    /// `kernels` benchmark baseline.
+    pub fn matches_linear(&self, url: &Url, ctx: RequestContext) -> bool {
+        match self.matching_rule_linear(url, ctx) {
             MatchOutcome::Blocked(_) | MatchOutcome::HostBlocked => true,
             MatchOutcome::Allowed | MatchOutcome::NoMatch => false,
         }
     }
 
-    /// Detailed match outcome, exposing which rule fired.
-    pub fn matching_rule(&self, url: &Url, ctx: RequestContext) -> MatchOutcome<'_> {
+    /// Reference implementation of [`FilterList::matching_rule`]: a
+    /// linear first-match scan over the rule vector.
+    pub fn matching_rule_linear(&self, url: &Url, ctx: RequestContext) -> MatchOutcome<'_> {
         if host_blocked(&self.hosts, url.host()) {
             return MatchOutcome::HostBlocked;
         }
         let text = url.to_string();
-        let hit = self.rules.iter().find(|r| rule_applies(r, &text, url, ctx));
+        let host = url.host();
+        let hit = self
+            .rules
+            .iter()
+            .find(|r| rule_applies(r, &text, host, ctx));
         match hit {
             None => MatchOutcome::NoMatch,
             Some(rule) => {
                 let excepted = self
                     .exceptions
                     .iter()
-                    .any(|e| rule_applies(e, &text, url, ctx));
+                    .any(|e| rule_applies(e, &text, host, ctx));
                 if excepted {
                     MatchOutcome::Allowed
                 } else {
@@ -162,7 +279,9 @@ pub enum MatchOutcome<'a> {
     NoMatch,
 }
 
-fn rule_applies(rule: &Rule, url_text: &str, url: &Url, ctx: RequestContext) -> bool {
+/// The `$third-party`/`$image`/`$script` option gate, shared by the
+/// linear scan and the indexed engine.
+pub(crate) fn options_allow(rule: &Rule, ctx: RequestContext) -> bool {
     if rule.options.third_party_only && !ctx.third_party {
         return false;
     }
@@ -175,7 +294,11 @@ fn rule_applies(rule: &Rule, url_text: &str, url: &Url, ctx: RequestContext) -> 
     if rule.options.script_only && ctx.kind != ResourceKind::Script {
         return false;
     }
-    rule.pattern_matches(url_text, url.host())
+    true
+}
+
+fn rule_applies(rule: &Rule, url_text: &str, host: &str, ctx: RequestContext) -> bool {
+    options_allow(rule, ctx) && rule.pattern_matches(url_text, host)
 }
 
 #[cfg(test)]
@@ -290,5 +413,59 @@ mod tests {
         let list = FilterList::parse_adblock("empty", "! only comments\n");
         assert!(list.is_empty());
         assert!(!list.matches(&url("http://anything.de/"), any_ctx()));
+    }
+
+    /// The indexed engine must report exactly what the linear scan
+    /// reports — same outcome variant *and* same firing rule — for all
+    /// four [`MatchOutcome`] shapes.
+    #[test]
+    fn indexed_outcomes_mirror_linear_scan() {
+        let list = FilterList::parse_adblock(
+            "t",
+            // Two rules that could both fire on flagged.de URLs: list
+            // order decides which one is reported.
+            "||flagged.de^\n/banner\n@@||flagged.de/ok^\n",
+        );
+        let hosts = FilterList::parse_hosts_list("h", "0.0.0.0 pinned.tv\n");
+        let cases = [
+            // Blocked by the first rule in list order, not the substring
+            // rule that also matches.
+            url("http://flagged.de/banner"),
+            // Blocked by the residual substring rule only.
+            url("http://clean.de/banner.gif"),
+            // Exception-allowed.
+            url("http://flagged.de/ok"),
+            // No match at all.
+            url("http://clean.de/page"),
+        ];
+        for u in &cases {
+            assert_eq!(
+                list.matching_rule(u, any_ctx()),
+                list.matching_rule_linear(u, any_ctx()),
+                "outcome diverged for {u}"
+            );
+            assert_eq!(
+                list.matches(u, any_ctx()),
+                list.matches_linear(u, any_ctx())
+            );
+        }
+        match list.matching_rule(&url("http://flagged.de/banner"), any_ctx()) {
+            MatchOutcome::Blocked(r) => assert_eq!(r.source, "||flagged.de^"),
+            other => panic!("expected first-rule block, got {other:?}"),
+        }
+        assert_eq!(
+            list.matching_rule(&url("http://flagged.de/ok"), any_ctx()),
+            MatchOutcome::Allowed
+        );
+        // Host-table blocks go through the same fused path.
+        let u = url("http://cdn.pinned.tv/x");
+        assert_eq!(
+            hosts.matching_rule(&u, any_ctx()),
+            MatchOutcome::HostBlocked
+        );
+        assert_eq!(
+            hosts.matching_rule(&u, any_ctx()),
+            hosts.matching_rule_linear(&u, any_ctx())
+        );
     }
 }

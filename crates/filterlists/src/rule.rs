@@ -135,50 +135,73 @@ impl Rule {
     /// Whether this rule's pattern (ignoring options) matches the URL
     /// text. `url_text` must be the full absolute URL; `host` its host.
     pub fn pattern_matches(&self, url_text: &str, host: &str) -> bool {
+        self.pattern_matches_at(url_text, host, after_host(url_text, host))
+    }
+
+    /// [`Rule::pattern_matches`] with the post-host slice already
+    /// computed — the zero-alloc entry point the match engine and
+    /// [`UrlView`](crate::UrlView) use.
+    pub(crate) fn pattern_matches_at(&self, url_text: &str, host: &str, after: &str) -> bool {
         match self.anchor {
             Anchor::Domain => {
                 // `||example.com^` (optionally with a path after the
                 // domain). Split the pattern into domain part and path
                 // remainder.
-                let (dom, path) = match self.pattern.find('/') {
-                    Some(i) => (&self.pattern[..i], &self.pattern[i..]),
-                    None => (self.pattern.as_str(), ""),
-                };
-                let host_ok = host == dom || host.ends_with(&format!(".{dom}")) && !dom.is_empty();
-                if !host_ok {
+                let (dom, path) = split_domain_pattern(&self.pattern);
+                if !host_matches_domain(host, dom) {
                     return false;
                 }
                 if path.is_empty() {
-                    if self.end_separator {
-                        // `^` after a bare domain: host boundary already
-                        // guaranteed by host_ok.
-                        return true;
-                    }
+                    // With or without a trailing `^`: the host boundary
+                    // is already guaranteed by the domain check.
                     return true;
                 }
-                // Match the path remainder against the URL after the host.
-                match url_text.find(host) {
-                    Some(i) => {
-                        let after = &url_text[i + host.len()..];
-                        wildcard_match(after, path, self.end_separator)
-                    }
-                    None => false,
-                }
+                // Match the path remainder against the URL after the
+                // host (`[:port]/path?query`).
+                wildcard_match(after, path, self.end_separator)
             }
-            Anchor::Start => {
-                wildcard_match(url_text, &self.pattern, self.end_separator)
-                    && url_text.starts_with(first_literal(&self.pattern))
-            }
+            Anchor::Start => wildcard_match(url_text, &self.pattern, self.end_separator),
             Anchor::None => wildcard_find(url_text, &self.pattern, self.end_separator),
         }
     }
 }
 
-fn first_literal(pattern: &str) -> &str {
-    match pattern.find('*') {
-        Some(i) => &pattern[..i],
-        None => pattern,
+/// Splits a `||` pattern into its domain part and path remainder
+/// (`tracker.de/pixel` → `("tracker.de", "/pixel")`).
+pub(crate) fn split_domain_pattern(pattern: &str) -> (&str, &str) {
+    match pattern.find('/') {
+        Some(i) => (&pattern[..i], &pattern[i..]),
+        None => (pattern, ""),
     }
+}
+
+/// Whether `host` is `dom` or a subdomain of it, without allocating.
+///
+/// An empty domain pattern (a rule like `||/pixel`) anchors on nothing
+/// and never matches a host — made explicit here; an earlier version hid
+/// this outcome behind `==`/`&&` operator precedence.
+pub(crate) fn host_matches_domain(host: &str, dom: &str) -> bool {
+    if dom.is_empty() {
+        return false;
+    }
+    if host == dom {
+        return true;
+    }
+    // `.dom` suffix check via byte compare instead of `format!(".{dom}")`.
+    host.len() > dom.len()
+        && host.ends_with(dom)
+        && host.as_bytes()[host.len() - dom.len() - 1] == b'.'
+}
+
+/// The URL text after the host: `[:port]/path[?query]`.
+///
+/// Computed from the serialized layout (`scheme://host…`) rather than a
+/// substring search: `url_text.find(host)` can land before the authority
+/// for dotless hosts (`http://tt/x` finds `tt` inside `http`), skewing
+/// the path offset for `||host/path` rules.
+pub(crate) fn after_host<'a>(url_text: &'a str, host: &str) -> &'a str {
+    let authority = url_text.find("://").map_or(0, |i| i + 3);
+    url_text.get(authority + host.len()..).unwrap_or("")
 }
 
 /// Is `c` an Adblock "separator" character (for `^`)?
@@ -192,13 +215,21 @@ fn is_separator(c: char) -> bool {
 /// `text`; every later part may match anywhere after the previous one
 /// (that is what the `*` between them means). When `end_sep` is set, the
 /// character right after the final matched part must be a separator (or
-/// the end of the text).
-fn parts_match(text: &str, parts: &[&str], anchored: bool, end_sep: bool) -> bool {
+/// the end of the text). Generic over the part representation so both
+/// the per-call split (`&[&str]`) and the engine's pre-split parts
+/// (`&[Box<str>]`) run through the same code.
+pub(crate) fn parts_match<S: AsRef<str>>(
+    text: &str,
+    parts: &[S],
+    anchored: bool,
+    end_sep: bool,
+) -> bool {
     match parts.split_first() {
         None => !end_sep || text.is_empty() || text.chars().next().map(is_separator) == Some(true),
         Some((p, rest)) => {
+            let p = p.as_ref();
             if anchored {
-                match text.strip_prefix(*p) {
+                match text.strip_prefix(p) {
                     Some(t) => parts_match(t, rest, false, end_sep),
                     None => false,
                 }
@@ -285,6 +316,40 @@ mod tests {
         let r = rule("||tracker.de/pixel");
         assert!(r.pattern_matches("http://tracker.de/pixel.gif", "tracker.de"));
         assert!(!r.pattern_matches("http://tracker.de/other", "tracker.de"));
+    }
+
+    #[test]
+    fn empty_domain_pattern_never_matches_a_host() {
+        // `||/pixel` parses to a Domain-anchored rule with an empty
+        // domain part. It must match nothing: there is no host to
+        // anchor on. (An earlier implementation only got this right
+        // through `==`/`&&` operator precedence; `host_matches_domain`
+        // now rejects the empty domain explicitly.)
+        let r = rule("||/pixel");
+        assert_eq!(r.anchor, Anchor::Domain);
+        assert!(!r.pattern_matches("http://x.de/pixel", "x.de"));
+        assert!(!r.pattern_matches("http://pixel/pixel", "pixel"));
+        assert!(!host_matches_domain("x.de", ""));
+        assert!(!host_matches_domain("", ""));
+    }
+
+    #[test]
+    fn domain_path_offset_survives_dotless_and_echoed_hosts() {
+        // The post-host slice is computed from the URL layout, not a
+        // substring search. Two regressions guard that:
+        // 1. A dotless host also occurs inside the scheme
+        //    (`http://tt/x` — `find("tt")` lands in "http").
+        let r = rule("||tt/x");
+        assert!(r.pattern_matches("http://tt/x", "tt"));
+        assert_eq!(after_host("http://tt/x", "tt"), "/x");
+        // 2. The host echoed earlier in the text (e.g. inside a proxy
+        //    URL's path) must not shift the offset.
+        assert_eq!(
+            after_host("http://a.de/p?u=a.de/pixel", "a.de"),
+            "/p?u=a.de/pixel"
+        );
+        let r = rule("||a.de/pixel");
+        assert!(!r.pattern_matches("http://a.de/p?u=a.de/pixel", "a.de"));
     }
 
     #[test]

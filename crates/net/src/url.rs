@@ -180,6 +180,54 @@ impl Url {
             format!("{}?{}", self.path, serialize_query(&self.query))
         }
     }
+
+    /// Appends the serialized URL to `buf` by direct string pushes,
+    /// bypassing the `fmt` machinery. This is the hot path for
+    /// filter-list matching, where a URL is serialized once per
+    /// exchange; output is identical to [`fmt::Display`].
+    pub fn write_into(&self, buf: &mut String) {
+        buf.push_str(self.scheme.as_str());
+        buf.push_str("://");
+        buf.push_str(self.host.as_str());
+        if let Some(p) = self.port {
+            buf.push(':');
+            push_u16(buf, p);
+        }
+        buf.push_str(&self.path);
+        let mut sep = '?';
+        for (k, v) in &self.query {
+            buf.push(sep);
+            sep = '&';
+            buf.push_str(k);
+            if !v.is_empty() {
+                buf.push('=');
+                buf.push_str(v);
+            }
+        }
+    }
+
+    /// The serialized URL as a fresh string; equivalent to
+    /// `to_string()` but without per-pair allocations.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.path.len() + self.host.as_str().len() + 24);
+        self.write_into(&mut s);
+        s
+    }
+}
+
+fn push_u16(buf: &mut String, n: u16) {
+    let mut digits = [0u8; 5];
+    let mut i = digits.len();
+    let mut n = u32::from(n);
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    buf.push_str(std::str::from_utf8(&digits[i..]).expect("ASCII digits"));
 }
 
 fn parse_query(q: &str) -> Vec<(String, String)> {
@@ -281,6 +329,20 @@ mod tests {
             Url::parse("http://h.de:70000/"),
             Err(ParseUrlError::InvalidPort(_))
         ));
+    }
+
+    #[test]
+    fn write_into_agrees_with_display() {
+        for s in [
+            "http://tvping.com/ping?c=rtl&s=1&u=abc",
+            "https://hbbtv.ard.de/app/index.html",
+            "http://x.de:8080/",
+            "http://x.de/p?flag&n=2",
+            "http://x.de",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(u.to_text(), u.to_string(), "for {s}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
         runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
     };
 
-    let lists = bundled::all();
+    let lists = bundled::all_refs();
     let total = dataset.total_requests();
     println!("{total} captured requests\n");
     println!("{:<20} {:>10} {:>9}", "list", "flagged", "share");

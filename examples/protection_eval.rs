@@ -42,7 +42,7 @@ fn main() {
         runs: vec![unprotected],
     };
     let fp = FirstPartyMap::identify(&dataset);
-    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 2);
+    let derived = DerivedList::derive(&dataset, &fp, bundled::pihole_ref(), 2);
     println!(
         "\nderived {} rules; list coverage of observed tracking: {:.1}% -> {:.1}%",
         derived.rules.len(),
@@ -60,13 +60,14 @@ fn main() {
     }
 
     // 3. Re-run with each block list active on the device.
+    let derived_list = derived.to_filter_list();
     for (label, list) in [
-        ("Pi-hole (web list)", bundled::pihole()),
-        ("Perflyst (smart-TV)", bundled::perflyst()),
-        ("derived HbbTV list", derived.to_filter_list()),
+        ("Pi-hole (web list)", bundled::pihole_ref()),
+        ("Perflyst (smart-TV)", bundled::perflyst_ref()),
+        ("derived HbbTV list", &derived_list),
     ] {
         eprintln!("re-measuring with {label} ...");
-        let protected = harness.run_with_blocklist(RunKind::Red, &list);
+        let protected = harness.run_with_blocklist(RunKind::Red, list);
         let residual = tracking_count(&protected);
         let blocked_share = if baseline_tracking == 0 {
             0.0

@@ -3,18 +3,21 @@
 #
 # Run from the repository root before every merge:
 #
-#     scripts/check.sh            # full gate
-#     scripts/check.sh --quick    # fmt + clippy only (fast inner loop)
+#     scripts/check.sh                # full gate
+#     scripts/check.sh --quick        # fmt + clippy only (fast inner loop)
+#     scripts/check.sh --bench-smoke  # also smoke-run the matcher benches
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
 
 quick=0
+bench_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
+        --bench-smoke) bench_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke]" >&2
             exit 2
             ;;
     esac
@@ -42,5 +45,16 @@ fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+if [ "$bench_smoke" -eq 1 ]; then
+    # Each criterion bench body runs once (`--test` mode): catches
+    # bit-rot in the bench targets without the full sampling run.
+    echo "==> cargo bench -p hbbtv-bench --bench kernels -- --test"
+    cargo bench -p hbbtv-bench --bench kernels -- --test
+    # Fixed-seed indexed-vs-linear matcher throughput, recorded for the
+    # PR that introduced the indexed engine.
+    echo "==> matcher_bench (writes BENCH_matcher.json)"
+    cargo run --release -p hbbtv-bench --bin matcher_bench BENCH_matcher.json
+fi
 
 echo "All checks passed."

@@ -63,7 +63,7 @@ fn the_ecosystem_is_independent_of_the_web() {
     );
     // The dominant pixel tracker is on no list at all.
     let (dominant, _) = report.tracking.dominant_pixel_party.clone().unwrap();
-    let lists = hbbtv_filterlists::bundled::all();
+    let lists = hbbtv_filterlists::bundled::all_refs();
     let probe: hbbtv_net::Url = format!("http://{dominant}/p").parse().unwrap();
     for list in &lists {
         assert!(

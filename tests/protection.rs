@@ -28,11 +28,11 @@ fn derived_list_blocks_what_web_lists_miss() {
         runs: vec![unprotected],
     };
     let fp = FirstPartyMap::identify(&dataset);
-    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 2);
+    let derived = DerivedList::derive(&dataset, &fp, bundled::pihole_ref(), 2);
     assert!(!derived.rules.is_empty());
 
     // Web list: barely helps. Derived list: nearly eliminates tracking.
-    let with_pihole = harness.run_with_blocklist(RunKind::Red, &bundled::pihole());
+    let with_pihole = harness.run_with_blocklist(RunKind::Red, bundled::pihole_ref());
     let with_derived = harness.run_with_blocklist(RunKind::Red, &derived.to_filter_list());
     let residual_pihole = tracking(&with_pihole);
     let residual_derived = tracking(&with_derived);
@@ -55,7 +55,7 @@ fn blocking_also_suppresses_tracker_cookies() {
         runs: vec![unprotected.clone()],
     };
     let fp = FirstPartyMap::identify(&dataset);
-    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 1);
+    let derived = DerivedList::derive(&dataset, &fp, bundled::pihole_ref(), 1);
     let protected = harness.run_with_blocklist(RunKind::General, &derived.to_filter_list());
     let tvping_cookies = |ds: &hbbtv_study::RunDataset| {
         ds.cookies
@@ -146,7 +146,7 @@ fn blocked_requests_never_reach_the_capture_log() {
         runs: vec![harness.run(RunKind::General)],
     };
     let fp = FirstPartyMap::identify(&dataset);
-    let derived = DerivedList::derive(&dataset, &fp, &bundled::pihole(), 1);
+    let derived = DerivedList::derive(&dataset, &fp, bundled::pihole_ref(), 1);
     let protected = harness.run_with_blocklist(RunKind::General, &derived.to_filter_list());
     for rule in &derived.rules {
         assert!(
