@@ -15,25 +15,65 @@
 //! behind `matches_view`.
 
 use hbbtv_bench::matcher_workload::{synthetic_list, url_workload};
-use hbbtv_filterlists::{bundled, FilterList, RequestContext, UrlView};
+use hbbtv_filterlists::{bundled, stats, FilterList, RequestContext, UrlView};
 use hbbtv_net::Url;
 use std::time::Instant;
 
-/// Runs `work` repeatedly until ~50ms have elapsed (at least 3 times)
-/// and returns the best-observed seconds per run.
-fn time_best<F: FnMut() -> usize>(mut work: F) -> f64 {
+/// Fixed repeat counts per workload, recorded in the report so
+/// trajectories stay comparable across PRs (no adaptive timing: the
+/// JSON metadata is deterministic, only the throughput numbers move).
+const ITERS_BUNDLED: usize = 40;
+
+/// Repeats for each synthetic scale, matched by index with `SCALES`.
+const ITERS_SCALES: [usize; 3] = [40, 16, 6];
+
+/// Synthetic rule counts exercised by the scaling section.
+const SCALES: [usize; 3] = [100, 1_000, 10_000];
+
+/// Workload seeds (list contents and URL mix).
+const LIST_SEED: u64 = 7;
+const URL_SEED: u64 = 11;
+
+/// Runs `work` exactly `iters` times and returns the best-observed
+/// seconds per run.
+fn time_best<F: FnMut() -> usize>(iters: usize, mut work: F) -> f64 {
     let mut best = f64::INFINITY;
-    let mut spent = 0.0;
-    let mut runs = 0;
-    while runs < 3 || spent < 0.05 {
+    for _ in 0..iters {
         let t = Instant::now();
         std::hint::black_box(work());
-        let dt = t.elapsed().as_secs_f64();
-        best = best.min(dt);
-        spent += dt;
-        runs += 1;
+        best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// One counting pass over the workload (outside the timed loops):
+/// resets the global engine cells, runs the indexed engine once with
+/// counting on, and freezes the totals.
+fn instrumented_pass(
+    lists: &[&FilterList],
+    urls: &[Url],
+    ctx: RequestContext,
+) -> stats::MatcherStats {
+    stats::reset();
+    stats::enable();
+    std::hint::black_box(indexed_pass(lists, urls, ctx));
+    stats::disable();
+    stats::snapshot()
+}
+
+fn stats_json(s: &stats::MatcherStats) -> String {
+    format!(
+        "{{ \"queries\": {}, \"bucket_probes\": {}, \"bucket_candidates\": {}, \"residual_checks\": {}, \"hits\": {}, \"rules_per_query\": {:.2}, \"first_match_p50\": {}, \"first_match_p99\": {}, \"first_match_max\": {} }}",
+        s.queries,
+        s.bucket_probes,
+        s.bucket_candidates,
+        s.residual_checks,
+        s.hits,
+        s.rules_per_query(),
+        s.first_match_distance.p50,
+        s.first_match_distance.p99,
+        s.first_match_distance.max
+    )
 }
 
 fn indexed_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usize {
@@ -90,9 +130,18 @@ fn main() {
         linear_pass(&lists, &urls, ctx),
         "engines disagree on the bundled workload"
     );
+    // Counting pass first, outside the timed loops, so the timed runs
+    // below see the disabled (one relaxed load) path.
+    let bundled_stats = instrumented_pass(&lists, &urls, ctx);
+    let total_rules: usize = lists.iter().map(|l| l.len()).sum();
+    let rule_counts: Vec<String> = lists
+        .iter()
+        .map(|l| format!("\"{}\": {}", l.name(), l.len()))
+        .collect();
+
     let checks = (urls.len() * lists.len()) as f64;
-    let t_idx = time_best(|| indexed_pass(&lists, &urls, ctx));
-    let t_lin = time_best(|| linear_pass(&lists, &urls, ctx));
+    let t_idx = time_best(ITERS_BUNDLED, || indexed_pass(&lists, &urls, ctx));
+    let t_lin = time_best(ITERS_BUNDLED, || linear_pass(&lists, &urls, ctx));
     let bundled_speedup = t_lin / t_idx;
     println!(
         "bundled lists      : indexed {:>12.0} checks/s, linear {:>12.0} checks/s, speedup {:.1}x",
@@ -101,21 +150,26 @@ fn main() {
         bundled_speedup
     );
     sections.push(format!(
-        "  \"bundled\": {{ \"lists\": {}, \"urls\": {}, \"hits\": {}, \"indexed_checks_per_s\": {:.0}, \"linear_checks_per_s\": {:.0}, \"speedup\": {:.2} }}",
+        "  \"bundled\": {{ \"lists\": {}, \"rules\": {}, \"rule_counts\": {{ {} }}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_checks_per_s\": {:.0}, \"linear_checks_per_s\": {:.0}, \"speedup\": {:.2}, \"engine\": {} }}",
         lists.len(),
+        total_rules,
+        rule_counts.join(", "),
         urls.len(),
+        ITERS_BUNDLED,
         hits,
         checks / t_idx,
         checks / t_lin,
-        bundled_speedup
+        bundled_speedup,
+        stats_json(&bundled_stats)
     ));
 
     // Synthetic scales: indexed should stay flat while linear grows
     // with the rule count.
     let mut scale_rows = Vec::new();
-    for n in [100usize, 1_000, 10_000] {
-        let list = synthetic_list(n, 7);
-        let work = url_workload(64, n, 11);
+    for (i, n) in SCALES.into_iter().enumerate() {
+        let iters = ITERS_SCALES[i];
+        let list = synthetic_list(n, LIST_SEED);
+        let work = url_workload(64, n, URL_SEED);
         let one = [&list];
         let hits = indexed_pass(&one, &work, ctx);
         assert_eq!(
@@ -123,9 +177,10 @@ fn main() {
             linear_pass(&one, &work, ctx),
             "engines disagree at {n} rules"
         );
+        let scale_stats = instrumented_pass(&one, &work, ctx);
         let checks = work.len() as f64;
-        let t_idx = time_best(|| indexed_pass(&one, &work, ctx));
-        let t_lin = time_best(|| linear_pass(&one, &work, ctx));
+        let t_idx = time_best(iters, || indexed_pass(&one, &work, ctx));
+        let t_lin = time_best(iters, || linear_pass(&one, &work, ctx));
         println!(
             "{n:>6} rules       : indexed {:>12.0} urls/s, linear {:>12.0} urls/s, speedup {:.1}x",
             checks / t_idx,
@@ -133,19 +188,21 @@ fn main() {
             t_lin / t_idx
         );
         scale_rows.push(format!(
-            "    {{ \"rules\": {}, \"urls\": {}, \"hits\": {}, \"indexed_urls_per_s\": {:.0}, \"linear_urls_per_s\": {:.0}, \"speedup\": {:.2} }}",
+            "    {{ \"rules\": {}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_urls_per_s\": {:.0}, \"linear_urls_per_s\": {:.0}, \"speedup\": {:.2}, \"engine\": {} }}",
             n,
             work.len(),
+            iters,
             hits,
             checks / t_idx,
             checks / t_lin,
-            t_lin / t_idx
+            t_lin / t_idx,
+            stats_json(&scale_stats)
         ));
     }
     sections.push(format!("  \"scales\": [\n{}\n  ]", scale_rows.join(",\n")));
 
     let json = format!(
-        "{{\n  \"seed\": 7,\n  \"context\": \"third_party_image\",\n{}\n}}\n",
+        "{{\n  \"list_seed\": {LIST_SEED},\n  \"url_seed\": {URL_SEED},\n  \"context\": \"third_party_image\",\n{}\n}}\n",
         sections.join(",\n")
     );
     std::fs::write(&out, &json).expect("writing the benchmark report");

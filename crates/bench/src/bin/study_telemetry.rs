@@ -1,0 +1,127 @@
+//! `study_telemetry` — end-to-end study run under `Profile` telemetry,
+//! written to `BENCH_study.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! study_telemetry [output.json] [--scale <0..1>] [--seed <u64>]
+//! ```
+//!
+//! Runs all five measurement runs with a `Profile` scope (sim-time
+//! journal plus wall-clock histograms), then computes the full report
+//! under spans, and reports per-run visit/exchange totals, wall-time
+//! percentiles for the instrumented spans, and per-stage analysis
+//! times. The reconciliation invariant — summed per-visit exchange
+//! counters equal the dataset's captured exchanges — is asserted here
+//! on every run.
+
+use hbbtv_study::obs::{MemoryRecorder, SimClock, Telemetry, TelemetryMode};
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, StudyHarness, TelemetryConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut out = "BENCH_study.json".to_string();
+    let mut scale = 0.1f64;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number in (0, 1]");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            other => out = other.to_string(),
+        }
+    }
+
+    eprintln!("study_telemetry: seed {seed}, scale {scale}");
+    let eco = Ecosystem::with_scale(seed, scale);
+
+    let journal = Arc::new(MemoryRecorder::new());
+    let harness = StudyHarness::with_telemetry(&eco, TelemetryConfig::profile(journal.clone()));
+    let t0 = Instant::now();
+    let dataset = harness.run_all();
+    let study_wall = t0.elapsed().as_secs_f64();
+    let tel = harness.telemetry().expect("profile mode records telemetry");
+    let events = journal.take();
+
+    // Reconciliation: per-visit exchange counters must sum to the
+    // dataset's captured exchanges, run by run.
+    for (run_tel, run_ds) in tel.runs.iter().zip(&dataset.runs) {
+        assert_eq!(
+            run_tel.exchanges_recorded,
+            run_ds.captures.len() as u64,
+            "run {}: telemetry exchanges disagree with the dataset",
+            run_tel.run
+        );
+    }
+
+    let t1 = Instant::now();
+    let analysis_tel = Telemetry::scope(
+        TelemetryMode::Profile,
+        SimClock::starting_at(hbbtv_net::Timestamp::MEASUREMENT_START),
+        1 << 56,
+    );
+    let report = StudyReport::compute_with_telemetry(&eco, &dataset, &analysis_tel);
+    let analysis_wall = t1.elapsed().as_secs_f64();
+    std::hint::black_box(&report);
+
+    let visits = tel.total_visits();
+    let mut sections = Vec::new();
+    sections.push(format!(
+        "  \"study\": {{ \"runs\": {}, \"visits\": {}, \"exchanges\": {}, \"bytes\": {}, \"journal_events\": {}, \"wall_s\": {:.3}, \"visits_per_s\": {:.1} }}",
+        tel.runs.len(),
+        visits,
+        tel.total_exchanges(),
+        tel.total_bytes(),
+        events.len(),
+        study_wall,
+        visits as f64 / study_wall.max(1e-9)
+    ));
+
+    let mut run_rows = Vec::new();
+    for run in &tel.runs {
+        let visit_wall = run.histograms.get("wall.visit");
+        let (p50, p99) = visit_wall.map_or((0, 0), |h| (h.p50, h.p99));
+        run_rows.push(format!(
+            "    {{ \"run\": \"{}\", \"visits\": {}, \"exchanges\": {}, \"bytes\": {}, \"visit_wall_p50_us\": {}, \"visit_wall_p99_us\": {} }}",
+            run.run, run.visits, run.exchanges_recorded, run.bytes_recorded, p50, p99
+        ));
+    }
+    sections.push(format!("  \"runs\": [\n{}\n  ]", run_rows.join(",\n")));
+
+    let mut stage_rows = Vec::new();
+    for (name, h) in analysis_tel.histograms_snapshot() {
+        if let Some(stage) = name.strip_prefix("wall.analysis.") {
+            stage_rows.push(format!("\"{stage}\": {}", h.max));
+        }
+    }
+    sections.push(format!(
+        "  \"analysis\": {{ \"wall_s\": {:.3}, \"stage_wall_us\": {{ {} }} }}",
+        analysis_wall,
+        stage_rows.join(", ")
+    ));
+
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"scale\": {scale},\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("writing the benchmark report");
+    println!(
+        "wrote {out}: {} visits, {} exchanges in {:.2}s study + {:.2}s analysis",
+        visits,
+        tel.total_exchanges(),
+        study_wall,
+        analysis_wall
+    );
+}

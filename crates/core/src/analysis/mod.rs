@@ -27,7 +27,7 @@ pub use cookies::CookieAnalysis;
 pub use ecosystem_graph::GraphAnalysis;
 pub use first_party::FirstPartyMap;
 pub use leakage::LeakageAnalysis;
-pub use parallel::{par_chunks, par_map};
+pub use parallel::{par_chunks, par_map, par_map_observed, PoolObserver};
 pub use policy_analysis::PolicyAnalysis;
 pub use rule_derivation::{DerivedList, DerivedRule, RuleEvidence};
 pub use significance::SignificanceReport;

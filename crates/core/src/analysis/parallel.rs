@@ -15,6 +15,7 @@
 //!   workers (`StudyHarness::run_parallel`); each item is one hermetic
 //!   visit and the ordered results merge in canonical channel order.
 
+use hbbtv_obs::{Counter, Gauge, Histogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Chunk length used by the capture-scan analyses. Large enough that
@@ -82,11 +83,43 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_observed(items, None, f)
+}
+
+/// Scheduling-dependent worker-pool instrumentation for
+/// [`par_map_observed`]. All three cells describe *how the pool ran*,
+/// not what it computed — by the dual-clock rule they are only wired up
+/// in profile mode, where byte-stability is already forfeit.
+#[derive(Debug, Clone, Default)]
+pub struct PoolObserver {
+    /// Worker threads that ran (1 when the pool collapses onto the
+    /// calling thread).
+    pub workers: Counter,
+    /// Items each worker ended up processing.
+    pub items_per_worker: Histogram,
+    /// High-water mark of unclaimed items observed at claim time.
+    pub queue_depth: Gauge,
+}
+
+/// [`par_map`] with optional worker-pool instrumentation. The observer
+/// never influences scheduling or results — `par_map_observed(items,
+/// None, f)` *is* `par_map`.
+pub fn par_map_observed<T, R, F>(items: &[T], observer: Option<&PoolObserver>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len());
     if workers <= 1 {
+        if let Some(obs) = observer {
+            obs.workers.inc();
+            obs.items_per_worker.record(items.len() as u64);
+            obs.queue_depth.raise_to(items.len() as i64);
+        }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
@@ -101,7 +134,15 @@ where
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(idx) else { break };
+                        if let Some(obs) = observer {
+                            obs.queue_depth
+                                .raise_to(items.len().saturating_sub(idx + 1) as i64);
+                        }
                         out.push((idx, f(idx, item)));
+                    }
+                    if let Some(obs) = observer {
+                        obs.workers.inc();
+                        obs.items_per_worker.record(out.len() as u64);
                     }
                     out
                 })
@@ -171,5 +212,30 @@ mod tests {
     fn par_map_empty_and_single() {
         assert!(par_map(&[] as &[u8], |_, &b| b).is_empty());
         assert_eq!(par_map(&[9u8], |i, &b| (i, b)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn observer_accounts_for_every_item_without_changing_results() {
+        let items: Vec<u64> = (0..300).collect();
+        let plain = par_map(&items, |i, &v| i as u64 + v);
+        let observer = PoolObserver::default();
+        let observed = par_map_observed(&items, Some(&observer), |i, &v| i as u64 + v);
+        assert_eq!(plain, observed);
+        assert!(observer.workers.get() >= 1);
+        assert_eq!(
+            observer.items_per_worker.summary().sum,
+            items.len() as u64,
+            "every item is claimed by exactly one worker"
+        );
+        assert!(observer.queue_depth.get() >= 0);
+    }
+
+    #[test]
+    fn observer_on_the_single_item_fallback_counts_one_worker() {
+        let observer = PoolObserver::default();
+        let out = par_map_observed(&[5u8], Some(&observer), |_, &b| b * 2);
+        assert_eq!(out, vec![10]);
+        assert_eq!(observer.workers.get(), 1);
+        assert_eq!(observer.items_per_worker.summary().sum, 1);
     }
 }

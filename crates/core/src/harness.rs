@@ -32,7 +32,7 @@
 //! grains: one worker thread per run, channel-parallel visits inside
 //! each.
 
-use crate::analysis::parallel::par_map;
+use crate::analysis::parallel::{par_map_observed, PoolObserver};
 use crate::dataset::{RunDataset, StudyDataset, VisitSummary};
 use crate::ecosystem::Ecosystem;
 use crate::run::RunKind;
@@ -40,7 +40,8 @@ use hbbtv_filterlists::{FilterList, RequestContext, ResourceKind};
 use hbbtv_net::{
     ContentType, CookieKey, Duration, Etld1, Request, Response, SimClock, Status, Timestamp,
 };
-use hbbtv_proxy::{CapturedExchange, Proxy, VisitHandle};
+use hbbtv_obs::{keys, RunTelemetry, StudyTelemetry, Telemetry, TelemetryConfig};
+use hbbtv_proxy::{CapturedExchange, Proxy, ProxyMetrics, VisitHandle};
 use hbbtv_trackers::ResponderContext;
 use hbbtv_tv::{
     ChannelContext, DeviceProfile, NetworkBackend, RcButton, Screenshot, StoredCookie, Tv,
@@ -50,6 +51,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// The network backend for one simulated channel visit: answers from
 /// the tracker registry (plus the first parties' policy routes) and
@@ -118,18 +120,155 @@ struct VisitOutcome {
     screenshots: Vec<Screenshot>,
     interactions: usize,
     consented: bool,
+    /// The visit's telemetry scope (inert when telemetry is off),
+    /// merged into the run scope in canonical channel order.
+    tel: Telemetry,
+}
+
+/// Everything one finished run left behind for the instrument: its
+/// metric roll-up and its buffered journal events, held until
+/// [`StudyHarness::flush_journal`] writes them out in canonical run
+/// order.
+struct RunArtifacts {
+    summary: RunTelemetry,
+    events: Vec<hbbtv_obs::Event>,
+}
+
+/// Telemetry bookkeeping shared by the root harness and the per-run
+/// sub-harnesses [`StudyHarness::run_all`] spawns. Finished runs are
+/// keyed by their ordinal in [`RunKind::ALL`] (repeated runs of one
+/// kind append in call order), so summaries and the flushed journal
+/// come out in canonical order no matter which worker finished first.
+#[derive(Clone)]
+struct TelemetryShared {
+    config: TelemetryConfig,
+    finished: Arc<Mutex<BTreeMap<usize, Vec<RunArtifacts>>>>,
 }
 
 /// Drives the full study over a generated ecosystem.
-#[derive(Debug)]
 pub struct StudyHarness<'a> {
     eco: &'a Ecosystem,
+    tel: Option<TelemetryShared>,
+}
+
+impl std::fmt::Debug for StudyHarness<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyHarness")
+            .field("seed", &self.eco.seed())
+            .field("telemetry", &self.tel.as_ref().map(|t| t.config.mode))
+            .finish()
+    }
 }
 
 impl<'a> StudyHarness<'a> {
-    /// Creates a harness over a world.
+    /// Creates a harness over a world, telemetry off.
     pub fn new(eco: &'a Ecosystem) -> Self {
-        StudyHarness { eco }
+        StudyHarness { eco, tel: None }
+    }
+
+    /// Creates a harness with the instrument attached. Telemetry
+    /// observes the pipeline but never steers it: every dataset and
+    /// report this harness produces is byte-identical to
+    /// [`StudyHarness::new`]'s.
+    pub fn with_telemetry(eco: &'a Ecosystem, config: TelemetryConfig) -> Self {
+        let tel = config.mode.metrics_on().then(|| TelemetryShared {
+            config,
+            finished: Arc::new(Mutex::new(BTreeMap::new())),
+        });
+        StudyHarness { eco, tel }
+    }
+
+    /// A harness sharing this one's world and telemetry bookkeeping,
+    /// for the per-run worker threads of [`StudyHarness::run_all`].
+    fn subharness(&self) -> StudyHarness<'a> {
+        StudyHarness {
+            eco: self.eco,
+            tel: self.tel.clone(),
+        }
+    }
+
+    /// The ordinal of `kind` in [`RunKind::ALL`] — the canonical sort
+    /// key for journal flushing and span-id bases.
+    fn run_ordinal(kind: RunKind) -> usize {
+        RunKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every RunKind is in ALL")
+    }
+
+    /// A fresh telemetry scope for one run of `kind`: sim clock at the
+    /// run's start, span ids in the run's own `(ordinal + 1) << 32`
+    /// block. Inert when telemetry is off.
+    fn run_scope(&self, kind: RunKind) -> Telemetry {
+        match &self.tel {
+            None => Telemetry::disabled(),
+            Some(shared) => Telemetry::scope(
+                shared.config.mode,
+                SimClock::starting_at(kind.start_time()),
+                ((Self::run_ordinal(kind) as u64) + 1) << 32,
+            ),
+        }
+    }
+
+    /// Freezes a finished run's scope into [`RunArtifacts`] under its
+    /// canonical ordinal.
+    fn finish_run(&self, kind: RunKind, run_tel: Telemetry) {
+        let Some(shared) = &self.tel else { return };
+        if !run_tel.is_enabled() {
+            return;
+        }
+        let artifacts = RunArtifacts {
+            summary: RunTelemetry::from_scope(kind.label(), &run_tel),
+            events: run_tel.drain_events(),
+        };
+        shared
+            .finished
+            .lock()
+            .expect("telemetry lock")
+            .entry(Self::run_ordinal(kind))
+            .or_default()
+            .push(artifacts);
+    }
+
+    /// The instrument summaries of every run performed so far, in
+    /// canonical run order. `None` when telemetry is off (or nothing
+    /// ran yet) — the summary rides *alongside* the dataset, never
+    /// inside its wire format.
+    pub fn telemetry(&self) -> Option<StudyTelemetry> {
+        let shared = self.tel.as_ref()?;
+        let finished = shared.finished.lock().expect("telemetry lock");
+        if finished.is_empty() {
+            return None;
+        }
+        Some(StudyTelemetry {
+            runs: finished
+                .values()
+                .flat_map(|runs| runs.iter().map(|r| r.summary.clone()))
+                .collect(),
+        })
+    }
+
+    /// Writes every buffered journal event to the configured sink, in
+    /// canonical run order, and clears the buffers (summaries stay).
+    /// [`run_all`] and [`run_all_sequential`] call this automatically;
+    /// single-run callers invoke it once their runs are done.
+    ///
+    /// [`run_all`]: StudyHarness::run_all
+    /// [`run_all_sequential`]: StudyHarness::run_all_sequential
+    pub fn flush_journal(&self) {
+        let Some(shared) = &self.tel else { return };
+        if !shared.config.mode.journal_on() {
+            return;
+        }
+        let mut finished = shared.finished.lock().expect("telemetry lock");
+        for runs in finished.values_mut() {
+            for artifacts in runs.iter_mut() {
+                for event in std::mem::take(&mut artifacts.events) {
+                    shared.config.sink.record(&event);
+                }
+            }
+        }
+        shared.config.sink.flush();
     }
 
     /// Performs all five measurement runs, one worker thread per run,
@@ -143,17 +282,20 @@ impl<'a> StudyHarness<'a> {
     /// [`StudyHarness::run_all_sequential`]. Results are assembled in
     /// [`RunKind::ALL`] order regardless of which worker finishes first.
     pub fn run_all(&self) -> StudyDataset {
-        let eco = self.eco;
         let runs = std::thread::scope(|scope| {
             let handles: Vec<_> = RunKind::ALL
                 .iter()
-                .map(|&kind| scope.spawn(move || StudyHarness::new(eco).run_parallel(kind)))
+                .map(|&kind| {
+                    let sub = self.subharness();
+                    scope.spawn(move || sub.run_parallel(kind))
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("run worker panicked"))
                 .collect()
         });
+        self.flush_journal();
         StudyDataset { runs }
     }
 
@@ -163,9 +305,11 @@ impl<'a> StudyHarness<'a> {
     ///
     /// [`run_all`]: StudyHarness::run_all
     pub fn run_all_sequential(&self) -> StudyDataset {
-        StudyDataset {
+        let dataset = StudyDataset {
             runs: RunKind::ALL.iter().map(|&r| self.run(r)).collect(),
-        }
+        };
+        self.flush_journal();
+        dataset
     }
 
     /// Performs one measurement run, visits in protocol order on the
@@ -204,18 +348,47 @@ impl<'a> StudyHarness<'a> {
     ) -> RunDataset {
         let run_seed = self.eco.seed() ^ (kind as u64).wrapping_mul(0x9E37_79B9);
         let (order, sequence) = self.visit_plan(kind, run_seed);
+        let run_tel = self.run_scope(kind);
+        let mut run_span = run_tel.span("run");
+        run_span.add_field("run", kind.label());
+        run_span.add_field("channels", order.len());
         let outcomes: Vec<VisitOutcome> = if parallel {
-            par_map(&order, |seq, &id| {
-                self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist)
+            // Worker-pool stats are scheduling-dependent, so the
+            // observer exists only in profile mode (the dual-clock
+            // rule: journal-mode output is byte-stable).
+            let observer = run_tel.mode().profile_on().then(|| PoolObserver {
+                workers: run_tel.counter(keys::POOL_WORKERS),
+                items_per_worker: run_tel.histogram(keys::POOL_ITEMS_PER_WORKER),
+                queue_depth: run_tel.gauge(keys::POOL_QUEUE_DEPTH),
+            });
+            par_map_observed(&order, observer.as_ref(), |seq, &id| {
+                self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist, &run_tel)
             })
         } else {
             order
                 .iter()
                 .enumerate()
-                .map(|(seq, &id)| self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist))
+                .map(|(seq, &id)| {
+                    self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist, &run_tel)
+                })
                 .collect()
         };
-        merge_run(kind, outcomes)
+        // Fold the per-visit scopes into the run scope in canonical
+        // channel order — merge order is fixed here, never by the
+        // worker pool, so metrics and journal are byte-stable.
+        if run_tel.is_enabled() {
+            let visits = run_tel.counter(keys::VISITS);
+            let visit_captures = run_tel.histogram(keys::VISIT_CAPTURES);
+            for outcome in &outcomes {
+                visits.inc();
+                visit_captures.record(outcome.captures.len() as u64);
+                run_tel.merge_child(&outcome.tel);
+            }
+        }
+        drop(run_span);
+        let dataset = merge_run(kind, outcomes);
+        self.finish_run(kind, run_tel);
+        dataset
     }
 
     /// The run-level script state, fixed before any visit starts: the
@@ -242,6 +415,7 @@ impl<'a> StudyHarness<'a> {
     /// proxy shard, and RNGs seeded from `(run_seed, channel_id)` — so
     /// the same arguments produce the same outcome on any thread in any
     /// order.
+    #[allow(clippy::too_many_arguments)]
     fn visit_channel(
         &self,
         kind: RunKind,
@@ -250,6 +424,7 @@ impl<'a> StudyHarness<'a> {
         id: hbbtv_broadcast::ChannelId,
         sequence: &[RcButton],
         blocklist: Option<&FilterList>,
+        run_tel: &Telemetry,
     ) -> VisitOutcome {
         let bp = self
             .eco
@@ -258,8 +433,20 @@ impl<'a> StudyHarness<'a> {
         let opened =
             kind.start_time() + Duration::from_secs(seq as u64 * kind.watch_time().as_secs());
         let clock = SimClock::starting_at(opened);
+        // The visit's telemetry scope: buffered events, span ids from
+        // the visit's canonical block, time from the visit's own clock.
+        let tel = run_tel.child_scope(seq, clock.clone());
+        let mut visit_span = tel.span("visit");
+        visit_span.add_field("seq", seq);
+        visit_span.add_field("channel", id.0 as u64);
         let proxy = Proxy::new();
         proxy.start_session_at(kind.label(), seq as u32);
+        if tel.is_enabled() {
+            proxy.set_metrics(ProxyMetrics {
+                exchanges: tel.counter(keys::PROXY_EXCHANGES),
+                bytes: tel.counter(keys::PROXY_BYTES),
+            });
+        }
         let visit = proxy.begin_visit(id, &bp.plan.name, clock.now());
 
         let visit_seed = run_seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -355,16 +542,22 @@ impl<'a> StudyHarness<'a> {
         let (cookies, local_storage) = tv.extract_storage();
         tv.power_off();
 
+        let captures = proxy.captures();
+        visit_span.add_field("captures", captures.len());
+        visit_span.add_field("consented", consented);
+        drop(visit_span);
+
         VisitOutcome {
             id,
             name: bp.plan.name.clone(),
             opened,
-            captures: proxy.captures(),
+            captures,
             cookies,
             local_storage,
             screenshots,
             interactions,
             consented,
+            tel,
         }
     }
 }

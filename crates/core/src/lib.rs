@@ -46,3 +46,10 @@ pub use dataset::{RunDataset, StudyDataset, VisitSummary};
 pub use ecosystem::{ChannelBlueprint, Ecosystem};
 pub use harness::StudyHarness;
 pub use run::RunKind;
+
+// The telemetry layer, re-exported so harness callers can configure it
+// without naming `hbbtv-obs` themselves.
+pub use hbbtv_obs as obs;
+pub use hbbtv_obs::{
+    JsonlRecorder, RunTelemetry, StudyTelemetry, Telemetry, TelemetryConfig, TelemetryMode,
+};

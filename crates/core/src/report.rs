@@ -10,6 +10,7 @@ use crate::ecosystem::Ecosystem;
 use crate::tables;
 use hbbtv_broadcast::ChannelId;
 use hbbtv_net::CookieKey;
+use hbbtv_obs::{StudyTelemetry, Telemetry};
 use hbbtv_trackers::{CookieCategory, Cookiepedia};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -39,56 +40,159 @@ pub struct StudyReport {
     pub policies: PolicyAnalysis,
     /// Statistical tests (§IV-D).
     pub significance: SignificanceReport,
+    /// Per-run telemetry from the harness, when the study ran with a
+    /// telemetry scope attached. Never serialized and never rendered by
+    /// [`StudyReport::render`], so report output stays byte-identical
+    /// with telemetry on, off, or absent.
+    pub telemetry: Option<StudyTelemetry>,
 }
 
 impl StudyReport {
     /// Computes every analysis from a dataset.
     pub fn compute(eco: &Ecosystem, dataset: &StudyDataset) -> Self {
-        let first_parties = FirstPartyMap::identify(dataset);
-        let tracking = TrackingAnalysis::compute(dataset, &first_parties);
-        let cookies = CookieAnalysis::compute(dataset, &first_parties);
-        let categories = CategoryAnalysis::compute(eco, &tracking);
+        Self::compute_with_telemetry(eco, dataset, &Telemetry::disabled())
+    }
+
+    /// Computes every analysis, timing each pass under a span on `tel`.
+    ///
+    /// With a disabled scope this is exactly [`StudyReport::compute`]:
+    /// the spans are no-ops and the result is identical.
+    pub fn compute_with_telemetry(
+        eco: &Ecosystem,
+        dataset: &StudyDataset,
+        tel: &Telemetry,
+    ) -> Self {
+        let whole = tel.span("analysis.report");
+        let first_parties = {
+            let _s = tel.span("analysis.first_parties");
+            FirstPartyMap::identify(dataset)
+        };
+        let tracking = {
+            let _s = tel.span("analysis.tracking");
+            TrackingAnalysis::compute(dataset, &first_parties)
+        };
+        let cookies = {
+            let _s = tel.span("analysis.cookies");
+            CookieAnalysis::compute(dataset, &first_parties)
+        };
+        let categories = {
+            let _s = tel.span("analysis.categories");
+            CategoryAnalysis::compute(eco, &tracking)
+        };
 
         // Targeting cookies for the children case study.
-        let cookiepedia = Cookiepedia::bundled();
-        let mut targeting: BTreeSet<CookieKey> = BTreeSet::new();
-        let mut cookie_channels: BTreeMap<CookieKey, BTreeSet<ChannelId>> = BTreeMap::new();
-        for run_ds in &dataset.runs {
-            for c in &run_ds.captures {
-                for sc in c.response.set_cookies() {
-                    let domain = if sc.explicit_domain {
-                        sc.cookie.domain.clone()
-                    } else {
-                        c.request.url.etld1().clone()
-                    };
-                    let key = CookieKey {
-                        domain,
-                        name: sc.cookie.name.clone(),
-                    };
-                    if let Some(ch) = c.channel {
-                        cookie_channels.entry(key.clone()).or_default().insert(ch);
-                    }
-                    if cookiepedia.classify(&key) == Some(CookieCategory::Targeting) {
-                        targeting.insert(key);
+        let children = {
+            let _s = tel.span("analysis.children");
+            let cookiepedia = Cookiepedia::bundled();
+            let mut targeting: BTreeSet<CookieKey> = BTreeSet::new();
+            let mut cookie_channels: BTreeMap<CookieKey, BTreeSet<ChannelId>> = BTreeMap::new();
+            for run_ds in &dataset.runs {
+                for c in &run_ds.captures {
+                    for sc in c.response.set_cookies() {
+                        let domain = if sc.explicit_domain {
+                            sc.cookie.domain.clone()
+                        } else {
+                            c.request.url.etld1().clone()
+                        };
+                        let key = CookieKey {
+                            domain,
+                            name: sc.cookie.name.clone(),
+                        };
+                        if let Some(ch) = c.channel {
+                            cookie_channels.entry(key.clone()).or_default().insert(ch);
+                        }
+                        if cookiepedia.classify(&key) == Some(CookieCategory::Targeting) {
+                            targeting.insert(key);
+                        }
                     }
                 }
             }
-        }
-        let children = ChildrenCaseStudy::compute(eco, &tracking, &targeting, &cookie_channels);
+            ChildrenCaseStudy::compute(eco, &tracking, &targeting, &cookie_channels)
+        };
+
+        let leakage = {
+            let _s = tel.span("analysis.leakage");
+            LeakageAnalysis::compute(dataset)
+        };
+        let syncing = {
+            let _s = tel.span("analysis.syncing");
+            SyncingAnalysis::compute(dataset)
+        };
+        let graph = {
+            let _s = tel.span("analysis.graph");
+            GraphAnalysis::compute(dataset, &first_parties)
+        };
+        let consent = {
+            let _s = tel.span("analysis.consent");
+            ConsentAnalysis::compute(dataset)
+        };
+        let policies = {
+            let _s = tel.span("analysis.policies");
+            PolicyAnalysis::compute(dataset)
+        };
+        let significance = {
+            let _s = tel.span("analysis.significance");
+            SignificanceReport::compute(dataset)
+        };
+        drop(whole);
 
         StudyReport {
-            leakage: LeakageAnalysis::compute(dataset),
-            syncing: SyncingAnalysis::compute(dataset),
-            graph: GraphAnalysis::compute(dataset, &first_parties),
-            consent: ConsentAnalysis::compute(dataset),
-            policies: PolicyAnalysis::compute(dataset),
-            significance: SignificanceReport::compute(dataset),
+            leakage,
+            syncing,
+            graph,
+            consent,
+            policies,
+            significance,
             categories,
             children,
             cookies,
             tracking,
             first_parties,
+            telemetry: None,
         }
+    }
+
+    /// Attaches harness telemetry (see [`crate::StudyHarness::telemetry`])
+    /// to the report for rendering via [`StudyReport::render_telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Option<StudyTelemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Renders the telemetry appendix: one block per run with visit and
+    /// exchange totals plus named counters. Empty string when the study
+    /// ran without telemetry, and deliberately *not* part of
+    /// [`StudyReport::render`].
+    pub fn render_telemetry(&self) -> String {
+        let Some(tel) = &self.telemetry else {
+            return String::new();
+        };
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Telemetry: {} visits, {} exchanges, {} bytes recorded\n",
+            tel.total_visits(),
+            tel.total_exchanges(),
+            tel.total_bytes()
+        );
+        for run in &tel.runs {
+            let _ = writeln!(
+                s,
+                "  run {}: {} visits, {} exchanges, {} bytes",
+                run.run, run.visits, run.exchanges_recorded, run.bytes_recorded
+            );
+            for (name, value) in &run.counters {
+                let _ = writeln!(s, "    {name} = {value}");
+            }
+            for (name, h) in &run.histograms {
+                let _ = writeln!(
+                    s,
+                    "    {name}: n={} p50={} p90={} p99={} max={}",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        s
     }
 
     /// Renders the complete report (tables, figures, and §-level

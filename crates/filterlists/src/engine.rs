@@ -203,6 +203,12 @@ impl RuleIndex {
         if self.compiled.is_empty() {
             return None;
         }
+        // One relaxed load when counting is off (the default); the
+        // instrumented loops live in a separate cold copy so this hot
+        // path compiles exactly as if the cells didn't exist.
+        if crate::stats::enabled() {
+            return self.first_match_counted(rules, view, ctx);
+        }
         let mut best: Option<u32> = None;
         for &i in &self.residual {
             if best.is_some_and(|b| i >= b) {
@@ -229,6 +235,47 @@ impl RuleIndex {
         best
     }
 
+    /// [`RuleIndex::first_match`] with the global cells fed — same
+    /// result, same probe order.
+    #[cold]
+    fn first_match_counted(
+        &self,
+        rules: &[Rule],
+        view: &UrlView<'_>,
+        ctx: RequestContext,
+    ) -> Option<u32> {
+        let (mut probes, mut candidates, mut residual_checks) = (0u64, 0u64, 0u64);
+        let mut best: Option<u32> = None;
+        for &i in &self.residual {
+            if best.is_some_and(|b| i >= b) {
+                break;
+            }
+            residual_checks += 1;
+            if self.applies(i, rules, view, ctx) {
+                best = Some(i);
+                break;
+            }
+        }
+        for suffix in host_suffixes(view.host) {
+            if let Some(ids) = self.buckets.get(suffix) {
+                probes += 1;
+                for &i in ids {
+                    if best.is_some_and(|b| i >= b) {
+                        break;
+                    }
+                    candidates += 1;
+                    if self.applies(i, rules, view, ctx) {
+                        best = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        let distance = best.map(|_| candidates + residual_checks);
+        crate::stats::note_query(probes, candidates, residual_checks, distance);
+        best
+    }
+
     /// Whether any rule fires, in no particular order (used for the
     /// boolean `matches` path and for exception lists, where only
     /// existence matters).
@@ -241,6 +288,9 @@ impl RuleIndex {
         if self.compiled.is_empty() {
             return false;
         }
+        if crate::stats::enabled() {
+            return self.any_match_counted(rules, view, ctx);
+        }
         self.residual
             .iter()
             .any(|&i| self.applies(i, rules, view, ctx))
@@ -250,6 +300,29 @@ impl RuleIndex {
                         .get(suffix)
                         .is_some_and(|ids| ids.iter().any(|&i| self.applies(i, rules, view, ctx)))
                 }))
+    }
+
+    /// [`RuleIndex::any_match`] with the global cells fed — same
+    /// result, same probe order.
+    #[cold]
+    fn any_match_counted(&self, rules: &[Rule], view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        let (mut probes, mut candidates, mut residual_checks) = (0u64, 0u64, 0u64);
+        let hit = self.residual.iter().any(|&i| {
+            residual_checks += 1;
+            self.applies(i, rules, view, ctx)
+        }) || (!self.buckets.is_empty()
+            && host_suffixes(view.host).any(|suffix| {
+                self.buckets.get(suffix).is_some_and(|ids| {
+                    probes += 1;
+                    ids.iter().any(|&i| {
+                        candidates += 1;
+                        self.applies(i, rules, view, ctx)
+                    })
+                })
+            }));
+        let distance = hit.then_some(candidates + residual_checks);
+        crate::stats::note_query(probes, candidates, residual_checks, distance);
+        hit
     }
 }
 
@@ -282,6 +355,48 @@ mod tests {
         // A trailing star swallows the end-separator requirement.
         let p = CompiledPattern::compile("/pixel*", false, true);
         assert!(p.matches("/pixels"));
+    }
+
+    #[test]
+    fn stats_count_probes_candidates_and_distances() {
+        use crate::matcher::{FilterList, RequestContext};
+        use crate::rule::ResourceKind;
+        use hbbtv_net::Url;
+
+        let list = FilterList::parse_adblock(
+            "test",
+            "||ads.example.de^\n||tracker.de^\n/telemetry/collect",
+        );
+        let ctx = RequestContext {
+            third_party: true,
+            kind: ResourceKind::Other,
+        };
+        let hit: Url = "http://pixel.ads.example.de/1x1.gif".parse().unwrap();
+        let miss: Url = "http://static.content.de/app.js".parse().unwrap();
+
+        crate::stats::reset();
+        crate::stats::enable();
+        assert!(list.matches(&hit, ctx));
+        assert!(!list.matches(&miss, ctx));
+        crate::stats::disable();
+        let stats = crate::stats::snapshot();
+
+        // Other tests may race the global cells between enable and
+        // disable, so assert lower bounds only.
+        assert!(stats.queries >= 2, "both matches queried the index");
+        assert!(stats.hits >= 1);
+        assert!(
+            stats.bucket_probes >= 1,
+            "the hit URL probed its host-suffix bucket"
+        );
+        assert!(stats.residual_checks >= 1, "the residual rule was scanned");
+        assert!(stats.first_match_distance.count >= 1);
+        assert!(stats.rules_per_query() > 0.0);
+
+        // Counting off again: the cells stay frozen.
+        let before = crate::stats::snapshot().queries;
+        let _ = list.matches(&hit, ctx);
+        assert_eq!(crate::stats::snapshot().queries, before);
     }
 
     #[test]

@@ -41,7 +41,9 @@ mod engine;
 mod hosts;
 mod matcher;
 mod rule;
+pub mod stats;
 
 pub use hosts::parse_hosts;
 pub use matcher::{FilterList, ListStats, MatchOutcome, RequestContext, UrlView};
 pub use rule::{parse_adblock_line, Anchor, ResourceKind, Rule, RuleOptions};
+pub use stats::MatcherStats;

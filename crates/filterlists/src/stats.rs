@@ -1,0 +1,130 @@
+//! Global match-engine instrumentation: bucket probes, residual scans,
+//! and first-match distances — the numbers that justify the indexed
+//! engine's speedup over the linear scan.
+//!
+//! Counting is process-global and **off by default**; the only cost on
+//! the disabled path is one relaxed atomic load per index query, so the
+//! matcher benchmarks are unaffected. When several lists (or several
+//! threads) match concurrently, the totals are exact but not
+//! attributable to one caller — the cells are plain commutative
+//! counters, so enable/snapshot windows stay deterministic for
+//! single-threaded measurement passes (the bench runs one instrumented
+//! pass with counting on, outside its timed loops).
+
+use hbbtv_obs::{Counter, Histogram, HistogramSummary};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Cells {
+    queries: Counter,
+    bucket_probes: Counter,
+    bucket_candidates: Counter,
+    residual_checks: Counter,
+    hits: Counter,
+    first_match_distance: Histogram,
+}
+
+fn cells() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| Cells {
+        queries: Counter::new(),
+        bucket_probes: Counter::new(),
+        bucket_candidates: Counter::new(),
+        residual_checks: Counter::new(),
+        hits: Counter::new(),
+        first_match_distance: Histogram::new(),
+    })
+}
+
+/// Turns counting on (it starts off).
+pub fn enable() {
+    cells(); // materialize before the hot path can race the init
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns counting off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the engine should count this query.
+#[inline]
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every cell (bench isolation between passes).
+pub fn reset() {
+    let c = cells();
+    c.queries.reset();
+    c.bucket_probes.reset();
+    c.bucket_candidates.reset();
+    c.residual_checks.reset();
+    c.hits.reset();
+    c.first_match_distance.reset();
+}
+
+/// Folds one finished index query into the global cells.
+/// `distance` is the number of rules examined before the query decided
+/// (recorded only on a hit).
+pub(crate) fn note_query(
+    bucket_probes: u64,
+    bucket_candidates: u64,
+    residual_checks: u64,
+    hit_distance: Option<u64>,
+) {
+    let c = cells();
+    c.queries.inc();
+    c.bucket_probes.add(bucket_probes);
+    c.bucket_candidates.add(bucket_candidates);
+    c.residual_checks.add(residual_checks);
+    if let Some(distance) = hit_distance {
+        c.hits.inc();
+        c.first_match_distance.record(distance);
+    }
+}
+
+/// A frozen view of the global match-engine cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MatcherStats {
+    /// Index queries answered while counting was on.
+    pub queries: u64,
+    /// Domain-bucket lookups performed (≤ host label count per query).
+    pub bucket_probes: u64,
+    /// Rules examined out of probed buckets.
+    pub bucket_candidates: u64,
+    /// Rules examined from the residual (non-domain-anchored) list.
+    pub residual_checks: u64,
+    /// Queries that found a matching rule.
+    pub hits: u64,
+    /// Rules examined before each hit decided (the indexed engine's
+    /// answer to "how far did we scan?").
+    pub first_match_distance: HistogramSummary,
+}
+
+impl MatcherStats {
+    /// Mean rules examined per query (bucket + residual).
+    pub fn rules_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.bucket_candidates + self.residual_checks) as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Snapshots the global cells (zeros if counting never ran).
+pub fn snapshot() -> MatcherStats {
+    let c = cells();
+    MatcherStats {
+        queries: c.queries.get(),
+        bucket_probes: c.bucket_probes.get(),
+        bucket_candidates: c.bucket_candidates.get(),
+        residual_checks: c.residual_checks.get(),
+        hits: c.hits.get(),
+        first_match_distance: c.first_match_distance.summary(),
+    }
+}

@@ -1,0 +1,335 @@
+//! The structured JSONL event journal.
+//!
+//! Every journal entry is one [`Event`]: a name, a sim-time second, the
+//! ids of the span it belongs to and that span's parent, and a flat
+//! list of typed fields. Events serialize to one JSON object per line
+//! ([`Event::to_json`], hand-rolled — no serde in the hot path) and
+//! flow into a [`Recorder`]:
+//!
+//! * [`NullRecorder`] — discards everything (the default sink).
+//! * [`JsonlRecorder`] — appends one JSON line per event to any writer.
+//! * [`MemoryRecorder`] — buffers events in memory; the study harness
+//!   gives every hermetic visit its own buffer and merges them in
+//!   canonical channel order, which is what makes sim-time journals
+//!   byte-stable regardless of thread scheduling.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::io::Write;
+
+/// A typed field value on a journal event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string (JSON-escaped on output).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name (`"span"`, `"visit"`, `"stage"`, …).
+    pub name: &'static str,
+    /// Sim-time seconds since the Unix epoch at which the event fired.
+    pub ts: u64,
+    /// Id of the span this event belongs to (0 = none).
+    pub span: u64,
+    /// Id of that span's parent (0 = root).
+    pub parent: u64,
+    /// Typed payload fields, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hbbtv_obs::{Event, FieldValue};
+    /// let ev = Event {
+    ///     name: "visit",
+    ///     ts: 100,
+    ///     span: 2,
+    ///     parent: 1,
+    ///     fields: vec![("channel", FieldValue::U64(7))],
+    /// };
+    /// assert_eq!(
+    ///     ev.to_json(),
+    ///     r#"{"ev":"visit","ts":100,"span":2,"parent":1,"channel":7}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ev\":\"");
+        escape_into(&mut out, self.name);
+        let _ = write!(
+            out,
+            "\",\"ts\":{},\"span\":{},\"parent\":{}",
+            self.ts, self.span, self.parent
+        );
+        for (key, value) in &self.fields {
+            out.push_str(",\"");
+            escape_into(&mut out, key);
+            out.push_str("\":");
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Str(s) => {
+                    out.push('"');
+                    escape_into(&mut out, s);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control
+/// characters; everything else passes through verbatim).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A sink for journal events.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event — the default sink, so telemetry-off costs
+/// nothing beyond the mode check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Writes each event as one JSON line to an arbitrary writer.
+pub struct JsonlRecorder {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlRecorder {
+    /// Wraps any writer (a `File`, a `Vec<u8>`, …).
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        JsonlRecorder {
+            out: Mutex::new(Box::new(out)),
+        }
+    }
+
+    /// Creates (truncating) a journal file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlRecorder::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlRecorder")
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Buffers events in memory.
+///
+/// The harness records each hermetic visit into its own buffer and
+/// replays the buffers into the real sink in canonical order once the
+/// run is merged — scheduling never touches the journal.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// Removes and returns everything buffered so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Clones the buffered events without draining them.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Event {
+        Event {
+            name,
+            ts: 5,
+            span: 1,
+            parent: 0,
+            fields,
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_backslashes_and_control_chars() {
+        let event = ev(
+            "note",
+            vec![("msg", FieldValue::Str("a\"b\\c\nd\te\u{1}".into()))],
+        );
+        assert_eq!(
+            event.to_json(),
+            "{\"ev\":\"note\",\"ts\":5,\"span\":1,\"parent\":0,\
+             \"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn json_renders_every_field_type() {
+        let event = ev(
+            "x",
+            vec![
+                ("u", FieldValue::U64(9)),
+                ("i", FieldValue::I64(-3)),
+                ("b", FieldValue::Bool(true)),
+                ("s", FieldValue::Str("ok".into())),
+            ],
+        );
+        assert_eq!(
+            event.to_json(),
+            r#"{"ev":"x","ts":5,"span":1,"parent":0,"u":9,"i":-3,"b":true,"s":"ok"}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let recorder = JsonlRecorder::new(SharedWriter(shared.clone()));
+        recorder.record(&ev("a", vec![]));
+        recorder.record(&ev("b", vec![]));
+        recorder.flush();
+        let text = String::from_utf8(shared.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"a\""));
+        assert!(lines[1].contains("\"ev\":\"b\""));
+    }
+
+    #[test]
+    fn memory_recorder_buffers_and_drains_in_order() {
+        let recorder = MemoryRecorder::new();
+        recorder.record(&ev("a", vec![]));
+        recorder.record(&ev("b", vec![]));
+        assert_eq!(recorder.len(), 2);
+        assert_eq!(recorder.snapshot().len(), 2);
+        let drained = recorder.take();
+        assert_eq!(drained[0].name, "a");
+        assert_eq!(drained[1].name, "b");
+        assert!(recorder.is_empty());
+    }
+}

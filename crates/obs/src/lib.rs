@@ -1,0 +1,64 @@
+//! Zero-dependency telemetry for the study pipeline: spans, counters,
+//! gauges, log-bucketed histograms, and a structured JSONL event
+//! journal.
+//!
+//! The measurement campaign's credibility rests on knowing exactly what
+//! the instrument did — visits per run, exchanges per visit, where the
+//! matcher spent its probes. This crate makes those numbers first-class
+//! outputs of every run. It is hand-rolled (dependencies cannot be
+//! vendored, so no `tracing`/`metrics`): the primitives are a few
+//! atomic cells, and everything is `Send + Sync` behind `parking_lot`.
+//!
+//! # Pieces
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free metric cells;
+//!   the histogram is log₂-bucketed with p50/p90/p99/max summaries.
+//! * [`Event`] / [`Recorder`] — the JSONL journal: [`NullRecorder`]
+//!   (default), [`JsonlRecorder`] (a writer sink), [`MemoryRecorder`]
+//!   (the per-visit buffers the harness merges deterministically).
+//! * [`Telemetry`] / [`Span`] — the per-scope hub and its RAII spans,
+//!   with deterministic span ids derived from canonical ordinals.
+//! * [`RunTelemetry`] / [`StudyTelemetry`] — serializable roll-ups.
+//!
+//! # The determinism contract
+//!
+//! Timing is dual-clock. Sim-time (from the scope's
+//! [`SimClock`](hbbtv_net::SimClock)) stamps every journal event, so
+//! [`TelemetryMode::Journal`] output is byte-stable across reruns and
+//! thread counts. Wall-clock timings and scheduling-dependent stats are
+//! confined to [`TelemetryMode::Profile`]. And in every mode, analysis
+//! *outputs* are byte-identical to a telemetry-free run — telemetry
+//! observes the pipeline, it never steers it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hub;
+mod journal;
+mod metrics;
+mod summary;
+
+pub use hbbtv_net::{SimClock, Timestamp};
+pub use hub::{Span, Telemetry, TelemetryConfig, TelemetryMode};
+pub use journal::{Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use summary::{RunTelemetry, StudyTelemetry};
+
+/// Well-known metric names shared between the instrumented crates and
+/// the [`RunTelemetry`] roll-up.
+pub mod keys {
+    /// Channel visits performed in a run (counter).
+    pub const VISITS: &str = "visits";
+    /// Exchanges recorded by the proxy shards (counter).
+    pub const PROXY_EXCHANGES: &str = "proxy.exchanges";
+    /// Approximate bytes captured by the proxy shards (counter).
+    pub const PROXY_BYTES: &str = "proxy.bytes";
+    /// Per-visit exchange counts (histogram).
+    pub const VISIT_CAPTURES: &str = "visit.captures";
+    /// Worker threads spawned by the visit pool (counter, Profile).
+    pub const POOL_WORKERS: &str = "pool.workers";
+    /// Items each pool worker processed (histogram, Profile).
+    pub const POOL_ITEMS_PER_WORKER: &str = "pool.items_per_worker";
+    /// High-water queue depth observed by the pool (gauge, Profile).
+    pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
+}

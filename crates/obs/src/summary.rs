@@ -1,0 +1,119 @@
+//! Serializable roll-ups of a telemetry scope.
+//!
+//! [`RunTelemetry`] freezes one run scope's registries into plain maps
+//! (plus the headline numbers every report wants), and
+//! [`StudyTelemetry`] stacks the per-run summaries in canonical run
+//! order. Both are ordinary serde values, so they can ride along in
+//! reports and bench artifacts — they are deliberately **not** part of
+//! the study wire format: analysis outputs must stay byte-identical
+//! with telemetry on, off, or absent.
+
+use crate::hub::Telemetry;
+use crate::keys;
+use crate::metrics::HistogramSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The instrument summary of one measurement run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Run label (`"General"`, `"Red"`, …).
+    pub run: String,
+    /// Channel visits performed.
+    pub visits: u64,
+    /// Exchanges the proxy shards recorded (sums the per-visit
+    /// counters, so it reconciles exactly with the dataset's capture
+    /// count).
+    pub exchanges_recorded: u64,
+    /// Approximate bytes captured (URL + request body + response body).
+    pub bytes_recorded: u64,
+    /// Every counter of the run scope, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Every gauge of the run scope, by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Every histogram of the run scope, summarized, by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl RunTelemetry {
+    /// Freezes `scope`'s registries into a summary for run `run`.
+    pub fn from_scope(run: impl Into<String>, scope: &Telemetry) -> RunTelemetry {
+        let counters = scope.counters_snapshot();
+        let lookup = |name: &str| counters.get(name).copied().unwrap_or(0);
+        RunTelemetry {
+            run: run.into(),
+            visits: lookup(keys::VISITS),
+            exchanges_recorded: lookup(keys::PROXY_EXCHANGES),
+            bytes_recorded: lookup(keys::PROXY_BYTES),
+            counters,
+            gauges: scope.gauges_snapshot(),
+            histograms: scope.histograms_snapshot(),
+        }
+    }
+
+    /// The per-visit exchange-count distribution, if recorded.
+    pub fn visit_captures(&self) -> Option<&HistogramSummary> {
+        self.histograms.get(keys::VISIT_CAPTURES)
+    }
+}
+
+/// Per-run summaries in canonical run order, plus study totals.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StudyTelemetry {
+    /// One summary per run, in the order the study defines.
+    pub runs: Vec<RunTelemetry>,
+}
+
+impl StudyTelemetry {
+    /// Total exchanges recorded across all runs.
+    pub fn total_exchanges(&self) -> u64 {
+        self.runs.iter().map(|r| r.exchanges_recorded).sum()
+    }
+
+    /// Total channel visits across all runs.
+    pub fn total_visits(&self) -> u64 {
+        self.runs.iter().map(|r| r.visits).sum()
+    }
+
+    /// Total approximate bytes captured across all runs.
+    pub fn total_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.bytes_recorded).sum()
+    }
+
+    /// The summary of the run labelled `run`, if present.
+    pub fn run(&self, run: &str) -> Option<&RunTelemetry> {
+        self.runs.iter().find(|r| r.run == run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::TelemetryMode;
+    use hbbtv_net::{SimClock, Timestamp};
+
+    #[test]
+    fn from_scope_lifts_the_wellknown_counters() {
+        let clock = SimClock::starting_at(Timestamp::from_unix(0));
+        let scope = Telemetry::scope(TelemetryMode::Metrics, clock, 1);
+        scope.counter(keys::VISITS).add(4);
+        scope.counter(keys::PROXY_EXCHANGES).add(120);
+        scope.counter(keys::PROXY_BYTES).add(9000);
+        scope.histogram(keys::VISIT_CAPTURES).record(30);
+        let summary = RunTelemetry::from_scope("Red", &scope);
+        assert_eq!(summary.run, "Red");
+        assert_eq!(summary.visits, 4);
+        assert_eq!(summary.exchanges_recorded, 120);
+        assert_eq!(summary.bytes_recorded, 9000);
+        assert_eq!(summary.visit_captures().unwrap().count, 1);
+
+        let study = StudyTelemetry {
+            runs: vec![summary.clone(), summary],
+        };
+        assert_eq!(study.total_exchanges(), 240);
+        assert_eq!(study.total_visits(), 8);
+        assert_eq!(study.total_bytes(), 18000);
+        assert!(study.run("Red").is_some());
+        assert!(study.run("Blue").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the telemetry primitives.
+
+use hbbtv_obs::{Event, FieldValue, Histogram, MemoryRecorder, Recorder};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random sample streams without `rand`: an LCG
+/// keyed by the proptest-driven seed.
+fn samples(seed: u64, len: usize, spread: u32) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> (64 - spread.clamp(1, 63))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn percentiles_bound_the_exact_order_statistic(
+        seed in 0u64..40,
+        len in 1usize..400,
+        spread in 1u32..40,
+    ) {
+        let values = samples(seed, len, spread);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), len as u64);
+        for q in [0.50, 0.90, 0.99] {
+            let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+            let exact = sorted[rank - 1];
+            let got = h.percentile(q);
+            // Log₂ buckets: the reported quantile is never below the
+            // exact order statistic and within a factor of two above it
+            // (and never above the true maximum).
+            prop_assert!(got >= exact, "p{}: {} < {}", q, got, exact);
+            prop_assert!(
+                got <= exact.saturating_mul(2).max(1).max(exact),
+                "p{}: {} > 2x {}", q, got, exact
+            );
+            prop_assert!(got <= *sorted.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn summary_max_and_sum_are_exact(
+        seed in 0u64..40,
+        len in 1usize..200,
+        spread in 1u32..30,
+    ) {
+        let values = samples(seed, len, spread);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.count, len as u64);
+    }
+
+    #[test]
+    fn splitting_samples_across_merged_histograms_changes_nothing(
+        seed in 0u64..25,
+        len in 1usize..200,
+        split in 0usize..200,
+    ) {
+        let values = samples(seed, len, 20);
+        let split = split.min(values.len());
+        let whole = Histogram::new();
+        let left = Histogram::new();
+        let right = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < split { &left } else { &right }.record(v);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(left.summary(), whole.summary());
+    }
+
+    #[test]
+    fn event_json_is_one_parseable_line_for_any_string(
+        seed in 0u64..30,
+        len in 0usize..20,
+    ) {
+        // Exercise escaping over a character soup that includes quotes,
+        // backslashes, and control characters.
+        let bytes = samples(seed, len, 7);
+        let text: String = bytes
+            .iter()
+            .map(|&b| char::from_u32(b as u32).unwrap_or('\\'))
+            .collect();
+        let event = Event {
+            name: "note",
+            ts: seed,
+            span: 1,
+            parent: 0,
+            fields: vec![("msg", FieldValue::Str(text.clone()))],
+        };
+        let json = event.to_json();
+        prop_assert!(!json.contains('\n'), "journal entries are single lines");
+        let parsed: JournalLine =
+            serde_json::from_str(&json).expect("journal line parses as JSON");
+        prop_assert_eq!(parsed.ev, "note");
+        prop_assert_eq!(parsed.ts, seed);
+        prop_assert_eq!(parsed.span, 1);
+        prop_assert_eq!(parsed.parent, 0);
+        prop_assert_eq!(parsed.msg, text, "escaping round-trips");
+    }
+}
+
+/// The journal-line shape the escaping proptest round-trips through.
+#[derive(serde::Deserialize)]
+struct JournalLine {
+    ev: String,
+    ts: u64,
+    span: u64,
+    parent: u64,
+    msg: String,
+}
+
+#[test]
+fn memory_recorder_preserves_merge_order() {
+    let sink = MemoryRecorder::new();
+    for i in 0..10u64 {
+        sink.record(&Event {
+            name: "e",
+            ts: i,
+            span: i,
+            parent: 0,
+            fields: vec![],
+        });
+    }
+    let drained = sink.take();
+    assert_eq!(drained.len(), 10);
+    assert!(drained.windows(2).all(|w| w[0].ts < w[1].ts));
+}

@@ -104,6 +104,21 @@ struct ProxyState {
     next_visit: u32,
     visits: Vec<VisitState>,
     log: Vec<CapturedExchange>,
+    metrics: Option<ProxyMetrics>,
+}
+
+/// Telemetry counters a proxy shard increments as it records.
+///
+/// The study harness gives every per-visit shard the counters of that
+/// visit's telemetry scope, so summing the per-visit
+/// `exchanges` counters reconciles exactly with the merged capture log.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyMetrics {
+    /// One increment per recorded exchange.
+    pub exchanges: hbbtv_obs::Counter,
+    /// Approximate captured bytes (host + path + request body +
+    /// response body) per exchange.
+    pub bytes: hbbtv_obs::Counter,
 }
 
 /// The intercepting proxy.
@@ -196,6 +211,13 @@ impl Proxy {
         s.session = label.to_string();
         s.session_start = s.visits.len();
         s.next_visit = first_visit;
+    }
+
+    /// Attaches telemetry counters to this shard; every subsequently
+    /// recorded exchange increments them. Purely observational — the
+    /// capture log is byte-identical with or without metrics.
+    pub fn set_metrics(&self, metrics: ProxyMetrics) {
+        self.state.lock().metrics = Some(metrics);
     }
 
     /// Opens a visit of `channel` at `at` and returns its handle (the
@@ -317,6 +339,15 @@ fn record_at(s: &mut ProxyState, target: Option<usize>, request: Request, respon
         Some(i) => s.visits[i].session.clone(),
         None => s.session.clone(),
     };
+    if let Some(metrics) = &s.metrics {
+        metrics.exchanges.inc();
+        metrics.bytes.add(
+            (request.url.host().len()
+                + request.url.path().len()
+                + request.body.len()
+                + response.body_len) as u64,
+        );
+    }
     s.log.push(CapturedExchange {
         session,
         visit,

@@ -4,19 +4,39 @@
 //! ```text
 //! cargo run --release -p hbbtv-study --example full_study           # full scale
 //! cargo run -p hbbtv-study --example full_study -- 0.1             # 10% world
+//! cargo run -p hbbtv-study --example full_study -- 0.1 journal.jsonl
 //! ```
+//!
+//! With a second argument, the study runs under `Journal` telemetry:
+//! every span lands in the named JSONL file and a per-run summary is
+//! appended after the report. The report itself is byte-identical
+//! either way — telemetry observes, it never steers.
 
+use hbbtv_study::obs::JsonlRecorder;
 use hbbtv_study::report::StudyReport;
-use hbbtv_study::{Ecosystem, StudyHarness};
+use hbbtv_study::{Ecosystem, StudyHarness, TelemetryConfig};
+use std::sync::Arc;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
+    let journal = std::env::args().nth(2);
     eprintln!("building the world at scale {scale} and running all five measurement runs ...");
     let eco = Ecosystem::with_scale(42, scale);
-    let dataset = StudyHarness::new(&eco).run_all();
-    let report = StudyReport::compute(&eco, &dataset);
+    let harness = match &journal {
+        Some(path) => {
+            let sink = Arc::new(JsonlRecorder::create(path).expect("creating the journal file"));
+            StudyHarness::with_telemetry(&eco, TelemetryConfig::journal(sink))
+        }
+        None => StudyHarness::new(&eco),
+    };
+    let dataset = harness.run_all();
+    let report = StudyReport::compute(&eco, &dataset).with_telemetry(harness.telemetry());
     println!("{}", report.render(&dataset));
+    if let Some(path) = journal {
+        println!("{}", report.render_telemetry());
+        eprintln!("journal written to {path}");
+    }
 }

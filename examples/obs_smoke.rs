@@ -1,0 +1,48 @@
+//! Telemetry smoke test: a small study under `Journal` mode, writing a
+//! JSONL journal to disk and printing the per-run summaries.
+//!
+//! ```text
+//! cargo run -p hbbtv-study --example obs_smoke -- journal.jsonl
+//! ```
+//!
+//! Exits non-zero if the journal fails to parse as one JSON object per
+//! line or the telemetry totals disagree with the dataset — this is the
+//! binary behind `scripts/check.sh --obs-smoke`.
+
+use hbbtv_study::obs::JsonlRecorder;
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, StudyHarness, TelemetryConfig};
+use std::sync::Arc;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "obs_smoke_journal.jsonl".to_string());
+
+    let eco = Ecosystem::with_scale(42, 0.02);
+    let sink = Arc::new(JsonlRecorder::create(&path).expect("creating the journal file"));
+    let harness = StudyHarness::with_telemetry(&eco, TelemetryConfig::journal(sink));
+    let dataset = harness.run_all();
+    let tel = harness.telemetry().expect("journal mode records telemetry");
+
+    // Every journal line must be a standalone JSON object.
+    let journal = std::fs::read_to_string(&path).expect("reading the journal back");
+    let mut lines = 0usize;
+    for (i, line) in journal.lines().enumerate() {
+        assert!(
+            line.starts_with("{\"ev\":") && line.ends_with('}'),
+            "journal line {} is not a JSON object: {line}",
+            i + 1
+        );
+        lines += 1;
+    }
+    assert!(lines > 0, "the journal captured at least one event");
+
+    // Totals reconcile with the dataset.
+    let captured: u64 = dataset.runs.iter().map(|r| r.captures.len() as u64).sum();
+    assert_eq!(tel.total_exchanges(), captured, "telemetry vs dataset");
+
+    let report = StudyReport::compute(&eco, &dataset).with_telemetry(Some(tel));
+    println!("{}", report.render_telemetry());
+    println!("journal: {lines} events -> {path}");
+}

@@ -6,18 +6,22 @@
 #     scripts/check.sh                # full gate
 #     scripts/check.sh --quick        # fmt + clippy only (fast inner loop)
 #     scripts/check.sh --bench-smoke  # also smoke-run the matcher benches
+#     scripts/check.sh --obs-smoke    # also run a journaled study and
+#                                     # verify the journal + golden snapshot
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
 
 quick=0
 bench_smoke=0
+obs_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --bench-smoke) bench_smoke=1 ;;
+        --obs-smoke) obs_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke]" >&2
             exit 2
             ;;
     esac
@@ -55,6 +59,27 @@ if [ "$bench_smoke" -eq 1 ]; then
     # PR that introduced the indexed engine.
     echo "==> matcher_bench (writes BENCH_matcher.json)"
     cargo run --release -p hbbtv-bench --bin matcher_bench BENCH_matcher.json
+fi
+
+if [ "$obs_smoke" -eq 1 ]; then
+    # A journaled one-channel-scale study: the example itself asserts
+    # the telemetry totals reconcile with the dataset and every journal
+    # line is a JSON object.
+    journal="$(mktemp /tmp/obs_smoke_XXXXXX.jsonl)"
+    echo "==> obs_smoke (writes $journal)"
+    cargo run --release -p hbbtv-study --example obs_smoke -- "$journal"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$journal" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    n = sum(1 for line in f if json.loads(line))
+print(f"journal OK: {n} events parse as JSON")
+EOF
+    fi
+    rm -f "$journal"
+    # Telemetry must not move the golden dataset snapshot.
+    echo "==> golden snapshot unchanged"
+    cargo test -q -p hbbtv-study --test serialization
 fi
 
 echo "All checks passed."
