@@ -4,7 +4,9 @@
 //! body once; no statistics.
 
 #[derive(Default)]
-pub struct Criterion;
+pub struct Criterion {
+    _non_unit: (),
+}
 
 impl Criterion {
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self

@@ -1,72 +1,487 @@
-//! Minimal offline stand-in for `proptest` 1.x, sufficient to compile
-//! and smoke-run `proptest!` blocks whose arguments are plain integer
-//! ranges (`a in 0u64..100`). Strategy-combinator-based test targets are
-//! excluded from local verification builds.
+//! Minimal offline stand-in for `proptest` 1.x, sufficient to compile and
+//! smoke-run the repo's `proptest!` blocks without network access. Each
+//! strategy yields a small deterministic sample set instead of random cases:
+//! integer ranges produce endpoints plus interior points, string regexes are
+//! sampled by a tiny pattern interpreter, and combinators (`prop_map`,
+//! tuples, `prop_oneof!`, `collection::vec`, `option::of`, `sample::select`)
+//! compose sample sets the obvious way. `#![proptest_config(..)]` is parsed
+//! and ignored.
 
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest};
+    pub use crate as prop;
 }
 
-/// Config stand-in: the stub ignores the case count (it always samples a
-/// fixed deterministic set), but accepts the real API shape.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ProptestConfig;
+/// Ignored stand-in for proptest's runner configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ProptestConfig {
+    /// Number of cases (ignored; the stub always runs its fixed samples).
+    pub cases: u32,
+}
 
 impl ProptestConfig {
-    pub fn with_cases(_cases: u32) -> Self {
-        ProptestConfig
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
     }
 }
 
-/// Drawing a handful of deterministic samples from an integer range:
-/// both endpoints plus a few interior points.
-pub trait SampleSource {
-    type Item;
-    fn stub_samples(&self) -> Vec<Self::Item>;
+/// A value source that can enumerate a handful of deterministic samples.
+pub trait Strategy {
+    type Value;
+    fn stub_samples(&self) -> Vec<Self::Value>;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
 
-macro_rules! impl_sample_source {
+/// `Strategy` from an explicit sample list (used by `prop_oneof!`/`select`).
+#[derive(Clone, Debug)]
+pub struct Samples<T>(pub Vec<T>);
+
+impl<T: Clone> Strategy for Samples<T> {
+    type Value = T;
+    fn stub_samples(&self) -> Vec<T> {
+        self.0.clone()
+    }
+}
+
+/// Always-this-value strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn stub_samples(&self) -> Vec<T> {
+        vec![self.0.clone()]
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn stub_samples(&self) -> Vec<U> {
+        self.inner.stub_samples().into_iter().map(&self.f).collect()
+    }
+}
+
+macro_rules! impl_int_ranges {
     ($($t:ty),*) => {$(
-        impl SampleSource for std::ops::Range<$t> {
-            type Item = $t;
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
             fn stub_samples(&self) -> Vec<$t> {
-                let mut out = Vec::new();
                 if self.start >= self.end {
-                    return out;
+                    return Vec::new();
                 }
-                let last = self.end - 1;
-                for v in [
-                    self.start,
-                    self.start + (last - self.start) / 3,
-                    self.start + (last - self.start) / 2,
-                    self.start + (last - self.start) * 2 / 3,
-                    last,
-                ] {
-                    if !out.contains(&v) {
-                        out.push(v);
-                    }
+                endpoints_and_interior(self.start, self.end - 1)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn stub_samples(&self) -> Vec<$t> {
+                if self.start() > self.end() {
+                    return Vec::new();
                 }
-                out
+                endpoints_and_interior(*self.start(), *self.end())
             }
         }
     )*};
 }
 
-impl_sample_source!(u8, u16, u32, u64, usize, i32, i64);
+impl_int_ranges!(u8, u16, u32, u64, usize, i32, i64);
+
+fn endpoints_and_interior<T>(start: T, last: T) -> Vec<T>
+where
+    T: Copy + PartialEq + std::ops::Add<Output = T> + std::ops::Sub<Output = T>,
+    T: std::ops::Div<Output = T> + std::ops::Mul<Output = T> + TryFrom<u8>,
+{
+    let lit = |n: u8| T::try_from(n).ok().expect("small literal fits");
+    let span = last - start;
+    let mut out: Vec<T> = Vec::new();
+    for v in [
+        start,
+        start + span / lit(3),
+        start + span / lit(2),
+        start + span / lit(3) * lit(2),
+        last,
+    ] {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// String strategies: the pattern is interpreted as a simple regex of
+/// literal chars and `[..]` classes with optional `{m}`/`{m,n}` counts,
+/// and a few matching strings are produced deterministically.
+impl Strategy for &str {
+    type Value = String;
+    fn stub_samples(&self) -> Vec<String> {
+        regex_samples(self)
+    }
+}
+
+struct Atom {
+    set: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn regex_samples(pat: &str) -> Vec<String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                    set.extend((a..=b).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = (i..chars.len()).find(|&j| chars[j] == '}').unwrap_or(i);
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((a, b)) = body.split_once(',') {
+                min = a.trim().parse().unwrap_or(1);
+                max = b.trim().parse().unwrap_or(min);
+            } else {
+                min = body.trim().parse().unwrap_or(1);
+                max = min;
+            }
+            i = close + 1;
+        }
+        atoms.push(Atom { set, min, max });
+    }
+    const VARIANTS: usize = 4;
+    let mut out: Vec<String> = Vec::new();
+    for v in 0..VARIANTS {
+        let mut s = String::new();
+        for (ai, a) in atoms.iter().enumerate() {
+            let len = a.min + (a.max - a.min) * v / (VARIANTS - 1);
+            for j in 0..len {
+                let k = (v * 7 + ai * 5 + j * 3) % a.set.len().max(1);
+                if let Some(&c) = a.set.get(k) {
+                    s.push(c);
+                }
+            }
+        }
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// `any::<T>()` support for the handful of types the repo uses.
+pub trait Arbitrary: Sized {
+    fn stub_any() -> Vec<Self>;
+}
+
+pub fn any<T: Arbitrary + Clone>() -> Samples<T> {
+    Samples(T::stub_any())
+}
+
+impl Arbitrary for bool {
+    fn stub_any() -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+impl Arbitrary for u64 {
+    fn stub_any() -> Vec<u64> {
+        vec![0, 1, 7, 12_345, 4_000_000_007]
+    }
+}
+
+/// Inclusive length bounds, converted from `a..b` / `a..=b` literals so
+/// the integer literals infer as `usize`.
+pub struct LenRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for LenRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        LenRange { min: r.start, max: r.end.saturating_sub(1) }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for LenRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        LenRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Deterministic per-variable stride for `prop_compose!`, derived from the
+/// variable name so co-generated variables don't stay in lockstep.
+pub fn var_seed(name: &str) -> usize {
+    name.bytes().fold(0usize, |a, b| a.wrapping_mul(31).wrapping_add(b as usize)) | 1
+}
+
+pub mod sample {
+    use super::{Arbitrary, LenRange, Samples};
+
+    /// A slice index abstracted over the eventual collection length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn index(&self, size: usize) -> usize {
+            self.0 % size.max(1)
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn stub_any() -> Vec<Index> {
+            vec![Index(0), Index(1), Index(3), Index(7), Index(12)]
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Samples<T> {
+        Samples(options)
+    }
+
+    /// A few subsequences of `options` whose lengths fall inside `len`:
+    /// evenly spaced picks at the min, midpoint, and max lengths.
+    pub fn subsequence<T: Clone>(options: Vec<T>, len: impl Into<LenRange>) -> Samples<Vec<T>> {
+        let LenRange { min, max } = len.into();
+        let max = max.min(options.len());
+        let min = min.min(max);
+        let mut out: Vec<Vec<T>> = Vec::new();
+        for target in [min, (min + max) / 2, max] {
+            let sub: Vec<T> = if target == 0 {
+                Vec::new()
+            } else {
+                (0..target)
+                    .map(|j| options[j * options.len() / target].clone())
+                    .collect()
+            };
+            if out.iter().all(|s| s.len() != sub.len()) {
+                out.push(sub);
+            }
+        }
+        Samples(out)
+    }
+}
+
+pub mod collection {
+    use super::{LenRange, Strategy};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: LenRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<LenRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+        fn stub_samples(&self) -> Vec<Vec<S::Value>> {
+            let pool = self.elem.stub_samples();
+            let LenRange { min, max } = self.len;
+            let mut lens = vec![min, (min + max) / 2, max];
+            lens.dedup();
+            lens.iter()
+                .enumerate()
+                .map(|(v, &n)| {
+                    (0..n)
+                        .filter_map(|j| pool.get((v * 5 + j) % pool.len().max(1)).cloned())
+                        .collect()
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Samples, Strategy};
+
+    pub fn of<S: Strategy>(inner: S) -> Samples<Option<S::Value>>
+    where
+        S::Value: Clone,
+    {
+        let mut out = vec![None];
+        let mut vals = inner.stub_samples();
+        vals.truncate(4);
+        out.extend(vals.into_iter().map(Some));
+        Samples(out)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
+    type Value = (A::Value, B::Value);
+    fn stub_samples(&self) -> Vec<Self::Value> {
+        let (mut a, mut b) = (self.0.stub_samples(), self.1.stub_samples());
+        a.truncate(5);
+        b.truncate(5);
+        let mut out = Vec::new();
+        for x in &a {
+            for y in &b {
+                out.push((x.clone(), y.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value);
+    fn stub_samples(&self) -> Vec<Self::Value> {
+        let mut a = self.0.stub_samples();
+        let mut b = self.1.stub_samples();
+        let mut c = self.2.stub_samples();
+        a.truncate(4);
+        b.truncate(4);
+        c.truncate(4);
+        let mut out = Vec::new();
+        for x in &a {
+            for y in &b {
+                for z in &c {
+                    out.push((x.clone(), y.clone(), z.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Composed strategies: draw 8 deterministic tuples (each variable indexed
+/// through its own sample set at a name-derived stride) and map the body
+/// over them.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnarg:tt)*)
+        ($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])* $vis fn $name($($fnarg)*) -> $crate::Samples<$ret> {
+            $(let $arg = $crate::Strategy::stub_samples(&($strat));)+
+            let mut out = Vec::new();
+            for v in 0usize..8 {
+                $(
+                    let $arg = {
+                        let stride = $crate::var_seed(stringify!($arg));
+                        match $arg.get(v.wrapping_mul(stride) % $arg.len().max(1)) {
+                            Some(x) => ::std::clone::Clone::clone(x),
+                            None => continue,
+                        }
+                    };
+                )+
+                out.push($body);
+            }
+            $crate::Samples(out)
+        }
+    };
+}
+
+// Arity ≥ 4 would explode as a cross product; sample those zip-style with
+// per-position strides/offsets so components don't stay in lockstep.
+macro_rules! impl_tuple_zip {
+    ($(($($S:ident $i:tt $p:expr),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            #[allow(non_snake_case)]
+            fn stub_samples(&self) -> Vec<Self::Value> {
+                $(let $S = self.$i.stub_samples();)+
+                let n = [$($S.len()),+].iter().copied().max().unwrap_or(0).min(8);
+                (0..n)
+                    .filter_map(|v| {
+                        Some(($(
+                            $S.get(v.wrapping_mul($p).wrapping_add($i) % $S.len().max(1))
+                                .cloned()?,
+                        )+))
+                    })
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_tuple_zip! {
+    (A 0 1, B 1 3, C 2 5, D 3 7)
+    (A 0 1, B 1 3, C 2 5, D 3 7, E 4 11)
+    (A 0 1, B 1 3, C 2 5, D 3 7, E 4 11, F 5 13)
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut v = Vec::new();
+        $( v.extend($crate::Strategy::stub_samples(&($s))); )+
+        $crate::Samples(v)
+    }};
+}
 
 #[macro_export]
 macro_rules! __prop_loop {
-    (($body:block)) => { $body };
-    (($body:block) $arg:ident in $strat:expr $(, $rarg:ident in $rstrat:expr)*) => {
-        for $arg in $crate::SampleSource::stub_samples(&($strat)) {
-            $crate::__prop_loop!(($body) $($rarg in $rstrat),*);
+    // Leaf: every bound variable is a reference into its sample vec;
+    // shadow each with a clone so the body can take them by value on
+    // every iteration of the cross product.
+    // The closure gives bodies a `Result` return type so `return Ok(())`
+    // compiles, matching real proptest's generated test fn.
+    (@rec ($body:block) ($($done:ident)*)) => {
+        {
+            $(let $done = ::std::clone::Clone::clone($done);)*
+            let __case = || -> ::std::result::Result<(), ::std::string::String> {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            };
+            __case().expect("proptest stub case failed");
         }
+    };
+    (@rec ($body:block) ($($done:ident)*) $arg:ident in $strat:expr $(, $rarg:ident in $rstrat:expr)*) => {
+        for $arg in &$crate::Strategy::stub_samples(&($strat)) {
+            $crate::__prop_loop!(@rec ($body) ($($done)* $arg) $($rarg in $rstrat),*);
+        }
+    };
+    (($body:block) $($arg:ident in $strat:expr),+) => {
+        $crate::__prop_loop!(@rec ($body) () $($arg in $strat),+);
     };
 }
 
 #[macro_export]
 macro_rules! proptest {
-    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+    (#![proptest_config($($cfg:tt)*)] $($rest:tt)*) => {
         $crate::proptest! { $($rest)* }
     };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
@@ -76,6 +491,16 @@ macro_rules! proptest {
                 $crate::__prop_loop!(($body) $($arg in $strat),+);
             }
         )*
+    };
+}
+
+/// Skipping a rejected case: the body closure returns `Ok(())` early.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return Ok(());
+        }
     };
 }
 

@@ -66,6 +66,19 @@ fn main() {
         );
     }
 
+    // The pre-substrate baseline first, then the frame-backed path, each
+    // under its own Profile scope so the per-stage wall histograms can be
+    // compared side by side.
+    let naive_tel = Telemetry::scope(
+        TelemetryMode::Profile,
+        SimClock::starting_at(hbbtv_net::Timestamp::MEASUREMENT_START),
+        1 << 55,
+    );
+    let t1 = Instant::now();
+    let naive_report = StudyReport::compute_naive_with_telemetry(&eco, &dataset, &naive_tel);
+    let naive_wall = t1.elapsed().as_secs_f64();
+    std::hint::black_box(&naive_report);
+
     let t1 = Instant::now();
     let analysis_tel = Telemetry::scope(
         TelemetryMode::Profile,
@@ -75,6 +88,15 @@ fn main() {
     let report = StudyReport::compute_with_telemetry(&eco, &dataset, &analysis_tel);
     let analysis_wall = t1.elapsed().as_secs_f64();
     std::hint::black_box(&report);
+
+    // Drift gate: the optimized substrate must render the byte-identical
+    // report. A mismatch here means an analysis regressed, not just
+    // slowed down.
+    assert_eq!(
+        report.render(&dataset),
+        naive_report.render(&dataset),
+        "frame-backed report drifted from the naive reference"
+    );
 
     let visits = tel.total_visits();
     let mut sections = Vec::new();
@@ -100,16 +122,26 @@ fn main() {
     }
     sections.push(format!("  \"runs\": [\n{}\n  ]", run_rows.join(",\n")));
 
+    // Per-stage naive-vs-frame walls from the two scopes' span
+    // histograms; `speedup` is naive / frame, rounded to one decimal.
+    let frame_walls = analysis_tel.histograms_snapshot();
     let mut stage_rows = Vec::new();
-    for (name, h) in analysis_tel.histograms_snapshot() {
-        if let Some(stage) = name.strip_prefix("wall.analysis.") {
-            stage_rows.push(format!("\"{stage}\": {}", h.max));
-        }
+    for (name, naive_h) in naive_tel.histograms_snapshot() {
+        let Some(stage) = name.strip_prefix("wall.analysis.") else {
+            continue;
+        };
+        let frame_us = frame_walls.get(&name).map_or(0, |h| h.max);
+        let speedup = naive_h.max as f64 / (frame_us as f64).max(1.0);
+        stage_rows.push(format!(
+            "    \"{stage}\": {{ \"naive_us\": {}, \"frame_us\": {frame_us}, \"speedup\": {speedup:.1} }}",
+            naive_h.max
+        ));
     }
+    let frame_build_us = frame_walls.get("wall.frame.build").map_or(0, |h| h.max);
     sections.push(format!(
-        "  \"analysis\": {{ \"wall_s\": {:.3}, \"stage_wall_us\": {{ {} }} }}",
-        analysis_wall,
-        stage_rows.join(", ")
+        "  \"analysis\": {{ \"naive_wall_s\": {naive_wall:.3}, \"frame_wall_s\": {analysis_wall:.3}, \"speedup\": {:.1}, \"frame_build_us\": {frame_build_us}, \"stages\": {{\n{}\n  }} }}",
+        naive_wall / analysis_wall.max(1e-9),
+        stage_rows.join(",\n")
     ));
 
     let json = format!(

@@ -11,6 +11,19 @@ use crate::analysis::first_party::FirstPartyMap;
 use hbbtv_filterlists::{bundled, RequestContext, ResourceKind, UrlView};
 use hbbtv_net::{ContentType, Etld1};
 use hbbtv_proxy::CapturedExchange;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`ExchangeClass::classify`] invocations, the
+/// instrument behind the "classify at most once per exchange per study"
+/// guarantee (asserted in `tests/telemetry.rs`).
+static CLASSIFY_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`ExchangeClass::classify`] invocations in this process so
+/// far. Tests snapshot it before and after a report computation; the
+/// delta is the number of classifications that computation performed.
+pub fn classify_calls() -> u64 {
+    CLASSIFY_CALLS.load(Ordering::Relaxed)
+}
 
 /// Everything the tracking scan needs to know about one exchange.
 #[derive(Debug, Clone)]
@@ -51,6 +64,19 @@ impl ExchangeClass {
     /// kind, and all five bundled-list verdicts, with a single URL
     /// serialization.
     pub fn classify(c: &CapturedExchange, fp_map: &FirstPartyMap) -> Self {
+        let text = c.request.url.to_text();
+        Self::classify_with_text(c, fp_map, &text)
+    }
+
+    /// [`ExchangeClass::classify`] over a URL the caller already
+    /// serialized (the capture frame serializes each URL once during its
+    /// build and reuses the text here).
+    pub(crate) fn classify_with_text(
+        c: &CapturedExchange,
+        fp_map: &FirstPartyMap,
+        text: &str,
+    ) -> Self {
+        CLASSIFY_CALLS.fetch_add(1, Ordering::Relaxed);
         let etld1 = c.request.url.etld1().clone();
         let third_party = c
             .channel
@@ -58,8 +84,7 @@ impl ExchangeClass {
             .unwrap_or(true);
         let kind = resource_kind_of_content(c.response.content_type);
         let ctx = RequestContext { third_party, kind };
-        let text = c.request.url.to_text();
-        let view = UrlView::new(&text, c.request.url.host(), etld1.as_str());
+        let view = UrlView::new(text, c.request.url.host(), etld1.as_str());
         ExchangeClass {
             on_pihole: bundled::pihole_ref().matches_view(&view, ctx),
             on_easylist: bundled::easylist_ref().matches_view(&view, ctx),

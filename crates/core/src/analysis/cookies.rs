@@ -4,6 +4,7 @@
 //! classification.
 
 use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::frame::{CaptureFrame, ExchangeFacts};
 use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
 use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
@@ -58,6 +59,80 @@ impl CookiePartial {
         }
         for (party, chs) in other.party_channels {
             self.party_channels.entry(party).or_default().extend(chs);
+        }
+    }
+}
+
+/// The frame-path twin of [`CookiePartial`], collecting the frame's
+/// interned cookie-key and domain symbols instead of cloned strings.
+/// Symbols are bijective with their strings, so every set and grouping
+/// has exactly the cardinality of its string counterpart;
+/// [`SymCookiePartial::resolve`] maps back for the shared tail.
+#[derive(Default)]
+struct SymCookiePartial {
+    keys: BTreeSet<u32>,
+    fp_keys: BTreeSet<u32>,
+    tp_keys: BTreeSet<u32>,
+    tp_parties: BTreeMap<u32, BTreeSet<u32>>,
+    keys_by_tracking: BTreeSet<u32>,
+    parties: BTreeSet<u32>,
+    per_channel_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
+    per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
+    party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
+}
+
+impl SymCookiePartial {
+    fn merge(&mut self, other: SymCookiePartial) {
+        self.keys.extend(other.keys);
+        self.fp_keys.extend(other.fp_keys);
+        self.tp_keys.extend(other.tp_keys);
+        for (party, keys) in other.tp_parties {
+            self.tp_parties.entry(party).or_default().extend(keys);
+        }
+        self.keys_by_tracking.extend(other.keys_by_tracking);
+        self.parties.extend(other.parties);
+        for (ch, keys) in other.per_channel_keys {
+            self.per_channel_keys.entry(ch).or_default().extend(keys);
+        }
+        for (ch, keys) in other.per_channel_3p_keys {
+            self.per_channel_3p_keys.entry(ch).or_default().extend(keys);
+        }
+        for (party, chs) in other.party_channels {
+            self.party_channels.entry(party).or_default().extend(chs);
+        }
+    }
+
+    /// Resolves symbols back to the strings [`CookieAnalysis::finish`]
+    /// aggregates over.
+    fn resolve(self, frame: &CaptureFrame<'_>) -> CookiePartial {
+        let key = |s: &u32| frame.cookie_keys[*s as usize].clone();
+        let dom = |s: &u32| frame.etld1(*s).clone();
+        CookiePartial {
+            keys: self.keys.iter().map(key).collect(),
+            fp_keys: self.fp_keys.iter().map(key).collect(),
+            tp_keys: self.tp_keys.iter().map(key).collect(),
+            tp_parties: self
+                .tp_parties
+                .iter()
+                .map(|(p, ks)| (dom(p), ks.iter().map(key).collect()))
+                .collect(),
+            keys_by_tracking: self.keys_by_tracking.iter().map(key).collect(),
+            parties: self.parties.iter().map(dom).collect(),
+            per_channel_keys: self
+                .per_channel_keys
+                .iter()
+                .map(|(ch, ks)| (*ch, ks.iter().map(key).collect()))
+                .collect(),
+            per_channel_3p_keys: self
+                .per_channel_3p_keys
+                .iter()
+                .map(|(ch, ks)| (*ch, ks.iter().map(key).collect()))
+                .collect(),
+            party_channels: self
+                .party_channels
+                .into_iter()
+                .map(|(p, chs)| (dom(&p), chs))
+                .collect(),
         }
     }
 }
@@ -127,13 +202,11 @@ pub struct CookieAnalysis {
 impl CookieAnalysis {
     /// Runs the §V-C computation.
     pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
-        let cookiepedia = Cookiepedia::bundled();
         let lists = hbbtv_filterlists::bundled::all_refs();
 
         let mut per_run = BTreeMap::new();
         let mut third_party_per_run = BTreeMap::new();
         let mut global = CookiePartial::default();
-        let mut multichannel_classified: Vec<CookieCategory> = Vec::new();
         let mut ls_total = 0usize;
 
         // Scans one capture slice into a partial; fanned over chunks by
@@ -233,6 +306,118 @@ impl CookieAnalysis {
             );
             global.merge(run);
         }
+        Self::finish(per_run, third_party_per_run, global, ls_total)
+    }
+
+    /// [`CookieAnalysis::compute`] over the shared [`CaptureFrame`]: the
+    /// canonical tracking verdict and the parsed, party-resolved cookie
+    /// rows come straight from the frame, so the per-capture URL
+    /// serialization, five list probes, and `Set-Cookie` parse all
+    /// disappear. The scan collects interned `u32` symbols instead of
+    /// cloning (domain, name) string pairs — symbols are bijective with
+    /// keys, so set sizes and groupings are unchanged — and resolves
+    /// them back to strings only at the aggregation boundary. Output is
+    /// identical to the naive path.
+    pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
+        let mut per_run = BTreeMap::new();
+        let mut third_party_per_run = BTreeMap::new();
+        let mut global = SymCookiePartial::default();
+        let mut ls_total = 0usize;
+
+        let scan = |facts: &[ExchangeFacts]| {
+            let mut p = SymCookiePartial::default();
+            for f in facts {
+                let range = f.cookies.start as usize..f.cookies.end as usize;
+                for row in &frame.cookie_rows[range] {
+                    p.keys.insert(row.key_sym);
+                    p.parties.insert(row.domain_sym);
+                    if f.canonical_tracking {
+                        p.keys_by_tracking.insert(row.key_sym);
+                    }
+                    if let Some(ch) = f.channel {
+                        p.per_channel_keys
+                            .entry(ch)
+                            .or_default()
+                            .insert(row.key_sym);
+                        if row.third_party {
+                            p.tp_keys.insert(row.key_sym);
+                            p.per_channel_3p_keys
+                                .entry(ch)
+                                .or_default()
+                                .insert(row.key_sym);
+                            p.tp_parties
+                                .entry(row.domain_sym)
+                                .or_default()
+                                .insert(row.key_sym);
+                            p.party_channels
+                                .entry(row.domain_sym)
+                                .or_default()
+                                .insert(ch);
+                        } else {
+                            p.fp_keys.insert(row.key_sym);
+                        }
+                    }
+                }
+            }
+            p
+        };
+
+        for (slice, run_ds) in frame.runs.iter().zip(&frame.dataset.runs) {
+            let facts = &frame.facts[slice.exchanges.clone()];
+            let run = par_chunks(facts, CAPTURE_CHUNK, scan).into_iter().fold(
+                SymCookiePartial::default(),
+                |mut acc, p| {
+                    acc.merge(p);
+                    acc
+                },
+            );
+            per_run.insert(
+                slice.run,
+                CookieRow {
+                    total: run.keys.len(),
+                    first_party: run.fp_keys.len(),
+                    third_party: run.tp_keys.len(),
+                    local_storage: run_ds.local_storage.len(),
+                },
+            );
+            ls_total += run_ds.local_storage.len();
+            // The naive path iterates parties in eTLD+1 order and f64
+            // summation is order-sensitive, so sort before describing.
+            let mut party_counts: Vec<(&hbbtv_net::Etld1, usize)> = run
+                .tp_parties
+                .iter()
+                .map(|(p, ks)| (frame.etld1(*p), ks.len()))
+                .collect();
+            party_counts.sort_by(|a, b| a.0.cmp(b.0));
+            let counts: Vec<f64> = party_counts.iter().map(|(_, n)| *n as f64).collect();
+            third_party_per_run.insert(
+                slice.run,
+                ThirdPartyRow {
+                    parties: run.tp_parties.len(),
+                    cookies: run.tp_parties.values().map(BTreeSet::len).sum(),
+                    per_party: describe(&counts),
+                },
+            );
+            global.merge(run);
+        }
+        Self::finish(
+            per_run,
+            third_party_per_run,
+            global.resolve(frame),
+            ls_total,
+        )
+    }
+
+    /// The order-independent tail shared by both scan paths:
+    /// Cookiepedia classification and all aggregate statistics.
+    fn finish(
+        per_run: BTreeMap<RunKind, CookieRow>,
+        third_party_per_run: BTreeMap<RunKind, ThirdPartyRow>,
+        global: CookiePartial,
+        ls_total: usize,
+    ) -> Self {
+        let cookiepedia = Cookiepedia::bundled();
+        let mut multichannel_classified: Vec<CookieCategory> = Vec::new();
         let CookiePartial {
             keys: all_keys,
             keys_by_tracking,

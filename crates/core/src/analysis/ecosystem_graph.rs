@@ -5,9 +5,11 @@
 //! channel connects to that first-party node.
 
 use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::frame::CaptureFrame;
 use crate::dataset::StudyDataset;
 use hbbtv_graph::Graph;
 use hbbtv_stats::{describe, Describe};
+use std::collections::HashMap;
 
 /// Channel nodes are prefixed to keep them distinct from domain nodes.
 pub const CHANNEL_PREFIX: &str = "ch:";
@@ -55,6 +57,42 @@ impl GraphAnalysis {
                 graph.add_edge(fp.as_str(), domain.as_str());
             }
         }
+        Self::measure(graph)
+    }
+
+    /// [`GraphAnalysis::compute`] over the shared [`CaptureFrame`]:
+    /// classification and first-party lookups come from the frame, and
+    /// channel node labels are formatted once per channel instead of
+    /// once per capture. Edge insertion stays in dataset order (node ids
+    /// are assigned on first sight), so the graph is identical.
+    pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
+        let mut graph = Graph::new();
+        let mut labels: HashMap<(hbbtv_broadcast::ChannelId, Option<&str>), String> =
+            HashMap::new();
+        for (c, f) in frame.captures.iter().zip(&frame.facts) {
+            let Some(ch) = f.channel else { continue };
+            let Some(fp) = frame.first_parties.first_party(ch) else {
+                continue;
+            };
+            let channel_label = labels
+                .entry((ch, c.channel_name.as_deref()))
+                .or_insert_with(|| {
+                    format!(
+                        "{CHANNEL_PREFIX}{}",
+                        c.channel_name.as_deref().unwrap_or("unknown")
+                    )
+                });
+            graph.add_edge(channel_label, fp.as_str());
+            let domain = &f.class.etld1;
+            if domain != fp {
+                graph.add_edge(fp.as_str(), domain.as_str());
+            }
+        }
+        Self::measure(graph)
+    }
+
+    /// The shared measurement tail over a constructed graph.
+    fn measure(graph: Graph) -> Self {
         let components = graph.connected_components();
         let degree_stats = describe(&graph.degrees());
         GraphAnalysis {
@@ -134,6 +172,42 @@ mod tests {
             "boutique trackers hang off one FP"
         );
         assert!(g.nodes_with_10_edges >= 1);
+    }
+
+    #[test]
+    fn frame_path_builds_the_identical_graph() {
+        let eco = Ecosystem::with_scale(51, 0.08);
+        let harness = StudyHarness::new(&eco);
+        let ds = crate::StudyDataset {
+            runs: vec![
+                harness.run(RunKind::General),
+                harness.run(RunKind::Red),
+                harness.run(RunKind::Yellow),
+            ],
+        };
+        let fp = FirstPartyMap::identify(&ds);
+        let naive = GraphAnalysis::compute(&ds, &fp);
+        let frame = crate::analysis::frame::CaptureFrame::build(&ds);
+        let fast = GraphAnalysis::compute_from_frame(&frame);
+        let shape = |g: &GraphAnalysis| -> Vec<(String, Vec<String>)> {
+            g.graph
+                .nodes()
+                .map(|id| {
+                    (
+                        g.graph.label(id).to_string(),
+                        g.graph
+                            .neighbors(id)
+                            .map(|n| g.graph.label(n).to_string())
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            shape(&fast),
+            shape(&naive),
+            "node ids and adjacency must match the naive insertion order"
+        );
     }
 
     #[test]

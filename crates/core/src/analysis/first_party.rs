@@ -14,12 +14,21 @@ use hbbtv_net::{ContentType, Etld1};
 use std::collections::BTreeMap;
 
 /// The per-channel first-party assignment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FirstPartyMap {
     map: BTreeMap<ChannelId, Etld1>,
 }
 
 impl FirstPartyMap {
+    /// Builds a map from an already-elected assignment (the capture
+    /// frame runs the same election as [`FirstPartyMap::identify`] over
+    /// its precomputed per-exchange facts).
+    pub(crate) fn from_entries(entries: impl IntoIterator<Item = (ChannelId, Etld1)>) -> Self {
+        FirstPartyMap {
+            map: entries.into_iter().collect(),
+        }
+    }
+
     /// Identifies first parties across the whole dataset.
     pub fn identify(dataset: &StudyDataset) -> Self {
         let guards: [&FilterList; 2] = [bundled::easylist_ref(), bundled::easyprivacy_ref()];

@@ -1,0 +1,642 @@
+//! The shared analysis substrate: a build-once columnar index over a
+//! [`StudyDataset`].
+//!
+//! Every §V–§VII pass derives its findings from the same captured
+//! traffic, and before this module each pass re-walked the dataset and
+//! re-derived the same per-exchange facts: URL serialization, eTLD+1
+//! lookup, the five filter-list probes, pixel/fingerprint detection,
+//! and a full `Set-Cookie` parse. [`CaptureFrame::build`] performs that
+//! work exactly once — in parallel over capture chunks — and every
+//! rewritten pass borrows the result.
+//!
+//! Captured traffic repeats itself: the same beacon or script URL is
+//! fetched by many channels across runs, so the expensive per-exchange
+//! derivations collapse under memoization. The build interns serialized
+//! URL texts and runs the filter-list probes once per *distinct* text;
+//! classification runs once per distinct (URL text, party relationship,
+//! content type) triple — every other exchange clones its
+//! representative's [`ExchangeClass`]. Both are sound because the probe
+//! verdict is a pure function of the URL text (host and eTLD+1 are
+//! embedded in it) and the classification additionally depends only on
+//! the party bit and resource kind. The frame records how many real
+//! classifications ran in [`CaptureFrame::classify_invocations`], which
+//! backs the "classify at most once per exchange per study" guarantee.
+//!
+//! Each pass borrows:
+//!
+//! * one [`ExchangeFacts`] row per exchange, holding the
+//!   [`ExchangeClass`] (all five list verdicts), the §V-C canonical
+//!   third-party-image verdict, pixel/fingerprint bits, the interned
+//!   eTLD+1 symbol, and the serialized URL text;
+//! * one [`CookieObservation`] row per parsed `Set-Cookie` header, with
+//!   the domain already resolved and the party relationship decided;
+//! * per-run offset ranges into both tables, so run-scoped passes
+//!   iterate slices instead of re-walking the dataset;
+//! * the elected [`FirstPartyMap`] (phase A of the build runs the same
+//!   election as [`FirstPartyMap::identify`]);
+//! * an index of pixel/fingerprint exchanges by channel *name* for the
+//!   §VII-C profiling-window check.
+//!
+//! The frame is purely an evaluation-order change: each fact is the
+//! value the pass-local code used to compute, so every consumer's
+//! output is byte-identical to the naive path (asserted by the
+//! frame-vs-naive parity test).
+
+use crate::analysis::classify::ExchangeClass;
+use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
+use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
+use crate::dataset::StudyDataset;
+use crate::run::RunKind;
+use hbbtv_broadcast::ChannelId;
+use hbbtv_filterlists::{bundled, FilterList, RequestContext, ResourceKind, UrlView};
+use hbbtv_net::{ContentType, CookieKey, Etld1};
+use hbbtv_proxy::CapturedExchange;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+
+/// One parsed `Set-Cookie` observation, with the owning domain resolved
+/// (explicit `Domain=` attribute, else the responding host's eTLD+1)
+/// and the party relationship on the capture's channel decided.
+#[derive(Debug, Clone)]
+pub struct CookieObservation {
+    /// (domain, name) — the §V-C cookie identity.
+    pub key: CookieKey,
+    /// The cookie value (the §V-C3 syncing candidate).
+    pub value: String,
+    /// Whether the cookie's domain is a third party on the capture's
+    /// channel (`true` when the capture has no channel or the channel
+    /// has no identified first party).
+    pub third_party: bool,
+    /// Interned symbol of `key` — an index into
+    /// [`CaptureFrame::cookie_keys`]. Set passes collect `u32`s instead
+    /// of cloning (domain, name) string pairs.
+    pub key_sym: u32,
+    /// Interned symbol of `key.domain` in [`CaptureFrame::etld1s`].
+    pub domain_sym: u32,
+}
+
+/// Everything the analysis passes need to know about one exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeFacts {
+    /// The fused §V-D classification (eTLD+1, party relationship,
+    /// resource kind, all five list verdicts).
+    pub class: ExchangeClass,
+    /// Interned symbol of `class.etld1` — an index into
+    /// [`CaptureFrame::etld1s`]. Hot loops key maps by this `u32`
+    /// instead of cloning `Etld1` strings.
+    pub etld1_sym: u32,
+    /// The channel the capture was attributed to.
+    pub channel: Option<ChannelId>,
+    /// §V-D tracking-pixel heuristic (tiny 200 image).
+    pub is_pixel: bool,
+    /// §V-D fingerprint-script heuristic (JS with collection markers).
+    pub is_fingerprint: bool,
+    /// The §V-C canonical tracking verdict: pixel, fingerprint, or any
+    /// bundled list flagging the URL as a third-party image (the
+    /// deliberately context-normalized probe cookie analysis uses).
+    pub canonical_tracking: bool,
+    /// The serialized request URL (`Url::to_text`), shared by every
+    /// pass that searches request contents.
+    pub url_text: String,
+    /// Interned symbol of `url_text` — exchanges with byte-identical
+    /// URLs share one symbol (`0..`[`CaptureFrame::url_count`]), so
+    /// passes can memoize URL-derived work per distinct URL.
+    pub url_sym: u32,
+    /// This exchange's rows in [`CaptureFrame::cookie_rows`].
+    pub cookies: Range<u32>,
+}
+
+/// One run's slice of the frame tables.
+#[derive(Debug, Clone)]
+pub struct RunSlice {
+    /// Which measurement run.
+    pub run: RunKind,
+    /// The run's exchanges, as indices into [`CaptureFrame::facts`]
+    /// (and [`CaptureFrame::captures`]).
+    pub exchanges: Range<usize>,
+}
+
+/// The build-once columnar index (see the module docs).
+#[derive(Debug)]
+pub struct CaptureFrame<'a> {
+    /// The indexed dataset.
+    pub dataset: &'a StudyDataset,
+    /// All captures in dataset order (runs concatenated).
+    pub captures: Vec<&'a CapturedExchange>,
+    /// Per-exchange facts, parallel to `captures`.
+    pub facts: Vec<ExchangeFacts>,
+    /// All parsed `Set-Cookie` rows, in dataset order; each exchange
+    /// owns the range `facts[i].cookies`.
+    pub cookie_rows: Vec<CookieObservation>,
+    /// Interned (domain, name) cookie identities;
+    /// `cookie_rows[j].key_sym` indexes it.
+    pub cookie_keys: Vec<CookieKey>,
+    /// Per-run offset ranges into the tables.
+    pub runs: Vec<RunSlice>,
+    /// The elected first-party assignment (identical to
+    /// [`FirstPartyMap::identify`] on the same dataset).
+    pub first_parties: FirstPartyMap,
+    /// Interned eTLD+1 symbol table; `facts[i].etld1_sym` and
+    /// `cookie_rows[j].domain_sym` index it.
+    pub etld1s: Vec<Etld1>,
+    /// Pixel/fingerprint exchanges by channel *name*, in dataset order
+    /// (the §VII-C profiling-window check joins policies to tracking
+    /// observations by name).
+    pub tracking_by_channel_name: BTreeMap<&'a str, Vec<usize>>,
+    /// Number of distinct serialized URL texts;
+    /// `facts[i].url_sym < url_count`.
+    pub url_count: usize,
+    /// How many [`ExchangeClass`] classifications actually ran — one per
+    /// distinct (URL text, party relationship, content type) triple, so
+    /// at most [`CaptureFrame::len`].
+    pub classify_invocations: u64,
+}
+
+/// Per-exchange facts computable before the first-party election.
+struct PreFact {
+    url_text: String,
+    is_pixel: bool,
+    is_fingerprint: bool,
+    cookies: Vec<(CookieKey, String)>,
+}
+
+/// The frame's `Set-Cookie` fast path: extracts exactly the fields the
+/// cookie rows keep — trimmed name and value, and the explicit `Domain`
+/// attribute when present — with the same accept/skip rule and `Domain`
+/// normalization as [`hbbtv_net::SetCookie::parse`] (last `Domain`
+/// wins, leading dot stripped). Expiry and flag attributes are skipped;
+/// no row ever reads them. The frame unit tests diff every extracted
+/// row against the full parser.
+fn lean_set_cookie(v: &str) -> Option<(String, String, Option<Etld1>)> {
+    let mut parts = v.split(';').map(str::trim);
+    let pair = parts.next()?;
+    let (name, value) = pair.split_once('=')?;
+    let name = name.trim();
+    if name.is_empty() {
+        return None;
+    }
+    let mut domain = None;
+    for attr in parts {
+        let (key, val) = match attr.split_once('=') {
+            Some((k, v)) => (k.trim(), v.trim()),
+            None => (attr, ""),
+        };
+        if key.eq_ignore_ascii_case("domain") {
+            domain = Some(Etld1::from_host(val.trim_start_matches('.')));
+        }
+    }
+    Some((name.to_string(), value.trim().to_string(), domain))
+}
+
+/// The two URL-only list verdicts, computed once per distinct URL text.
+struct UrlVerdict {
+    /// Any bundled list flags the URL as a third-party image (the §V-C
+    /// canonical probe).
+    canonical: bool,
+    /// EasyList or EasyPrivacy flags the URL as a third-party document —
+    /// the guard that disqualifies first-party candidates.
+    guarded: bool,
+}
+
+impl<'a> CaptureFrame<'a> {
+    /// Builds the frame: one parallel pre-scan, URL interning, one
+    /// parallel probe pass over distinct URLs, the sequential
+    /// first-party election, one memoized classification pass, and a
+    /// sequential assembly of the columnar tables.
+    pub fn build(dataset: &'a StudyDataset) -> Self {
+        let lists = bundled::all_refs();
+        let guards: [&FilterList; 2] = [bundled::easylist_ref(), bundled::easyprivacy_ref()];
+        let guard_ctx = RequestContext {
+            third_party: true,
+            kind: ResourceKind::Document,
+        };
+
+        // Phase A (parallel): the per-exchange work that cannot be
+        // shared across identical URLs — URL serialization, the
+        // pixel/fingerprint heuristics (they read response bytes), and
+        // the Set-Cookie parse.
+        let scan = |chunk: &[CapturedExchange]| -> Vec<PreFact> {
+            chunk
+                .iter()
+                .map(|c| {
+                    let url = &c.request.url;
+                    let url_text = url.to_text();
+                    let cookies = c
+                        .response
+                        .headers
+                        .iter()
+                        .filter(|h| h.name.eq_ignore_ascii_case("Set-Cookie"))
+                        .filter_map(|h| lean_set_cookie(&h.value))
+                        .map(|(name, value, domain)| {
+                            let domain = domain.unwrap_or_else(|| url.etld1().clone());
+                            (CookieKey { domain, name }, value)
+                        })
+                        .collect();
+                    let is_fingerprint = is_fingerprint_script(c);
+                    PreFact {
+                        url_text,
+                        is_pixel: is_tracking_pixel(c),
+                        is_fingerprint,
+                        cookies,
+                    }
+                })
+                .collect()
+        };
+        let total: usize = dataset.runs.iter().map(|r| r.captures.len()).sum();
+        let mut captures: Vec<&CapturedExchange> = Vec::with_capacity(total);
+        let mut pre: Vec<PreFact> = Vec::with_capacity(total);
+        let mut runs = Vec::with_capacity(dataset.runs.len());
+        for run_ds in &dataset.runs {
+            let start = pre.len();
+            for chunk in par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan) {
+                pre.extend(chunk);
+            }
+            captures.extend(run_ds.captures.iter());
+            runs.push(RunSlice {
+                run: run_ds.run,
+                exchanges: start..pre.len(),
+            });
+        }
+        // URL interning (sequential): the first exchange carrying a new
+        // text becomes that symbol's representative.
+        let mut url_syms: Vec<u32> = Vec::with_capacity(total);
+        let mut url_reps: Vec<usize> = Vec::new();
+        {
+            let mut sym_of_url: HashMap<&str, u32> = HashMap::new();
+            for (i, p) in pre.iter().enumerate() {
+                let sym = match sym_of_url.get(p.url_text.as_str()) {
+                    Some(&s) => s,
+                    None => {
+                        let s = url_reps.len() as u32;
+                        sym_of_url.insert(&p.url_text, s);
+                        url_reps.push(i);
+                        s
+                    }
+                };
+                url_syms.push(sym);
+            }
+        }
+        // Phase A2 (parallel): the URL-only list probes, once per
+        // distinct URL text instead of once per exchange. Both probe
+        // contexts are fixed, so the verdict is a pure function of the
+        // text.
+        let verdicts: Vec<UrlVerdict> =
+            par_chunks(&url_reps, CAPTURE_CHUNK, |chunk: &[usize]| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        let url = &captures[i].request.url;
+                        let view = UrlView::new(&pre[i].url_text, url.host(), url.etld1().as_str());
+                        UrlVerdict {
+                            canonical: lists.iter().any(|l| {
+                                l.matches_view(&view, RequestContext::third_party_image())
+                            }),
+                            guarded: guards.iter().any(|g| g.matches_view(&view, guard_ctx)),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // The first-party election, replicating `FirstPartyMap::identify`
+        // exactly: strictly-earlier timestamps win, first seen wins ties.
+        let mut candidates: BTreeMap<ChannelId, (u64, Etld1)> = BTreeMap::new();
+        for (i, c) in captures.iter().enumerate() {
+            let fp_candidate = c.channel.is_some()
+                && matches!(
+                    c.response.content_type,
+                    ContentType::Html | ContentType::JavaScript | ContentType::Css
+                )
+                && !verdicts[url_syms[i] as usize].guarded;
+            if !fp_candidate {
+                continue;
+            }
+            let Some(channel) = c.channel else { continue };
+            let t = c.request.timestamp.as_unix();
+            let domain = c.request.url.etld1().clone();
+            candidates
+                .entry(channel)
+                .and_modify(|(best_t, best_d)| {
+                    if t < *best_t {
+                        *best_t = t;
+                        *best_d = domain.clone();
+                    }
+                })
+                .or_insert((t, domain));
+        }
+        let first_parties =
+            FirstPartyMap::from_entries(candidates.into_iter().map(|(ch, (_, d))| (ch, d)));
+        // Phase B key collection (sequential): a classification is a
+        // pure function of (URL text, party relationship, content
+        // type), so exchanges sharing that triple share one
+        // representative. The party bit and the content-type → kind
+        // mapping here mirror `ExchangeClass::classify_with_text`.
+        let mut class_syms: Vec<u32> = Vec::with_capacity(total);
+        let mut class_reps: Vec<usize> = Vec::new();
+        {
+            let mut sym_of_key: HashMap<(u32, bool, u8), u32> = HashMap::new();
+            for (i, c) in captures.iter().enumerate() {
+                let third_party = c
+                    .channel
+                    .map(|ch| first_parties.is_third_party(ch, c.request.url.etld1()))
+                    .unwrap_or(true);
+                let key = (url_syms[i], third_party, c.response.content_type as u8);
+                let sym = match sym_of_key.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = class_reps.len() as u32;
+                        sym_of_key.insert(key, s);
+                        class_reps.push(i);
+                        s
+                    }
+                };
+                class_syms.push(sym);
+            }
+        }
+        // Phase B (parallel): one real classification per representative;
+        // every other exchange clones its representative's class.
+        let protos: Vec<ExchangeClass> =
+            par_chunks(&class_reps, CAPTURE_CHUNK, |chunk: &[usize]| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        ExchangeClass::classify_with_text(
+                            captures[i],
+                            &first_parties,
+                            &pre[i].url_text,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let classify_invocations = protos.len() as u64;
+        // Assembly (sequential, so symbol and row order are pure
+        // functions of dataset order). eTLD+1 symbols are interned over
+        // the class representatives first, so the per-exchange step is
+        // an array lookup instead of a string hash.
+        let mut etld1s: Vec<Etld1> = Vec::new();
+        let mut sym_of: HashMap<Etld1, u32> = HashMap::new();
+        let mut intern_etld1 = |d: &Etld1, etld1s: &mut Vec<Etld1>| -> u32 {
+            match sym_of.get(d) {
+                Some(&s) => s,
+                None => {
+                    let s = etld1s.len() as u32;
+                    etld1s.push(d.clone());
+                    sym_of.insert(d.clone(), s);
+                    s
+                }
+            }
+        };
+        let proto_etld1_syms: Vec<u32> = protos
+            .iter()
+            .map(|p| intern_etld1(&p.etld1, &mut etld1s))
+            .collect();
+
+        let cookie_total: usize = pre.iter().map(|p| p.cookies.len()).sum();
+        let mut facts = Vec::with_capacity(total);
+        let mut cookie_rows = Vec::with_capacity(cookie_total);
+        let mut cookie_keys: Vec<CookieKey> = Vec::new();
+        let mut key_sym_of: HashMap<CookieKey, u32> = HashMap::new();
+        let mut tracking_by_channel_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, p) in pre.into_iter().enumerate() {
+            let c = captures[i];
+            let class = protos[class_syms[i] as usize].clone();
+            let etld1_sym = proto_etld1_syms[class_syms[i] as usize];
+            let start = cookie_rows.len() as u32;
+            let fp_domain = c.channel.and_then(|ch| first_parties.first_party(ch));
+            for (key, value) in p.cookies {
+                let third_party = match fp_domain {
+                    Some(fp) => fp != &key.domain,
+                    None => true,
+                };
+                let domain_sym = intern_etld1(&key.domain, &mut etld1s);
+                let key_sym = match key_sym_of.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = cookie_keys.len() as u32;
+                        cookie_keys.push(key.clone());
+                        key_sym_of.insert(key.clone(), s);
+                        s
+                    }
+                };
+                cookie_rows.push(CookieObservation {
+                    key,
+                    value,
+                    third_party,
+                    key_sym,
+                    domain_sym,
+                });
+            }
+            if p.is_pixel || p.is_fingerprint {
+                if let Some(name) = c.channel_name.as_deref() {
+                    tracking_by_channel_name.entry(name).or_default().push(i);
+                }
+            }
+            facts.push(ExchangeFacts {
+                class,
+                etld1_sym,
+                channel: c.channel,
+                is_pixel: p.is_pixel,
+                is_fingerprint: p.is_fingerprint,
+                canonical_tracking: p.is_pixel
+                    || p.is_fingerprint
+                    || verdicts[url_syms[i] as usize].canonical,
+                url_text: p.url_text,
+                url_sym: url_syms[i],
+                cookies: start..cookie_rows.len() as u32,
+            });
+        }
+        CaptureFrame {
+            dataset,
+            captures,
+            facts,
+            cookie_rows,
+            cookie_keys,
+            runs,
+            first_parties,
+            etld1s,
+            tracking_by_channel_name,
+            url_count: url_reps.len(),
+            classify_invocations,
+        }
+    }
+
+    /// Number of indexed exchanges.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the dataset held no captures at all.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The interned eTLD+1 behind a symbol.
+    pub fn etld1(&self, sym: u32) -> &Etld1 {
+        &self.etld1s[sym as usize]
+    }
+
+    /// The `Set-Cookie` rows of exchange `i`.
+    pub fn cookie_rows_of(&self, i: usize) -> &[CookieObservation] {
+        let r = &self.facts[i].cookies;
+        &self.cookie_rows[r.start as usize..r.end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunKind;
+    use crate::{Ecosystem, StudyHarness};
+
+    fn dataset() -> StudyDataset {
+        let eco = Ecosystem::with_scale(11, 0.05);
+        let harness = StudyHarness::new(&eco);
+        StudyDataset {
+            runs: vec![harness.run(RunKind::General), harness.run(RunKind::Red)],
+        }
+    }
+
+    #[test]
+    fn election_matches_identify() {
+        let ds = dataset();
+        let frame = CaptureFrame::build(&ds);
+        assert_eq!(frame.first_parties, FirstPartyMap::identify(&ds));
+    }
+
+    #[test]
+    fn tables_are_dense_and_aligned() {
+        let ds = dataset();
+        let frame = CaptureFrame::build(&ds);
+        let total: usize = ds.runs.iter().map(|r| r.captures.len()).sum();
+        assert_eq!(frame.len(), total);
+        assert_eq!(frame.captures.len(), total);
+        assert_eq!(frame.runs.len(), ds.runs.len());
+        // Run slices tile the table exactly.
+        let mut next = 0;
+        for slice in &frame.runs {
+            assert_eq!(slice.exchanges.start, next);
+            next = slice.exchanges.end;
+        }
+        assert_eq!(next, total);
+        // Cookie ranges tile the row table exactly.
+        let mut next_row = 0u32;
+        for f in &frame.facts {
+            assert_eq!(f.cookies.start, next_row);
+            next_row = f.cookies.end;
+        }
+        assert_eq!(next_row as usize, frame.cookie_rows.len());
+    }
+
+    #[test]
+    fn facts_agree_with_per_capture_recomputation() {
+        let ds = dataset();
+        let frame = CaptureFrame::build(&ds);
+        for (i, c) in frame.captures.iter().enumerate() {
+            let f = &frame.facts[i];
+            assert_eq!(f.url_text, c.request.url.to_text());
+            assert_eq!(f.is_pixel, is_tracking_pixel(c));
+            assert_eq!(f.is_fingerprint, is_fingerprint_script(c));
+            assert_eq!(f.channel, c.channel);
+            assert_eq!(frame.etld1(f.etld1_sym), &f.class.etld1);
+            assert!((f.url_sym as usize) < frame.url_count);
+            // The memoized class is exactly what a direct classification
+            // of this capture produces.
+            let direct = ExchangeClass::classify(c, &frame.first_parties);
+            assert_eq!(format!("{:?}", f.class), format!("{direct:?}"));
+            assert_eq!(
+                f.cookies.len(),
+                c.response.set_cookies().len(),
+                "one row per Set-Cookie header"
+            );
+        }
+    }
+
+    #[test]
+    fn classification_is_memoized_across_duplicate_urls() {
+        let ds = dataset();
+        let frame = CaptureFrame::build(&ds);
+        assert!(frame.classify_invocations > 0);
+        assert!(
+            frame.classify_invocations <= frame.len() as u64,
+            "at most one classification per exchange"
+        );
+        assert!(frame.url_count <= frame.len());
+        // Generated traffic repeats URLs heavily; the memo must actually
+        // collapse duplicates, not just bound them.
+        assert!(
+            frame.classify_invocations < frame.len() as u64 / 2,
+            "{} classifications for {} exchanges",
+            frame.classify_invocations,
+            frame.len()
+        );
+        // Exchanges sharing a URL symbol carry byte-identical URL texts.
+        let mut text_of: HashMap<u32, &str> = HashMap::new();
+        for f in &frame.facts {
+            let prev = text_of.entry(f.url_sym).or_insert(f.url_text.as_str());
+            assert_eq!(*prev, f.url_text);
+        }
+        assert_eq!(text_of.len(), frame.url_count);
+    }
+
+    #[test]
+    fn lean_set_cookie_matches_the_full_parser() {
+        for raw in [
+            "uid=abc123; Domain=xiti.com; Secure",
+            "a=b",
+            " sp = v ; domain = .tracker.example ; Max-Age=60",
+            "n=v; Domain=a.com; Domain=b.com",
+            "n=v; Domain",
+            "n=v; Domain=; HttpOnly",
+            "n=  padded value  ; Expires=1695000000",
+            "=novalue",
+            "bare",
+            "",
+        ] {
+            let lean = lean_set_cookie(raw);
+            match hbbtv_net::SetCookie::parse(raw) {
+                Ok(sc) => {
+                    let (name, value, domain) =
+                        lean.unwrap_or_else(|| panic!("lean rejected accepted header {raw:?}"));
+                    assert_eq!(name, sc.cookie.name, "{raw:?}");
+                    assert_eq!(value, sc.cookie.value, "{raw:?}");
+                    assert_eq!(domain.is_some(), sc.explicit_domain, "{raw:?}");
+                    if let Some(d) = domain {
+                        assert_eq!(d, sc.cookie.domain, "{raw:?}");
+                    }
+                }
+                Err(_) => assert!(lean.is_none(), "lean accepted rejected header {raw:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cookie_rows_resolve_domains_like_the_passes_did() {
+        let ds = dataset();
+        let frame = CaptureFrame::build(&ds);
+        for (i, c) in frame.captures.iter().enumerate() {
+            for (row, sc) in frame.cookie_rows_of(i).iter().zip(c.response.set_cookies()) {
+                let expected = if sc.explicit_domain {
+                    sc.cookie.domain.clone()
+                } else {
+                    c.request.url.etld1().clone()
+                };
+                assert_eq!(row.key.domain, expected);
+                assert_eq!(row.key.name, sc.cookie.name);
+                assert_eq!(row.value, sc.cookie.value);
+                if let Some(ch) = c.channel {
+                    assert_eq!(
+                        row.third_party,
+                        frame.first_parties.is_third_party(ch, &row.key.domain)
+                    );
+                } else {
+                    assert!(row.third_party, "channel-less captures are third-party");
+                }
+            }
+        }
+    }
+}

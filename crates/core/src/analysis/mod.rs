@@ -12,6 +12,7 @@ pub mod consent_analysis;
 pub mod cookies;
 pub mod ecosystem_graph;
 pub mod first_party;
+pub mod frame;
 pub mod leakage;
 pub mod parallel;
 pub mod policy_analysis;
@@ -21,11 +22,12 @@ pub mod syncing;
 pub mod tracking;
 
 pub use category::{CategoryAnalysis, ChildrenCaseStudy};
-pub use classify::ExchangeClass;
+pub use classify::{classify_calls, ExchangeClass};
 pub use consent_analysis::ConsentAnalysis;
 pub use cookies::CookieAnalysis;
 pub use ecosystem_graph::GraphAnalysis;
 pub use first_party::FirstPartyMap;
+pub use frame::CaptureFrame;
 pub use leakage::LeakageAnalysis;
 pub use parallel::{par_chunks, par_map, par_map_observed, PoolObserver};
 pub use policy_analysis::PolicyAnalysis;

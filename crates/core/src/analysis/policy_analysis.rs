@@ -2,13 +2,14 @@
 //! preprocessing/classification pipeline, GDPR content statistics, and
 //! the policy-vs-practice checks (including "5 PM to 6 AM").
 
+use crate::analysis::frame::CaptureFrame;
 use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
 use hbbtv_net::ContentType;
 use hbbtv_policies::compliance::{
     check_opt_out_contradiction, check_profiling_window, TrackingObservation, WindowViolationReport,
 };
-use hbbtv_policies::{CollectedDocument, GdprArticle, PolicyCorpusReport, PolicyPipeline};
+use hbbtv_policies::{DocRef, GdprArticle, PolicyCorpusReport, PolicyPipeline};
 use std::collections::BTreeMap;
 
 /// The §VII computation.
@@ -39,32 +40,67 @@ impl PolicyAnalysis {
     /// Extracts candidate documents from the traffic and runs the whole
     /// §VII pipeline.
     pub fn compute(dataset: &StudyDataset) -> Self {
-        // §VII-A: identify policies in the recorded HTTP traffic. Any
-        // sufficiently large HTML response is a candidate document.
+        let documents = Self::gather_docs(dataset);
+        let pipeline = PolicyPipeline::new();
+        let corpus = pipeline.run_refs(&documents, Self::manual_override);
+        let window_reports = Self::window_naive(dataset, &corpus);
+        Self::aggregate(corpus, window_reports)
+    }
+
+    /// [`PolicyAnalysis::compute`] with the §VII-C window check answered
+    /// from the shared [`CaptureFrame`]'s per-channel tracking index
+    /// instead of a full capture re-scan per window-declaring policy.
+    pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
+        let documents = Self::gather_docs(frame.dataset);
+        let pipeline = PolicyPipeline::new();
+        let corpus = pipeline.run_refs(&documents, Self::manual_override);
+        let window_reports = Self::window_from_frame(frame, &corpus);
+        Self::aggregate(corpus, window_reports)
+    }
+
+    /// The pre-optimization reference path: the linear (unmemoized,
+    /// non-automaton) pipeline plus the naive per-policy capture re-scan.
+    /// Kept as the differential-testing and benchmark baseline.
+    pub fn compute_reference(dataset: &StudyDataset) -> Self {
+        let documents = Self::gather_docs(dataset);
+        let pipeline = PolicyPipeline::new();
+        let corpus = pipeline.run_refs_linear(&documents, Self::manual_override);
+        let window_reports = Self::window_naive(dataset, &corpus);
+        Self::aggregate(corpus, window_reports)
+    }
+
+    /// §VII-A: identify policies in the recorded HTTP traffic. Any
+    /// sufficiently large HTML response is a candidate document; the
+    /// views borrow straight from the captures, so no body is copied.
+    fn gather_docs(dataset: &StudyDataset) -> Vec<DocRef<'_>> {
         let mut documents = Vec::new();
         for run_ds in &dataset.runs {
             for c in &run_ds.captures {
                 if c.response.content_type == ContentType::Html && c.response.body.len() > 300 {
-                    documents.push(CollectedDocument {
-                        url: c.request.url.clone(),
-                        channel: c
-                            .channel_name
-                            .clone()
-                            .unwrap_or_else(|| "unattributed".to_string()),
-                        run: c.session.clone(),
-                        raw_text: c.response.body.clone(),
+                    documents.push(DocRef {
+                        url: &c.request.url,
+                        channel: c.channel_name.as_deref().unwrap_or("unattributed"),
+                        run: &c.session,
+                        raw_text: &c.response.body,
                     });
                 }
             }
         }
-        // The manual-correction pass (the paper rescued 18 false
-        // negatives): a human recognizes a policy heading even when the
-        // classifier stumbles over mixed content.
-        let pipeline = PolicyPipeline::new();
-        let corpus = pipeline.run(&documents, |d| {
-            d.raw_text.contains("Datenschutzerkl") || d.raw_text.contains("Privacy Policy")
-        });
+        documents
+    }
 
+    /// The manual-correction pass (the paper rescued 18 false
+    /// negatives): a human recognizes a policy heading even when the
+    /// classifier stumbles over mixed content.
+    fn manual_override(_i: usize, d: &DocRef<'_>) -> bool {
+        d.raw_text.contains("Datenschutzerkl") || d.raw_text.contains("Privacy Policy")
+    }
+
+    /// The content-statistics tail shared by all three entry points.
+    fn aggregate(
+        corpus: PolicyCorpusReport,
+        window_reports: BTreeMap<String, WindowViolationReport>,
+    ) -> Self {
         let mut rights_counts: BTreeMap<GdprArticle, usize> = BTreeMap::new();
         let mut hbbtv_mentions = 0;
         let mut blue_hints = 0;
@@ -97,9 +133,26 @@ impl PolicyAnalysis {
             }
         }
 
-        // §VII-C: the profiling-window check. For every policy that
-        // declares a window, collect the channel's tracking observations
-        // and test them against it.
+        PolicyAnalysis {
+            corpus,
+            hbbtv_mentions,
+            blue_button_hints: blue_hints,
+            rights_counts,
+            legitimate_interest: legit,
+            tdddg_mentions: tdddg,
+            opt_out_contradictions: opt_out,
+            vague_policies: vague,
+            window_reports,
+        }
+    }
+
+    /// §VII-C: the profiling-window check. For every policy that
+    /// declares a window, collect the channel's tracking observations
+    /// and test them against it.
+    fn window_naive(
+        dataset: &StudyDataset,
+        corpus: &PolicyCorpusReport,
+    ) -> BTreeMap<String, WindowViolationReport> {
         let mut window_reports = BTreeMap::new();
         for policy in &corpus.unique {
             if policy.annotation.profiling_window.is_none() {
@@ -126,18 +179,43 @@ impl PolicyAnalysis {
             let report = check_profiling_window(&policy.annotation, &observations);
             window_reports.insert(policy.channel.clone(), report);
         }
+        window_reports
+    }
 
-        PolicyAnalysis {
-            corpus,
-            hbbtv_mentions,
-            blue_button_hints: blue_hints,
-            rights_counts,
-            legitimate_interest: legit,
-            tdddg_mentions: tdddg,
-            opt_out_contradictions: opt_out,
-            vague_policies: vague,
-            window_reports,
+    /// [`PolicyAnalysis::window_naive`] answered from the frame's
+    /// per-channel index of pixel/fingerprint exchanges: each policy
+    /// reads exactly its channel's tracking rows (already in dataset
+    /// order) instead of re-scanning every capture.
+    fn window_from_frame(
+        frame: &CaptureFrame<'_>,
+        corpus: &PolicyCorpusReport,
+    ) -> BTreeMap<String, WindowViolationReport> {
+        let mut window_reports = BTreeMap::new();
+        for policy in &corpus.unique {
+            if policy.annotation.profiling_window.is_none() {
+                continue;
+            }
+            let indices = frame
+                .tracking_by_channel_name
+                .get(policy.channel.as_str())
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let observations: Vec<TrackingObservation> = indices
+                .iter()
+                .map(|&i| {
+                    let c = frame.captures[i];
+                    TrackingObservation {
+                        at: c.request.timestamp,
+                        tracker: frame.facts[i].class.etld1.to_string(),
+                        carried_user_id: c.request.url.query_param("uid").is_some(),
+                        carried_show: c.request.url.query_param("show").is_some(),
+                    }
+                })
+                .collect();
+            let report = check_profiling_window(&policy.annotation, &observations);
+            window_reports.insert(policy.channel.clone(), report);
         }
+        window_reports
     }
 
     /// Channels whose observed tracking contradicts their declared

@@ -3,6 +3,7 @@
 
 use crate::analysis::classify::ExchangeClass;
 use crate::analysis::first_party::FirstPartyMap;
+use crate::analysis::frame::{CaptureFrame, ExchangeFacts};
 use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
@@ -246,7 +247,190 @@ impl TrackingAnalysis {
             row.fingerprints += merged.row.fingerprints;
             global.merge(merged);
         }
+        Self::finish(per_run, global)
+    }
 
+    /// [`TrackingAnalysis::compute`] over the shared [`CaptureFrame`]:
+    /// the per-exchange classification, pixel, and fingerprint bits come
+    /// from the frame, and the hot loop keys its maps by interned eTLD+1
+    /// symbols (`u32`) instead of cloning domain strings. The symbol
+    /// maps convert back to `Etld1` keys before the shared tail runs, so
+    /// every ordering (including dominance tie-breaks) is identical to
+    /// the naive path.
+    pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
+        /// `TrackingPartial` with interned domain keys.
+        #[derive(Debug, Default)]
+        struct FramePartial {
+            row: TrackingRow,
+            total: usize,
+            perflyst_hits: usize,
+            kamran_hits: usize,
+            pixel_parties: BTreeSet<u32>,
+            channels_with_pixels: BTreeSet<ChannelId>,
+            pixel_party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
+            pixel_party_requests: BTreeMap<u32, usize>,
+            fp_channels: BTreeSet<ChannelId>,
+            fp_providers: BTreeSet<u32>,
+            fp_provider_is_fp: BTreeSet<u32>,
+            fp_requests_first_party: usize,
+            fp_el: usize,
+            fp_ep: usize,
+            req_per_channel: BTreeMap<ChannelId, usize>,
+            trackers_per_channel: BTreeMap<ChannelId, BTreeSet<u32>>,
+        }
+
+        impl FramePartial {
+            fn merge(&mut self, other: FramePartial) {
+                self.row.on_pihole += other.row.on_pihole;
+                self.row.on_easylist += other.row.on_easylist;
+                self.row.on_easyprivacy += other.row.on_easyprivacy;
+                self.row.tracking_pixels += other.row.tracking_pixels;
+                self.row.fingerprints += other.row.fingerprints;
+                self.total += other.total;
+                self.perflyst_hits += other.perflyst_hits;
+                self.kamran_hits += other.kamran_hits;
+                self.pixel_parties.extend(other.pixel_parties);
+                self.channels_with_pixels.extend(other.channels_with_pixels);
+                for (d, chs) in other.pixel_party_channels {
+                    self.pixel_party_channels.entry(d).or_default().extend(chs);
+                }
+                for (d, n) in other.pixel_party_requests {
+                    *self.pixel_party_requests.entry(d).or_insert(0) += n;
+                }
+                self.fp_channels.extend(other.fp_channels);
+                self.fp_providers.extend(other.fp_providers);
+                self.fp_provider_is_fp.extend(other.fp_provider_is_fp);
+                self.fp_requests_first_party += other.fp_requests_first_party;
+                self.fp_el += other.fp_el;
+                self.fp_ep += other.fp_ep;
+                for (ch, n) in other.req_per_channel {
+                    *self.req_per_channel.entry(ch).or_insert(0) += n;
+                }
+                for (ch, set) in other.trackers_per_channel {
+                    self.trackers_per_channel.entry(ch).or_default().extend(set);
+                }
+            }
+        }
+
+        let scan = |facts: &[ExchangeFacts]| -> FramePartial {
+            let mut p = FramePartial::default();
+            for f in facts {
+                p.total += 1;
+                let cls = &f.class;
+                let sym = f.etld1_sym;
+                let (on_el, on_ep, on_ph) = (cls.on_easylist, cls.on_easyprivacy, cls.on_pihole);
+                if on_el {
+                    p.row.on_easylist += 1;
+                }
+                if on_ep {
+                    p.row.on_easyprivacy += 1;
+                }
+                if on_ph {
+                    p.row.on_pihole += 1;
+                }
+                if cls.on_perflyst {
+                    p.perflyst_hits += 1;
+                }
+                if cls.on_kamran {
+                    p.kamran_hits += 1;
+                }
+
+                if f.is_pixel {
+                    p.row.tracking_pixels += 1;
+                    p.pixel_parties.insert(sym);
+                    *p.pixel_party_requests.entry(sym).or_insert(0) += 1;
+                    if let Some(ch) = f.channel {
+                        p.channels_with_pixels.insert(ch);
+                        p.pixel_party_channels.entry(sym).or_default().insert(ch);
+                    }
+                }
+                if f.is_fingerprint {
+                    p.row.fingerprints += 1;
+                    p.fp_providers.insert(sym);
+                    if let Some(ch) = f.channel {
+                        p.fp_channels.insert(ch);
+                        // Inside a channel the class's third-party bit
+                        // *is* `fp_map.is_third_party(ch, domain)`.
+                        if !cls.third_party {
+                            p.fp_requests_first_party += 1;
+                            p.fp_provider_is_fp.insert(sym);
+                        }
+                    }
+                    if on_el {
+                        p.fp_el += 1;
+                    }
+                    if on_ep {
+                        p.fp_ep += 1;
+                    }
+                }
+
+                if f.is_pixel || f.is_fingerprint || on_el || on_ep || on_ph {
+                    if let Some(ch) = f.channel {
+                        *p.req_per_channel.entry(ch).or_insert(0) += 1;
+                        p.trackers_per_channel.entry(ch).or_default().insert(sym);
+                    }
+                }
+            }
+            p
+        };
+
+        let mut per_run: BTreeMap<RunKind, TrackingRow> = BTreeMap::new();
+        let mut global = FramePartial::default();
+        for slice in &frame.runs {
+            let facts = &frame.facts[slice.exchanges.clone()];
+            let mut merged = FramePartial::default();
+            for partial in par_chunks(facts, CAPTURE_CHUNK, scan) {
+                merged.merge(partial);
+            }
+            let row = per_run.entry(slice.run).or_default();
+            row.on_pihole += merged.row.on_pihole;
+            row.on_easylist += merged.row.on_easylist;
+            row.on_easyprivacy += merged.row.on_easyprivacy;
+            row.tracking_pixels += merged.row.tracking_pixels;
+            row.fingerprints += merged.row.fingerprints;
+            global.merge(merged);
+        }
+
+        // Re-key the symbol maps by the domains they intern; distinct
+        // symbols mean distinct domains, so the rebuilt BTree orderings
+        // match the naive partial exactly.
+        let domain = |s: &u32| frame.etld1(*s).clone();
+        let domain_set = |s: BTreeSet<u32>| -> BTreeSet<Etld1> { s.iter().map(domain).collect() };
+        let global = TrackingPartial {
+            row: global.row,
+            total: global.total,
+            perflyst_hits: global.perflyst_hits,
+            kamran_hits: global.kamran_hits,
+            pixel_parties: domain_set(global.pixel_parties),
+            channels_with_pixels: global.channels_with_pixels,
+            pixel_party_channels: global
+                .pixel_party_channels
+                .into_iter()
+                .map(|(s, chs)| (domain(&s), chs))
+                .collect(),
+            pixel_party_requests: global
+                .pixel_party_requests
+                .into_iter()
+                .map(|(s, n)| (domain(&s), n))
+                .collect(),
+            fp_channels: global.fp_channels,
+            fp_providers: domain_set(global.fp_providers),
+            fp_provider_is_fp: domain_set(global.fp_provider_is_fp),
+            fp_requests_first_party: global.fp_requests_first_party,
+            fp_el: global.fp_el,
+            fp_ep: global.fp_ep,
+            req_per_channel: global.req_per_channel,
+            trackers_per_channel: global
+                .trackers_per_channel
+                .into_iter()
+                .map(|(ch, set)| (ch, domain_set(set)))
+                .collect(),
+        };
+        Self::finish(per_run, global)
+    }
+
+    /// The order-independent tail shared by both scan paths.
+    fn finish(per_run: BTreeMap<RunKind, TrackingRow>, global: TrackingPartial) -> Self {
         // Dominance by channel reach, request volume breaking ties — at
         // full scale tvping leads on both axes.
         let dominant_pixel_party = global

@@ -6,7 +6,81 @@
 //! bilingual dictionaries — playing both roles.
 
 use crate::gdpr::{GdprArticle, IpAnonymization, LegalBasis};
+use crate::scan::{group, hit, scanner};
 use serde::{Deserialize, Serialize};
+
+/// Needles signalling first-party collection.
+pub(crate) const FIRST_PARTY_NEEDLES: &[&str] = &[
+    "wir erheben",
+    "wir verarbeiten",
+    "we collect",
+    "we process",
+    "erheben und verwenden",
+];
+
+/// Needles signalling third-party sharing.
+pub(crate) const THIRD_PARTY_NEEDLES: &[&str] = &[
+    "drittanbieter",
+    "dritter anbieter",
+    "dienste dritter",
+    "an diese dritt",
+    "third party",
+    "third-party",
+    "third parties",
+];
+
+/// Needles naming IP addresses as collected data.
+pub(crate) const IP_COLLECTION_NEEDLES: &[&str] = &["ip-adresse", "ip adresse", "ip address"];
+
+/// Needles for coverage/reach-analysis cookies.
+pub(crate) const COVERAGE_NEEDLES: &[&str] = &[
+    "reichweitenmessung",
+    "audience measurement",
+    "coverage analysis",
+];
+
+/// Needles for profiling / ad personalization.
+pub(crate) const PROFILING_NEEDLES: &[&str] = &[
+    "profilbildung",
+    "personalisierung von werbung",
+    "profiling",
+    "ad personalization",
+];
+
+/// Needles declaring full IP anonymization.
+pub(crate) const IP_FULL_NEEDLES: &[&str] = &[
+    "vollständig anonymisiert",
+    "fully anonymized",
+    "fully anonymised",
+];
+
+/// Needles declaring truncated IP anonymization.
+pub(crate) const IP_TRUNCATED_NEEDLES: &[&str] = &[
+    "gekürzt",
+    "letzten drei ziffern",
+    "truncated",
+    "last three digits",
+];
+
+/// Needles pointing viewers at the blue remote button.
+pub(crate) const BLUE_BUTTON_NEEDLES: &[&str] = &["blaue taste", "blue button"];
+
+/// Needles tying cookie use to the TDDDG/TTDSG.
+pub(crate) const TDDDG_NEEDLES: &[&str] = &["tdddg", "ttdsg"];
+
+/// Needles for opt-out statements.
+pub(crate) const OPT_OUT_NEEDLES: &[&str] = &["opt-out", "opt out"];
+
+/// Needles for vague hedging statements.
+pub(crate) const VAGUE_NEEDLES: &[&str] = &[
+    "gegebenenfalls",
+    "soweit dies erforderlich erscheint",
+    "where appropriate",
+];
+
+/// Needles declaring indefinite retention.
+pub(crate) const INDEFINITE_NEEDLES: &[&str] =
+    &["unbestimmte zeit", "indefinite", "unbegrenzte dauer"];
 
 /// MAPP-style data practices the analysis looks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,6 +138,12 @@ impl PolicyAnnotation {
 
 /// Annotates a policy text.
 ///
+/// One pass over the raw text via the shared Aho–Corasick automaton
+/// ([`crate::scan`]); no lowercased copy is allocated unless the text
+/// declares a profiling window (the rare case that needs the positional
+/// parser). Equivalent to [`annotate_policy_linear`] — a differential
+/// proptest holds the two together.
+///
 /// # Examples
 ///
 /// ```
@@ -74,78 +154,94 @@ impl PolicyAnnotation {
 /// assert!(ann.rights.contains(&hbbtv_policies::GdprArticle::Art15));
 /// ```
 pub fn annotate_policy(text: &str) -> PolicyAnnotation {
-    let lower = text.to_lowercase();
+    let bits = scanner().scan(text);
     let mut practices = Vec::new();
-    if contains_any(
-        &lower,
-        &[
-            "wir erheben",
-            "wir verarbeiten",
-            "we collect",
-            "we process",
-            "erheben und verwenden",
-        ],
-    ) {
+    if hit(bits, group::FIRST_PARTY_COLLECTION) {
         practices.push(DataPractice::FirstPartyCollection);
     }
-    let third_party = contains_any(
-        &lower,
-        &[
-            "drittanbieter",
-            "dritter anbieter",
-            "dienste dritter",
-            "an diese dritt",
-            "third party",
-            "third-party",
-            "third parties",
-        ],
-    );
-    if third_party {
+    if hit(bits, group::THIRD_PARTY_SHARING) {
         practices.push(DataPractice::ThirdPartySharing);
     }
-    if contains_any(&lower, &["ip-adresse", "ip adresse", "ip address"]) {
+    if hit(bits, group::IP_ADDRESS_COLLECTION) {
         practices.push(DataPractice::IpAddressCollection);
     }
-    if contains_any(
-        &lower,
-        &[
-            "reichweitenmessung",
-            "audience measurement",
-            "coverage analysis",
-        ],
-    ) {
+    if hit(bits, group::COVERAGE_ANALYSIS) {
         practices.push(DataPractice::CoverageAnalysisCookies);
     }
-    if contains_any(
-        &lower,
-        &[
-            "profilbildung",
-            "personalisierung von werbung",
-            "profiling",
-            "ad personalization",
-        ],
-    ) {
+    if hit(bits, group::PROFILING) {
         practices.push(DataPractice::Profiling);
     }
 
-    let ip_anonymization = if contains_any(
-        &lower,
-        &[
-            "vollständig anonymisiert",
-            "fully anonymized",
-            "fully anonymised",
-        ],
-    ) {
+    let ip_anonymization = if hit(bits, group::IP_ANON_FULL) {
         IpAnonymization::Full
-    } else if contains_any(
-        &lower,
-        &[
-            "gekürzt",
-            "letzten drei ziffern",
-            "truncated",
-            "last three digits",
-        ],
-    ) {
+    } else if hit(bits, group::IP_ANON_TRUNCATED) {
+        IpAnonymization::Truncated
+    } else {
+        IpAnonymization::None
+    };
+
+    // The window parser is positional, so it still needs the lowercased
+    // text — but only when the automaton saw a window marker, which only
+    // window-declaring policies do.
+    let profiling_window = if hit(bits, group::WINDOW_GERMAN) || hit(bits, group::WINDOW_ENGLISH) {
+        parse_profiling_window(&text.to_lowercase())
+    } else {
+        None
+    };
+
+    PolicyAnnotation {
+        practices,
+        mentions_hbbtv: hit(bits, group::HBBTV),
+        blue_button_hint: hit(bits, group::BLUE_BUTTON),
+        rights: GdprArticle::RIGHTS
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| hit(bits, group::RIGHTS_BASE + i as u32))
+            .map(|(_, a)| a)
+            .collect(),
+        legal_bases: LegalBasis::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| hit(bits, group::LEGAL_BASIS_BASE + i as u32))
+            .map(|(_, b)| b)
+            .collect(),
+        ip_anonymization,
+        profiling_window,
+        mentions_tdddg: hit(bits, group::TDDDG),
+        opt_out_statements: hit(bits, group::OPT_OUT),
+        vague_statements: hit(bits, group::VAGUE),
+        hbbtv_email: hit(bits, group::HBBTV_EMAIL),
+        indefinite_retention: hit(bits, group::INDEFINITE_RETENTION),
+    }
+}
+
+/// The pre-automaton annotator: lowercase the whole text, then one
+/// `contains` scan per needle. Kept as the differential-testing
+/// reference for [`annotate_policy`] (compare `matches_linear` in
+/// `hbbtv-filterlists`) and as the baseline the benchmarks measure
+/// against.
+pub fn annotate_policy_linear(text: &str) -> PolicyAnnotation {
+    let lower = text.to_lowercase();
+    let mut practices = Vec::new();
+    if contains_any(&lower, FIRST_PARTY_NEEDLES) {
+        practices.push(DataPractice::FirstPartyCollection);
+    }
+    if contains_any(&lower, THIRD_PARTY_NEEDLES) {
+        practices.push(DataPractice::ThirdPartySharing);
+    }
+    if contains_any(&lower, IP_COLLECTION_NEEDLES) {
+        practices.push(DataPractice::IpAddressCollection);
+    }
+    if contains_any(&lower, COVERAGE_NEEDLES) {
+        practices.push(DataPractice::CoverageAnalysisCookies);
+    }
+    if contains_any(&lower, PROFILING_NEEDLES) {
+        practices.push(DataPractice::Profiling);
+    }
+
+    let ip_anonymization = if contains_any(&lower, IP_FULL_NEEDLES) {
+        IpAnonymization::Full
+    } else if contains_any(&lower, IP_TRUNCATED_NEEDLES) {
         IpAnonymization::Truncated
     } else {
         IpAnonymization::None
@@ -154,7 +250,7 @@ pub fn annotate_policy(text: &str) -> PolicyAnnotation {
     PolicyAnnotation {
         practices,
         mentions_hbbtv: lower.contains("hbbtv"),
-        blue_button_hint: contains_any(&lower, &["blaue taste", "blue button"]),
+        blue_button_hint: contains_any(&lower, BLUE_BUTTON_NEEDLES),
         rights: GdprArticle::RIGHTS
             .into_iter()
             .filter(|a| a.mentioned_in(&lower))
@@ -165,21 +261,11 @@ pub fn annotate_policy(text: &str) -> PolicyAnnotation {
             .collect(),
         ip_anonymization,
         profiling_window: parse_profiling_window(&lower),
-        mentions_tdddg: lower.contains("tdddg") || lower.contains("ttdsg"),
-        opt_out_statements: lower.contains("opt-out") || lower.contains("opt out"),
-        vague_statements: contains_any(
-            &lower,
-            &[
-                "gegebenenfalls",
-                "soweit dies erforderlich erscheint",
-                "where appropriate",
-            ],
-        ),
+        mentions_tdddg: contains_any(&lower, TDDDG_NEEDLES),
+        opt_out_statements: contains_any(&lower, OPT_OUT_NEEDLES),
+        vague_statements: contains_any(&lower, VAGUE_NEEDLES),
         hbbtv_email: lower.contains("hbbtv-datenschutz@"),
-        indefinite_retention: contains_any(
-            &lower,
-            &["unbestimmte zeit", "indefinite", "unbegrenzte dauer"],
-        ),
+        indefinite_retention: contains_any(&lower, INDEFINITE_NEEDLES),
     }
 }
 

@@ -125,8 +125,36 @@ impl PolicyClassifier {
 fn tokenize(text: &str) -> Vec<String> {
     text.split(|c: char| !c.is_alphanumeric() && !"äöüÄÖÜß".contains(c))
         .filter(|w| w.len() > 2)
-        .map(|w| w.to_lowercase())
+        .map(fold_word)
         .collect()
+}
+
+/// Per-word case folding without the generic Unicode lowercase
+/// machinery: ASCII and the German extra characters (ä/ö/ü and their
+/// capitals; ß is already lowercase) fold inline in one pass. Words with
+/// any other non-ASCII character — or a capital sigma, whose lowering is
+/// position-dependent — fall back to `str::to_lowercase`, so the result
+/// is always identical to it.
+fn fold_word(w: &str) -> String {
+    if w.is_ascii() {
+        return w.to_ascii_lowercase();
+    }
+    let mut folded = String::with_capacity(w.len());
+    for c in w.chars() {
+        match c {
+            'Ä' => folded.push('ä'),
+            'Ö' => folded.push('ö'),
+            'Ü' => folded.push('ü'),
+            c if c.is_ascii() => folded.push(c.to_ascii_lowercase()),
+            'Σ' => return w.to_lowercase(),
+            c => {
+                for lc in c.to_lowercase() {
+                    folded.push(lc);
+                }
+            }
+        }
+    }
+    folded
 }
 
 /// Miscellaneous TV texts: everything an HbbTV page serves that is *not*
@@ -212,6 +240,22 @@ mod tests {
     #[should_panic(expected = "training documents")]
     fn train_rejects_empty_class() {
         let _ = PolicyClassifier::train(&[], &["x".to_string()]);
+    }
+
+    #[test]
+    fn fold_word_matches_full_lowercase() {
+        for w in [
+            "DSGVO",
+            "Löschung",
+            "AUSKUNFT",
+            "ÄÖÜß",
+            "übermittlung",
+            "Daten2024",
+            "ΣΊΣΥΦΟΣ", // final-sigma: the position-dependent mapping
+            "Çelik",
+        ] {
+            assert_eq!(fold_word(w), w.to_lowercase(), "word {w:?}");
+        }
     }
 
     #[test]

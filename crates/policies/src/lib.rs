@@ -36,13 +36,14 @@ mod gdpr;
 mod hashing;
 mod language;
 mod pipeline;
+mod scan;
 mod text;
 
-pub use annotate::{annotate_policy, DataPractice, PolicyAnnotation};
+pub use annotate::{annotate_policy, annotate_policy_linear, DataPractice, PolicyAnnotation};
 pub use classifier::PolicyClassifier;
 pub use gdpr::{GdprArticle, IpAnonymization, LegalBasis};
 pub use generator::{render_policy, PolicyLanguage, PolicyProfile};
 pub use hashing::{hamming_distance, sha1_hex, SimHash};
 pub use language::{detect_language, DetectedLanguage};
-pub use pipeline::{CollectedDocument, PolicyCorpusReport, PolicyPipeline, UniquePolicy};
+pub use pipeline::{CollectedDocument, DocRef, PolicyCorpusReport, PolicyPipeline, UniquePolicy};
 pub use text::extract_main_text;

@@ -1,13 +1,13 @@
 //! The end-to-end policy pipeline of §VII-A.
 
-use crate::annotate::{annotate_policy, PolicyAnnotation};
+use crate::annotate::{annotate_policy, annotate_policy_linear, PolicyAnnotation};
 use crate::classifier::PolicyClassifier;
 use crate::hashing::{sha1_hex, SimHash};
 use crate::language::{detect_language, DetectedLanguage};
 use crate::text::extract_main_text;
 use hbbtv_net::Url;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// SimHash Hamming threshold for "nearly identical content aside from
 /// minor differences, such as channel name".
@@ -25,6 +25,25 @@ pub struct CollectedDocument {
     pub run: String,
     /// The raw page text.
     pub raw_text: String,
+}
+
+/// A borrowed view of one collected document.
+///
+/// The §VII corpus collection used to clone every large HTML body into
+/// a [`CollectedDocument`]; callers that already hold the captures can
+/// hand the pipeline these views instead and no body is copied. The
+/// owned type remains for callers that construct documents from scratch
+/// ([`PolicyPipeline::run`] adapts it to this view internally).
+#[derive(Debug, Clone, Copy)]
+pub struct DocRef<'a> {
+    /// Where the document was served from.
+    pub url: &'a Url,
+    /// The channel on which it was captured.
+    pub channel: &'a str,
+    /// The measurement run (e.g. `"Yellow"`).
+    pub run: &'a str,
+    /// The raw page text.
+    pub raw_text: &'a str,
 }
 
 /// One deduplicated policy.
@@ -109,28 +128,127 @@ impl PolicyPipeline {
     where
         F: FnMut(&CollectedDocument) -> bool,
     {
+        let refs: Vec<DocRef<'_>> = documents
+            .iter()
+            .map(|d| DocRef {
+                url: &d.url,
+                channel: &d.channel,
+                run: &d.run,
+                raw_text: &d.raw_text,
+            })
+            .collect();
+        self.run_refs(&refs, |i, _| manual_override(&documents[i]))
+    }
+
+    /// [`PolicyPipeline::run`] over borrowed document views.
+    ///
+    /// The capture corpus is heavily duplicated across the five runs
+    /// (every run re-fetches the same policy pages), so the per-document
+    /// work — text extraction, classification, language detection,
+    /// hashing, annotation — is memoized per *distinct* raw text. The
+    /// report is identical to processing each document independently:
+    /// every stage is a pure function of the text, `manual_override`
+    /// still runs per rejected document (it may carry caller state), and
+    /// all counts, dedup decisions, and orderings are unchanged.
+    pub fn run_refs<F>(&self, documents: &[DocRef<'_>], manual_override: F) -> PolicyCorpusReport
+    where
+        F: FnMut(usize, &DocRef<'_>) -> bool,
+    {
+        self.run_refs_impl(documents, manual_override, false)
+    }
+
+    /// The pre-optimization reference path: every document is processed
+    /// independently (no per-text memoization) and annotated with the
+    /// linear keyword scan instead of the automaton. Kept for
+    /// differential testing and as the before-side of the analysis
+    /// benchmark; the report is identical to [`PolicyPipeline::run_refs`].
+    pub fn run_refs_linear<F>(
+        &self,
+        documents: &[DocRef<'_>],
+        manual_override: F,
+    ) -> PolicyCorpusReport
+    where
+        F: FnMut(usize, &DocRef<'_>) -> bool,
+    {
+        self.run_refs_impl(documents, manual_override, true)
+    }
+
+    fn run_refs_impl<F>(
+        &self,
+        documents: &[DocRef<'_>],
+        mut manual_override: F,
+        reference: bool,
+    ) -> PolicyCorpusReport
+    where
+        F: FnMut(usize, &DocRef<'_>) -> bool,
+    {
+        struct Memo {
+            main: String,
+            classifier_policy: bool,
+            language: Option<DetectedLanguage>,
+            sha1: Option<String>,
+            simhash: Option<SimHash>,
+            annotation: Option<PolicyAnnotation>,
+        }
+
+        let mut memo_of: HashMap<&str, usize> = HashMap::new();
+        let mut memos: Vec<Memo> = Vec::new();
         let mut policies_per_run: BTreeMap<String, usize> = BTreeMap::new();
         let mut language_counts: BTreeMap<String, usize> = BTreeMap::new();
         let mut manual_corrections = 0usize;
-        let mut accepted: Vec<(&CollectedDocument, String, DetectedLanguage)> = Vec::new();
+        let mut accepted: Vec<(usize, usize, DetectedLanguage)> = Vec::new();
 
-        for doc in documents {
-            let main = extract_main_text(&doc.raw_text);
-            if main.is_empty() {
+        let fresh_memo = |memos: &mut Vec<Memo>, raw_text: &str| {
+            let main = extract_main_text(raw_text);
+            let classifier_policy = !main.is_empty() && self.classifier.is_policy(&main);
+            memos.push(Memo {
+                main,
+                classifier_policy,
+                language: None,
+                sha1: None,
+                simhash: None,
+                annotation: None,
+            });
+            memos.len() - 1
+        };
+
+        for (i, doc) in documents.iter().enumerate() {
+            let mi = if reference {
+                // Reference path: no sharing, every document pays full
+                // price — exactly the old per-document pipeline.
+                fresh_memo(&mut memos, doc.raw_text)
+            } else {
+                match memo_of.get(doc.raw_text) {
+                    Some(&mi) => mi,
+                    None => {
+                        let mi = fresh_memo(&mut memos, doc.raw_text);
+                        memo_of.insert(doc.raw_text, mi);
+                        mi
+                    }
+                }
+            };
+            if memos[mi].main.is_empty() {
                 continue;
             }
-            let mut is_policy = self.classifier.is_policy(&main);
-            if !is_policy && manual_override(doc) {
+            let mut is_policy = memos[mi].classifier_policy;
+            if !is_policy && manual_override(i, doc) {
                 is_policy = true;
                 manual_corrections += 1;
             }
             if !is_policy {
                 continue;
             }
-            let language = detect_language(&main);
-            *policies_per_run.entry(doc.run.clone()).or_insert(0) += 1;
+            let language = match memos[mi].language {
+                Some(l) => l,
+                None => {
+                    let l = detect_language(&memos[mi].main);
+                    memos[mi].language = Some(l);
+                    l
+                }
+            };
+            *policies_per_run.entry(doc.run.to_string()).or_insert(0) += 1;
             *language_counts.entry(format!("{language:?}")).or_insert(0) += 1;
-            accepted.push((doc, main, language));
+            accepted.push((i, mi, language));
         }
         let policies_collected = accepted.len();
 
@@ -139,19 +257,47 @@ impl PolicyPipeline {
         // are kept (§VII-A).
         let mut seen: HashSet<(String, String)> = HashSet::new();
         let mut unique: Vec<UniquePolicy> = Vec::new();
-        for (doc, main, language) in accepted {
-            let sha1 = sha1_hex(main.as_bytes());
-            if !seen.insert((sha1.clone(), doc.channel.clone())) {
+        for (i, mi, language) in accepted {
+            let doc = &documents[i];
+            let sha1 = match &memos[mi].sha1 {
+                Some(s) => s.clone(),
+                None => {
+                    let s = sha1_hex(memos[mi].main.as_bytes());
+                    memos[mi].sha1 = Some(s.clone());
+                    s
+                }
+            };
+            if !seen.insert((sha1.clone(), doc.channel.to_string())) {
                 continue;
             }
+            let simhash = match memos[mi].simhash {
+                Some(h) => h,
+                None => {
+                    let h = SimHash::of_text(&memos[mi].main);
+                    memos[mi].simhash = Some(h);
+                    h
+                }
+            };
+            let annotation = match &memos[mi].annotation {
+                Some(a) => a.clone(),
+                None => {
+                    let a = if reference {
+                        annotate_policy_linear(&memos[mi].main)
+                    } else {
+                        annotate_policy(&memos[mi].main)
+                    };
+                    memos[mi].annotation = Some(a.clone());
+                    a
+                }
+            };
             unique.push(UniquePolicy {
-                channel: doc.channel.clone(),
+                channel: doc.channel.to_string(),
                 language,
                 sha1,
-                simhash: SimHash::of_text(&main),
-                annotation: annotate_policy(&main),
+                simhash,
+                annotation,
                 host_domain: doc.url.etld1().to_string(),
-                text: main,
+                text: memos[mi].main.clone(),
             });
         }
 

@@ -1,0 +1,307 @@
+//! One-pass keyword scanner behind [`annotate_policy`].
+//!
+//! [`annotate_policy`](crate::annotate_policy) needs ~95 bilingual
+//! needles (data practices, GDPR rights/bases, retention clauses, the
+//! profiling-window markers) over every policy text. The naive shape —
+//! lowercase the whole document, then one `contains` per needle — costs
+//! an allocation plus ~40 full scans per document and dominated the
+//! §VII stage in BENCH_study.json. This module builds a byte-level
+//! Aho–Corasick automaton over all needles once per process
+//! ([`scanner`], behind a `OnceLock`) and case-folds in the scan loop,
+//! so annotation is a single pass over the raw text with zero
+//! allocation.
+//!
+//! Needles are mapped to *semantic groups* (one bit each in a `u64`),
+//! not individual ids: the annotator only ever asks "did any needle of
+//! this group match", and 28 groups fit comfortably in one word. The
+//! scan is byte-for-byte equivalent to matching against
+//! `text.to_lowercase()` because the fold feeds `char::to_lowercase`
+//! output for non-ASCII (the one context-sensitive mapping in
+//! `str::to_lowercase`, Greek final sigma, can only produce bytes that
+//! occur in no needle). The pre-automaton scan survives as
+//! [`annotate_policy_linear`](crate::annotate_policy_linear) and a
+//! differential proptest keeps the two in lockstep.
+
+use crate::annotate;
+use crate::gdpr::{GdprArticle, LegalBasis};
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Semantic needle groups, one bit each in the scan result.
+pub(crate) mod group {
+    /// [`DataPractice::FirstPartyCollection`](crate::DataPractice).
+    pub const FIRST_PARTY_COLLECTION: u32 = 0;
+    /// [`DataPractice::ThirdPartySharing`](crate::DataPractice).
+    pub const THIRD_PARTY_SHARING: u32 = 1;
+    /// [`DataPractice::IpAddressCollection`](crate::DataPractice).
+    pub const IP_ADDRESS_COLLECTION: u32 = 2;
+    /// [`DataPractice::CoverageAnalysisCookies`](crate::DataPractice).
+    pub const COVERAGE_ANALYSIS: u32 = 3;
+    /// [`DataPractice::Profiling`](crate::DataPractice).
+    pub const PROFILING: u32 = 4;
+    /// Full IP anonymization declared.
+    pub const IP_ANON_FULL: u32 = 5;
+    /// Truncated IP anonymization declared.
+    pub const IP_ANON_TRUNCATED: u32 = 6;
+    /// The literal "hbbtv".
+    pub const HBBTV: u32 = 7;
+    /// Blue-button hint.
+    pub const BLUE_BUTTON: u32 = 8;
+    /// Base for [`GdprArticle::RIGHTS`]; add the index into `RIGHTS`.
+    pub const RIGHTS_BASE: u32 = 9;
+    /// Base for [`LegalBasis::ALL`]; add the index into `ALL`.
+    pub const LEGAL_BASIS_BASE: u32 = 16;
+    /// TDDDG / TTDSG mention.
+    pub const TDDDG: u32 = 21;
+    /// Opt-out statement.
+    pub const OPT_OUT: u32 = 22;
+    /// Vague-statement hedges.
+    pub const VAGUE: u32 = 23;
+    /// Dedicated HbbTV contact e-mail.
+    pub const HBBTV_EMAIL: u32 = 24;
+    /// Indefinite retention declared.
+    pub const INDEFINITE_RETENTION: u32 = 25;
+    /// German profiling-window marker (" uhr bis ").
+    pub const WINDOW_GERMAN: u32 = 26;
+    /// English profiling-window marker ("between ").
+    pub const WINDOW_ENGLISH: u32 = 27;
+    /// Number of groups (bits in use).
+    pub const COUNT: u32 = 28;
+}
+
+/// Whether `bits` (a [`KeywordScanner::scan`] result) contains a match
+/// from `group`.
+#[inline]
+pub(crate) fn hit(bits: u64, group: u32) -> bool {
+    bits & (1u64 << group) != 0
+}
+
+/// A dense-table Aho–Corasick automaton over the annotation needles.
+///
+/// States are rows of a `states × 256` transition table (the needle set
+/// is small enough that the table stays around a megabyte and every
+/// byte is one indexed load); each state carries the `u64` group bitset
+/// of every needle ending at or failing into it.
+pub(crate) struct KeywordScanner {
+    trans: Vec<u32>,
+    out: Vec<u64>,
+}
+
+impl KeywordScanner {
+    /// Builds the automaton from `(needle, group)` pairs. Needles must
+    /// already be lowercase (they are string literals in this crate).
+    fn build(needles: &[(&str, u32)]) -> KeywordScanner {
+        const VACANT: u32 = u32::MAX;
+        let mut edges: Vec<[u32; 256]> = vec![[VACANT; 256]];
+        let mut out: Vec<u64> = vec![0];
+        for &(needle, grp) in needles {
+            debug_assert_eq!(needle, needle.to_lowercase(), "needles must be lowercase");
+            let mut s = 0usize;
+            for &b in needle.as_bytes() {
+                let next = edges[s][b as usize];
+                s = if next == VACANT {
+                    edges.push([VACANT; 256]);
+                    out.push(0);
+                    let id = (edges.len() - 1) as u32;
+                    edges[s][b as usize] = id;
+                    id as usize
+                } else {
+                    next as usize
+                };
+            }
+            out[s] |= 1u64 << grp;
+        }
+
+        // Breadth-first failure-link computation, fused with the DFA
+        // conversion: after a state is visited, its row is total and its
+        // output includes every suffix match.
+        let mut fail = vec![0u32; edges.len()];
+        let mut queue = VecDeque::new();
+        for slot in edges[0].iter_mut() {
+            if *slot == VACANT {
+                *slot = 0;
+            } else {
+                fail[*slot as usize] = 0;
+                queue.push_back(*slot);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s as usize] as usize;
+            out[s as usize] |= out[f];
+            let fail_row = edges[f];
+            for (slot, via_fail) in edges[s as usize].iter_mut().zip(fail_row) {
+                if *slot == VACANT {
+                    *slot = via_fail;
+                } else {
+                    fail[*slot as usize] = via_fail;
+                    queue.push_back(*slot);
+                }
+            }
+        }
+
+        KeywordScanner {
+            trans: edges.iter().flatten().copied().collect(),
+            out,
+        }
+    }
+
+    /// Scans `text` in one pass and returns the group bitset.
+    ///
+    /// Case folds inline: ASCII bytes fold arithmetically, everything
+    /// else goes through `char::to_lowercase` into a stack buffer — no
+    /// allocation, and the byte stream fed to the automaton equals
+    /// `text.to_lowercase()` wherever a needle could match.
+    pub(crate) fn scan(&self, text: &str) -> u64 {
+        let mut state = 0usize;
+        let mut bits = 0u64;
+        let mut buf = [0u8; 4];
+        for c in text.chars() {
+            if c.is_ascii() {
+                let b = (c as u8).to_ascii_lowercase();
+                state = self.trans[state * 256 + b as usize] as usize;
+                bits |= self.out[state];
+            } else {
+                for lc in c.to_lowercase() {
+                    for &b in lc.encode_utf8(&mut buf).as_bytes() {
+                        state = self.trans[state * 256 + b as usize] as usize;
+                        bits |= self.out[state];
+                    }
+                }
+            }
+        }
+        bits
+    }
+}
+
+/// Every needle [`annotate_policy`](crate::annotate_policy) consults,
+/// tagged with its group.
+fn needle_list() -> Vec<(&'static str, u32)> {
+    fn add(v: &mut Vec<(&'static str, u32)>, set: &[&'static str], grp: u32) {
+        v.extend(set.iter().map(|&n| (n, grp)));
+    }
+    let mut v = Vec::new();
+    add(
+        &mut v,
+        annotate::FIRST_PARTY_NEEDLES,
+        group::FIRST_PARTY_COLLECTION,
+    );
+    add(
+        &mut v,
+        annotate::THIRD_PARTY_NEEDLES,
+        group::THIRD_PARTY_SHARING,
+    );
+    add(
+        &mut v,
+        annotate::IP_COLLECTION_NEEDLES,
+        group::IP_ADDRESS_COLLECTION,
+    );
+    add(&mut v, annotate::COVERAGE_NEEDLES, group::COVERAGE_ANALYSIS);
+    add(&mut v, annotate::PROFILING_NEEDLES, group::PROFILING);
+    add(&mut v, annotate::IP_FULL_NEEDLES, group::IP_ANON_FULL);
+    add(
+        &mut v,
+        annotate::IP_TRUNCATED_NEEDLES,
+        group::IP_ANON_TRUNCATED,
+    );
+    add(&mut v, &["hbbtv"], group::HBBTV);
+    add(&mut v, annotate::BLUE_BUTTON_NEEDLES, group::BLUE_BUTTON);
+    for (i, art) in GdprArticle::RIGHTS.into_iter().enumerate() {
+        add(&mut v, art.german_phrases(), group::RIGHTS_BASE + i as u32);
+        add(&mut v, art.english_phrases(), group::RIGHTS_BASE + i as u32);
+    }
+    for (i, basis) in LegalBasis::ALL.into_iter().enumerate() {
+        add(
+            &mut v,
+            basis.german_phrases(),
+            group::LEGAL_BASIS_BASE + i as u32,
+        );
+        add(
+            &mut v,
+            basis.english_phrases(),
+            group::LEGAL_BASIS_BASE + i as u32,
+        );
+    }
+    add(&mut v, annotate::TDDDG_NEEDLES, group::TDDDG);
+    add(&mut v, annotate::OPT_OUT_NEEDLES, group::OPT_OUT);
+    add(&mut v, annotate::VAGUE_NEEDLES, group::VAGUE);
+    add(&mut v, &["hbbtv-datenschutz@"], group::HBBTV_EMAIL);
+    add(
+        &mut v,
+        annotate::INDEFINITE_NEEDLES,
+        group::INDEFINITE_RETENTION,
+    );
+    add(&mut v, &[" uhr bis "], group::WINDOW_GERMAN);
+    add(&mut v, &["between "], group::WINDOW_ENGLISH);
+    debug_assert!(v.iter().all(|&(_, g)| g < group::COUNT));
+    v
+}
+
+/// The process-wide automaton, built on first use.
+pub(crate) fn scanner() -> &'static KeywordScanner {
+    static SCANNER: OnceLock<KeywordScanner> = OnceLock::new();
+    SCANNER.get_or_init(|| KeywordScanner::build(&needle_list()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_needles_case_insensitively() {
+        let bits = scanner().scan("Wir ERHEBEN Ihre IP-Adresse über HbbTV.");
+        assert!(hit(bits, group::FIRST_PARTY_COLLECTION));
+        assert!(hit(bits, group::IP_ADDRESS_COLLECTION));
+        assert!(hit(bits, group::HBBTV));
+        assert!(!hit(bits, group::THIRD_PARTY_SHARING));
+    }
+
+    #[test]
+    fn umlaut_needles_fold_uppercase_variants() {
+        // "gekürzt" (IP truncation) with an uppercase Ü.
+        let bits = scanner().scan("Die IP wird GEKÜRZT gespeichert.");
+        assert!(hit(bits, group::IP_ANON_TRUNCATED));
+    }
+
+    #[test]
+    fn overlapping_needles_all_report() {
+        // "hbbtv-datenschutz@" contains "hbbtv"; both groups must fire.
+        let bits = scanner().scan("Kontakt: hbbtv-datenschutz@sender.de");
+        assert!(hit(bits, group::HBBTV));
+        assert!(hit(bits, group::HBBTV_EMAIL));
+    }
+
+    #[test]
+    fn empty_and_unrelated_text_match_nothing() {
+        assert_eq!(scanner().scan(""), 0);
+        assert_eq!(
+            scanner().scan("Pfannenset nur 49 Euro, rufen Sie jetzt an!"),
+            0
+        );
+    }
+
+    #[test]
+    fn scan_agrees_with_lowercased_contains() {
+        let texts = [
+            "Drittanbieter erhalten Daten zur Reichweitenmessung.",
+            "We COLLECT data; profiling BETWEEN 17:00 and 6:00 only.",
+            "Recht auf Auskunft, Recht auf Löschung, Art. 77.",
+            "Die Einwilligung erfolgt auf Basis berechtigter Interessen \u{2014} berechtigtes Interesse.",
+        ];
+        for text in texts {
+            let lower = text.to_lowercase();
+            let bits = scanner().scan(text);
+            for &(needle, grp) in needle_list().iter() {
+                if lower.contains(needle) {
+                    assert!(hit(bits, grp), "missed {needle:?} in {text:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_count_fits_a_word() {
+        const { assert!(group::COUNT <= 64) };
+        let max = needle_list().iter().map(|&(_, g)| g).max().unwrap();
+        assert_eq!(max + 1, group::COUNT);
+    }
+}

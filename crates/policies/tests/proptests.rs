@@ -2,10 +2,125 @@
 //! hashing invariants.
 
 use hbbtv_policies::{
-    annotate_policy, detect_language, hamming_distance, render_policy, sha1_hex, DetectedLanguage,
-    GdprArticle, IpAnonymization, LegalBasis, PolicyLanguage, PolicyProfile, SimHash,
+    annotate_policy, annotate_policy_linear, detect_language, hamming_distance, render_policy,
+    sha1_hex, DetectedLanguage, GdprArticle, IpAnonymization, LegalBasis, PolicyLanguage,
+    PolicyProfile, SimHash,
 };
 use proptest::prelude::*;
+
+/// Adversarial building blocks for the annotator differential test:
+/// whole needles in mixed case, needle halves (so concatenation forms
+/// needles spanning fragment boundaries), umlaut capitals, the
+/// profiling-window markers, and Unicode edge cases (final sigma, the
+/// dotted capital I) whose lowercase mappings are irregular.
+const NEEDLE_FRAGMENTS: &[&str] = &[
+    "wir erheben",
+    "WIR ERHEBEN",
+    "Wir Erhe",
+    "ben ",
+    "drittanbieter",
+    "DrittAnbieter",
+    "dienste dritt",
+    "er ",
+    "third part",
+    "ies",
+    "THIRD-PARTY",
+    "ip-adresse",
+    "IP Adresse",
+    "ip addr",
+    "ess",
+    "reichweitenmessung",
+    "audience measure",
+    "ment",
+    "profil",
+    "bildung",
+    "PROFILING",
+    "ad personal",
+    "ization",
+    "vollständig anonymisiert",
+    "VOLLSTÄNDIG ANONYMISIERT",
+    "gekürzt",
+    "GEKÜRZT",
+    "gekür",
+    "zt",
+    "letzten drei ziffern",
+    "truncated",
+    "hbbtv",
+    "HbbTV",
+    "hbbtv-datenschutz@",
+    "HBBTV-DATENSCHUTZ@sender.de",
+    "blaue taste",
+    "BLAUE Taste",
+    "blue button",
+    "recht auf auskunft",
+    "Recht auf AUSKUNFT",
+    "auskunftsrecht",
+    "art. 15",
+    "art. 1",
+    "5 ",
+    "recht auf löschung",
+    "RECHT AUF LÖSCHUNG",
+    "vergessenwerden",
+    "recht auf einschränkung der verarbeitung",
+    "recht auf datenübertragbarkeit",
+    "widerspruchsrecht",
+    "beschwerde bei einer aufsichtsbehörde",
+    "right of access",
+    "right to rectification",
+    "right to eras",
+    "ure",
+    "article 77",
+    "einwilligung",
+    "EinWilligung",
+    "vertragserfüllung",
+    "VERTRAGSERFÜLLUNG",
+    "rechtliche verpflichtung",
+    "lebenswichtige interessen",
+    "berechtigtes interesse",
+    "Berechtigtes INTERESSE",
+    "legitimate interest",
+    "consent",
+    "CONSENT",
+    "performance of a contract",
+    "legal obligation",
+    "vital interests",
+    "tdddg",
+    "TTDSG",
+    "opt-out",
+    "Opt Out",
+    "opt",
+    " out",
+    "gegebenenfalls",
+    "GeGebenenfalls",
+    "soweit dies erforderlich erscheint",
+    "where appropriate",
+    "unbestimmte zeit",
+    "indefinite",
+    "INDEFINITE",
+    "unbegrenzte dauer",
+    "von 17 uhr bis 6 uhr",
+    "VON 17 UHR BIS 6 UHR",
+    " uhr bis ",
+    "99 uhr bis 6",
+    "between 17:00 and 6:00",
+    "BETWEEN 23:00 and 5:00",
+    "between ",
+    ":00 and ",
+    "ΣΊΣΥΦΟΣ",
+    "İstanbul",
+    " ",
+    "xyz",
+];
+
+prop_compose! {
+    fn arb_fragment()(pick in any::<u64>(), noise in "[ -~]{0,10}") -> String {
+        if pick % 13 == 0 {
+            noise
+        } else {
+            NEEDLE_FRAGMENTS[pick as usize % NEEDLE_FRAGMENTS.len()].to_string()
+        }
+    }
+}
 
 fn arb_rights() -> impl Strategy<Value = Vec<GdprArticle>> {
     proptest::sample::subsequence(GdprArticle::RIGHTS.to_vec(), 0..=7)
@@ -101,6 +216,25 @@ proptest! {
             PolicyLanguage::English => prop_assert_eq!(lang, DetectedLanguage::English),
             PolicyLanguage::Bilingual => prop_assert_eq!(lang, DetectedLanguage::Bilingual),
         }
+    }
+
+    /// The Aho–Corasick annotator agrees with the linear reference on
+    /// adversarial concatenations: mixed case, umlauts, and needle
+    /// substrings spanning fragment boundaries.
+    #[test]
+    fn automaton_matches_linear_on_fragments(
+        parts in proptest::collection::vec(arb_fragment(), 0..24)
+    ) {
+        let text = parts.concat();
+        prop_assert_eq!(annotate_policy(&text), annotate_policy_linear(&text));
+    }
+
+    /// The automaton agrees with the linear reference on every rendered
+    /// policy shape.
+    #[test]
+    fn automaton_matches_linear_on_rendered_policies(profile in arb_profile()) {
+        let text = render_policy(&profile);
+        prop_assert_eq!(annotate_policy(&text), annotate_policy_linear(&text));
     }
 
     /// SHA-1 is deterministic and content-sensitive.

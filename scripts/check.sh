@@ -8,6 +8,8 @@
 #     scripts/check.sh --bench-smoke  # also smoke-run the matcher benches
 #     scripts/check.sh --obs-smoke    # also run a journaled study and
 #                                     # verify the journal + golden snapshot
+#     scripts/check.sh --analysis-smoke  # also run the frame-vs-naive
+#                                        # study bench and the parity suite
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
@@ -15,13 +17,15 @@ set -eu
 quick=0
 bench_smoke=0
 obs_smoke=0
+analysis_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --bench-smoke) bench_smoke=1 ;;
         --obs-smoke) obs_smoke=1 ;;
+        --analysis-smoke) analysis_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke]" >&2
             exit 2
             ;;
     esac
@@ -80,6 +84,19 @@ EOF
     # Telemetry must not move the golden dataset snapshot.
     echo "==> golden snapshot unchanged"
     cargo test -q -p hbbtv-study --test serialization
+fi
+
+if [ "$analysis_smoke" -eq 1 ]; then
+    # The one-pass analysis substrate: study_telemetry runs the naive
+    # and frame-backed report back to back and aborts if the rendered
+    # reports drift by a byte, then writes the stage-by-stage timings.
+    bench="$(mktemp /tmp/analysis_smoke_XXXXXX.json)"
+    echo "==> study_telemetry (writes $bench)"
+    cargo run --release -p hbbtv-bench --bin study_telemetry -- "$bench"
+    rm -f "$bench"
+    # Every analysis struct, frame vs naive, field by field.
+    echo "==> frame parity suite"
+    cargo test -q -p hbbtv-study --test frame_parity
 fi
 
 echo "All checks passed."

@@ -5,10 +5,16 @@
 use hbbtv_study::obs::{Event, FieldValue, MemoryRecorder, NullRecorder};
 use hbbtv_study::report::StudyReport;
 use hbbtv_study::{Ecosystem, RunKind, StudyHarness, Telemetry, TelemetryConfig, TelemetryMode};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const SEED: u64 = 23;
 const SCALE: f64 = 0.05;
+
+/// Serializes the tests that read the process-global
+/// [`hbbtv_study::analysis::classify_calls`] counter against the other
+/// report-computing test in this binary, so concurrent classification
+/// can't skew the delta.
+static CLASSIFY_GATE: Mutex<()> = Mutex::new(());
 
 fn dataset_fingerprint(ds: &hbbtv_study::StudyDataset) -> Vec<String> {
     ds.runs
@@ -25,7 +31,7 @@ fn field<'e>(ev: &'e Event, key: &str) -> Option<&'e FieldValue> {
     ev.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
 }
 
-fn span_name<'e>(ev: &'e Event) -> Option<&'e str> {
+fn span_name(ev: &Event) -> Option<&str> {
     match field(ev, "name") {
         Some(FieldValue::Str(s)) => Some(s.as_str()),
         _ => None,
@@ -36,6 +42,7 @@ fn span_name<'e>(ev: &'e Event) -> Option<&'e str> {
 /// with telemetry on, off, and absent.
 #[test]
 fn telemetry_never_changes_the_study() {
+    let _gate = CLASSIFY_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let eco = Ecosystem::with_scale(SEED, SCALE);
 
     let absent = StudyHarness::new(&eco).run_all();
@@ -61,6 +68,43 @@ fn telemetry_never_changes_the_study() {
         StudyReport::compute_with_telemetry(&eco, &journaled, &tel)
     };
     assert_eq!(plain.render(&absent), profiled.render(&journaled));
+}
+
+/// The issue's classify-once invariant: one study computes
+/// [`hbbtv_study::analysis::ExchangeClass::classify`] at most once per
+/// captured exchange — the shared frame is built once and every pass
+/// reads it, instead of each pass re-classifying the whole dataset.
+/// (The frame memoizes classification per distinct URL/party/kind
+/// triple, so the real call count lands well below one per exchange.)
+#[test]
+fn classify_runs_at_most_once_per_exchange_per_study() {
+    let _gate = CLASSIFY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let eco = Ecosystem::with_scale(SEED, SCALE);
+    let dataset = StudyHarness::new(&eco).run_all();
+    let total: u64 = dataset.runs.iter().map(|r| r.captures.len() as u64).sum();
+    assert!(total > 0);
+
+    let tel = Telemetry::scope(
+        TelemetryMode::Metrics,
+        hbbtv_study::obs::SimClock::starting_at(hbbtv_study::obs::Timestamp::MEASUREMENT_START),
+        1 << 41,
+    );
+    let before = hbbtv_study::analysis::classify_calls();
+    let report = StudyReport::compute_with_telemetry(&eco, &dataset, &tel);
+    let after = hbbtv_study::analysis::classify_calls();
+    let calls = after - before;
+    assert!(calls > 0, "the study classifies something");
+    assert!(
+        calls <= total,
+        "at most one classify call per exchange per study ({calls} > {total})"
+    );
+    // The frame's deterministic cells agree with the dataset and with
+    // the observed call count.
+    assert_eq!(tel.counter_value("frame.classify_calls"), calls);
+    assert_eq!(tel.counter_value("frame.exchanges"), total);
+    assert!(tel.counter_value("frame.unique_urls") > 0);
+    assert!(tel.counter_value("frame.symbols") > 0);
+    assert!(!report.first_parties.is_empty());
 }
 
 /// Sim-time journals are a pure function of the world: the same study
