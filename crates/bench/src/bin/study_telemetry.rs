@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! study_telemetry [output.json] [--scale <0..1>] [--seed <u64>]
+//! study_telemetry [output.json] [--scale <0..1>] [--seed <u64>] [--render <path>]
 //! ```
 //!
 //! Runs all five measurement runs with a `Profile` scope (sim-time
@@ -14,6 +14,14 @@
 //! times. The reconciliation invariant — summed per-visit exchange
 //! counters equal the dataset's captured exchanges — is asserted here
 //! on every run.
+//!
+//! The `scaling` block reruns study + analysis on private worker pools
+//! of 1, 2, 4, … workers (up to the machine's parallelism), asserting
+//! along the way that the rendered report is byte-identical at every
+//! worker count. `--render <path>` additionally writes the rendered
+//! report to `<path>`, which `scripts/check.sh --pool-smoke` diffs
+//! across `HBBTV_POOL_WORKERS` settings as the cross-process drift
+//! gate.
 
 use hbbtv_study::obs::{MemoryRecorder, SimClock, Telemetry, TelemetryMode};
 use hbbtv_study::report::StudyReport;
@@ -25,6 +33,7 @@ fn main() {
     let mut out = "BENCH_study.json".to_string();
     let mut scale = 0.1f64;
     let mut seed = 42u64;
+    let mut render_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,6 +48,9 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer");
+            }
+            "--render" => {
+                render_out = Some(it.next().expect("--render needs a path"));
             }
             other => out = other.to_string(),
         }
@@ -92,11 +104,16 @@ fn main() {
     // Drift gate: the optimized substrate must render the byte-identical
     // report. A mismatch here means an analysis regressed, not just
     // slowed down.
+    let rendered = report.render(&dataset);
     assert_eq!(
-        report.render(&dataset),
+        rendered,
         naive_report.render(&dataset),
         "frame-backed report drifted from the naive reference"
     );
+    if let Some(path) = &render_out {
+        std::fs::write(path, &rendered).expect("writing the rendered report");
+        eprintln!("wrote rendered report to {path}");
+    }
 
     let visits = tel.total_visits();
     let mut sections = Vec::new();
@@ -124,8 +141,14 @@ fn main() {
 
     // Per-stage naive-vs-frame walls from the two scopes' span
     // histograms; `speedup` is naive / frame, rounded to one decimal.
+    // The one-time frame build gets its own stage line (no naive
+    // counterpart — the naive path has no frame) instead of being
+    // silently charged to whichever stage touched the frame first.
     let frame_walls = analysis_tel.histograms_snapshot();
-    let mut stage_rows = Vec::new();
+    let frame_build_us = frame_walls.get("wall.frame.build").map_or(0, |h| h.max);
+    let mut stage_rows = vec![format!(
+        "    \"frame_build\": {{ \"frame_us\": {frame_build_us} }}"
+    )];
     for (name, naive_h) in naive_tel.histograms_snapshot() {
         let Some(stage) = name.strip_prefix("wall.analysis.") else {
             continue;
@@ -137,11 +160,47 @@ fn main() {
             naive_h.max
         ));
     }
-    let frame_build_us = frame_walls.get("wall.frame.build").map_or(0, |h| h.max);
     sections.push(format!(
         "  \"analysis\": {{ \"naive_wall_s\": {naive_wall:.3}, \"frame_wall_s\": {analysis_wall:.3}, \"speedup\": {:.1}, \"frame_build_us\": {frame_build_us}, \"stages\": {{\n{}\n  }} }}",
         naive_wall / analysis_wall.max(1e-9),
         stage_rows.join(",\n")
+    ));
+
+    // The 1→N-core scaling sweep: the whole study plus the frame-backed
+    // analysis on private pools of doubling worker counts, each point
+    // gated on rendering the byte-identical report. Worker counts are
+    // pool threads; the submitting thread always helps, so a "1-worker"
+    // point has at most two executors.
+    let max_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4];
+    counts.push(max_workers);
+    counts.sort_unstable();
+    counts.dedup();
+    let mut scaling_rows = Vec::new();
+    for &k in &counts {
+        let rt = hbbtv_study::analysis::Runtime::with_workers(k);
+        let (ds_k, report_k, study_s, analysis_s) = rt.install(|| {
+            let t = Instant::now();
+            let ds = StudyHarness::new(&eco).run_all();
+            let study_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let report = StudyReport::compute(&eco, &ds);
+            let analysis_s = t.elapsed().as_secs_f64();
+            (ds, report, study_s, analysis_s)
+        });
+        assert_eq!(
+            report_k.render(&ds_k),
+            rendered,
+            "rendered report drifted at {k} workers"
+        );
+        eprintln!("scaling: {k} workers -> study {study_s:.3}s, analysis {analysis_s:.3}s");
+        scaling_rows.push(format!(
+            "    {{ \"workers\": {k}, \"study_wall_s\": {study_s:.3}, \"analysis_wall_s\": {analysis_s:.3} }}"
+        ));
+    }
+    sections.push(format!(
+        "  \"scaling\": {{ \"max_workers\": {max_workers}, \"points\": [\n{}\n  ] }}",
+        scaling_rows.join(",\n")
     ));
 
     let json = format!(

@@ -5,7 +5,7 @@
 
 use crate::analysis::first_party::FirstPartyMap;
 use crate::analysis::frame::{CaptureFrame, ExchangeFacts};
-use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
+use crate::analysis::parallel::par_chunks_auto;
 use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Per-chunk partial of the §V-C capture scan. Every field is a set (or
 /// map of sets), so merging two partials is a union — associative and
 /// commutative, which keeps [`CookieAnalysis::compute`] deterministic
-/// under [`par_chunks`] no matter how captures land in chunks.
+/// under [`par_chunks_auto`] no matter how captures land in chunks.
 #[derive(Default)]
 struct CookiePartial {
     /// Distinct jar keys observed in the scanned captures.
@@ -210,7 +210,7 @@ impl CookieAnalysis {
         let mut ls_total = 0usize;
 
         // Scans one capture slice into a partial; fanned over chunks by
-        // `par_chunks` and merged left-to-right, which yields the same
+        // `par_chunks_auto` and merged left-to-right, which yields the same
         // sets as the original sequential loop.
         let scan = |captures: &[hbbtv_proxy::CapturedExchange]| {
             let mut p = CookiePartial::default();
@@ -279,12 +279,13 @@ impl CookieAnalysis {
 
         for run_ds in &dataset.runs {
             // Observed Set-Cookie events attributed to channels.
-            let run = par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan)
-                .into_iter()
-                .fold(CookiePartial::default(), |mut acc, p| {
+            let run = par_chunks_auto(&run_ds.captures, scan).into_iter().fold(
+                CookiePartial::default(),
+                |mut acc, p| {
                     acc.merge(p);
                     acc
-                });
+                },
+            );
             per_run.insert(
                 run_ds.run,
                 CookieRow {
@@ -364,7 +365,7 @@ impl CookieAnalysis {
 
         for (slice, run_ds) in frame.runs.iter().zip(&frame.dataset.runs) {
             let facts = &frame.facts[slice.exchanges.clone()];
-            let run = par_chunks(facts, CAPTURE_CHUNK, scan).into_iter().fold(
+            let run = par_chunks_auto(facts, scan).into_iter().fold(
                 SymCookiePartial::default(),
                 |mut acc, p| {
                     acc.merge(p);

@@ -44,7 +44,7 @@
 
 use crate::analysis::classify::ExchangeClass;
 use crate::analysis::first_party::FirstPartyMap;
-use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
+use crate::analysis::parallel::par_chunks_auto;
 use crate::analysis::tracking::{is_fingerprint_script, is_tracking_pixel};
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
@@ -151,6 +151,12 @@ pub struct CaptureFrame<'a> {
     /// distinct (URL text, party relationship, content type) triple, so
     /// at most [`CaptureFrame::len`].
     pub classify_invocations: u64,
+    /// Wall-clock microseconds the sequential first-party election took
+    /// inside [`CaptureFrame::build`]. This is the true cost of the
+    /// `first_parties` *stage* — the rest of the build (scans,
+    /// interning, classification) is shared by every stage and reported
+    /// as `frame_build`, never charged to whichever stage ran first.
+    pub election_us: u64,
 }
 
 /// Per-exchange facts computable before the first-party election.
@@ -249,7 +255,7 @@ impl<'a> CaptureFrame<'a> {
         let mut runs = Vec::with_capacity(dataset.runs.len());
         for run_ds in &dataset.runs {
             let start = pre.len();
-            for chunk in par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan) {
+            for chunk in par_chunks_auto(&run_ds.captures, scan) {
                 pre.extend(chunk);
             }
             captures.extend(run_ds.captures.iter());
@@ -281,27 +287,29 @@ impl<'a> CaptureFrame<'a> {
         // distinct URL text instead of once per exchange. Both probe
         // contexts are fixed, so the verdict is a pure function of the
         // text.
-        let verdicts: Vec<UrlVerdict> =
-            par_chunks(&url_reps, CAPTURE_CHUNK, |chunk: &[usize]| {
-                chunk
-                    .iter()
-                    .map(|&i| {
-                        let url = &captures[i].request.url;
-                        let view = UrlView::new(&pre[i].url_text, url.host(), url.etld1().as_str());
-                        UrlVerdict {
-                            canonical: lists.iter().any(|l| {
-                                l.matches_view(&view, RequestContext::third_party_image())
-                            }),
-                            guarded: guards.iter().any(|g| g.matches_view(&view, guard_ctx)),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let verdicts: Vec<UrlVerdict> = par_chunks_auto(&url_reps, |chunk: &[usize]| {
+            chunk
+                .iter()
+                .map(|&i| {
+                    let url = &captures[i].request.url;
+                    let view = UrlView::new(&pre[i].url_text, url.host(), url.etld1().as_str());
+                    UrlVerdict {
+                        canonical: lists
+                            .iter()
+                            .any(|l| l.matches_view(&view, RequestContext::third_party_image())),
+                        guarded: guards.iter().any(|g| g.matches_view(&view, guard_ctx)),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         // The first-party election, replicating `FirstPartyMap::identify`
         // exactly: strictly-earlier timestamps win, first seen wins ties.
+        // Timed on its own so the report can attribute the stage's true
+        // cost instead of the whole frame build.
+        let election_started = std::time::Instant::now();
         let mut candidates: BTreeMap<ChannelId, (u64, Etld1)> = BTreeMap::new();
         for (i, c) in captures.iter().enumerate() {
             let fp_candidate = c.channel.is_some()
@@ -328,6 +336,7 @@ impl<'a> CaptureFrame<'a> {
         }
         let first_parties =
             FirstPartyMap::from_entries(candidates.into_iter().map(|(ch, (_, d))| (ch, d)));
+        let election_us = election_started.elapsed().as_micros() as u64;
         // Phase B key collection (sequential): a classification is a
         // pure function of (URL text, party relationship, content
         // type), so exchanges sharing that triple share one
@@ -357,22 +366,17 @@ impl<'a> CaptureFrame<'a> {
         }
         // Phase B (parallel): one real classification per representative;
         // every other exchange clones its representative's class.
-        let protos: Vec<ExchangeClass> =
-            par_chunks(&class_reps, CAPTURE_CHUNK, |chunk: &[usize]| {
-                chunk
-                    .iter()
-                    .map(|&i| {
-                        ExchangeClass::classify_with_text(
-                            captures[i],
-                            &first_parties,
-                            &pre[i].url_text,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let protos: Vec<ExchangeClass> = par_chunks_auto(&class_reps, |chunk: &[usize]| {
+            chunk
+                .iter()
+                .map(|&i| {
+                    ExchangeClass::classify_with_text(captures[i], &first_parties, &pre[i].url_text)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let classify_invocations = protos.len() as u64;
         // Assembly (sequential, so symbol and row order are pure
         // functions of dataset order). eTLD+1 symbols are interned over
@@ -462,6 +466,7 @@ impl<'a> CaptureFrame<'a> {
             tracking_by_channel_name,
             url_count: url_reps.len(),
             classify_invocations,
+            election_us,
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::analysis::classify::ExchangeClass;
 use crate::analysis::first_party::FirstPartyMap;
 use crate::analysis::frame::{CaptureFrame, ExchangeFacts};
-use crate::analysis::parallel::{par_chunks, CAPTURE_CHUNK};
+use crate::analysis::parallel::par_chunks_auto;
 use crate::dataset::StudyDataset;
 use crate::run::RunKind;
 use hbbtv_broadcast::ChannelId;
@@ -99,7 +99,7 @@ pub struct TrackingAnalysis {
 /// Per-chunk partial of the §V-D scan. Every field merges
 /// associatively and commutatively (counts add, sets union, maps merge
 /// by key), so folding chunk partials in any order reproduces the
-/// sequential fold exactly; [`par_chunks`] hands them back in chunk
+/// sequential fold exactly; [`par_chunks_auto`] hands them back in chunk
 /// order regardless.
 #[derive(Debug, Default)]
 struct TrackingPartial {
@@ -158,7 +158,7 @@ impl TrackingAnalysis {
     /// Runs the full §V-D computation.
     ///
     /// Captures are scanned in parallel chunks (see
-    /// [`crate::analysis::par_chunks`]); the per-chunk partials merge
+    /// [`crate::analysis::par_chunks_auto`]); the per-chunk partials merge
     /// deterministically, so the result is identical to a sequential
     /// scan.
     pub fn compute(dataset: &StudyDataset, fp_map: &FirstPartyMap) -> Self {
@@ -236,7 +236,7 @@ impl TrackingAnalysis {
         let mut global = TrackingPartial::default();
         for run_ds in &dataset.runs {
             let mut merged = TrackingPartial::default();
-            for partial in par_chunks(&run_ds.captures, CAPTURE_CHUNK, scan) {
+            for partial in par_chunks_auto(&run_ds.captures, scan) {
                 merged.merge(partial);
             }
             let row = per_run.entry(run_ds.run).or_default();
@@ -379,7 +379,7 @@ impl TrackingAnalysis {
         for slice in &frame.runs {
             let facts = &frame.facts[slice.exchanges.clone()];
             let mut merged = FramePartial::default();
-            for partial in par_chunks(facts, CAPTURE_CHUNK, scan) {
+            for partial in par_chunks_auto(facts, scan) {
                 merged.merge(partial);
             }
             let row = per_run.entry(slice.run).or_default();

@@ -25,12 +25,13 @@
 //! [`Proxy`] shard into which a single [`hbbtv_proxy::VisitHandle`]
 //! records. Because no state flows between visits,
 //! [`StudyHarness::run_parallel`] can fan the visits of one run out over
-//! a scoped-thread worker pool ([`par_map`]) and merge the results in
-//! canonical channel order — byte-identical to the sequential
+//! the process-wide work-stealing pool ([`par_map`]) and merge the
+//! results in canonical channel order — byte-identical to the sequential
 //! [`StudyHarness::run`], which drives the very same per-visit function
 //! on the calling thread. [`StudyHarness::run_all`] stacks the two
-//! grains: one worker thread per run, channel-parallel visits inside
-//! each.
+//! grains on that same pool: runs fan out as pool tasks, visits inside
+//! each run are exposed for stealing, so a worker that drains its run
+//! early steals tail visits from the slow ones.
 
 use crate::analysis::parallel::{par_map_observed, PoolObserver};
 use crate::dataset::{RunDataset, StudyDataset, VisitSummary};
@@ -271,7 +272,7 @@ impl<'a> StudyHarness<'a> {
         shared.config.sink.flush();
     }
 
-    /// Performs all five measurement runs, one worker thread per run,
+    /// Performs all five measurement runs on the shared worker pool,
     /// with channel-parallel visits inside each run.
     ///
     /// The physical study ran the five protocols on independent days
@@ -281,19 +282,16 @@ impl<'a> StudyHarness<'a> {
     /// the parallel execution is byte-identical to
     /// [`StudyHarness::run_all_sequential`]. Results are assembled in
     /// [`RunKind::ALL`] order regardless of which worker finishes first.
+    ///
+    /// Runs and visits share one work-stealing pool: the nested
+    /// `par_map` inside [`StudyHarness::run_parallel`] exposes each
+    /// run's visits for stealing, so a worker that finishes its run
+    /// early picks up the tail visits of a slow one instead of idling —
+    /// the long-tailed channels (`visit_wall_p99 ≫ p50`) no longer gate
+    /// the whole study.
     pub fn run_all(&self) -> StudyDataset {
-        let runs = std::thread::scope(|scope| {
-            let handles: Vec<_> = RunKind::ALL
-                .iter()
-                .map(|&kind| {
-                    let sub = self.subharness();
-                    scope.spawn(move || sub.run_parallel(kind))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("run worker panicked"))
-                .collect()
+        let runs = crate::analysis::par_map(&RunKind::ALL, |_, &kind| {
+            self.subharness().run_parallel(kind)
         });
         self.flush_journal();
         StudyDataset { runs }
@@ -360,6 +358,7 @@ impl<'a> StudyHarness<'a> {
                 workers: run_tel.counter(keys::POOL_WORKERS),
                 items_per_worker: run_tel.histogram(keys::POOL_ITEMS_PER_WORKER),
                 queue_depth: run_tel.gauge(keys::POOL_QUEUE_DEPTH),
+                steals: run_tel.counter(keys::POOL_STEALS),
             });
             par_map_observed(&order, observer.as_ref(), |seq, &id| {
                 self.visit_channel(kind, run_seed, seq, id, &sequence, blocklist, &run_tel)

@@ -126,6 +126,7 @@ impl StudyReport {
                 .merge_from(&obs.items_per_worker);
             tel.gauge("pool.analysis.queue_depth")
                 .raise_to(obs.queue_depth.get());
+            tel.counter("pool.analysis.steals").add(obs.steals.get());
         }
 
         let (mut tracking, mut cookies, mut leakage, mut syncing) = (None, None, None, None);
@@ -216,13 +217,16 @@ impl StudyReport {
 
         // Re-emit the per-stage spans in the canonical (pre-parallel)
         // order so span ids and journal bytes are scheduling-independent.
-        // The first-parties stage is absorbed by the frame build, whose
-        // wall time it reports.
+        // The first-parties stage reports only the election loop's wall
+        // time — the rest of the frame build (scans, interning,
+        // classification) is shared substrate for every stage and is
+        // recorded separately as `wall.frame.build`, never charged to
+        // whichever stage happened to need the frame first.
         let emit = |name: &'static str, wall_us: u64| {
             let mut span = tel.span(name);
             span.set_wall_us(wall_us);
         };
-        emit("analysis.first_parties", frame_wall);
+        emit("analysis.first_parties", frame.election_us);
         for (span_name, key) in [
             ("analysis.tracking", "tracking"),
             ("analysis.cookies", "cookies"),

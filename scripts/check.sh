@@ -10,6 +10,9 @@
 #                                     # verify the journal + golden snapshot
 #     scripts/check.sh --analysis-smoke  # also run the frame-vs-naive
 #                                        # study bench and the parity suite
+#     scripts/check.sh --pool-smoke   # also run the scaling bench at 1 and
+#                                     # 2 pool workers and fail if the
+#                                     # rendered reports differ by a byte
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
@@ -18,14 +21,16 @@ quick=0
 bench_smoke=0
 obs_smoke=0
 analysis_smoke=0
+pool_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --bench-smoke) bench_smoke=1 ;;
         --obs-smoke) obs_smoke=1 ;;
         --analysis-smoke) analysis_smoke=1 ;;
+        --pool-smoke) pool_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke]" >&2
             exit 2
             ;;
     esac
@@ -97,6 +102,30 @@ if [ "$analysis_smoke" -eq 1 ]; then
     # Every analysis struct, frame vs naive, field by field.
     echo "==> frame parity suite"
     cargo test -q -p hbbtv-study --test frame_parity
+fi
+
+if [ "$pool_smoke" -eq 1 ]; then
+    # Cross-process pool-size drift gate: the same study rendered on a
+    # global pool of 1 worker and of 2 workers must be byte-identical.
+    # HBBTV_POOL_WORKERS sizes the global pool (read once at startup),
+    # so each point is its own process; the in-process sweep inside
+    # study_telemetry covers private pools up to the machine's cores.
+    bench="$(mktemp /tmp/pool_smoke_XXXXXX.json)"
+    r1="$(mktemp /tmp/pool_render1_XXXXXX.txt)"
+    r2="$(mktemp /tmp/pool_render2_XXXXXX.txt)"
+    echo "==> study_telemetry at HBBTV_POOL_WORKERS=1"
+    HBBTV_POOL_WORKERS=1 cargo run --release -p hbbtv-bench --bin study_telemetry -- \
+        "$bench" --scale 0.05 --render "$r1"
+    echo "==> study_telemetry at HBBTV_POOL_WORKERS=2"
+    HBBTV_POOL_WORKERS=2 cargo run --release -p hbbtv-bench --bin study_telemetry -- \
+        "$bench" --scale 0.05 --render "$r2"
+    echo "==> rendered reports identical across worker counts"
+    if ! cmp -s "$r1" "$r2"; then
+        echo "error: rendered report drifted between 1 and 2 pool workers" >&2
+        diff "$r1" "$r2" | head -20 >&2 || true
+        exit 1
+    fi
+    rm -f "$bench" "$r1" "$r2"
 fi
 
 echo "All checks passed."
