@@ -1,0 +1,506 @@
+//! The ingest wire format: length-prefixed little-endian frames.
+//!
+//! Every message on an ingest connection — in either direction — is one
+//! *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len      u32 LE — byte length of everything after it
+//! 4       1     command  u8     — see [`Command`]
+//! 5       4     seq      u32 LE — per-direction sequence number
+//! 9       len-5 payload  UTF-8 JSON (empty for HEARTBEAT)
+//! ```
+//!
+//! The payload of a `CAPTURE` frame is a JSON array of
+//! [`CapturedExchange`] in **exactly** the golden wire format pinned by
+//! `tests/golden/study_dataset.json` — the collector is a transport for
+//! the BigQuery schema, not a second serialization. Sequence numbers
+//! start at 0 (`HELLO` for clients) and increment by one per frame per
+//! direction; the server rejects any gap, repeat, or reordering, which
+//! is what turns duplicated or reordered batches from silent data
+//! corruption into immediate protocol errors.
+//!
+//! [`FrameDecoder`] is incremental: feed it arbitrary byte slices
+//! (including torn reads that end mid-header or mid-payload) and pop
+//! complete frames as they materialize. It never panics on any input —
+//! garbage produces a [`FrameError`], not undefined lengths — and it
+//! refuses frames larger than [`MAX_FRAME_LEN`] before buffering them,
+//! so a hostile length prefix cannot balloon memory.
+
+use hbbtv_proxy::CapturedExchange;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Hard cap on `len` (command byte + seq + payload). A capture batch of
+/// a few hundred exchanges serializes to well under a megabyte; 16 MiB
+/// leaves two orders of magnitude of slack while keeping a garbage
+/// length prefix from reserving gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header before the payload: len(4) + command(1) +
+/// seq(4).
+pub const HEADER_LEN: usize = 9;
+
+/// Protocol version spoken by this crate, carried in [`Hello::proto`].
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame commands. The u8 on the wire is the discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Command {
+    /// Client → server: open a session (payload [`Hello`]). Answered
+    /// with `ACK`.
+    Hello = 0x01,
+    /// Server → client: positive answer (payload [`Ack`]).
+    Ack = 0x02,
+    /// Client → server: a channel visit opens (payload [`VisitBegin`]).
+    VisitBegin = 0x03,
+    /// Client → server: a batch of captured exchanges (payload
+    /// `Vec<CapturedExchange>` in the golden wire format).
+    Capture = 0x04,
+    /// Client → server: the visit closes (payload [`VisitEnd`]).
+    /// Answered with `ACK`.
+    VisitEnd = 0x05,
+    /// Client → server: liveness signal (empty payload).
+    Heartbeat = 0x06,
+    /// Client → server: session done (payload [`Bye`]). Answered with
+    /// `ACK` carrying the final exchange count, then the connection
+    /// closes.
+    Bye = 0x07,
+    /// Server → client: protocol error (payload [`ErrInfo`]); the
+    /// session is rejected and the connection closes.
+    Err = 0x08,
+}
+
+impl Command {
+    fn from_u8(b: u8) -> Option<Command> {
+        Some(match b {
+            0x01 => Command::Hello,
+            0x02 => Command::Ack,
+            0x03 => Command::VisitBegin,
+            0x04 => Command::Capture,
+            0x05 => Command::VisitEnd,
+            0x06 => Command::Heartbeat,
+            0x07 => Command::Bye,
+            0x08 => Command::Err,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame says.
+    pub command: Command,
+    /// Per-direction sequence number.
+    pub seq: u32,
+    /// JSON payload bytes (empty for heartbeats).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame with a JSON-serialized payload.
+    pub fn json<T: Serialize>(command: Command, seq: u32, payload: &T) -> Frame {
+        Frame {
+            command,
+            seq,
+            payload: serde_json::to_string(payload)
+                .expect("ingest payloads serialize")
+                .into_bytes(),
+        }
+    }
+
+    /// Builds a payload-less frame (heartbeats).
+    pub fn empty(command: Command, seq: u32) -> Frame {
+        Frame {
+            command,
+            seq,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = (self.payload.len() + 5) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.command as u8);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The encoded frame as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Parses the payload as JSON.
+    pub fn parse<T: Deserialize>(&self) -> Result<T, FrameError> {
+        let text = std::str::from_utf8(&self.payload).map_err(|_| FrameError::BadPayload {
+            command: self.command,
+            detail: "payload is not utf-8".into(),
+        })?;
+        serde_json::from_str(text).map_err(|e| FrameError::BadPayload {
+            command: self.command,
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// `HELLO` payload: identifies the session and its place in the shard
+/// layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Protocol version; the server rejects anything but
+    /// [`PROTO_VERSION`].
+    pub proto: u32,
+    /// Collector namespace: which study (TV fleet / cohort) this
+    /// session contributes to.
+    pub study: String,
+    /// Run label (`RunKind::label()`), e.g. `"General"`.
+    pub run: String,
+    /// This session's shard index within the run, `0..shards`.
+    pub shard: u32,
+    /// Total shards the run is split into; the run completes when all
+    /// of them said `BYE`.
+    pub shards: u32,
+}
+
+/// `ACK` payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ack {
+    /// Sequence number of the client frame being answered.
+    pub of: u32,
+    /// Exchanges accepted for the session so far. Only authoritative on
+    /// the `BYE` ack, where the server has drained every pending decode.
+    pub exchanges: u64,
+}
+
+/// `VISIT_BEGIN` payload: mirrors
+/// [`VisitSummary`](hbbtv_study::VisitSummary) minus the capture count,
+/// which the TV cannot know until the visit ends. Field types are the
+/// golden schema's own, so the visit identity round-trips exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitBegin {
+    /// Visit id within the run (canonical protocol order).
+    pub visit: hbbtv_proxy::VisitId,
+    /// Channel being visited.
+    pub channel: hbbtv_broadcast::ChannelId,
+    /// When the visit opened on the run's simulated clock.
+    pub opened: hbbtv_net::Timestamp,
+}
+
+/// `VISIT_END` payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitEnd {
+    /// The visit being closed (must match the open visit).
+    pub visit: hbbtv_proxy::VisitId,
+    /// Exchanges streamed for this visit; the server verifies the count
+    /// after its decode queue drains.
+    pub captures: u64,
+}
+
+/// `BYE` payload: the session's trailing run data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bye {
+    /// Run-level fields that exist once per run, not per shard. Exactly
+    /// one shard (by convention shard 0) carries it.
+    pub trailer: Option<RunTrailer>,
+}
+
+/// Everything a [`RunDataset`](hbbtv_study::RunDataset) holds beyond
+/// visits and captures. Serialized with the same serde derives as the
+/// golden dataset schema, so a streamed run reassembles field-for-field
+/// identical to its in-process original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrailer {
+    /// Channels actually measured, in protocol order.
+    pub channels_measured: Vec<hbbtv_broadcast::ChannelId>,
+    /// Channel names by id.
+    pub channel_names: std::collections::BTreeMap<hbbtv_broadcast::ChannelId, String>,
+    /// The run's post-extraction cookie jar.
+    pub cookies: Vec<hbbtv_tv::StoredCookie>,
+    /// Local-storage objects: (origin, key, value).
+    pub local_storage: Vec<(String, String, String)>,
+    /// Screenshots taken during the run.
+    pub screenshots: Vec<hbbtv_tv::Screenshot>,
+    /// Remote-control interactions performed.
+    pub interactions: usize,
+    /// Channels that ended up granting full consent.
+    pub consented_channels: Vec<hbbtv_broadcast::ChannelId>,
+}
+
+/// `ERR` payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrInfo {
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+/// Why a byte stream failed to decode as frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is shorter than
+    /// the command + seq it must contain).
+    BadLength {
+        /// The offending `len` value.
+        len: u64,
+    },
+    /// The command byte is not a known [`Command`].
+    BadCommand {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// The payload failed to parse as the command's JSON schema.
+    BadPayload {
+        /// Which command's payload.
+        command: Command,
+        /// Parser detail.
+        detail: String,
+    },
+    /// The stream ended in the middle of a frame.
+    Truncated,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadLength { len } => write!(f, "frame length {len} out of bounds"),
+            FrameError::BadCommand { byte } => write!(f, "unknown command byte {byte:#04x}"),
+            FrameError::BadPayload { command, detail } => {
+                write!(f, "bad {command:?} payload: {detail}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder over a growing byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use hbbtv_ingest::frame::{Command, Frame, FrameDecoder};
+///
+/// let frame = Frame::empty(Command::Heartbeat, 7);
+/// let bytes = frame.encode();
+/// let mut dec = FrameDecoder::new();
+/// // Feed the bytes one at a time: no frame until the last byte lands.
+/// for (i, b) in bytes.iter().enumerate() {
+///     dec.push_bytes(&[*b]);
+///     let got = dec.next_frame().unwrap();
+///     assert_eq!(got.is_some(), i == bytes.len() - 1);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+    /// Sticky error: once the stream misparses, every subsequent byte is
+    /// suspect — callers must reject the connection.
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the stream ended cleanly: no buffered partial frame and
+    /// no decode error.
+    pub fn at_frame_boundary(&self) -> bool {
+        self.buf.is_empty() && self.poisoned.is_none()
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or the (sticky) decode error.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = {
+            let mut b = [0u8; 4];
+            for (i, slot) in b.iter_mut().enumerate() {
+                *slot = self.buf[i];
+            }
+            u32::from_le_bytes(b) as usize
+        };
+        if !(5..=MAX_FRAME_LEN).contains(&len) {
+            return Err(self.poison(FrameError::BadLength { len: len as u64 }));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let cmd_byte = self.buf.pop_front().expect("length checked");
+        let Some(command) = Command::from_u8(cmd_byte) else {
+            return Err(self.poison(FrameError::BadCommand { byte: cmd_byte }));
+        };
+        let mut seq_bytes = [0u8; 4];
+        for slot in &mut seq_bytes {
+            *slot = self.buf.pop_front().expect("length checked");
+        }
+        let payload: Vec<u8> = self.buf.drain(..len - 5).collect();
+        Ok(Some(Frame {
+            command,
+            seq: u32::from_le_bytes(seq_bytes),
+            payload,
+        }))
+    }
+
+    fn poison(&mut self, err: FrameError) -> FrameError {
+        self.poisoned = Some(err.clone());
+        err
+    }
+}
+
+/// Encodes a capture batch frame. Split out so client, golden
+/// transcript, and tests all serialize batches through one door.
+pub fn capture_frame(seq: u32, batch: &[CapturedExchange]) -> Frame {
+    Frame::json(Command::Capture, seq, &batch)
+}
+
+/// Decodes a capture batch payload (the golden wire format).
+pub fn parse_capture_batch(payload: &[u8]) -> Result<Vec<CapturedExchange>, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|_| FrameError::BadPayload {
+        command: Command::Capture,
+        detail: "payload is not utf-8".into(),
+    })?;
+    serde_json::from_str(text).map_err(|e| FrameError::BadPayload {
+        command: Command::Capture,
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_control_frames() {
+        let frames = vec![
+            Frame::json(
+                Command::Hello,
+                0,
+                &Hello {
+                    proto: PROTO_VERSION,
+                    study: "s0".into(),
+                    run: "General".into(),
+                    shard: 0,
+                    shards: 4,
+                },
+            ),
+            Frame::json(
+                Command::Ack,
+                0,
+                &Ack {
+                    of: 0,
+                    exchanges: 0,
+                },
+            ),
+            Frame::json(
+                Command::VisitBegin,
+                1,
+                &VisitBegin {
+                    visit: hbbtv_proxy::VisitId(0),
+                    channel: hbbtv_broadcast::ChannelId(7),
+                    opened: hbbtv_net::Timestamp::from_unix(100),
+                },
+            ),
+            Frame::empty(Command::Heartbeat, 2),
+            Frame::json(
+                Command::VisitEnd,
+                3,
+                &VisitEnd {
+                    visit: hbbtv_proxy::VisitId(0),
+                    captures: 2,
+                },
+            ),
+            Frame::json(Command::Bye, 4, &Bye { trailer: None }),
+            Frame::json(
+                Command::Err,
+                1,
+                &ErrInfo {
+                    reason: "nope".into(),
+                },
+            ),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push_bytes(&bytes);
+        for expected in &frames {
+            let got = dec.next_frame().unwrap().expect("frame available");
+            assert_eq!(&got, expected);
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.at_frame_boundary());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.push_bytes(&(u32::MAX).to_le_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert!(matches!(err, FrameError::BadLength { .. }));
+        // The error is sticky.
+        dec.push_bytes(&Frame::empty(Command::Heartbeat, 0).encode());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn undersized_length_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push_bytes(&4u32.to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadLength { len: 4 })
+        ));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push_bytes(&5u32.to_le_bytes());
+        dec.push_bytes(&[0xEE, 0, 0, 0, 0]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadCommand { byte: 0xEE })
+        ));
+    }
+
+    #[test]
+    fn empty_capture_batch_round_trips() {
+        let f = capture_frame(9, &[]);
+        let mut dec = FrameDecoder::new();
+        dec.push_bytes(&f.encode());
+        let got = dec.next_frame().unwrap().unwrap();
+        assert_eq!(got.command, Command::Capture);
+        assert_eq!(parse_capture_batch(&got.payload).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,59 @@
+//! `hbbtv-ingest` — a streaming capture collector for distributed
+//! measurement runs.
+//!
+//! The in-process harness builds a [`StudyDataset`](hbbtv_study::StudyDataset)
+//! by running every simulated TV inside one address space. A production
+//! fleet cannot: TVs in different households capture locally and stream
+//! their exchanges to a central collector. This crate is that
+//! collector, plus the simulated fleet that exercises it.
+//!
+//! The design bar is **byte-identical reassembly**: a study streamed
+//! through TCP sessions — sharded, concurrent, interleaved — must
+//! reassemble into a `StudyDataset` whose full analysis report renders
+//! byte-identically to the in-process build. Everything else (frame
+//! codec, per-session sequence numbers, visit-range sharding, bounded
+//! queues) exists to make that bar reachable and *checkable*.
+//!
+//! Layers, bottom up:
+//!
+//! - [`frame`]: length-prefixed little-endian frame codec and the
+//!   command/answer payload schemas (`HELLO`/`ACK`, `VISIT_BEGIN`,
+//!   `CAPTURE`, `VISIT_END`, `HEARTBEAT`, `BYE`, `ERR`). The capture
+//!   payload is the same serde schema as the golden study dataset.
+//! - [`session`]: the per-connection protocol state machine (pure: it
+//!   consumes frames, emits actions, never touches a socket) and the
+//!   [`Assembler`](session::Assembler) that reassembles shard results
+//!   into runs and studies.
+//! - [`server`]: the threaded collector — nonblocking acceptor, reader
+//!   threads, a dispatcher that JSON-decodes capture batches on the
+//!   work-stealing analysis pool, bounded per-session queues for
+//!   backpressure, heartbeat-timeout GC, and `hbbtv-obs` telemetry
+//!   (`ingest.sessions`, `ingest.frames`, `ingest.bytes`,
+//!   `ingest.backpressure_stalls`, …).
+//! - [`client`]: [`SimTvClient`](client::SimTvClient) and the
+//!   visit-range sharding ([`shard_study`](client::shard_study)) that
+//!   turns a dataset into a fleet of sessions.
+//! - [`fault`]: seeded fault scripts (torn frames, mid-frame
+//!   disconnects, duplicates, reorders, garbage, stalls) for the
+//!   fault-injection suite.
+//! - [`discovery`]: the UDP "where is the collector?" responder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod discovery;
+pub mod fault;
+pub mod frame;
+pub mod server;
+pub mod session;
+
+pub use client::{
+    shard_run, shard_study, trailer_of, ClientError, ClientReport, FaultOutcome, SessionSpec,
+    SimTvClient, StreamOptions,
+};
+pub use discovery::{discover, DiscoveryResponder};
+pub use fault::{FaultKind, FaultPlan, FaultStep};
+pub use frame::{Command, Frame, FrameDecoder, RunTrailer, PROTO_VERSION};
+pub use server::{IngestConfig, IngestServer, RejectedSession};
+pub use session::{Assembler, SessionState, Violation};

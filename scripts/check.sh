@@ -13,6 +13,9 @@
 #     scripts/check.sh --pool-smoke   # also run the scaling bench at 1 and
 #                                     # 2 pool workers and fail if the
 #                                     # rendered reports differ by a byte
+#     scripts/check.sh --ingest-smoke # also run the streaming collector
+#                                     # end to end: discovery, streamed-vs-
+#                                     # in-process report diff, fault sweep
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
@@ -22,6 +25,7 @@ bench_smoke=0
 obs_smoke=0
 analysis_smoke=0
 pool_smoke=0
+ingest_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
@@ -29,8 +33,9 @@ for arg in "$@"; do
         --obs-smoke) obs_smoke=1 ;;
         --analysis-smoke) analysis_smoke=1 ;;
         --pool-smoke) pool_smoke=1 ;;
+        --ingest-smoke) ingest_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke]" >&2
             exit 2
             ;;
     esac
@@ -126,6 +131,16 @@ if [ "$pool_smoke" -eq 1 ]; then
         exit 1
     fi
     rm -f "$bench" "$r1" "$r2"
+fi
+
+if [ "$ingest_smoke" -eq 1 ]; then
+    # The streaming collector end to end on loopback: UDP discovery, a
+    # sharded concurrent stream of a real study whose reassembled
+    # dataset must render byte-identically to the in-process build, and
+    # one fault of every kind contained. The example asserts all of it
+    # and exits nonzero on the first drift.
+    echo "==> ingest_smoke (loopback collector)"
+    cargo run --release -p hbbtv-ingest --example ingest_smoke
 fi
 
 echo "All checks passed."

@@ -1,0 +1,110 @@
+//! Golden snapshot of the ingest wire protocol.
+//!
+//! The serialization suite pins the JSON wire format of a dataset; this
+//! suite pins the *framed* form of the same golden fixture: the exact
+//! bytes a healthy TV puts on a TCP socket to stream it — length
+//! prefixes, command bytes, sequence numbers, payloads, shard split and
+//! all. A diff here means the ingest protocol changed on the wire;
+//! either fix the regression or, for an intentional protocol change,
+//! regenerate with `BLESS_GOLDEN=1` and review the byte diff.
+
+use hbbtv_ingest::frame::Command;
+use hbbtv_ingest::{shard_study, FrameDecoder, SimTvClient, StreamOptions};
+use std::time::Duration;
+
+#[path = "golden_fixture.rs"]
+mod golden_fixture;
+use golden_fixture::golden_fixture;
+
+/// Pinned client options: the transcript depends on batching and
+/// heartbeat cadence, so the golden uses explicit values rather than
+/// whatever the defaults drift to.
+fn pinned_options() -> StreamOptions {
+    StreamOptions {
+        batch: 1,
+        heartbeat_every: 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+    }
+}
+
+/// The golden fixture, sharded 2-ways, as one byte transcript: each
+/// session's frames in order, sessions concatenated in spec order.
+fn golden_transcript() -> Vec<u8> {
+    let dataset = golden_fixture();
+    let specs = shard_study("golden", &dataset, 2).expect("fixture shards");
+    assert_eq!(specs.len(), 2, "one run, two visits, two shards");
+    let client = SimTvClient::with_options(pinned_options());
+    let mut bytes = Vec::new();
+    for spec in &specs {
+        for frame in client.frames(spec).expect("fixture streams") {
+            frame.encode_into(&mut bytes);
+        }
+    }
+    bytes
+}
+
+#[test]
+fn ingest_session_transcript_matches_golden_snapshot() {
+    let bytes = golden_transcript();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/ingest_session.bin"
+    );
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &bytes).expect("writes golden");
+    }
+    let golden = std::fs::read(path).expect("golden transcript exists");
+    assert_eq!(
+        bytes, golden,
+        "ingest frame transcript diverged from tests/golden/ingest_session.bin"
+    );
+}
+
+/// The pinned bytes decode back into well-formed frames whose capture
+/// payloads carry exactly the fixture's exchanges — the snapshot is a
+/// living decode test, not just a byte blob.
+#[test]
+fn golden_transcript_decodes_back_to_the_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/ingest_session.bin"
+    );
+    let golden = std::fs::read(path).expect("golden transcript exists");
+
+    let mut decoder = FrameDecoder::new();
+    decoder.push_bytes(&golden);
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_frame().expect("golden bytes decode") {
+        frames.push(frame);
+    }
+    assert!(
+        decoder.at_frame_boundary(),
+        "no trailing partial frame in the snapshot"
+    );
+
+    // Two sessions: seq restarts at 0 exactly twice, at the two HELLOs.
+    let hellos: Vec<usize> = frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.command == Command::Hello)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hellos.len(), 2);
+    assert_eq!(frames[hellos[0]].seq, 0);
+    assert_eq!(frames[hellos[1]].seq, 0);
+    assert_eq!(
+        frames.iter().filter(|f| f.command == Command::Bye).count(),
+        2
+    );
+
+    // Every capture exchange of the fixture is in the transcript, in
+    // capture-log order (shard 0's visits precede shard 1's).
+    let fixture = golden_fixture();
+    let streamed: Vec<_> = frames
+        .iter()
+        .filter(|f| f.command == Command::Capture)
+        .flat_map(|f| hbbtv_ingest::frame::parse_capture_batch(&f.payload).expect("batches decode"))
+        .collect();
+    assert_eq!(streamed, fixture.runs[0].captures);
+}

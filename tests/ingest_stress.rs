@@ -1,0 +1,171 @@
+//! Soak / stress suite: the collector under fleet-scale concurrency.
+//!
+//! Two bars, from the ingest design note:
+//!
+//! 1. **Scale**: a thousand-plus concurrent sessions — far more
+//!    sessions than reader threads — all land, with the `ingest.*`
+//!    counters reconciling exactly against the data that was streamed.
+//!    The sweep runs at forced decode-pool worker counts {1, 2, 8}, so
+//!    the single-threaded, small, and oversubscribed pool shapes all
+//!    prove out on the same workload.
+//! 2. **Determinism**: a real harness-built study streamed through the
+//!    collector reassembles into a dataset whose full analysis report
+//!    renders byte-identically to the in-process build.
+
+use hbbtv_ingest::{shard_study, IngestConfig, IngestServer, SimTvClient};
+use hbbtv_study::report::StudyReport;
+use hbbtv_study::{Ecosystem, StudyHarness};
+use std::time::Duration;
+
+#[path = "golden_fixture.rs"]
+mod golden_fixture;
+use golden_fixture::golden_fixture;
+
+/// 500 studies × 2 shard sessions each = 1000 concurrent sessions per
+/// pool shape. The payload per session is tiny (the golden fixture), so
+/// the pressure is all on connection handling, queueing, and assembly —
+/// not on JSON throughput.
+#[test]
+fn thousand_concurrent_sessions_reconcile_at_every_pool_shape() {
+    const STUDIES: usize = 500;
+    let fixture = golden_fixture();
+    let fixture_json = serde_json::to_string(&fixture).expect("fixture serializes");
+
+    for pool_workers in [1usize, 2, 8] {
+        let server = IngestServer::start(IngestConfig {
+            max_sessions: 2 * STUDIES + 16,
+            pool_workers: Some(pool_workers),
+            ..IngestConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr();
+
+        // Pre-build every spec, then open all sessions at once.
+        let mut specs = Vec::new();
+        for s in 0..STUDIES {
+            specs.extend(
+                shard_study(&format!("fleet-{pool_workers}-{s}"), &fixture, 2)
+                    .expect("fixture shards"),
+            );
+        }
+        assert_eq!(specs.len(), 2 * STUDIES);
+        let expected_frames: u64 = {
+            let client = SimTvClient::new();
+            specs
+                .iter()
+                .map(|spec| client.frames(spec).expect("spec streams").len() as u64)
+                .sum()
+        };
+        let expected_bytes: u64 = {
+            let client = SimTvClient::new();
+            specs
+                .iter()
+                .flat_map(|spec| client.frames(spec).expect("spec streams"))
+                .map(|f| f.encoded_len() as u64)
+                .sum()
+        };
+
+        let threads: Vec<_> = specs
+            .into_iter()
+            .map(|spec| std::thread::spawn(move || SimTvClient::new().stream(addr, &spec)))
+            .collect();
+        for t in threads {
+            let report = t
+                .join()
+                .expect("session thread")
+                .unwrap_or_else(|e| panic!("workers={pool_workers}: session failed: {e}"));
+            assert_eq!(report.acked_exchanges, report.exchanges);
+        }
+
+        // Every study reassembles byte-identically.
+        for s in 0..STUDIES {
+            let study = format!("fleet-{pool_workers}-{s}");
+            let streamed = server
+                .wait_study(&study, 1, Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("workers={pool_workers}: {e}"));
+            assert_eq!(
+                serde_json::to_string(&streamed).expect("streamed serializes"),
+                fixture_json,
+                "study {study} diverged from the in-process fixture"
+            );
+        }
+
+        // Counter reconciliation against what was actually streamed.
+        let tel = server.telemetry();
+        let total_sessions = 2 * STUDIES as u64;
+        assert_eq!(tel.counter_value("ingest.sessions"), total_sessions);
+        assert_eq!(
+            tel.counter_value("ingest.sessions_completed"),
+            total_sessions
+        );
+        assert_eq!(tel.counter_value("ingest.sessions_rejected"), 0);
+        assert_eq!(tel.counter_value("ingest.sessions_gc"), 0);
+        assert_eq!(
+            tel.counter_value("ingest.exchanges"),
+            (STUDIES * fixture.runs[0].captures.len()) as u64,
+            "every exchange decoded exactly once"
+        );
+        assert_eq!(
+            tel.counter_value("ingest.frames"),
+            expected_frames,
+            "every frame consumed exactly once"
+        );
+        assert_eq!(
+            tel.counter_value("ingest.bytes"),
+            expected_bytes,
+            "every byte the fleet wrote was read"
+        );
+        server.shutdown();
+    }
+}
+
+/// The determinism bar: a full harness-built study, streamed sharded
+/// through the collector, renders its complete analysis report
+/// byte-identically to the in-process build.
+#[test]
+fn streamed_study_renders_byte_identically_to_in_process() {
+    let eco = Ecosystem::with_scale(77, 0.05);
+    let dataset = StudyHarness::new(&eco).run_all();
+    let in_process_render = StudyReport::compute(&eco, &dataset).render(&dataset);
+
+    let server = IngestServer::start(IngestConfig::default()).expect("server starts");
+    let addr = server.addr();
+
+    // Shard every run 3 ways and stream all sessions concurrently.
+    let specs = shard_study("real", &dataset, 3).expect("dataset shards");
+    assert!(specs.len() >= dataset.runs.len(), "at least one per run");
+    let threads: Vec<_> = specs
+        .into_iter()
+        .map(|spec| std::thread::spawn(move || SimTvClient::new().stream(addr, &spec)))
+        .collect();
+    let mut streamed_exchanges = 0u64;
+    for t in threads {
+        let report = t.join().expect("session thread").expect("session streams");
+        assert_eq!(report.acked_exchanges, report.exchanges);
+        streamed_exchanges += report.exchanges;
+    }
+    let total_captures: usize = dataset.runs.iter().map(|r| r.captures.len()).sum();
+    assert_eq!(streamed_exchanges, total_captures as u64);
+
+    let streamed = server
+        .wait_study("real", dataset.runs.len(), Duration::from_secs(60))
+        .expect("study reassembles");
+    assert_eq!(
+        server.telemetry().counter_value("ingest.exchanges"),
+        total_captures as u64
+    );
+
+    // Dataset equality first (better diagnostics), then the actual bar:
+    // byte-identical rendered analysis.
+    assert_eq!(
+        serde_json::to_string(&streamed).unwrap(),
+        serde_json::to_string(&dataset).unwrap(),
+        "reassembled dataset diverged"
+    );
+    let streamed_render = StudyReport::compute(&eco, &streamed).render(&streamed);
+    assert_eq!(
+        streamed_render, in_process_render,
+        "rendered analysis diverged between streamed and in-process datasets"
+    );
+    server.shutdown();
+}

@@ -3,13 +3,13 @@
 //! the wire format itself is pinned by a golden snapshot.
 
 use hbbtv_broadcast::ChannelId;
-use hbbtv_consent::ScreenContent;
-use hbbtv_net::{ContentType, Cookie, Etld1, Request, Response, Status, Timestamp};
 use hbbtv_policies::sha1_hex;
-use hbbtv_proxy::{Proxy, VisitId};
-use hbbtv_study::{Ecosystem, RunDataset, RunKind, StudyDataset, StudyHarness, VisitSummary};
-use hbbtv_tv::{Screenshot, StoredCookie};
-use std::collections::BTreeMap;
+use hbbtv_proxy::VisitId;
+use hbbtv_study::{Ecosystem, RunDataset, RunKind, StudyDataset, StudyHarness};
+
+#[path = "golden_fixture.rs"]
+mod golden_fixture;
+use golden_fixture::golden_fixture;
 
 #[test]
 fn run_dataset_round_trips_through_json() {
@@ -31,109 +31,9 @@ fn run_dataset_round_trips_through_json() {
     assert_eq!(back.captures[0], original.captures[0]);
 }
 
-/// A small, fully hand-built study dataset covering every field of the
-/// wire format: visit tags (including one grace re-attribution performed
-/// by the real proxy logic), cookies, local storage, screenshots, and
-/// consent outcomes. No RNG anywhere, so the serialized bytes are stable
-/// across platforms and toolchains.
-fn golden_fixture() -> StudyDataset {
-    let proxy = Proxy::new();
-    proxy.start_session("General");
-
-    // Visit 0: ARD Eins. Two exchanges, one setting a cookie.
-    let ard = proxy.begin_visit(ChannelId(1), "ARD Eins", Timestamp::from_unix(100));
-    ard.record(
-        Request::get("http://app.ard-eins.de/index.html".parse().unwrap())
-            .at(Timestamp::from_unix(110))
-            .build(),
-        Response::builder(Status::OK)
-            .content_type(ContentType::Html)
-            .body("<html>ARD</html>")
-            .build(),
-    );
-    ard.record(
-        Request::get(
-            "https://tracker.example.de/pixel.gif?uid=u-4711"
-                .parse()
-                .unwrap(),
-        )
-        .at(Timestamp::from_unix(150))
-        .build(),
-        Response::builder(Status::OK)
-            .content_type(ContentType::Image)
-            .body_len(43)
-            .build(),
-    );
-
-    // Visit 1: RTL Zwei. The first exchange arrives 3 s after the
-    // switch, refers back to the previous channel's app host, and is
-    // re-attributed to visit 0 by the boundary grace rule; the second is
-    // ordinary visit-1 traffic.
-    let rtl = proxy.begin_visit(ChannelId(2), "RTL Zwei", Timestamp::from_unix(1000));
-    rtl.record(
-        Request::get("https://late.example.de/beacon".parse().unwrap())
-            .header("Referer", "http://app.ard-eins.de/index.html")
-            .at(Timestamp::from_unix(1003))
-            .build(),
-        Response::builder(Status::OK)
-            .content_type(ContentType::Other)
-            .build(),
-    );
-    rtl.record(
-        Request::get("http://app.rtl-zwei.de/start.html".parse().unwrap())
-            .at(Timestamp::from_unix(1020))
-            .build(),
-        Response::builder(Status::OK)
-            .content_type(ContentType::Html)
-            .body("<html>RTL</html>")
-            .build(),
-    );
-
-    let run = RunDataset {
-        run: RunKind::General,
-        channels_measured: vec![ChannelId(1), ChannelId(2)],
-        channel_names: BTreeMap::from([
-            (ChannelId(1), "ARD Eins".to_string()),
-            (ChannelId(2), "RTL Zwei".to_string()),
-        ]),
-        visits: vec![
-            VisitSummary {
-                visit: VisitId(0),
-                channel: ChannelId(1),
-                opened: Timestamp::from_unix(100),
-                captures: 2,
-            },
-            VisitSummary {
-                visit: VisitId(1),
-                channel: ChannelId(2),
-                opened: Timestamp::from_unix(1000),
-                captures: 2,
-            },
-        ],
-        captures: proxy.captures(),
-        cookies: vec![StoredCookie {
-            cookie: Cookie::new("uid", "u-4711", Etld1::from_host("tracker.example.de")),
-            expires: Some(Timestamp::from_unix(86_550)),
-            created: Timestamp::from_unix(150),
-            updated: Timestamp::from_unix(150),
-        }],
-        local_storage: vec![(
-            "app.ard-eins.de".to_string(),
-            "deviceId".to_string(),
-            "d-0815".to_string(),
-        )],
-        screenshots: vec![Screenshot {
-            channel: ChannelId(1),
-            taken_at: Timestamp::from_unix(110),
-            content: ScreenContent::tv_only(),
-        }],
-        interactions: 2,
-        consented_channels: vec![ChannelId(1)],
-    };
-    StudyDataset { runs: vec![run] }
-}
-
-/// Golden snapshot of the BigQuery-bound wire format. A diff here means
+/// Golden snapshot of the BigQuery-bound wire format. The fixture
+/// itself lives in `tests/golden_fixture.rs`, shared with the ingest
+/// suite's frame-transcript snapshot. A diff here means
 /// the serialization changed: either fix the regression or, for an
 /// intentional format change, regenerate the snapshot by running the
 /// test with `BLESS_GOLDEN=1` and review the diff.
