@@ -198,9 +198,92 @@ fn main() {
             "    {{ \"workers\": {k}, \"study_wall_s\": {study_s:.3}, \"analysis_wall_s\": {analysis_s:.3} }}"
         ));
     }
+    // Record the largest worker count actually swept, not the raw
+    // `available_parallelism` probe (which reports 1 in restricted
+    // environments even though larger pools ran).
+    let swept_max = *counts.last().expect("the sweep has at least one point");
     sections.push(format!(
-        "  \"scaling\": {{ \"max_workers\": {max_workers}, \"points\": [\n{}\n  ] }}",
+        "  \"scaling\": {{ \"max_workers\": {swept_max}, \"points\": [\n{}\n  ] }}",
         scaling_rows.join(",\n")
+    ));
+
+    // The incremental engine: feed the same dataset in k = 5%-of-N
+    // epochs under an out-of-core budget, rendering a live delta report
+    // at three prefixes. Each prefix is hard-gated byte-identical
+    // against a full recompute; the delta-vs-full ratio is recorded
+    // (target >=5x at the 0.95 prefix), not asserted.
+    let total_exchanges: usize = dataset.runs.iter().map(|r| r.captures.len()).sum();
+    let epoch = (total_exchanges / 20).max(1);
+    let frame_budget = 1usize << 19;
+    let mut inc = hbbtv_study::analysis::IncrementalStudy::with_budget(Some(frame_budget));
+    let mut append_wall = 0.0f64;
+    let mut fed = 0usize;
+    let fractions = [0.5f64, 0.75, 0.95];
+    let targets: Vec<usize> = fractions
+        .iter()
+        .map(|f| ((total_exchanges as f64 * f) as usize).max(1))
+        .collect();
+    let mut next_target = 0usize;
+    let mut prefix_rows = Vec::new();
+    for run in &dataset.runs {
+        let mut meta = run.clone();
+        let caps = std::mem::take(&mut meta.captures);
+        let t = Instant::now();
+        inc.push_run(meta);
+        append_wall += t.elapsed().as_secs_f64();
+        for chunk in caps.chunks(epoch) {
+            let t = Instant::now();
+            inc.extend_run(chunk.to_vec());
+            append_wall += t.elapsed().as_secs_f64();
+            fed += chunk.len();
+            while next_target < targets.len() && fed >= targets[next_target] {
+                let frac = fractions[next_target];
+                let t = Instant::now();
+                let delta_render = inc.render(&eco);
+                let delta_s = t.elapsed().as_secs_f64();
+                let prefix_ds = inc.dataset().clone();
+                let t = Instant::now();
+                let full_render = StudyReport::compute(&eco, &prefix_ds).render(&prefix_ds);
+                let full_s = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    delta_render, full_render,
+                    "incremental report drifted from the full recompute at the {frac} prefix"
+                );
+                let ratio = full_s / delta_s.max(1e-9);
+                eprintln!(
+                    "incremental: prefix {frac} ({fed} exchanges) -> delta {delta_s:.4}s \
+                     vs full {full_s:.4}s ({ratio:.1}x)"
+                );
+                prefix_rows.push(format!(
+                    "    {{ \"fraction\": {frac}, \"exchanges\": {fed}, \"delta_report_s\": {delta_s:.4}, \"full_recompute_s\": {full_s:.4}, \"ratio\": {ratio:.1} }}"
+                ));
+                next_target += 1;
+            }
+        }
+    }
+    let t = Instant::now();
+    let final_render = inc.render(&eco);
+    let final_delta_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        final_render, rendered,
+        "incremental final render drifted from the frame-backed report"
+    );
+    let append_rate = total_exchanges as f64 / append_wall.max(1e-9);
+    eprintln!(
+        "incremental: {total_exchanges} exchanges appended in {append_wall:.3}s \
+         ({append_rate:.0}/s), peak {} resident bytes under a {frame_budget}-byte budget, \
+         {} spill writes / {} loads",
+        inc.peak_resident_bytes(),
+        inc.spill_writes(),
+        inc.spill_loads()
+    );
+    sections.push(format!(
+        "  \"incremental\": {{ \"exchanges\": {total_exchanges}, \"epoch_exchanges\": {epoch}, \"append_wall_s\": {append_wall:.3}, \"append_exchanges_per_s\": {append_rate:.0}, \"budget_bytes\": {frame_budget}, \"peak_resident_bytes\": {}, \"spill_writes\": {}, \"spill_loads\": {}, \"delta_recomputes\": {}, \"final_delta_report_s\": {final_delta_s:.4}, \"prefixes\": [\n{}\n  ] }}",
+        inc.peak_resident_bytes(),
+        inc.spill_writes(),
+        inc.spill_loads(),
+        inc.delta_recomputes(),
+        prefix_rows.join(",\n")
     ));
 
     let json = format!(

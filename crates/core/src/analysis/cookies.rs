@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// commutative, which keeps [`CookieAnalysis::compute`] deterministic
 /// under [`par_chunks_auto`] no matter how captures land in chunks.
 #[derive(Default)]
-struct CookiePartial {
+pub(crate) struct CookiePartial {
     /// Distinct jar keys observed in the scanned captures.
     keys: BTreeSet<CookieKey>,
     /// Keys first-party on at least one channel.
@@ -42,7 +42,7 @@ struct CookiePartial {
 }
 
 impl CookiePartial {
-    fn merge(&mut self, other: CookiePartial) {
+    pub(crate) fn merge(&mut self, other: CookiePartial) {
         self.keys.extend(other.keys);
         self.fp_keys.extend(other.fp_keys);
         self.tp_keys.extend(other.tp_keys);
@@ -68,21 +68,21 @@ impl CookiePartial {
 /// Symbols are bijective with their strings, so every set and grouping
 /// has exactly the cardinality of its string counterpart;
 /// [`SymCookiePartial::resolve`] maps back for the shared tail.
-#[derive(Default)]
-struct SymCookiePartial {
-    keys: BTreeSet<u32>,
-    fp_keys: BTreeSet<u32>,
-    tp_keys: BTreeSet<u32>,
-    tp_parties: BTreeMap<u32, BTreeSet<u32>>,
-    keys_by_tracking: BTreeSet<u32>,
-    parties: BTreeSet<u32>,
-    per_channel_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
-    per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
-    party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
+#[derive(Default, Clone)]
+pub(crate) struct SymCookiePartial {
+    pub(crate) keys: BTreeSet<u32>,
+    pub(crate) fp_keys: BTreeSet<u32>,
+    pub(crate) tp_keys: BTreeSet<u32>,
+    pub(crate) tp_parties: BTreeMap<u32, BTreeSet<u32>>,
+    pub(crate) keys_by_tracking: BTreeSet<u32>,
+    pub(crate) parties: BTreeSet<u32>,
+    pub(crate) per_channel_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
+    pub(crate) per_channel_3p_keys: BTreeMap<ChannelId, BTreeSet<u32>>,
+    pub(crate) party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
 }
 
 impl SymCookiePartial {
-    fn merge(&mut self, other: SymCookiePartial) {
+    pub(crate) fn merge(&mut self, other: SymCookiePartial) {
         self.keys.extend(other.keys);
         self.fp_keys.extend(other.fp_keys);
         self.tp_keys.extend(other.tp_keys);
@@ -103,10 +103,11 @@ impl SymCookiePartial {
     }
 
     /// Resolves symbols back to the strings [`CookieAnalysis::finish`]
-    /// aggregates over.
-    fn resolve(self, frame: &CaptureFrame<'_>) -> CookiePartial {
-        let key = |s: &u32| frame.cookie_keys[*s as usize].clone();
-        let dom = |s: &u32| frame.etld1(*s).clone();
+    /// aggregates over. Takes the interning tables as plain slices so
+    /// both the frame path and the incremental builder can call it.
+    pub(crate) fn resolve(self, cookie_keys: &[CookieKey], etld1s: &[Etld1]) -> CookiePartial {
+        let key = |s: &u32| cookie_keys[*s as usize].clone();
+        let dom = |s: &u32| etld1s[*s as usize].clone();
         CookiePartial {
             keys: self.keys.iter().map(key).collect(),
             fp_keys: self.fp_keys.iter().map(key).collect(),
@@ -404,14 +405,14 @@ impl CookieAnalysis {
         Self::finish(
             per_run,
             third_party_per_run,
-            global.resolve(frame),
+            global.resolve(&frame.cookie_keys, &frame.etld1s),
             ls_total,
         )
     }
 
     /// The order-independent tail shared by both scan paths:
     /// Cookiepedia classification and all aggregate statistics.
-    fn finish(
+    pub(crate) fn finish(
         per_run: BTreeMap<RunKind, CookieRow>,
         third_party_per_run: BTreeMap<RunKind, ThirdPartyRow>,
         global: CookiePartial,

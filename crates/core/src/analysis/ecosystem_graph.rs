@@ -60,39 +60,87 @@ impl GraphAnalysis {
         Self::measure(graph)
     }
 
-    /// [`GraphAnalysis::compute`] over the shared [`CaptureFrame`]:
-    /// classification and first-party lookups come from the frame, and
-    /// channel node labels are formatted once per channel instead of
-    /// once per capture. Edge insertion stays in dataset order (node ids
-    /// are assigned on first sight), so the graph is identical.
+    /// [`GraphAnalysis::compute`] over the shared [`CaptureFrame`]: the
+    /// hot loop aggregates edges over interned symbol pairs (channel
+    /// labels interned locally, domains by their frame eTLD+1 symbol)
+    /// and never touches a string; distinct unordered pairs are resolved
+    /// back to labels only when the graph is materialized, the way
+    /// `SymCookiePartial` resolves at the aggregation boundary.
+    ///
+    /// `Graph::add_edge` creates both endpoint nodes before rejecting a
+    /// duplicate or self-loop, but duplicates can never introduce a node
+    /// the first occurrence didn't, and self-loops are impossible here
+    /// (channel labels carry the `ch:` prefix; the second edge is only
+    /// emitted when `domain != fp`). Replaying the distinct unordered
+    /// pairs in first-occurrence order therefore reproduces the naive
+    /// node ids and adjacency exactly.
     pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
-        let mut graph = Graph::new();
-        let mut labels: HashMap<(hbbtv_broadcast::ChannelId, Option<&str>), String> =
+        // Domain ids live above the channel-label ids.
+        const DOMAIN_BASE: u64 = 1 << 32;
+
+        let mut chan_labels: Vec<String> = Vec::new();
+        let mut chan_label_ids: HashMap<(hbbtv_broadcast::ChannelId, Option<&str>), u64> =
             HashMap::new();
+        let etld1_sym: HashMap<&hbbtv_net::Etld1, u32> = frame
+            .etld1s
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d, i as u32))
+            .collect();
+        let mut fp_ids: HashMap<hbbtv_broadcast::ChannelId, u64> = HashMap::new();
+
+        let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        let mut push = |a: u64, b: u64| {
+            if seen.insert((a.min(b), a.max(b))) {
+                edges.push((a, b));
+            }
+        };
+
         for (c, f) in frame.captures.iter().zip(&frame.facts) {
             let Some(ch) = f.channel else { continue };
-            let Some(fp) = frame.first_parties.first_party(ch) else {
-                continue;
+            let fp_id = match fp_ids.entry(ch) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let Some(fp) = frame.first_parties.first_party(ch) else {
+                        continue;
+                    };
+                    // Election candidates are capture eTLD+1s, so the
+                    // first party is always already interned.
+                    *e.insert(DOMAIN_BASE + u64::from(etld1_sym[fp]))
+                }
             };
-            let channel_label = labels
+            let chan_id = *chan_label_ids
                 .entry((ch, c.channel_name.as_deref()))
                 .or_insert_with(|| {
-                    format!(
+                    chan_labels.push(format!(
                         "{CHANNEL_PREFIX}{}",
                         c.channel_name.as_deref().unwrap_or("unknown")
-                    )
+                    ));
+                    (chan_labels.len() - 1) as u64
                 });
-            graph.add_edge(channel_label, fp.as_str());
-            let domain = &f.class.etld1;
-            if domain != fp {
-                graph.add_edge(fp.as_str(), domain.as_str());
+            push(chan_id, fp_id);
+            let dom_id = DOMAIN_BASE + u64::from(f.etld1_sym);
+            if dom_id != fp_id {
+                push(fp_id, dom_id);
             }
+        }
+        let label = |id: u64| -> &str {
+            if id >= DOMAIN_BASE {
+                frame.etld1((id - DOMAIN_BASE) as u32).as_str()
+            } else {
+                chan_labels[id as usize].as_str()
+            }
+        };
+        let mut graph = Graph::new();
+        for (a, b) in edges {
+            graph.add_edge(label(a), label(b));
         }
         Self::measure(graph)
     }
 
     /// The shared measurement tail over a constructed graph.
-    fn measure(graph: Graph) -> Self {
+    pub(crate) fn measure(graph: Graph) -> Self {
         let components = graph.connected_components();
         let degree_stats = describe(&graph.degrees());
         GraphAnalysis {

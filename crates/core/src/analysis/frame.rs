@@ -174,7 +174,7 @@ struct PreFact {
 /// wins, leading dot stripped). Expiry and flag attributes are skipped;
 /// no row ever reads them. The frame unit tests diff every extracted
 /// row against the full parser.
-fn lean_set_cookie(v: &str) -> Option<(String, String, Option<Etld1>)> {
+pub(crate) fn lean_set_cookie(v: &str) -> Option<(String, String, Option<Etld1>)> {
     let mut parts = v.split(';').map(str::trim);
     let pair = parts.next()?;
     let (name, value) = pair.split_once('=')?;

@@ -13,6 +13,8 @@ pub mod cookies;
 pub mod ecosystem_graph;
 pub mod first_party;
 pub mod frame;
+pub mod frame_store;
+pub mod incremental;
 pub mod leakage;
 pub mod parallel;
 pub mod policy_analysis;
@@ -29,6 +31,7 @@ pub use cookies::CookieAnalysis;
 pub use ecosystem_graph::GraphAnalysis;
 pub use first_party::FirstPartyMap;
 pub use frame::CaptureFrame;
+pub use incremental::IncrementalStudy;
 pub use leakage::LeakageAnalysis;
 pub use parallel::{
     par_chunks, par_chunks_auto, par_map, par_map_observed, PoolObserver, Runtime, WORKERS_ENV,

@@ -92,12 +92,12 @@ impl PolicyAnalysis {
     /// The manual-correction pass (the paper rescued 18 false
     /// negatives): a human recognizes a policy heading even when the
     /// classifier stumbles over mixed content.
-    fn manual_override(_i: usize, d: &DocRef<'_>) -> bool {
+    pub(crate) fn manual_override(_i: usize, d: &DocRef<'_>) -> bool {
         d.raw_text.contains("Datenschutzerkl") || d.raw_text.contains("Privacy Policy")
     }
 
     /// The content-statistics tail shared by all three entry points.
-    fn aggregate(
+    pub(crate) fn aggregate(
         corpus: PolicyCorpusReport,
         window_reports: BTreeMap<String, WindowViolationReport>,
     ) -> Self {

@@ -83,7 +83,7 @@ impl SignificanceReport {
     }
 
     /// The shared test-running tail.
-    fn finish(
+    pub(crate) fn finish(
         requests_by_run: Vec<Vec<f64>>,
         cookies_by_run: Vec<Vec<f64>>,
         per_channel: BTreeMap<ChannelId, Vec<f64>>,

@@ -102,7 +102,7 @@ pub struct TrackingAnalysis {
 /// sequential fold exactly; [`par_chunks_auto`] hands them back in chunk
 /// order regardless.
 #[derive(Debug, Default)]
-struct TrackingPartial {
+pub(crate) struct TrackingPartial {
     row: TrackingRow,
     total: usize,
     perflyst_hits: usize,
@@ -122,7 +122,7 @@ struct TrackingPartial {
 }
 
 impl TrackingPartial {
-    fn merge(&mut self, other: TrackingPartial) {
+    pub(crate) fn merge(&mut self, other: TrackingPartial) {
         self.row.on_pihole += other.row.on_pihole;
         self.row.on_easylist += other.row.on_easylist;
         self.row.on_easyprivacy += other.row.on_easyprivacy;
@@ -150,6 +150,102 @@ impl TrackingPartial {
         }
         for (ch, set) in other.trackers_per_channel {
             self.trackers_per_channel.entry(ch).or_default().extend(set);
+        }
+    }
+}
+
+/// [`TrackingPartial`] with interned eTLD+1 domain keys — the hot-loop
+/// shape shared by the frame path and the incremental epoch segments.
+/// [`SymTrackingPartial::resolve`] re-keys the symbol maps by the
+/// domains they intern before the shared tail; distinct symbols mean
+/// distinct domains, so the rebuilt BTree orderings match the naive
+/// partial exactly.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SymTrackingPartial {
+    pub(crate) row: TrackingRow,
+    pub(crate) total: usize,
+    pub(crate) perflyst_hits: usize,
+    pub(crate) kamran_hits: usize,
+    pub(crate) pixel_parties: BTreeSet<u32>,
+    pub(crate) channels_with_pixels: BTreeSet<ChannelId>,
+    pub(crate) pixel_party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
+    pub(crate) pixel_party_requests: BTreeMap<u32, usize>,
+    pub(crate) fp_channels: BTreeSet<ChannelId>,
+    pub(crate) fp_providers: BTreeSet<u32>,
+    pub(crate) fp_provider_is_fp: BTreeSet<u32>,
+    pub(crate) fp_requests_first_party: usize,
+    pub(crate) fp_el: usize,
+    pub(crate) fp_ep: usize,
+    pub(crate) req_per_channel: BTreeMap<ChannelId, usize>,
+    pub(crate) trackers_per_channel: BTreeMap<ChannelId, BTreeSet<u32>>,
+}
+
+impl SymTrackingPartial {
+    pub(crate) fn merge(&mut self, other: SymTrackingPartial) {
+        self.row.on_pihole += other.row.on_pihole;
+        self.row.on_easylist += other.row.on_easylist;
+        self.row.on_easyprivacy += other.row.on_easyprivacy;
+        self.row.tracking_pixels += other.row.tracking_pixels;
+        self.row.fingerprints += other.row.fingerprints;
+        self.total += other.total;
+        self.perflyst_hits += other.perflyst_hits;
+        self.kamran_hits += other.kamran_hits;
+        self.pixel_parties.extend(other.pixel_parties);
+        self.channels_with_pixels.extend(other.channels_with_pixels);
+        for (d, chs) in other.pixel_party_channels {
+            self.pixel_party_channels.entry(d).or_default().extend(chs);
+        }
+        for (d, n) in other.pixel_party_requests {
+            *self.pixel_party_requests.entry(d).or_insert(0) += n;
+        }
+        self.fp_channels.extend(other.fp_channels);
+        self.fp_providers.extend(other.fp_providers);
+        self.fp_provider_is_fp.extend(other.fp_provider_is_fp);
+        self.fp_requests_first_party += other.fp_requests_first_party;
+        self.fp_el += other.fp_el;
+        self.fp_ep += other.fp_ep;
+        for (ch, n) in other.req_per_channel {
+            *self.req_per_channel.entry(ch).or_insert(0) += n;
+        }
+        for (ch, set) in other.trackers_per_channel {
+            self.trackers_per_channel.entry(ch).or_default().extend(set);
+        }
+    }
+
+    /// Resolves symbol keys back to `Etld1` strings for
+    /// [`TrackingAnalysis::finish`].
+    pub(crate) fn resolve(self, etld1s: &[Etld1]) -> TrackingPartial {
+        let domain = |s: &u32| etld1s[*s as usize].clone();
+        let domain_set = |s: BTreeSet<u32>| -> BTreeSet<Etld1> { s.iter().map(domain).collect() };
+        TrackingPartial {
+            row: self.row,
+            total: self.total,
+            perflyst_hits: self.perflyst_hits,
+            kamran_hits: self.kamran_hits,
+            pixel_parties: domain_set(self.pixel_parties),
+            channels_with_pixels: self.channels_with_pixels,
+            pixel_party_channels: self
+                .pixel_party_channels
+                .into_iter()
+                .map(|(s, chs)| (domain(&s), chs))
+                .collect(),
+            pixel_party_requests: self
+                .pixel_party_requests
+                .into_iter()
+                .map(|(s, n)| (domain(&s), n))
+                .collect(),
+            fp_channels: self.fp_channels,
+            fp_providers: domain_set(self.fp_providers),
+            fp_provider_is_fp: domain_set(self.fp_provider_is_fp),
+            fp_requests_first_party: self.fp_requests_first_party,
+            fp_el: self.fp_el,
+            fp_ep: self.fp_ep,
+            req_per_channel: self.req_per_channel,
+            trackers_per_channel: self
+                .trackers_per_channel
+                .into_iter()
+                .map(|(ch, set)| (ch, domain_set(set)))
+                .collect(),
         }
     }
 }
@@ -258,62 +354,8 @@ impl TrackingAnalysis {
     /// every ordering (including dominance tie-breaks) is identical to
     /// the naive path.
     pub fn compute_from_frame(frame: &CaptureFrame<'_>) -> Self {
-        /// `TrackingPartial` with interned domain keys.
-        #[derive(Debug, Default)]
-        struct FramePartial {
-            row: TrackingRow,
-            total: usize,
-            perflyst_hits: usize,
-            kamran_hits: usize,
-            pixel_parties: BTreeSet<u32>,
-            channels_with_pixels: BTreeSet<ChannelId>,
-            pixel_party_channels: BTreeMap<u32, BTreeSet<ChannelId>>,
-            pixel_party_requests: BTreeMap<u32, usize>,
-            fp_channels: BTreeSet<ChannelId>,
-            fp_providers: BTreeSet<u32>,
-            fp_provider_is_fp: BTreeSet<u32>,
-            fp_requests_first_party: usize,
-            fp_el: usize,
-            fp_ep: usize,
-            req_per_channel: BTreeMap<ChannelId, usize>,
-            trackers_per_channel: BTreeMap<ChannelId, BTreeSet<u32>>,
-        }
-
-        impl FramePartial {
-            fn merge(&mut self, other: FramePartial) {
-                self.row.on_pihole += other.row.on_pihole;
-                self.row.on_easylist += other.row.on_easylist;
-                self.row.on_easyprivacy += other.row.on_easyprivacy;
-                self.row.tracking_pixels += other.row.tracking_pixels;
-                self.row.fingerprints += other.row.fingerprints;
-                self.total += other.total;
-                self.perflyst_hits += other.perflyst_hits;
-                self.kamran_hits += other.kamran_hits;
-                self.pixel_parties.extend(other.pixel_parties);
-                self.channels_with_pixels.extend(other.channels_with_pixels);
-                for (d, chs) in other.pixel_party_channels {
-                    self.pixel_party_channels.entry(d).or_default().extend(chs);
-                }
-                for (d, n) in other.pixel_party_requests {
-                    *self.pixel_party_requests.entry(d).or_insert(0) += n;
-                }
-                self.fp_channels.extend(other.fp_channels);
-                self.fp_providers.extend(other.fp_providers);
-                self.fp_provider_is_fp.extend(other.fp_provider_is_fp);
-                self.fp_requests_first_party += other.fp_requests_first_party;
-                self.fp_el += other.fp_el;
-                self.fp_ep += other.fp_ep;
-                for (ch, n) in other.req_per_channel {
-                    *self.req_per_channel.entry(ch).or_insert(0) += n;
-                }
-                for (ch, set) in other.trackers_per_channel {
-                    self.trackers_per_channel.entry(ch).or_default().extend(set);
-                }
-            }
-        }
-
-        let scan = |facts: &[ExchangeFacts]| -> FramePartial {
-            let mut p = FramePartial::default();
+        let scan = |facts: &[ExchangeFacts]| -> SymTrackingPartial {
+            let mut p = SymTrackingPartial::default();
             for f in facts {
                 p.total += 1;
                 let cls = &f.class;
@@ -375,10 +417,10 @@ impl TrackingAnalysis {
         };
 
         let mut per_run: BTreeMap<RunKind, TrackingRow> = BTreeMap::new();
-        let mut global = FramePartial::default();
+        let mut global = SymTrackingPartial::default();
         for slice in &frame.runs {
             let facts = &frame.facts[slice.exchanges.clone()];
-            let mut merged = FramePartial::default();
+            let mut merged = SymTrackingPartial::default();
             for partial in par_chunks_auto(facts, scan) {
                 merged.merge(partial);
             }
@@ -390,47 +432,11 @@ impl TrackingAnalysis {
             row.fingerprints += merged.row.fingerprints;
             global.merge(merged);
         }
-
-        // Re-key the symbol maps by the domains they intern; distinct
-        // symbols mean distinct domains, so the rebuilt BTree orderings
-        // match the naive partial exactly.
-        let domain = |s: &u32| frame.etld1(*s).clone();
-        let domain_set = |s: BTreeSet<u32>| -> BTreeSet<Etld1> { s.iter().map(domain).collect() };
-        let global = TrackingPartial {
-            row: global.row,
-            total: global.total,
-            perflyst_hits: global.perflyst_hits,
-            kamran_hits: global.kamran_hits,
-            pixel_parties: domain_set(global.pixel_parties),
-            channels_with_pixels: global.channels_with_pixels,
-            pixel_party_channels: global
-                .pixel_party_channels
-                .into_iter()
-                .map(|(s, chs)| (domain(&s), chs))
-                .collect(),
-            pixel_party_requests: global
-                .pixel_party_requests
-                .into_iter()
-                .map(|(s, n)| (domain(&s), n))
-                .collect(),
-            fp_channels: global.fp_channels,
-            fp_providers: domain_set(global.fp_providers),
-            fp_provider_is_fp: domain_set(global.fp_provider_is_fp),
-            fp_requests_first_party: global.fp_requests_first_party,
-            fp_el: global.fp_el,
-            fp_ep: global.fp_ep,
-            req_per_channel: global.req_per_channel,
-            trackers_per_channel: global
-                .trackers_per_channel
-                .into_iter()
-                .map(|(ch, set)| (ch, domain_set(set)))
-                .collect(),
-        };
-        Self::finish(per_run, global)
+        Self::finish(per_run, global.resolve(&frame.etld1s))
     }
 
     /// The order-independent tail shared by both scan paths.
-    fn finish(per_run: BTreeMap<RunKind, TrackingRow>, global: TrackingPartial) -> Self {
+    pub(crate) fn finish(per_run: BTreeMap<RunKind, TrackingRow>, global: TrackingPartial) -> Self {
         // Dominance by channel reach, request volume breaking ties — at
         // full scale tvping leads on both axes.
         let dominant_pixel_party = global

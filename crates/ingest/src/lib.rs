@@ -37,6 +37,10 @@
 //!   disconnects, duplicates, reorders, garbage, stalls) for the
 //!   fault-injection suite.
 //! - [`discovery`]: the UDP "where is the collector?" responder.
+//! - [`live`]: [`LiveStudy`](live::LiveStudy), which drains complete
+//!   runs out of a collector in canonical order into the incremental
+//!   study engine, so a rendered report is available mid-stream —
+//!   byte-identical to the post-hoc build over the same runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +49,7 @@ pub mod client;
 pub mod discovery;
 pub mod fault;
 pub mod frame;
+pub mod live;
 pub mod server;
 pub mod session;
 
@@ -55,5 +60,6 @@ pub use client::{
 pub use discovery::{discover, DiscoveryResponder};
 pub use fault::{FaultKind, FaultPlan, FaultStep};
 pub use frame::{Command, Frame, FrameDecoder, RunTrailer, PROTO_VERSION};
+pub use live::LiveStudy;
 pub use server::{IngestConfig, IngestServer, RejectedSession};
 pub use session::{Assembler, SessionState, Violation};

@@ -16,6 +16,10 @@
 #     scripts/check.sh --ingest-smoke # also run the streaming collector
 #                                     # end to end: discovery, streamed-vs-
 #                                     # in-process report diff, fault sweep
+#     scripts/check.sh --frame-smoke  # also stream a study into the
+#                                     # collector under a segment budget and
+#                                     # diff live mid-stream reports against
+#                                     # the in-process build
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
@@ -26,6 +30,7 @@ obs_smoke=0
 analysis_smoke=0
 pool_smoke=0
 ingest_smoke=0
+frame_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
@@ -34,8 +39,9 @@ for arg in "$@"; do
         --analysis-smoke) analysis_smoke=1 ;;
         --pool-smoke) pool_smoke=1 ;;
         --ingest-smoke) ingest_smoke=1 ;;
+        --frame-smoke) frame_smoke=1 ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke] [--frame-smoke]" >&2
             exit 2
             ;;
     esac
@@ -141,6 +147,17 @@ if [ "$ingest_smoke" -eq 1 ]; then
     # and exits nonzero on the first drift.
     echo "==> ingest_smoke (loopback collector)"
     cargo run --release -p hbbtv-ingest --example ingest_smoke
+fi
+
+if [ "$frame_smoke" -eq 1 ]; then
+    # Incremental frame end to end: stream a study run by run into the
+    # collector under a 4 MiB segment budget, render a live report after
+    # every run mid-stream, and diff each against the post-hoc build over
+    # the same prefix; then re-analyze the whole dataset under a budget
+    # ~8x smaller than its in-RAM frame size and require the identical
+    # render. The example asserts all of it and exits nonzero on drift.
+    echo "==> frame_smoke (live incremental reports, 4 MiB segment budget)"
+    HBBTV_FRAME_BUDGET_BYTES=4194304 cargo run --release -p hbbtv-ingest --example frame_smoke
 fi
 
 echo "All checks passed."
