@@ -1387,8 +1387,25 @@ impl IncrementalStudy {
     /// Attaches a telemetry scope (counters `frame.*`, gauges, and the
     /// profile-mode `wall.frame.delta_report` histogram).
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
-        self.tel = tel;
+        self.attach_telemetry(tel);
         self
+    }
+
+    /// In-place form of [`IncrementalStudy::with_telemetry`], for
+    /// engines already embedded in a larger value (the ingest
+    /// `LiveStudy` routes its `frame.*` cells into the collector's
+    /// scope this way). Publishes the configured resident budget as the
+    /// `frame.budget_bytes` gauge so watchdogs can compute residency.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+        if self.tel.is_enabled() {
+            if let Some(budget) = self.builder.store.budget {
+                self.tel.gauge("frame.budget_bytes").set(budget as i64);
+            }
+            self.tel
+                .gauge("frame.resident_bytes")
+                .set(self.builder.resident_bytes as i64);
+        }
     }
 
     /// Appends a run. Any captures already in the run become its first

@@ -8,9 +8,9 @@
 //! cut lands, which batches swap — all pure functions of `(plan,
 //! frames)`.
 //!
-//! The six kinds cover the failure classes a long-running collector
+//! The seven kinds cover the failure classes a long-running collector
 //! fleet actually sees (flaky embedded TCP stacks, power cuts
-//! mid-write, buggy retry loops, middleboxes):
+//! mid-write, buggy retry loops, middleboxes, confused operators):
 //!
 //! | kind | wire effect | server defense |
 //! |------|-------------|----------------|
@@ -20,6 +20,7 @@
 //! | [`FaultKind::DuplicateBatch`] | a `CAPTURE` frame sent twice | per-session seq numbers |
 //! | [`FaultKind::ReorderedBatches`] | adjacent `CAPTURE`s swapped | per-session seq numbers |
 //! | [`FaultKind::StalledWriter`] | writer goes silent, socket open | heartbeat-timeout GC |
+//! | [`FaultKind::GarbageStats`] | `STATS` frame with a junk payload | request validation, session-local rejection |
 
 use crate::frame::{Command, Frame};
 
@@ -42,17 +43,22 @@ pub enum FaultKind {
     /// The writer stalls silently with the socket open — no frames, no
     /// heartbeats, no FIN.
     StalledWriter,
+    /// A `STATS` introspection request with a garbage (non-JSON)
+    /// payload lands mid-stream (a broken operator tool on the data
+    /// port). Must reject only the offending session.
+    GarbageStats,
 }
 
 impl FaultKind {
     /// Every kind, for suites that sweep all of them.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::GarbagePrefix,
         FaultKind::TornFrame,
         FaultKind::MidFrameDisconnect,
         FaultKind::DuplicateBatch,
         FaultKind::ReorderedBatches,
         FaultKind::StalledWriter,
+        FaultKind::GarbageStats,
     ];
 }
 
@@ -193,6 +199,26 @@ impl FaultPlan {
             FaultKind::StalledWriter => {
                 emit(0..target, &mut steps);
                 steps.push(FaultStep::StallUntilClosed);
+            }
+            FaultKind::GarbageStats => {
+                // STATS is out-of-band (no session seq), so it can land
+                // between any two frames; the payload is junk bytes
+                // that fail request validation. The writer is oblivious
+                // and keeps streaming the rest of the session.
+                emit(0..target, &mut steps);
+                let n = 8 + rng.below(24);
+                let mut garbage: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+                // 0xff is never valid UTF-8, so the payload fails
+                // validation for every seed.
+                garbage[0] = 0xff;
+                let stats = Frame {
+                    command: Command::Stats,
+                    seq: 0,
+                    payload: garbage,
+                };
+                steps.push(FaultStep::Write(stats.encode()));
+                emit(target..frames.len(), &mut steps);
+                steps.push(FaultStep::Disconnect);
             }
         }
         steps

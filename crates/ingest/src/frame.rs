@@ -71,6 +71,15 @@ pub enum Command {
     /// Server → client: protocol error (payload [`ErrInfo`]); the
     /// session is rejected and the connection closes.
     Err = 0x08,
+    /// Client → server: operator introspection request (payload
+    /// [`StatsRequest`], empty payload accepted). Out-of-band: it does
+    /// not consume a session sequence number and is legal in any state
+    /// before `BYE`, so a monitoring poller needs no session at all.
+    /// Answered with `STATS_REPLY`.
+    Stats = 0x09,
+    /// Server → client: the introspection answer (payload
+    /// [`StatsReport`]).
+    StatsReply = 0x0A,
 }
 
 impl Command {
@@ -84,6 +93,8 @@ impl Command {
             0x06 => Command::Heartbeat,
             0x07 => Command::Bye,
             0x08 => Command::Err,
+            0x09 => Command::Stats,
+            0x0A => Command::StatsReply,
             _ => return None,
         })
     }
@@ -243,6 +254,76 @@ pub struct RunTrailer {
 pub struct ErrInfo {
     /// Human-readable rejection reason.
     pub reason: String,
+}
+
+/// `STATS` payload. Currently empty — a versioned struct rather than a
+/// bare empty payload so future filters (per-study, per-run) extend it
+/// without a new command. An empty payload is accepted as the default
+/// request; anything else must parse as this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsRequest {}
+
+/// One live session in the `STATS_REPLY` table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStat {
+    /// Study namespace (empty until the HELLO landed).
+    pub study: String,
+    /// Run label (empty until the HELLO landed).
+    pub run: String,
+    /// Shard index within the run.
+    pub shard: u32,
+    /// Total shards of the run.
+    pub shards: u32,
+    /// Session phase: `"await_hello"`, `"active"`, `"in_visit"`,
+    /// `"draining"`, or `"observer"` (a STATS-only poller).
+    pub state: String,
+    /// Visits opened so far.
+    pub visits: u64,
+    /// Exchanges decoded for this session so far.
+    pub exchanges: u64,
+    /// Raw bytes read off this session's socket.
+    pub bytes: u64,
+    /// Capture batches queued or in flight for decode.
+    pub queued: u64,
+    /// Whether the reader is currently parked on a full queue.
+    pub stalled: bool,
+    /// Milliseconds since the last frame (the heartbeat-GC clock).
+    pub last_activity_ms: u64,
+    /// STATS requests this session has been answered.
+    pub stats_served: u64,
+}
+
+/// `STATS_REPLY` payload: one consistent snapshot of the collector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Protocol version of the answering collector.
+    pub proto: u32,
+    /// The watchdog verdict (same assessment stream as `/health`).
+    pub health: hbbtv_obs::HealthReport,
+    /// Every counter of the server scope (`ingest.*`, and `frame.*`
+    /// when a live study shares the scope), by name.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Every gauge of the server scope, by name.
+    pub gauges: std::collections::BTreeMap<String, i64>,
+    /// Every histogram of the server scope, summarized, by name.
+    pub histograms: std::collections::BTreeMap<String, hbbtv_obs::HistogramSummary>,
+    /// The per-session table, in accept order.
+    pub sessions: Vec<SessionStat>,
+}
+
+/// Validates a `STATS` request payload: empty means the default
+/// request, anything else must parse as [`StatsRequest`]. The error is
+/// the parse detail (the caller turns it into a violation that rejects
+/// only the offending session).
+pub fn parse_stats_request(payload: &[u8]) -> Result<StatsRequest, String> {
+    if payload.is_empty() {
+        return Ok(StatsRequest::default());
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not utf-8".to_string())?;
+    if !text.trim_start().starts_with('{') {
+        return Err("payload is not a JSON object".to_string());
+    }
+    serde_json::from_str(text).map_err(|e| e.to_string())
 }
 
 /// Why a byte stream failed to decode as frames.
@@ -492,6 +573,80 @@ mod tests {
             dec.next_frame(),
             Err(FrameError::BadCommand { byte: 0xEE })
         ));
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let report = StatsReport {
+            proto: PROTO_VERSION,
+            health: hbbtv_obs::HealthReport {
+                status: hbbtv_obs::HealthStatus::Degraded,
+                raw: hbbtv_obs::HealthStatus::Degraded,
+                reasons: vec![hbbtv_obs::HealthReason {
+                    code: "gc_rate".into(),
+                    severity: hbbtv_obs::HealthStatus::Degraded,
+                    value: 0.5,
+                    threshold: 0.2,
+                    detail: "heartbeat-GC'd sessions/s: 0.50 >= 0.20".into(),
+                }],
+            },
+            counters: [("ingest.sessions".to_string(), 3u64)]
+                .into_iter()
+                .collect(),
+            gauges: [("ingest.sessions_open".to_string(), 2i64)]
+                .into_iter()
+                .collect(),
+            histograms: [(
+                "ingest.batch_exchanges".to_string(),
+                hbbtv_obs::HistogramSummary {
+                    count: 4,
+                    sum: 7,
+                    max: 5,
+                    p50: 1,
+                    p90: 5,
+                    p99: 5,
+                },
+            )]
+            .into_iter()
+            .collect(),
+            sessions: vec![SessionStat {
+                study: "s0".into(),
+                run: "General".into(),
+                shard: 1,
+                shards: 4,
+                state: "in_visit".into(),
+                visits: 2,
+                exchanges: 128,
+                bytes: 65536,
+                queued: 3,
+                stalled: true,
+                last_activity_ms: 250,
+                stats_served: 0,
+            }],
+        };
+        let frames = [
+            Frame::json(Command::Stats, 0, &StatsRequest::default()),
+            Frame::empty(Command::Stats, 1),
+            Frame::json(Command::StatsReply, 0, &report),
+        ];
+        let mut dec = FrameDecoder::new();
+        for f in &frames {
+            dec.push_bytes(&f.encode());
+        }
+        for expected in &frames {
+            let got = dec.next_frame().unwrap().expect("frame available");
+            assert_eq!(&got, expected);
+        }
+        let back: StatsReport = frames[2].parse().unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn stats_request_accepts_empty_and_rejects_garbage() {
+        assert!(parse_stats_request(b"").is_ok());
+        assert!(parse_stats_request(b"{}").is_ok());
+        assert!(parse_stats_request(b"\x00\xffnot json").is_err());
+        assert!(parse_stats_request(b"[1,2,3]").is_err());
     }
 
     #[test]

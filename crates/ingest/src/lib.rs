@@ -18,7 +18,8 @@
 //!
 //! - [`frame`]: length-prefixed little-endian frame codec and the
 //!   command/answer payload schemas (`HELLO`/`ACK`, `VISIT_BEGIN`,
-//!   `CAPTURE`, `VISIT_END`, `HEARTBEAT`, `BYE`, `ERR`). The capture
+//!   `CAPTURE`, `VISIT_END`, `HEARTBEAT`, `BYE`, `ERR`, plus the
+//!   out-of-band `STATS`/`STATS_REPLY` introspection pair). The capture
 //!   payload is the same serde schema as the golden study dataset.
 //! - [`session`]: the per-connection protocol state machine (pure: it
 //!   consumes frames, emits actions, never touches a socket) and the
@@ -29,7 +30,12 @@
 //!   work-stealing analysis pool, bounded per-session queues for
 //!   backpressure, heartbeat-timeout GC, and `hbbtv-obs` telemetry
 //!   (`ingest.sessions`, `ingest.frames`, `ingest.bytes`,
-//!   `ingest.backpressure_stalls`, …).
+//!   `ingest.backpressure_stalls`, …). The operations plane rides the
+//!   same port: any connection may send a `STATS` frame and get back a
+//!   [`StatsReport`](frame::StatsReport) (health verdict, metric
+//!   snapshot, per-session table), and
+//!   [`IngestConfig::scrape_addr`](server::IngestConfig::scrape_addr)
+//!   mounts a Prometheus-style `/metrics` + `/health` endpoint.
 //! - [`client`]: [`SimTvClient`](client::SimTvClient) and the
 //!   visit-range sharding ([`shard_study`](client::shard_study)) that
 //!   turns a dataset into a fleet of sessions.
@@ -59,7 +65,10 @@ pub use client::{
 };
 pub use discovery::{discover, DiscoveryResponder};
 pub use fault::{FaultKind, FaultPlan, FaultStep};
-pub use frame::{Command, Frame, FrameDecoder, RunTrailer, PROTO_VERSION};
+pub use frame::{
+    parse_stats_request, Command, Frame, FrameDecoder, RunTrailer, SessionStat, StatsReport,
+    StatsRequest, PROTO_VERSION,
+};
 pub use live::LiveStudy;
 pub use server::{IngestConfig, IngestServer, RejectedSession};
 pub use session::{Assembler, SessionState, Violation};

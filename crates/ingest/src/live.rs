@@ -69,6 +69,17 @@ impl LiveStudy {
         self
     }
 
+    /// Routes the incremental engine's `frame.*` cells into `tel`.
+    /// Passing the collector's own scope
+    /// ([`IngestServer::telemetry`]) puts frame-store gauges and
+    /// `ingest.*` counters in one place, so a single scrape or `STATS`
+    /// answer covers both — and gives the health watchdog its
+    /// frame-budget residency input.
+    pub fn with_telemetry(mut self, tel: hbbtv_obs::Telemetry) -> LiveStudy {
+        self.inc.attach_telemetry(tel);
+        self
+    }
+
     /// Drains every run that is complete on `server` and next in
     /// canonical order into the incremental study. Returns how many
     /// runs were ingested by this call.

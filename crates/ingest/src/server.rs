@@ -29,16 +29,22 @@
 //! sibling sessions are untouched. That containment is what the
 //! fault-injection suite (`tests/ingest_faults.rs`) pins down.
 
-use crate::frame::{Ack, Command, ErrInfo, Frame, FrameDecoder};
+use crate::frame::{
+    parse_stats_request, Ack, Command, ErrInfo, Frame, FrameDecoder, SessionStat, StatsReport,
+    PROTO_VERSION,
+};
 use crate::session::{Action, Assembler, SessionState, Violation};
-use hbbtv_obs::{Counter, Histogram, SimClock, Telemetry, TelemetryMode};
+use hbbtv_obs::{
+    keys, Counter, Gauge, HealthThresholds, Histogram, ScrapeServer, SimClock, Telemetry,
+    TelemetryMode, Watchdog,
+};
 use hbbtv_study::analysis::Runtime;
 use hbbtv_study::{RunDataset, RunKind, StudyDataset};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,6 +71,12 @@ pub struct IngestConfig {
     /// workers; `None` uses the process-wide pool. Tests sweep {1, 2, 8}
     /// through this knob.
     pub pool_workers: Option<usize>,
+    /// Mount a Prometheus-style scrape endpoint on this address (port 0
+    /// picks an ephemeral port); `None` (the default) mounts nothing.
+    pub scrape_addr: Option<SocketAddr>,
+    /// Thresholds for the health watchdog behind `/health`, the
+    /// `health_status` gauge, and the `STATS` answer.
+    pub health: HealthThresholds,
 }
 
 impl Default for IngestConfig {
@@ -77,6 +89,8 @@ impl Default for IngestConfig {
             heartbeat_timeout: Duration::from_secs(30),
             telemetry: TelemetryMode::Metrics,
             pool_workers: None,
+            scrape_addr: None,
+            health: HealthThresholds::default(),
         }
     }
 }
@@ -95,6 +109,13 @@ pub struct IngestMetrics {
     pub sessions_gc: Counter,
     /// Connections refused at the accept cap (`ingest.sessions_refused`).
     pub sessions_refused: Counter,
+    /// Observer connections that closed cleanly after only `STATS`
+    /// traffic (`ingest.sessions_observer`).
+    pub sessions_observer: Counter,
+    /// `STATS` requests answered (`ingest.stats_requests`). STATS frames
+    /// are *not* counted in `ingest.frames` — they are out-of-band — but
+    /// their bytes do land in `ingest.bytes`.
+    pub stats_requests: Counter,
     /// Frames consumed (`ingest.frames`).
     pub frames: Counter,
     /// Raw bytes read off sockets (`ingest.bytes`).
@@ -109,6 +130,14 @@ pub struct IngestMetrics {
     /// Per-session exchange totals at finalize
     /// (`ingest.session_exchanges`).
     pub session_exchanges: Histogram,
+    /// Live sessions right now (`ingest.sessions_open`, gauge).
+    pub sessions_open: Gauge,
+    /// Undecoded batches queued across sessions, set once per dispatcher
+    /// round (`ingest.queue_depth`, gauge).
+    pub queue_depth: Gauge,
+    /// High-water mark of the queue depth (`ingest.queue_depth_hw`,
+    /// gauge).
+    pub queue_depth_hw: Gauge,
 }
 
 impl IngestMetrics {
@@ -117,14 +146,19 @@ impl IngestMetrics {
             sessions: tel.counter("ingest.sessions"),
             sessions_completed: tel.counter("ingest.sessions_completed"),
             sessions_rejected: tel.counter("ingest.sessions_rejected"),
-            sessions_gc: tel.counter("ingest.sessions_gc"),
+            sessions_gc: tel.counter(keys::INGEST_SESSIONS_GC),
             sessions_refused: tel.counter("ingest.sessions_refused"),
+            sessions_observer: tel.counter("ingest.sessions_observer"),
+            stats_requests: tel.counter("ingest.stats_requests"),
             frames: tel.counter("ingest.frames"),
             bytes: tel.counter("ingest.bytes"),
             exchanges: tel.counter("ingest.exchanges"),
-            backpressure_stalls: tel.counter("ingest.backpressure_stalls"),
+            backpressure_stalls: tel.counter(keys::INGEST_BACKPRESSURE_STALLS),
             batch_exchanges: tel.histogram("ingest.batch_exchanges"),
             session_exchanges: tel.histogram("ingest.session_exchanges"),
+            sessions_open: tel.gauge(keys::INGEST_SESSIONS_OPEN),
+            queue_depth: tel.gauge(keys::INGEST_QUEUE_DEPTH),
+            queue_depth_hw: tel.gauge(keys::INGEST_QUEUE_DEPTH_HW),
         }
     }
 }
@@ -139,6 +173,68 @@ pub struct RejectedSession {
     /// Whether the heartbeat GC (rather than a protocol violation)
     /// collected it.
     pub timed_out: bool,
+}
+
+/// Lock-free mirror of one connection's observable state, shared with
+/// the `STATS` session table so a report never has to take a `Conn`
+/// lock (a reader blocked mid-frame must not block introspection).
+struct SessionInfo {
+    /// `(study, run, shard, shards)` once HELLO registers.
+    identity: Mutex<Option<(String, String, u32, u32)>>,
+    /// Phase code: 0 await_hello, 1 active, 2 in_visit, 3 draining.
+    state: AtomicU8,
+    visits: AtomicU64,
+    exchanges: AtomicU64,
+    bytes: AtomicU64,
+    queued: AtomicU64,
+    stalled: AtomicBool,
+    /// Milliseconds since `Shared::epoch` of the last read activity.
+    last_activity_ms: AtomicU64,
+    stats_served: AtomicU64,
+    /// Set exactly once when the session leaves the live table (by any
+    /// terminal path); guards the `sessions_open` decrement.
+    closed: AtomicBool,
+}
+
+impl SessionInfo {
+    fn new(epoch_ms: u64) -> SessionInfo {
+        SessionInfo {
+            identity: Mutex::new(None),
+            state: AtomicU8::new(0),
+            visits: AtomicU64::new(0),
+            exchanges: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            last_activity_ms: AtomicU64::new(epoch_ms),
+            stats_served: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Copies the session machine's observable fields into the mirror.
+    fn sync(&self, s: &SessionState) {
+        let code = match s.phase_name() {
+            "active" => 1,
+            "in_visit" => 2,
+            "draining" => 3,
+            _ => 0,
+        };
+        self.state.store(code, Ordering::Relaxed);
+        self.visits.store(s.visit_count() as u64, Ordering::Relaxed);
+        self.exchanges.store(s.exchanges(), Ordering::Relaxed);
+    }
+
+    fn state_name(&self) -> &'static str {
+        let observer = self.stats_served.load(Ordering::Relaxed) > 0;
+        match self.state.load(Ordering::Relaxed) {
+            0 if observer => "observer",
+            0 => "await_hello",
+            1 => "active",
+            2 => "in_visit",
+            _ => "draining",
+        }
+    }
 }
 
 struct Conn {
@@ -156,6 +252,7 @@ struct Conn {
     bye_seq: Option<u32>,
     done: bool,
     rejected: bool,
+    info: Arc<SessionInfo>,
 }
 
 impl Conn {
@@ -204,9 +301,30 @@ struct Shared {
     assembler: Mutex<Assembler>,
     rejected: Mutex<Vec<RejectedSession>>,
     shutdown: AtomicBool,
+    /// Live-session mirrors for the `STATS` table, in accept order;
+    /// swept of closed entries each dispatcher round.
+    table: Mutex<Vec<Arc<SessionInfo>>>,
+    /// Zero point for the relative-millisecond timestamps in
+    /// [`SessionInfo`].
+    epoch: Instant,
+    /// The health watchdog, shared with the scrape endpoint.
+    watchdog: Arc<Mutex<Watchdog>>,
 }
 
 impl Shared {
+    fn epoch_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Marks a session's mirror closed (idempotent) and keeps the
+    /// `sessions_open` gauge honest: exactly one decrement per accept,
+    /// whatever terminal path the session takes.
+    fn mark_closed(&self, info: &SessionInfo) {
+        if !info.closed.swap(true, Ordering::SeqCst) {
+            self.metrics.sessions_open.add(-1);
+        }
+    }
+
     fn reject(&self, conn: &mut Conn, violation: &Violation) {
         self.reject_inner(conn, violation, true);
     }
@@ -244,11 +362,54 @@ impl Shared {
         conn.out_seq += 1;
         conn.send_frame(&err);
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        self.mark_closed(&conn.info);
         self.rejected.lock().push(RejectedSession {
             identity,
             reason,
             timed_out,
         });
+    }
+}
+
+/// Builds the `STATS` answer: health verdict, full metric snapshot, and
+/// the per-session table — all from lock-free mirrors and telemetry
+/// cells, never a `Conn` lock.
+fn stats_report(shared: &Shared) -> StatsReport {
+    let health = shared.watchdog.lock().assess(&shared.telemetry);
+    let now_ms = shared.epoch_ms();
+    let sessions = shared
+        .table
+        .lock()
+        .iter()
+        .filter(|info| !info.closed.load(Ordering::SeqCst))
+        .map(|info| {
+            let identity = info.identity.lock().clone();
+            let (study, run, shard, shards) =
+                identity.unwrap_or_else(|| (String::new(), String::new(), 0, 0));
+            let last = info.last_activity_ms.load(Ordering::Relaxed);
+            SessionStat {
+                study,
+                run,
+                shard,
+                shards,
+                state: info.state_name().to_string(),
+                visits: info.visits.load(Ordering::Relaxed),
+                exchanges: info.exchanges.load(Ordering::Relaxed),
+                bytes: info.bytes.load(Ordering::Relaxed),
+                queued: info.queued.load(Ordering::Relaxed),
+                stalled: info.stalled.load(Ordering::Relaxed),
+                last_activity_ms: now_ms.saturating_sub(last),
+                stats_served: info.stats_served.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    StatsReport {
+        proto: PROTO_VERSION,
+        health,
+        counters: shared.telemetry.counters_snapshot(),
+        gauges: shared.telemetry.gauges_snapshot(),
+        histograms: shared.telemetry.histograms_snapshot(),
+        sessions,
     }
 }
 
@@ -258,10 +419,12 @@ pub struct IngestServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    scrape: Option<ScrapeServer>,
 }
 
 impl IngestServer {
-    /// Binds and starts the collector.
+    /// Binds and starts the collector (and, when
+    /// [`IngestConfig::scrape_addr`] is set, its scrape endpoint).
     pub fn start(cfg: IngestConfig) -> std::io::Result<IngestServer> {
         let listener = TcpListener::bind(cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -269,6 +432,15 @@ impl IngestServer {
         let telemetry = Telemetry::scope(cfg.telemetry, SimClock::new(), 0);
         let metrics = IngestMetrics::resolve(&telemetry);
         let readers = cfg.reader_threads.max(1);
+        let watchdog = Arc::new(Mutex::new(Watchdog::new(cfg.health.clone())));
+        let scrape = match cfg.scrape_addr {
+            Some(scrape_addr) => Some(ScrapeServer::start(
+                scrape_addr,
+                telemetry.clone(),
+                Arc::clone(&watchdog),
+            )?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             telemetry,
             metrics,
@@ -278,6 +450,9 @@ impl IngestServer {
             assembler: Mutex::new(Assembler::new()),
             rejected: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            table: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            watchdog,
             cfg,
         });
 
@@ -310,12 +485,24 @@ impl IngestServer {
             shared,
             addr,
             threads,
+            scrape,
         })
     }
 
     /// The bound TCP address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The scrape endpoint's bound address, when one is mounted.
+    pub fn scrape_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(|s| s.addr())
+    }
+
+    /// Assesses health now, as the scrape endpoint and `STATS` answers
+    /// would report it.
+    pub fn health(&self) -> hbbtv_obs::HealthReport {
+        self.shared.watchdog.lock().assess(&self.shared.telemetry)
     }
 
     /// The server's telemetry scope (all `ingest.*` cells live here).
@@ -423,6 +610,7 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener) {
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
+                let info = Arc::new(SessionInfo::new(shared.epoch_ms()));
                 let conn = Arc::new(Mutex::new(Conn {
                     stream,
                     decoder: FrameDecoder::new(),
@@ -435,8 +623,11 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener) {
                     bye_seq: None,
                     done: false,
                     rejected: false,
+                    info: Arc::clone(&info),
                 }));
                 shared.metrics.sessions.inc();
+                shared.metrics.sessions_open.add(1);
+                shared.table.lock().push(info);
                 shared.conns.lock().push(Arc::clone(&conn));
                 shared.inboxes[next_reader].lock().push(conn);
                 next_reader = (next_reader + 1) % shared.inboxes.len();
@@ -465,17 +656,32 @@ fn reader_loop(shared: &Shared, index: usize) {
             if conn.queue_len() >= shared.cfg.session_queue {
                 if !conn.stalled {
                     conn.stalled = true;
+                    conn.info.stalled.store(true, Ordering::Relaxed);
                     shared.metrics.backpressure_stalls.inc();
                 }
                 return true;
             }
             conn.stalled = false;
+            conn.info.stalled.store(false, Ordering::Relaxed);
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
                     // EOF. Mid-session (or mid-frame) this is a torn
                     // stream; after BYE the dispatcher owns the session
-                    // and EOF is just the client hanging up post-ack.
+                    // and EOF is just the client hanging up post-ack. An
+                    // *observer* — no HELLO, only answered STATS, at a
+                    // frame boundary — hanging up is a clean close, not
+                    // a torn session.
                     if !conn.session.bye_seen() {
+                        if conn.session.hello().is_none()
+                            && conn.info.stats_served.load(Ordering::Relaxed) > 0
+                            && conn.decoder.at_frame_boundary()
+                        {
+                            conn.done = true;
+                            shared.metrics.sessions_observer.inc();
+                            shared.mark_closed(&conn.info);
+                            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                            return false;
+                        }
                         shared.reject(&mut conn, &Violation::Eof);
                         return false;
                     }
@@ -485,6 +691,9 @@ fn reader_loop(shared: &Shared, index: usize) {
                     progressed = true;
                     shared.metrics.bytes.add(n as u64);
                     conn.last_activity = Instant::now();
+                    let now_ms = shared.epoch_ms();
+                    conn.info.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.info.last_activity_ms.store(now_ms, Ordering::Relaxed);
                     conn.decoder.push_bytes(&buf[..n]);
                     drive_frames(shared, &mut conn)
                 }
@@ -514,6 +723,28 @@ fn drive_frames(shared: &Shared, conn: &mut Conn) -> bool {
                 return false;
             }
         };
+        // STATS is out-of-band introspection: answered inline, before
+        // (and without) the session machine, so it consumes no session
+        // seq and is legal in any state. It is excluded from
+        // `ingest.frames` (its bytes still land in `ingest.bytes`).
+        if frame.command == Command::Stats {
+            match parse_stats_request(&frame.payload) {
+                Ok(_req) => {
+                    shared.metrics.stats_requests.inc();
+                    conn.info.stats_served.fetch_add(1, Ordering::Relaxed);
+                    let report = stats_report(shared);
+                    let answer = Frame::json(Command::StatsReply, conn.out_seq, &report);
+                    conn.out_seq += 1;
+                    conn.send_frame(&answer);
+                    continue;
+                }
+                Err(detail) => {
+                    let v = Violation::BadState(format!("bad STATS request: {detail}"));
+                    shared.reject(conn, &v);
+                    return false;
+                }
+            }
+        }
         shared.metrics.frames.inc();
         let actions = match conn.session.on_frame(frame) {
             Ok(a) => a,
@@ -525,6 +756,12 @@ fn drive_frames(shared: &Shared, conn: &mut Conn) -> bool {
         for action in actions {
             match action {
                 Action::Register(hello) => {
+                    conn.info.identity.lock().replace((
+                        hello.study.clone(),
+                        hello.run.clone(),
+                        hello.shard,
+                        hello.shards,
+                    ));
                     let key = (hello.study, hello.run, hello.shard);
                     if !shared.active_keys.lock().insert(key.clone()) {
                         // A retry while the original is still live: the
@@ -553,6 +790,10 @@ fn drive_frames(shared: &Shared, conn: &mut Conn) -> bool {
                 }
             }
         }
+        conn.info.sync(&conn.session);
+        conn.info
+            .queued
+            .store(conn.queue_len() as u64, Ordering::Relaxed);
         if conn.session.bye_seen() {
             // Nothing further may arrive; hand the session to the
             // dispatcher for drain + finalize.
@@ -583,6 +824,7 @@ fn dispatch_round(shared: &Shared) -> bool {
     // Collect decode jobs in connection order; per connection the
     // pending queue drains FIFO, so application order == stream order.
     let mut jobs: Vec<(ConnRef, usize, Vec<u8>)> = Vec::new();
+    let mut depth = 0i64;
     for conn_ref in &conns {
         let mut conn = conn_ref.lock();
         if conn.rejected || conn.done {
@@ -592,7 +834,10 @@ fn dispatch_round(shared: &Shared) -> bool {
             conn.inflight += 1;
             jobs.push((Arc::clone(conn_ref), visit_ord, payload));
         }
+        depth += conn.queue_len() as i64;
     }
+    shared.metrics.queue_depth.set(depth);
+    shared.metrics.queue_depth_hw.raise_to(depth);
 
     let mut worked = !jobs.is_empty();
     if !jobs.is_empty() {
@@ -611,6 +856,10 @@ fn dispatch_round(shared: &Shared) -> bool {
                     shared.metrics.batch_exchanges.record(batch.len() as u64);
                     conn.last_activity = Instant::now();
                     conn.session.apply_batch(visit_ord, batch);
+                    conn.info.sync(&conn.session);
+                    conn.info
+                        .queued
+                        .store(conn.queue_len() as u64, Ordering::Relaxed);
                 }
                 Err(e) => shared.reject(&mut conn, &e.into()),
             }
@@ -643,6 +892,7 @@ fn dispatch_round(shared: &Shared) -> bool {
                         shared.metrics.sessions_completed.inc();
                         shared.metrics.session_exchanges.record(exchanges);
                         conn.done = true;
+                        shared.mark_closed(&conn.info);
                         shared.active_keys.lock().remove(&key);
                         let ack = Frame::json(
                             Command::Ack,
@@ -679,5 +929,12 @@ fn dispatch_round(shared: &Shared) -> bool {
         }
         true
     });
+    drop(registry);
+
+    // Sweep closed mirrors out of the STATS table.
+    shared
+        .table
+        .lock()
+        .retain(|info| !info.closed.load(Ordering::SeqCst));
     worked
 }

@@ -198,6 +198,23 @@ impl SessionState {
         self.captures.len() as u64
     }
 
+    /// The protocol phase as the stable lowercase name used in the
+    /// `STATS` session table (`"await_hello"`, `"active"`,
+    /// `"in_visit"`, `"draining"`).
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::AwaitHello => "await_hello",
+            Phase::Active => "active",
+            Phase::InVisit => "in_visit",
+            Phase::ByeSeen => "draining",
+        }
+    }
+
+    /// Visits opened so far (including the one in progress, if any).
+    pub fn visit_count(&self) -> usize {
+        self.visits.len()
+    }
+
     /// Consumes one frame, advancing the state machine.
     pub fn on_frame(&mut self, frame: Frame) -> Result<Vec<Action>, Violation> {
         if frame.seq != self.next_seq {

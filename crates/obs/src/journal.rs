@@ -136,8 +136,9 @@ impl Event {
 }
 
 /// JSON string escaping per RFC 8259 (quotes, backslash, control
-/// characters; everything else passes through verbatim).
-fn escape_into(out: &mut String, s: &str) {
+/// characters; everything else passes through verbatim). Shared with
+/// the hand-rolled health JSON and exposition label escaping.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

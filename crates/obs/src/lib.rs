@@ -33,12 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod expose;
+mod health;
 mod hub;
 mod journal;
 mod metrics;
 mod summary;
 
+pub use expose::{render_exposition, sanitize_metric_name, ExpositionCache, ScrapeServer};
 pub use hbbtv_net::{SimClock, Timestamp};
+pub use health::{HealthReason, HealthReport, HealthStatus, HealthThresholds, Watchdog};
 pub use hub::{Span, Telemetry, TelemetryConfig, TelemetryMode};
 pub use journal::{Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
@@ -64,4 +68,23 @@ pub mod keys {
     pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
     /// Pool tasks taken from another worker's deque (counter, Profile).
     pub const POOL_STEALS: &str = "pool.steals";
+    /// Reader stalls on a full session queue (counter; watchdog rate
+    /// input).
+    pub const INGEST_BACKPRESSURE_STALLS: &str = "ingest.backpressure_stalls";
+    /// Sessions collected by the heartbeat GC (counter; watchdog rate
+    /// input).
+    pub const INGEST_SESSIONS_GC: &str = "ingest.sessions_gc";
+    /// Undecoded capture batches queued across sessions (gauge, set per
+    /// dispatcher round; watchdog input).
+    pub const INGEST_QUEUE_DEPTH: &str = "ingest.queue_depth";
+    /// High-water mark of [`INGEST_QUEUE_DEPTH`] (gauge).
+    pub const INGEST_QUEUE_DEPTH_HW: &str = "ingest.queue_depth_hw";
+    /// Live sessions right now (gauge, not a terminal-state counter).
+    pub const INGEST_SESSIONS_OPEN: &str = "ingest.sessions_open";
+    /// Frame-store bytes currently resident (gauge; watchdog residency
+    /// numerator).
+    pub const FRAME_RESIDENT_BYTES: &str = "frame.resident_bytes";
+    /// Frame-store byte budget (gauge, set when a budget is configured;
+    /// watchdog residency denominator).
+    pub const FRAME_BUDGET_BYTES: &str = "frame.budget_bytes";
 }

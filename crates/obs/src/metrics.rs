@@ -234,6 +234,40 @@ impl Histogram {
         self.state.max.store(0, Ordering::Relaxed);
     }
 
+    /// Cumulative `(upper_bound, count_le_upper)` pairs for every
+    /// bucket up to the highest non-empty one, in ascending bound
+    /// order — the shape a Prometheus-style `le` exposition wants.
+    /// Counts are monotone non-decreasing; the final pair's count
+    /// equals [`Histogram::count`]. Empty histogram ⇒ empty vec.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self
+            .state
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let Some(highest) = counts.iter().rposition(|&n| n > 0) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(highest + 1);
+        let mut cum = 0u64;
+        for (b, &n) in counts.iter().enumerate().take(highest + 1) {
+            cum += n;
+            out.push((bucket_upper(b), cum));
+        }
+        out
+    }
+
+    /// The sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.state.sum.load(Ordering::Relaxed)
+    }
+
+    /// The largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.state.max.load(Ordering::Relaxed)
+    }
+
     /// A serializable summary: count, sum, max, and p50/p90/p99.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {

@@ -1,0 +1,251 @@
+//! Operations-plane smoke: scrape + STATS against a mid-stream collector.
+//!
+//! Run with `cargo run --release -p hbbtv-ingest --example status_smoke`
+//! (scripts/check.sh --status-smoke does). The smoke:
+//!
+//! 1. starts a collector with the scrape endpoint mounted and a
+//!    [`LiveStudy`] routing its `frame.*` cells into the collector's
+//!    telemetry scope,
+//! 2. streams half a study to completion, parks one extra session
+//!    mid-visit, and polls the live report,
+//! 3. scrapes `/metrics` (asserting the exposition parses and the
+//!    watchdog says healthy), fetches `/health`, and sends a `STATS`
+//!    frame over the data port — asserting the scrape and the STATS
+//!    answer agree on every stable `ingest.*` counter,
+//! 4. with `--hold-secs N --port-file PATH`, then writes the data-port
+//!    address to PATH and keeps serving for N seconds so an external
+//!    `collector_status` can poll it.
+//!
+//! Exits nonzero (panics) on any failure, so it works as a CI gate.
+//! All assertions run *before* the hold, so killing the process during
+//! the hold never masks a failure.
+
+use hbbtv_ingest::frame::StatsRequest;
+use hbbtv_ingest::{
+    shard_run, Command, Frame, FrameDecoder, IngestConfig, IngestServer, LiveStudy, SimTvClient,
+    StatsReport,
+};
+use hbbtv_study::{Ecosystem, StudyHarness};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn query_stats(stream: &mut TcpStream, decoder: &mut FrameDecoder, seq: u32) -> StatsReport {
+    let req = Frame::json(Command::Stats, seq, &StatsRequest::default());
+    stream
+        .write_all(&req.encode())
+        .expect("stats request sends");
+    let mut buf = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        while let Some(frame) = decoder.next_frame().expect("answer decodes") {
+            if frame.command == Command::StatsReply {
+                return frame.parse().expect("stats reply parses");
+            }
+        }
+        assert!(Instant::now() < deadline, "no STATS_REPLY within deadline");
+        match stream.read(&mut buf) {
+            Ok(0) => panic!("collector hung up before answering STATS"),
+            Ok(n) => decoder.push_bytes(&buf[..n]),
+            Err(e) => panic!("read error waiting for STATS_REPLY: {e}"),
+        }
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint connects");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("request sends");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(
+        head.starts_with("HTTP/1.0 200"),
+        "unexpected status: {head}"
+    );
+    body.to_string()
+}
+
+fn exposition_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|line| {
+            let (n, v) = line.split_once(' ')?;
+            let n = n.split('{').next().unwrap_or(n);
+            (n == name).then(|| v.parse().expect("metric value parses"))
+        })
+}
+
+fn main() {
+    // Optional hold so scripts/check.sh can point collector_status here.
+    let mut hold_secs = 0u64;
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--hold-secs" => {
+                hold_secs = args
+                    .next()
+                    .expect("--hold-secs takes a value")
+                    .parse()
+                    .expect("--hold-secs parses");
+            }
+            "--port-file" => port_file = Some(args.next().expect("--port-file takes a value")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // 1. Collector with the ops plane mounted; live study shares its
+    // telemetry scope so one scrape covers ingest.* and frame.*.
+    let server = IngestServer::start(IngestConfig {
+        scrape_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
+        ..IngestConfig::default()
+    })
+    .expect("collector starts");
+    let addr = server.addr();
+    let scrape = server.scrape_addr().expect("scrape endpoint mounted");
+    println!("collector on {addr}, scrape endpoint on {scrape}");
+
+    let mut live = LiveStudy::with_budget("smoke", Some(4 * 1024 * 1024))
+        .with_telemetry(server.telemetry().clone());
+
+    // 2. Stream the first half of the study's runs to completion...
+    let eco = Ecosystem::with_scale(42, 0.05);
+    let dataset = StudyHarness::new(&eco).run_all();
+    let half = dataset.runs.len().div_ceil(2);
+    let threads: Vec<_> = dataset.runs[..half]
+        .iter()
+        .flat_map(|run| shard_run("smoke", run, 2).expect("run shards"))
+        .map(|spec| std::thread::spawn(move || SimTvClient::new().stream(addr, &spec)))
+        .collect();
+    for t in threads {
+        let report = t.join().expect("session thread").expect("session streams");
+        assert_eq!(report.acked_exchanges, report.exchanges);
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while live.runs_ingested() < half {
+        live.poll(&server);
+        assert!(Instant::now() < deadline, "half study never ingested");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _render = live.report(&eco);
+    println!(
+        "streamed {half}/{} runs; live report rendered",
+        dataset.runs.len()
+    );
+
+    // ...and park one extra session mid-visit so the table has a live
+    // streaming entry.
+    let parked_spec = shard_run("parked", &dataset.runs[0], 1)
+        .expect("run shards")
+        .remove(0);
+    let parked_frames = SimTvClient::new().frames(&parked_spec).expect("frames");
+    let parked_prefix = &parked_frames[..parked_frames.len() - 2];
+    let parked_exchanges: u64 = parked_prefix
+        .iter()
+        .filter(|f| f.command == Command::Capture)
+        .map(|f| {
+            hbbtv_ingest::frame::parse_capture_batch(&f.payload)
+                .expect("own capture frame parses")
+                .len() as u64
+        })
+        .sum();
+    let mut parked = TcpStream::connect(addr).expect("parked session connects");
+    for frame in parked_prefix {
+        parked
+            .write_all(&frame.encode())
+            .expect("parked frame sends");
+    }
+
+    // 3. STATS over the data port, polled until the parked session's
+    // queue has drained into the table.
+    let mut observer = TcpStream::connect(addr).expect("observer connects");
+    let mut decoder = FrameDecoder::new();
+    let mut seq = 0u32;
+    // Poll until the parked session's queue has drained into the table
+    // AND the watchdog has recovered from any backpressure burst the
+    // streaming phase caused (each answered STATS is one assessment;
+    // recovery needs `recover_after` consecutive clean ones).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let stats = loop {
+        let stats = query_stats(&mut observer, &mut decoder, seq);
+        seq += 1;
+        // "Drained" means every exchange the parked writer put on the
+        // wire has landed — a momentary queued==0 is not enough, bytes
+        // still in the socket would keep stalling the reader afterwards.
+        let drained = stats
+            .sessions
+            .iter()
+            .any(|s| s.study == "parked" && s.exchanges == parked_exchanges && s.queued == 0);
+        if drained && stats.health.status == hbbtv_obs::HealthStatus::Healthy {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "parked session never drained to a healthy verdict (last: {:?})",
+            stats.health.status
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(stats.counters["ingest.sessions_completed"], 2 * half as u64);
+    assert!(
+        stats.gauges.contains_key("frame.resident_bytes"),
+        "live study's frame.* cells share the collector scope"
+    );
+
+    // The exposition parses: every sample line is `name[{labels}] value`
+    // with a float value, and the watchdog gauge says healthy.
+    let metrics = http_get(scrape, "/metrics");
+    let mut samples = 0;
+    for line in metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line.split_once(' ').expect("sample line has a value");
+        value.parse::<f64>().expect("sample value parses");
+        samples += 1;
+    }
+    assert!(samples > 10, "exposition has a real metric set");
+    assert_eq!(exposition_value(&metrics, "health_status"), Some(0.0));
+    let health = http_get(scrape, "/health");
+    assert!(
+        health.contains("\"status\":\"Healthy\""),
+        "health: {health}"
+    );
+
+    // Scrape and STATS agree on every stable counter.
+    for (key, name) in [
+        ("ingest.sessions", "ingest_sessions"),
+        ("ingest.sessions_completed", "ingest_sessions_completed"),
+        ("ingest.exchanges", "ingest_exchanges"),
+        ("ingest.frames", "ingest_frames"),
+    ] {
+        assert_eq!(
+            exposition_value(&metrics, name).unwrap_or_else(|| panic!("{name} exposed")),
+            stats.counters[key] as f64,
+            "scrape and STATS disagree on {key}"
+        );
+    }
+    println!(
+        "status smoke OK: sessions={} completed={} open={} health={}",
+        stats.counters["ingest.sessions"],
+        stats.counters["ingest.sessions_completed"],
+        stats.gauges["ingest.sessions_open"],
+        stats.health.status
+    );
+
+    // 4. Optional hold for an external collector_status poller.
+    if hold_secs > 0 {
+        if let Some(path) = &port_file {
+            std::fs::write(path, addr.to_string()).expect("port file writes");
+            println!("port file {path} -> {addr}");
+        }
+        std::thread::sleep(Duration::from_secs(hold_secs));
+    }
+    drop(parked);
+    drop(observer);
+    server.shutdown();
+}

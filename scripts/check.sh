@@ -20,6 +20,11 @@
 #                                     # collector under a segment budget and
 #                                     # diff live mid-stream reports against
 #                                     # the in-process build
+#     scripts/check.sh --status-smoke # also run the operations-plane smoke:
+#                                     # scrape + STATS against a mid-stream
+#                                     # collector, then poll the held-open
+#                                     # collector with collector_status
+#     scripts/check.sh --all-smokes   # every smoke stage above
 #
 # Each stage must pass; the script stops at the first failure.
 set -eu
@@ -31,6 +36,7 @@ analysis_smoke=0
 pool_smoke=0
 ingest_smoke=0
 frame_smoke=0
+status_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
@@ -40,8 +46,18 @@ for arg in "$@"; do
         --pool-smoke) pool_smoke=1 ;;
         --ingest-smoke) ingest_smoke=1 ;;
         --frame-smoke) frame_smoke=1 ;;
+        --status-smoke) status_smoke=1 ;;
+        --all-smokes)
+            bench_smoke=1
+            obs_smoke=1
+            analysis_smoke=1
+            pool_smoke=1
+            ingest_smoke=1
+            frame_smoke=1
+            status_smoke=1
+            ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke] [--frame-smoke]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke] [--frame-smoke] [--status-smoke] [--all-smokes]" >&2
             exit 2
             ;;
     esac
@@ -158,6 +174,53 @@ if [ "$frame_smoke" -eq 1 ]; then
     # render. The example asserts all of it and exits nonzero on drift.
     echo "==> frame_smoke (live incremental reports, 4 MiB segment budget)"
     HBBTV_FRAME_BUDGET_BYTES=4194304 cargo run --release -p hbbtv-ingest --example frame_smoke
+fi
+
+if [ "$status_smoke" -eq 1 ]; then
+    # The operations plane end to end: the smoke streams half a study,
+    # parks a session mid-visit, and asserts the scrape exposition
+    # parses, the watchdog verdict is healthy, and the STATS answer
+    # agrees with the scrape — all before writing the port file. Then
+    # collector_status polls the held-open collector over the data port
+    # like an operator would.
+    echo "==> status_smoke (scrape + STATS + collector_status)"
+    cargo build --release -p hbbtv-ingest --example status_smoke
+    cargo build --release -p hbbtv-bench --bin collector_status
+    portfile="$(mktemp /tmp/status_smoke_port_XXXXXX)"
+    rm -f "$portfile"
+    cargo run --release -p hbbtv-ingest --example status_smoke -- \
+        --hold-secs 60 --port-file "$portfile" &
+    smoke_pid=$!
+    tries=0
+    while [ ! -s "$portfile" ]; do
+        if ! kill -0 "$smoke_pid" 2>/dev/null; then
+            # The smoke only writes the port file after every assertion
+            # passed, so an early exit here is a real failure.
+            wait "$smoke_pid" || true
+            echo "error: status_smoke exited before publishing its port" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        if [ "$tries" -gt 600 ]; then
+            kill "$smoke_pid" 2>/dev/null || true
+            echo "error: status_smoke never published its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr="$(cat "$portfile")"
+    echo "==> collector_status polling $addr"
+    status_out="$(cargo run --release -p hbbtv-bench --bin collector_status -- \
+        "$addr" --interval-ms 200 --count 3)"
+    echo "$status_out"
+    if ! echo "$status_out" | grep -q "health="; then
+        echo "error: collector_status produced no status lines" >&2
+        kill "$smoke_pid" 2>/dev/null || true
+        exit 1
+    fi
+    kill "$smoke_pid" 2>/dev/null || true
+    wait "$smoke_pid" 2>/dev/null || true
+    rm -f "$portfile"
 fi
 
 echo "All checks passed."

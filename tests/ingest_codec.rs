@@ -10,8 +10,8 @@
 use hbbtv_broadcast::ChannelId;
 use hbbtv_ingest::fault::SplitMix64;
 use hbbtv_ingest::frame::{
-    capture_frame, Ack, Bye, Command, ErrInfo, Frame, Hello, RunTrailer, VisitBegin, VisitEnd,
-    PROTO_VERSION,
+    capture_frame, Ack, Bye, Command, ErrInfo, Frame, Hello, RunTrailer, SessionStat, StatsReport,
+    StatsRequest, VisitBegin, VisitEnd, PROTO_VERSION,
 };
 use hbbtv_ingest::FrameDecoder;
 use hbbtv_net::{Request, Response, Status, Timestamp};
@@ -21,7 +21,7 @@ use proptest::prelude::*;
 /// A deterministic frame of every type, driven by an rng so proptest
 /// explores payload shapes (string lengths, counts, option-ness).
 fn arbitrary_frame(rng: &mut SplitMix64, seq: u32) -> Frame {
-    match rng.below(8) {
+    match rng.below(10) {
         0 => Frame::json(
             Command::Hello,
             seq,
@@ -102,13 +102,59 @@ fn arbitrary_frame(rng: &mut SplitMix64, seq: u32) -> Frame {
                 },
             },
         ),
-        _ => Frame::json(
+        7 => Frame::json(
             Command::Err,
             seq,
             &ErrInfo {
                 reason: format!("reason-{}", rng.below(100)),
             },
         ),
+        8 => {
+            // STATS requests are usually empty-payload; exercise both.
+            if rng.below(2) == 0 {
+                Frame::empty(Command::Stats, seq)
+            } else {
+                Frame::json(Command::Stats, seq, &StatsRequest::default())
+            }
+        }
+        _ => {
+            let sessions: Vec<SessionStat> = (0..rng.below(3))
+                .map(|i| SessionStat {
+                    study: format!("study-{}", rng.below(100)),
+                    run: "General".into(),
+                    shard: i as u32,
+                    shards: 4,
+                    state: "active".into(),
+                    visits: rng.next_u64() % 100,
+                    exchanges: rng.next_u64() % 10_000,
+                    bytes: rng.next_u64() % 1_000_000,
+                    queued: rng.next_u64() % 8,
+                    stalled: rng.below(2) == 0,
+                    last_activity_ms: rng.next_u64() % 60_000,
+                    stats_served: rng.next_u64() % 5,
+                })
+                .collect();
+            Frame::json(
+                Command::StatsReply,
+                seq,
+                &StatsReport {
+                    proto: PROTO_VERSION,
+                    health: hbbtv_obs::HealthReport {
+                        status: hbbtv_obs::HealthStatus::Healthy,
+                        raw: hbbtv_obs::HealthStatus::Healthy,
+                        reasons: vec![],
+                    },
+                    counters: [(format!("ingest.c{}", rng.below(4)), rng.next_u64() % 999)]
+                        .into_iter()
+                        .collect(),
+                    gauges: [("ingest.sessions_open".to_string(), rng.below(9) as i64)]
+                        .into_iter()
+                        .collect(),
+                    histograms: Default::default(),
+                    sessions,
+                },
+            )
+        }
     }
 }
 

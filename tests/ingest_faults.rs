@@ -25,7 +25,7 @@ fn test_config() -> IngestConfig {
     }
 }
 
-/// Sweeps all six fault kinds against one collector. For each kind, two
+/// Sweeps all seven fault kinds against one collector. For each kind, two
 /// healthy sibling sessions stream the golden fixture concurrently with
 /// the faulty session; the faulty one must be rejected or GC'd, and the
 /// siblings' study must reassemble byte-identically.
@@ -88,6 +88,11 @@ fn every_fault_kind_is_rejected_and_siblings_survive() {
                 "{kind:?} must trip the per-session sequence numbers, got: {}",
                 newest.reason
             ),
+            FaultKind::GarbageStats => assert!(
+                newest.reason.contains("STATS"),
+                "{kind:?} must be rejected at STATS request validation, got: {}",
+                newest.reason
+            ),
             // Garbage and torn frames surface wherever the corruption
             // happens to land: decode error, bad payload, seq break, or
             // a silent wedge the GC collects. Any of those is
@@ -136,6 +141,23 @@ fn every_fault_kind_is_rejected_and_siblings_survive() {
         completed,
         2 * FaultKind::ALL.len() as u64,
         "two healthy sibling sessions per round"
+    );
+    // Session accounting closes: every accepted session ended in exactly
+    // one terminal state, and the live gauge is back to zero.
+    let sessions = tel.counter_value("ingest.sessions");
+    let observer = tel.counter_value("ingest.sessions_observer");
+    // The last session's close lands moments after its study is
+    // observable; give the gauge a bounded beat to reach zero.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while tel.gauge("ingest.sessions_open").get() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let open = tel.gauge("ingest.sessions_open").get();
+    assert_eq!(open, 0, "no session may stay open at quiesce");
+    assert_eq!(
+        open as u64 + completed + rejected + gcd + observer,
+        sessions,
+        "open + completed + rejected + gc + observer must equal accepted sessions"
     );
     server.shutdown();
 }

@@ -115,6 +115,15 @@ fn thousand_concurrent_sessions_reconcile_at_every_pool_shape() {
             expected_bytes,
             "every byte the fleet wrote was read"
         );
+        // Live-session accounting: every accepted session closed, so
+        // the gauge is back to zero and the terminal counters cover the
+        // accepts exactly (no observers in this fleet).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while tel.gauge("ingest.sessions_open").get() != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(tel.gauge("ingest.sessions_open").get(), 0);
+        assert_eq!(tel.counter_value("ingest.sessions_observer"), 0);
         server.shutdown();
     }
 }
