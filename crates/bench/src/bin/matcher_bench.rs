@@ -1,5 +1,5 @@
 //! `matcher_bench` — fixed-seed indexed-vs-linear matcher throughput,
-//! written to `BENCH_matcher.json` for the `--bench-smoke` gate.
+//! written to `BENCH_matcher.json` for the `--matcher-smoke` gate.
 //!
 //! Usage:
 //!
@@ -9,13 +9,20 @@
 //!
 //! Measures the same workloads as the `kernels` criterion bench: the
 //! bundled Table III lists over a mixed 200-URL set, and synthetic
-//! lists of 10^2..10^4 rules over a 64-URL mix. "Linear" is the seed
+//! lists of 10^2..10^5 rules over a 64-URL mix. "Linear" is the seed
 //! implementation retained as `matches_linear` (per-call URL
-//! serialization, full rule scan); "indexed" is the bucketed engine
-//! behind `matches_view`.
+//! serialization, full rule scan); "indexed" is the kind-partitioned
+//! bucket engine with its Aho–Corasick residual prefilter behind
+//! `matches_view`.
+//!
+//! Each synthetic scale also round-trips the list through the HBFL
+//! prebuilt image: the loaded engine must produce byte-identical
+//! `MatchOutcome`s (same firing rule, same source line) before the row
+//! is recorded, and the instrumented pass runs on the freshly loaded
+//! engine so `load_mode`/`automaton_states` describe the prebuilt path.
 
 use hbbtv_bench::matcher_workload::{synthetic_list, url_workload};
-use hbbtv_filterlists::{bundled, stats, FilterList, RequestContext, UrlView};
+use hbbtv_filterlists::{bundled, stats, FilterList, MatchOutcome, RequestContext, UrlView};
 use hbbtv_net::Url;
 use std::time::Instant;
 
@@ -25,10 +32,10 @@ use std::time::Instant;
 const ITERS_BUNDLED: usize = 40;
 
 /// Repeats for each synthetic scale, matched by index with `SCALES`.
-const ITERS_SCALES: [usize; 3] = [40, 16, 6];
+const ITERS_SCALES: [usize; 4] = [40, 16, 6, 3];
 
 /// Synthetic rule counts exercised by the scaling section.
-const SCALES: [usize; 3] = [100, 1_000, 10_000];
+const SCALES: [usize; 4] = [100, 1_000, 10_000, 100_000];
 
 /// Workload seeds (list contents and URL mix).
 const LIST_SEED: u64 = 7;
@@ -48,7 +55,11 @@ fn time_best<F: FnMut() -> usize>(iters: usize, mut work: F) -> f64 {
 
 /// One counting pass over the workload (outside the timed loops):
 /// resets the global engine cells, runs the indexed engine once with
-/// counting on, and freezes the totals.
+/// counting on, and freezes the totals. Drives `matching_rule_view`
+/// (not the boolean `matches_view`) so every hit records its true
+/// first-match distance — the boolean path answers some queries from
+/// the exception index without a distance, which used to leave the
+/// histogram degenerate (p50 == p99 == max at every scale).
 fn instrumented_pass(
     lists: &[&FilterList],
     urls: &[Url],
@@ -56,23 +67,39 @@ fn instrumented_pass(
 ) -> stats::MatcherStats {
     stats::reset();
     stats::enable();
-    std::hint::black_box(indexed_pass(lists, urls, ctx));
+    std::hint::black_box(rule_pass(lists, urls, ctx));
     stats::disable();
     stats::snapshot()
 }
 
+/// Query-path cells only; engine-construction cells are reported
+/// separately by [`load_json`] because they are recorded at build/load
+/// time, outside the per-workload counting window.
 fn stats_json(s: &stats::MatcherStats) -> String {
     format!(
-        "{{ \"queries\": {}, \"bucket_probes\": {}, \"bucket_candidates\": {}, \"residual_checks\": {}, \"hits\": {}, \"rules_per_query\": {:.2}, \"first_match_p50\": {}, \"first_match_p99\": {}, \"first_match_max\": {} }}",
+        "{{ \"queries\": {}, \"bucket_probes\": {}, \"bucket_candidates\": {}, \"residual_checks\": {}, \"residual_walks\": {}, \"hits\": {}, \"rules_per_query\": {:.2}, \"first_match_p50\": {}, \"first_match_p99\": {}, \"first_match_max\": {} }}",
         s.queries,
         s.bucket_probes,
         s.bucket_candidates,
         s.residual_checks,
+        s.residual_walks,
         s.hits,
         s.rules_per_query(),
         s.first_match_distance.p50,
         s.first_match_distance.p99,
         s.first_match_distance.max
+    )
+}
+
+/// Engine-construction cells: how many engines this window built or
+/// loaded, and the DFA states they materialized.
+fn load_json(s: &stats::MatcherStats) -> String {
+    format!(
+        "{{ \"automaton_states\": {}, \"engines_built\": {}, \"engines_prebuilt\": {}, \"load_mode\": \"{}\" }}",
+        s.automaton_states,
+        s.engines_built,
+        s.engines_prebuilt,
+        s.load_mode()
     )
 }
 
@@ -84,6 +111,24 @@ fn indexed_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usi
         for l in lists {
             if l.matches_view(&view, ctx) {
                 hits += 1;
+            }
+        }
+    }
+    hits
+}
+
+/// The indexed engine via `matching_rule_view`: same decisions as
+/// `matches_view`, but every positive answer names its rule (and so
+/// records a real first-match distance when counting is on).
+fn rule_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usize {
+    let mut hits = 0;
+    let mut buf = String::new();
+    for u in urls {
+        let view = UrlView::of_url(u, &mut buf);
+        for l in lists {
+            match l.matching_rule_view(&view, ctx) {
+                MatchOutcome::Blocked(_) | MatchOutcome::HostBlocked => hits += 1,
+                MatchOutcome::Allowed | MatchOutcome::NoMatch => {}
             }
         }
     }
@@ -102,6 +147,18 @@ fn linear_pass(lists: &[&FilterList], urls: &[Url], ctx: RequestContext) -> usiz
     hits
 }
 
+/// A comparable key for a match outcome: which variant fired, and for
+/// block rules the exact source line, so "byte-identical outcome" means
+/// the same rule won, not merely the same boolean.
+fn outcome_key(o: &MatchOutcome<'_>) -> String {
+    match o {
+        MatchOutcome::Blocked(r) => format!("blocked:{}", r.source),
+        MatchOutcome::HostBlocked => "host".to_string(),
+        MatchOutcome::Allowed => "allowed".to_string(),
+        MatchOutcome::NoMatch => "none".to_string(),
+    }
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -110,8 +167,12 @@ fn main() {
     let mut sections = Vec::new();
 
     // Bundled Table III lists, probed together per URL as the fused
-    // per-exchange classification does.
+    // per-exchange classification does. Forcing the registry here also
+    // records the boot-time engine constructions (parsed text or
+    // prebuilt HBFL images, depending on HBBTV_PREBUILT_DIR).
+    stats::reset();
     let lists = bundled::all_refs();
+    let boot = stats::snapshot();
     let urls: Vec<Url> = (0..200)
         .map(|i| {
             let host = match i % 5 {
@@ -150,7 +211,7 @@ fn main() {
         bundled_speedup
     );
     sections.push(format!(
-        "  \"bundled\": {{ \"lists\": {}, \"rules\": {}, \"rule_counts\": {{ {} }}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_checks_per_s\": {:.0}, \"linear_checks_per_s\": {:.0}, \"speedup\": {:.2}, \"engine\": {} }}",
+        "  \"bundled\": {{ \"lists\": {}, \"rules\": {}, \"rule_counts\": {{ {} }}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_checks_per_s\": {:.0}, \"linear_checks_per_s\": {:.0}, \"speedup\": {:.2}, \"boot\": {}, \"engine\": {} }}",
         lists.len(),
         total_rules,
         rule_counts.join(", "),
@@ -160,11 +221,13 @@ fn main() {
         checks / t_idx,
         checks / t_lin,
         bundled_speedup,
+        load_json(&boot),
         stats_json(&bundled_stats)
     ));
 
     // Synthetic scales: indexed should stay flat while linear grows
-    // with the rule count.
+    // with the rule count. Every scale round-trips through the HBFL
+    // prebuilt image and must match it outcome for outcome.
     let mut scale_rows = Vec::new();
     for (i, n) in SCALES.into_iter().enumerate() {
         let iters = ITERS_SCALES[i];
@@ -177,7 +240,40 @@ fn main() {
             linear_pass(&one, &work, ctx),
             "engines disagree at {n} rules"
         );
-        let scale_stats = instrumented_pass(&one, &work, ctx);
+        assert_eq!(
+            hits,
+            rule_pass(&one, &work, ctx),
+            "matching_rule_view disagrees with matches_view at {n} rules"
+        );
+
+        // HBFL round trip: encode, load, and require byte-identical
+        // outcomes (same rule source line) from the loaded engine.
+        let t = Instant::now();
+        let image = list.to_prebuilt();
+        let encode_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let loaded = FilterList::from_prebuilt(&image).expect("prebuilt image loads");
+        let load_s = t.elapsed().as_secs_f64();
+        let mut buf = String::new();
+        for u in &work {
+            let view = UrlView::of_url(u, &mut buf);
+            assert_eq!(
+                outcome_key(&list.matching_rule_view(&view, ctx)),
+                outcome_key(&loaded.matching_rule_view(&view, ctx)),
+                "prebuilt engine diverges at {n} rules on {u}"
+            );
+        }
+
+        // Instrumented pass on a freshly loaded engine, with the load
+        // itself inside the counting window, so the row's load cells
+        // describe the prebuilt path (automaton states, load_mode).
+        stats::reset();
+        stats::enable();
+        let counted = FilterList::from_prebuilt(&image).expect("prebuilt image loads");
+        std::hint::black_box(rule_pass(&[&counted], &work, ctx));
+        stats::disable();
+        let scale_stats = stats::snapshot();
+
         let checks = work.len() as f64;
         let t_idx = time_best(iters, || indexed_pass(&one, &work, ctx));
         let t_lin = time_best(iters, || linear_pass(&one, &work, ctx));
@@ -188,7 +284,7 @@ fn main() {
             t_lin / t_idx
         );
         scale_rows.push(format!(
-            "    {{ \"rules\": {}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_urls_per_s\": {:.0}, \"linear_urls_per_s\": {:.0}, \"speedup\": {:.2}, \"engine\": {} }}",
+            "    {{ \"rules\": {}, \"urls\": {}, \"iters\": {}, \"hits\": {}, \"indexed_urls_per_s\": {:.0}, \"linear_urls_per_s\": {:.0}, \"speedup\": {:.2}, \"prebuilt\": {{ \"bytes\": {}, \"encode_s\": {:.6}, \"load_s\": {:.6}, \"outcome_parity\": true, \"load\": {} }}, \"engine\": {} }}",
             n,
             work.len(),
             iters,
@@ -196,6 +292,10 @@ fn main() {
             checks / t_idx,
             checks / t_lin,
             t_lin / t_idx,
+            image.len(),
+            encode_s,
+            load_s,
+            load_json(&scale_stats),
             stats_json(&scale_stats)
         ));
     }

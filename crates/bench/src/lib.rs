@@ -75,21 +75,52 @@ pub mod matcher_workload {
         format!("svc{i}.{}", TLDS[i % TLDS.len()])
     }
 
-    /// A synthetic Adblock-style list over a universe of `n` domains:
-    /// mostly `||domain^` anchors (the shape that dominates real lists),
-    /// with a sprinkling of path rules, options, exceptions, and rare
-    /// substring rules that land in the engine's residual scan.
+    /// A synthetic Adblock-style list over a universe of `n` domains,
+    /// with the rule-shape distribution of the paper's five lists:
+    /// `||domain^` anchors dominate (~84%, a slice of them carrying
+    /// `$third-party`/`$image`/`$script` options), followed by
+    /// domain-anchored path rules, then a thin residual tail of
+    /// substring, wildcard, and start-anchored rules — the shapes that
+    /// land in the engine's Aho–Corasick residual scan — plus rare
+    /// `@@` exceptions and kind-constrained residuals. Scales to 10^5
+    /// rules without the match cost scaling with it.
     pub fn synthetic_list(n: usize, seed: u64) -> FilterList {
         let mut rng = XorShift::new(seed);
         let mut text = String::new();
         for i in 0..n {
+            // A hot shared domain every 50 rules (capped at 50 such
+            // rules): real lists pile many path rules onto a few ad
+            // CDNs (doubleclick.net et al.), which is what gives the
+            // first-match distance histogram its tail — a hit on the
+            // hot bucket scans candidates in rule order until its own
+            // slot. The cap keeps the bucket depth (and so the indexed
+            // engine's per-query cost) independent of list scale.
+            if i % 50 == 17 && i < 2500 {
+                text.push_str(&format!("||hot.ads.example/slot{i}^\n"));
+                continue;
+            }
             let d = domain(i);
-            match rng.below(50) {
-                0 => text.push_str(&format!("/frag{i}\n")),
-                1 => text.push_str(&format!("@@||{d}/ok^\n")),
-                2..=6 => text.push_str(&format!("||{d}/track{i}\n")),
-                7..=11 => text.push_str(&format!("||{d}^$third-party\n")),
-                12..=14 => text.push_str(&format!("||{d}^$image\n")),
+            match rng.below(200) {
+                // 1% exceptions.
+                0..=1 => text.push_str(&format!("@@||{d}/ok^\n")),
+                // 1% kind-constrained residual substrings.
+                2 => text.push_str(&format!("/xframe{i}/$image\n")),
+                3 => text.push_str(&format!("/xpix{i}/$script\n")),
+                // 0.5% start-anchored.
+                4 => text.push_str(&format!("|http://{d}/boot{i}\n")),
+                // 1% substring with interior wildcard.
+                5..=6 => text.push_str(&format!("/gen{i}/*/pix\n")),
+                // 2% plain substrings.
+                7..=10 => text.push_str(&format!("/frag{i}/\n")),
+                // 2% domain-anchored wildcard paths.
+                11..=14 => text.push_str(&format!("||{d}/ad*track\n")),
+                // 6% domain-anchored paths.
+                15..=26 => text.push_str(&format!("||{d}/track{i}\n")),
+                // 9% host anchors with options.
+                27..=38 => text.push_str(&format!("||{d}^$third-party\n")),
+                39..=41 => text.push_str(&format!("||{d}^$image\n")),
+                42..=44 => text.push_str(&format!("||{d}^$script\n")),
+                // ~77% bare host anchors.
                 _ => text.push_str(&format!("||{d}^\n")),
             }
         }
@@ -97,20 +128,37 @@ pub mod matcher_workload {
     }
 
     /// A URL mix over the same `universe` of domains: direct hits,
-    /// subdomain hits, and out-of-universe misses (the common case in
+    /// subdomain hits, occasional paths that brush the residual
+    /// substring tail, and out-of-universe misses (the common case in
     /// real traffic).
     pub fn url_workload(n: usize, universe: usize, seed: u64) -> Vec<Url> {
         let mut rng = XorShift::new(seed);
         (0..n)
             .map(|i| {
-                let text = match rng.below(4) {
-                    0 => {
+                let text = match rng.below(8) {
+                    0 | 1 => {
                         let d = domain(rng.below(universe as u64) as usize);
                         format!("http://{d}/path/{i}?x={i}")
                     }
-                    1 => {
+                    2 => {
                         let d = domain(rng.below(universe as u64) as usize);
                         format!("http://cdn{i}.{d}/asset/{i}.js")
+                    }
+                    3 => {
+                        let k = rng.below(universe as u64);
+                        format!("http://clean{i}.example/frag{k}/item")
+                    }
+                    4 if universe > 17 => {
+                        // A guaranteed hit on the hot shared-domain
+                        // bucket at a random depth (rule i%50==17
+                        // exists up to the generator's 2500 cap): the
+                        // first-match distance is that rule's rank
+                        // among the bucket candidates.
+                        let k = rng.below(universe.min(2500) as u64) as usize;
+                        let hi = universe.min(2500);
+                        let slot = (k - k % 50 + 17).min(hi - hi % 50 + 17);
+                        let slot = if slot >= hi { slot - 50 } else { slot };
+                        format!("http://hot.ads.example/slot{slot}")
                     }
                     _ => format!("http://clean{i}.example/page/{i}"),
                 };

@@ -38,6 +38,7 @@ use crate::analysis::frame_store::{
     FrameStore, SegmentCols, FLAG_CANONICAL, FLAG_FINGERPRINT, FLAG_PIXEL,
 };
 use crate::analysis::leakage::{LeakageAnalysis, GENRE_KEYWORDS};
+use crate::analysis::parallel::par_map;
 use crate::analysis::policy_analysis::PolicyAnalysis;
 use crate::analysis::significance::SignificanceReport;
 use crate::analysis::syncing::{is_potential_id, SyncEvent, SyncingAnalysis};
@@ -702,14 +703,17 @@ impl FrameBuilder {
 
         // Cache this segment's partials against the now-current state.
         let cookie = cookie_partial(&cols, &self.fp_syms);
+        let mut memo = ClassMemo::over(&self.class_memo);
         let tracking = tracking_partial(
             &cols,
             &self.url_texts,
             &self.url_info,
             &self.etld1s,
             &self.fp_syms,
-            &mut self.class_memo,
+            &mut memo,
         );
+        let fresh = memo.fresh;
+        self.class_memo.extend(fresh);
         let graph = graph_edges(&cols, &self.fp_syms);
         let syncing = sync_segment(
             &cols,
@@ -790,51 +794,107 @@ impl FrameBuilder {
     /// Recomputes every invalidated partial from its segment's columns
     /// (reloading spilled columns on demand) and returns how many
     /// segments needed recomputation.
+    ///
+    /// The recomputes fan out over the worker pool: an election flip
+    /// invalidates every segment carrying the flipped channel, so a
+    /// refresh after one is the widest burst of work a report does.
+    /// Each segment's partials are pure functions of its columns and
+    /// the (frozen-for-the-duration) builder tables, so workers share
+    /// the tables read-only; the classification memo is snapshotted and
+    /// each worker's fresh entries are merged back afterwards in
+    /// segment order (see [`ClassMemo`] — the merge order is
+    /// irrelevant to results, ordering just keeps the map's iteration
+    /// future-proof against becoming order-sensitive). Reports are
+    /// byte-identical at any worker count.
     fn refresh(&mut self) -> u64 {
-        let mut recomputed = 0u64;
-        for s in 0..self.segments.len() {
-            let needs = {
+        let dirty: Vec<usize> = (0..self.segments.len())
+            .filter(|&s| {
                 let seg = &self.segments[s];
                 seg.cookie.is_none()
                     || seg.tracking.is_none()
                     || seg.graph.is_none()
                     || seg.syncing.is_none()
-            };
-            if !needs {
-                continue;
-            }
+            })
+            .collect();
+        if dirty.is_empty() {
+            self.enforce_budget();
+            return 0;
+        }
+        // Residency is LRU bookkeeping — sequential by nature. Load
+        // every dirty segment first, then take the column blocks out so
+        // the parallel region borrows only immutable builder state.
+        for &s in &dirty {
             self.ensure_resident(s);
-            let cols = self.segments[s].cols.take().expect("just made resident");
-            let run = self.segments[s].run;
-            if self.segments[s].cookie.is_none() {
-                self.segments[s].cookie = Some(cookie_partial(&cols, &self.fp_syms));
+        }
+        struct Job {
+            s: usize,
+            cols: SegmentCols,
+            run: RunKind,
+            need_cookie: bool,
+            need_tracking: bool,
+            need_graph: bool,
+            need_syncing: bool,
+        }
+        let jobs: Vec<Job> = dirty
+            .iter()
+            .map(|&s| {
+                let seg = &mut self.segments[s];
+                Job {
+                    s,
+                    cols: seg.cols.take().expect("just made resident"),
+                    run: seg.run,
+                    need_cookie: seg.cookie.is_none(),
+                    need_tracking: seg.tracking.is_none(),
+                    need_graph: seg.graph.is_none(),
+                    need_syncing: seg.syncing.is_none(),
+                }
+            })
+            .collect();
+
+        let url_texts = &self.url_texts;
+        let url_info = &self.url_info;
+        let etld1s = &self.etld1s;
+        let fp_syms = &self.fp_syms;
+        let sync_values = &self.sync_values;
+        let owners = &self.owners;
+        let base_memo = &self.class_memo;
+        type Recompute = (
+            Option<SymCookiePartial>,
+            Option<SymTrackingPartial>,
+            Option<Vec<(u64, u64)>>,
+            Option<SyncSegment>,
+            HashMap<(u32, bool, u8), u8>,
+        );
+        let results: Vec<Recompute> = par_map(&jobs, |_, job| {
+            let mut memo = ClassMemo::over(base_memo);
+            let cookie = job.need_cookie.then(|| cookie_partial(&job.cols, fp_syms));
+            let tracking = job.need_tracking.then(|| {
+                tracking_partial(&job.cols, url_texts, url_info, etld1s, fp_syms, &mut memo)
+            });
+            let graph = job.need_graph.then(|| graph_edges(&job.cols, fp_syms));
+            let syncing = job
+                .need_syncing
+                .then(|| sync_segment(&job.cols, job.run, url_info, sync_values, owners, etld1s));
+            (cookie, tracking, graph, syncing, memo.fresh)
+        });
+
+        let recomputed = jobs.len() as u64;
+        for (job, (cookie, tracking, graph, syncing, fresh)) in jobs.into_iter().zip(results) {
+            let seg = &mut self.segments[job.s];
+            if let Some(p) = cookie {
+                seg.cookie = Some(p);
             }
-            if self.segments[s].tracking.is_none() {
-                let p = tracking_partial(
-                    &cols,
-                    &self.url_texts,
-                    &self.url_info,
-                    &self.etld1s,
-                    &self.fp_syms,
-                    &mut self.class_memo,
-                );
-                self.segments[s].tracking = Some(p);
+            if let Some(p) = tracking {
+                seg.tracking = Some(p);
             }
-            if self.segments[s].graph.is_none() {
-                self.segments[s].graph = Some(graph_edges(&cols, &self.fp_syms));
+            if let Some(p) = graph {
+                seg.graph = Some(p);
             }
-            if self.segments[s].syncing.is_none() {
-                self.segments[s].syncing = Some(sync_segment(
-                    &cols,
-                    run,
-                    &self.url_info,
-                    &self.sync_values,
-                    &self.owners,
-                    &self.etld1s,
-                ));
+            if let Some(p) = syncing {
+                seg.syncing = Some(p);
             }
-            self.segments[s].cols = Some(cols);
-            recomputed += 1;
+            seg.cols = Some(job.cols);
+            self.class_memo.extend(fresh);
         }
         self.enforce_budget();
         self.delta_recomputes += recomputed;
@@ -1147,6 +1207,27 @@ fn cookie_partial(cols: &SegmentCols, fp_syms: &HashMap<ChannelId, u32>) -> SymC
     p
 }
 
+/// A two-level view of the builder's classification memo, so segment
+/// recomputes can run on pool workers: `base` is a read-only snapshot
+/// shared by every worker, `fresh` collects the entries this worker
+/// computed. After the parallel region the caller folds every `fresh`
+/// map back into the builder's memo. Classification is a pure function
+/// of its key, so two workers racing on the same key compute the same
+/// byte and the merge order cannot change any result.
+struct ClassMemo<'a> {
+    base: &'a HashMap<(u32, bool, u8), u8>,
+    fresh: HashMap<(u32, bool, u8), u8>,
+}
+
+impl<'a> ClassMemo<'a> {
+    fn over(base: &'a HashMap<(u32, bool, u8), u8>) -> Self {
+        ClassMemo {
+            base,
+            fresh: HashMap::new(),
+        }
+    }
+}
+
 /// The five memoized list verdicts for a (URL, party relation,
 /// content type) triple, as bit flags.
 fn class_bits(
@@ -1156,9 +1237,12 @@ fn class_bits(
     url_texts: &[String],
     url_info: &[UrlInfo],
     etld1s: &[Etld1],
-    memo: &mut HashMap<(u32, bool, u8), u8>,
+    memo: &mut ClassMemo<'_>,
 ) -> u8 {
-    *memo.entry((u, third_party, ct)).or_insert_with(|| {
+    if let Some(&bits) = memo.base.get(&(u, third_party, ct)) {
+        return bits;
+    }
+    *memo.fresh.entry((u, third_party, ct)).or_insert_with(|| {
         let info = &url_info[u as usize];
         let text = url_texts[u as usize].as_str();
         let view = UrlView::new(text, &info.host, etld1s[info.etld1_sym as usize].as_str());
@@ -1195,7 +1279,7 @@ fn tracking_partial(
     url_info: &[UrlInfo],
     etld1s: &[Etld1],
     fp_syms: &HashMap<ChannelId, u32>,
-    memo: &mut HashMap<(u32, bool, u8), u8>,
+    memo: &mut ClassMemo<'_>,
 ) -> SymTrackingPartial {
     let mut p = SymTrackingPartial::default();
     for i in 0..cols.len() {
@@ -1660,5 +1744,46 @@ mod tests {
         assert!(inc.spill_writes() > 0, "the 4 KiB budget forces spills");
         assert!(inc.resident_bytes() <= 4096, "budget holds after report");
         assert!(inc.peak_resident_bytes() >= inc.resident_bytes());
+    }
+
+    /// `refresh` fans segment recomputes over the worker pool; with the
+    /// read-only memo snapshot + fresh-overlay merge, the rendered
+    /// report must be byte-identical at every worker count. Small
+    /// epochs under a tight budget maximize segments (and thus
+    /// election-flip invalidations crossing segment boundaries), so the
+    /// parallel region actually runs wide here.
+    #[test]
+    fn refresh_is_deterministic_across_worker_counts() {
+        use crate::analysis::Runtime;
+        let eco = Ecosystem::with_scale(11, 0.05);
+        let harness = StudyHarness::new(&eco);
+        let run1 = harness.run(RunKind::General);
+        let run2 = harness.run(RunKind::Red);
+        let render_with = |workers: usize| {
+            let rt = Runtime::with_workers(workers);
+            rt.install(|| {
+                let mut inc = IncrementalStudy::with_budget(Some(4096));
+                for run in [run1.clone(), run2.clone()] {
+                    let mut meta = run;
+                    let caps = std::mem::take(&mut meta.captures);
+                    inc.push_run(meta);
+                    for chunk in caps.chunks(61) {
+                        inc.extend_run(chunk.to_vec());
+                    }
+                }
+                inc.render(&eco)
+            })
+        };
+        let single = render_with(1);
+        let eight = render_with(8);
+        assert_eq!(single, eight, "worker count changed the report");
+        let ds = StudyDataset {
+            runs: vec![run1, run2],
+        };
+        assert_eq!(
+            single,
+            StudyReport::compute(&eco, &ds).render(&ds),
+            "parallel refresh diverged from the reference build"
+        );
     }
 }

@@ -1,23 +1,49 @@
-//! Indexed match engine: domain-bucketed rule lookup with a residual
-//! scan, in the style of production adblock engines.
+//! Indexed match engine: a three-tier layout — domain buckets, resource
+//! -kind partitions, and an Aho–Corasick residual — in the style of
+//! production adblock engines, with a flat arena representation that
+//! serializes directly into the prebuilt "HBFL" image
+//! ([`crate::prebuilt`]).
 //!
-//! At build time every `||` (domain-anchored) rule lands in a hash
-//! bucket keyed by its domain pattern; at match time a URL only probes
-//! the buckets for its own host suffixes (`a.b.de` probes `a.b.de`,
-//! `b.de`, `de`), so the per-URL cost is bounded by the host's label
-//! count plus the few start-anchored/substring rules in the residual
-//! scan — not by the list size. Wildcard patterns are pre-split into
-//! literal parts once here instead of on every match call.
+//! **Tier 1 — domain buckets.** Every `||` (domain-anchored) rule lands
+//! in an open-addressed hash table keyed by its domain pattern; at match
+//! time a URL only probes its own host suffixes (`a.b.de` probes
+//! `a.b.de`, `b.de`, `de`), so bucket cost is bounded by the host's
+//! label count, not the list size. The bucket probe is exhaustive and
+//! exact: a domain rule matches a host iff the host equals the rule's
+//! domain or ends with `.domain` (see [`host_matches_domain`]), which is
+//! precisely the set of dot-boundary suffixes [`host_suffixes`]
+//! enumerates. Rules whose domain part is empty or contains `*` can
+//! never pass that host check, so they compile to `TAG_NEVER` instead
+//! of a bucket entry.
 //!
-//! The bucket probe is exhaustive and exact: a domain rule matches a
-//! host iff the host equals the rule's domain or ends with `.domain`
-//! (see [`host_matches_domain`]), which is precisely the set of
-//! dot-boundary suffixes [`host_suffixes`] enumerates. Rules whose
-//! domain part is empty or contains `*` can never pass that host check,
-//! so they compile to [`Matcher::Never`] instead of a bucket entry.
+//! **Tier 2 — kind partitions.** Buckets *and* the residual are
+//! partitioned by [`ResourceKind`]: a `$image` rule only exists in the
+//! `Image` partition, so an image request never examines script-only
+//! rules and vice versa. Kind-neutral rules would quadruplicate the
+//! tables, so partitions with identical member sets are deduplicated —
+//! a list with no kind-constrained rules builds exactly one partition
+//! shared by all four kinds.
+//!
+//! **Tier 3 — residual automaton.** Start-anchored and substring rules
+//! (the "residual" the buckets can't key) used to be scanned linearly —
+//! the measured cliff at 10^4+ rules. Each such rule now contributes its
+//! longest literal part as a needle to a shared byte-level Aho–Corasick
+//! DFA ([`hbbtv_automaton::Automaton`]): one walk over the URL text
+//! yields the only candidate rules whose pattern could possibly match
+//! (a wildcard pattern needs *every* literal part present, so a missing
+//! longest part disqualifies the rule), and only those few candidates
+//! run the full backtracking/option check. All-wildcard patterns (no
+//! literal part) go to a tiny always-check list.
+//!
+//! Rule options (`$third-party`, `$image`, …) are packed into each
+//! rule's compiled record, so the entire match path runs without
+//! touching the parsed `Rule` vector — which is what lets a prebuilt
+//! image serve matches without materializing rules at all.
 
-use crate::matcher::{options_allow, RequestContext, UrlView};
-use crate::rule::{parts_match, split_domain_pattern, Anchor, Rule};
+use crate::matcher::{RequestContext, UrlView};
+use crate::rule::{split_domain_pattern, Anchor, Parts, ResourceKind, Rule};
+use hbbtv_automaton::Automaton;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::Hasher;
 
@@ -70,162 +96,526 @@ impl Hasher for FxHasher {
     }
 }
 
-/// Build-hasher for the engine's hash tables.
+/// Build-hasher for the engine's (build-time) hash tables.
 pub(crate) type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
-/// A wildcard pattern pre-split on `*` with its anchoring resolved, so
-/// match calls run straight into the backtracking part matcher.
-#[derive(Debug, Clone)]
-struct CompiledPattern {
-    parts: Vec<Box<str>>,
-    anchored: bool,
-    end_sep: bool,
+/// One FxHash of a byte string — the probe hash for [`BucketTable`] and
+/// [`DomainSet`]. Both the builder and the (possibly deserialized)
+/// prober use this same function, which is what makes the serialized
+/// slot layout portable.
+#[inline]
+pub(crate) fn fx_hash(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
 }
 
-impl CompiledPattern {
-    fn compile(pattern: &str, anchored: bool, end_separator: bool) -> Self {
-        CompiledPattern {
-            parts: pattern
-                .split('*')
-                .filter(|p| !p.is_empty())
-                .map(Into::into)
-                .collect(),
-            // A leading `*` unanchors the pattern; a trailing `*`
-            // swallows the end-separator requirement — mirroring the
-            // per-call `wildcard_match`/`wildcard_find` exactly.
-            anchored: anchored && !pattern.starts_with('*'),
-            end_sep: end_separator && !pattern.ends_with('*'),
+/// A byte range into an engine arena. Everything variable-width in the
+/// engine — domains, pattern parts, needles, host domains — is a `Span`
+/// into one string, so the whole structure is flat and
+/// serialization-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Span {
+    pub(crate) off: u32,
+    pub(crate) len: u32,
+}
+
+impl Span {
+    #[inline]
+    pub(crate) fn of(self, arena: &str) -> &str {
+        &arena[self.off as usize..(self.off + self.len) as usize]
+    }
+}
+
+/// Pushes `s` into the arena and returns its span.
+fn intern(arena: &mut String, s: &str) -> Span {
+    let off = u32::try_from(arena.len()).expect("arena below 4 GiB");
+    arena.push_str(s);
+    Span {
+        off,
+        len: s.len() as u32,
+    }
+}
+
+/// Arena-backed part list for [`parts_match`](crate::rule::parts_match).
+#[derive(Clone, Copy)]
+struct ArenaParts<'p> {
+    arena: &'p str,
+    spans: &'p [Span],
+}
+
+impl<'p> Parts<'p> for ArenaParts<'p> {
+    #[inline]
+    fn split_first(self) -> Option<(&'p str, Self)> {
+        self.spans.split_first().map(|(s, rest)| {
+            (
+                s.of(self.arena),
+                ArenaParts {
+                    arena: self.arena,
+                    spans: rest,
+                },
+            )
+        })
+    }
+}
+
+// Compiled-rule tags.
+pub(crate) const TAG_NEVER: u8 = 0;
+pub(crate) const TAG_DOMAIN: u8 = 1;
+pub(crate) const TAG_START: u8 = 2;
+pub(crate) const TAG_SUBSTRING: u8 = 3;
+
+// Compiled-rule flags: pattern anchoring plus the `$option` gates,
+// packed so the match path never consults the parsed `Rule`.
+pub(crate) const F_ANCHORED: u8 = 1 << 0;
+pub(crate) const F_END_SEP: u8 = 1 << 1;
+pub(crate) const F_THIRD_ONLY: u8 = 1 << 2;
+pub(crate) const F_FIRST_ONLY: u8 = 1 << 3;
+pub(crate) const F_IMAGE_ONLY: u8 = 1 << 4;
+pub(crate) const F_SCRIPT_ONLY: u8 = 1 << 5;
+
+/// One compiled rule: tag, flags, and the `*`-split literal parts as a
+/// range into [`RuleIndex::parts`]. 8 bytes, fixed width.
+///
+/// * `TAG_DOMAIN` — `||dom` or `||dom/path…`: the host is proven by the
+///   bucket probe; `parts` hold the optional path remainder (matched
+///   against the post-host text; empty = no path, always matches).
+/// * `TAG_START` — `|pattern`, anchored at the start of the URL text
+///   (unless a leading `*` cleared `F_ANCHORED`).
+/// * `TAG_SUBSTRING` — unanchored pattern over the URL text.
+/// * `TAG_NEVER` — a rule that cannot match any host (empty or
+///   wildcarded domain part), kept so rule indices stay aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct MatcherRec {
+    pub(crate) tag: u8,
+    pub(crate) flags: u8,
+    pub(crate) parts_len: u16,
+    pub(crate) parts_start: u32,
+}
+
+/// An open-addressed domain → candidate-ids table with linear probing.
+///
+/// Capacity is a power of two at most half full; an empty slot has
+/// `dom.off == u32::MAX`. Insertion order is rule order, so the slot
+/// layout is deterministic — the property that makes the serialized
+/// image byte-stable.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BucketTable {
+    pub(crate) mask: u32,
+    pub(crate) slots: Vec<BucketSlot>,
+}
+
+/// One [`BucketTable`] slot: the domain key and its candidate-id range
+/// in the partition's flat `ids` vector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BucketSlot {
+    pub(crate) dom: Span,
+    pub(crate) ids_start: u32,
+    pub(crate) ids_len: u32,
+}
+
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
+
+impl BucketTable {
+    /// Builds the table from `(domain, ids)` groups (insertion order =
+    /// first-occurrence order). Returns the table plus the flat ids.
+    fn build(arena: &str, groups: &[(Span, Vec<u32>)]) -> (BucketTable, Vec<u32>) {
+        if groups.is_empty() {
+            return (BucketTable::default(), Vec::new());
+        }
+        let cap = (groups.len() * 2).next_power_of_two().max(4);
+        let mask = (cap - 1) as u32;
+        let mut slots = vec![
+            BucketSlot {
+                dom: Span {
+                    off: EMPTY_SLOT,
+                    len: 0
+                },
+                ids_start: 0,
+                ids_len: 0,
+            };
+            cap
+        ];
+        let mut ids = Vec::new();
+        for &(dom, ref group) in groups {
+            let mut at = (fx_hash(dom.of(arena).as_bytes()) & u64::from(mask)) as usize;
+            while slots[at].dom.off != EMPTY_SLOT {
+                at = (at + 1) & mask as usize;
+            }
+            slots[at] = BucketSlot {
+                dom,
+                ids_start: ids.len() as u32,
+                ids_len: group.len() as u32,
+            };
+            ids.extend_from_slice(group);
+        }
+        (BucketTable { mask, slots }, ids)
+    }
+
+    /// Probes for an exact domain key; returns the ids range.
+    #[inline]
+    fn get(&self, arena: &str, key: &str) -> Option<(u32, u32)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut at = (fx_hash(key.as_bytes()) & u64::from(self.mask)) as usize;
+        loop {
+            let slot = &self.slots[at];
+            if slot.dom.off == EMPTY_SLOT {
+                return None;
+            }
+            if slot.dom.of(arena) == key {
+                return Some((slot.ids_start, slot.ids_len));
+            }
+            at = (at + 1) & self.mask as usize;
         }
     }
+}
 
-    fn matches(&self, text: &str) -> bool {
-        // All-star patterns split into no parts and match everything,
-        // as in the per-call path.
-        self.parts.is_empty() || parts_match(text, &self.parts, self.anchored, self.end_sep)
+/// Sentinel for "this partition has no residual automaton".
+pub(crate) const NO_AUTOMATON: u32 = u32::MAX;
+
+/// The per-resource-kind slice of the engine: this kind's domain
+/// buckets plus its residual (automaton index + always-check list).
+/// Partitions with identical member sets are shared across kinds via
+/// [`RuleIndex::of_kind`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Partition {
+    pub(crate) table: BucketTable,
+    /// Flat candidate-id lists the bucket slots point into; each
+    /// bucket's ids ascend (rule order), preserving first-match-wins.
+    pub(crate) ids: Vec<u32>,
+    /// Index into [`RuleIndex::automatons`], or [`NO_AUTOMATON`].
+    pub(crate) automaton: u32,
+    /// Residual rules with no literal part (all-wildcard patterns):
+    /// checked on every query, ascending.
+    pub(crate) always: Vec<u32>,
+}
+
+/// Maps a [`ResourceKind`] to its partition slot.
+#[inline]
+pub(crate) fn kind_slot(kind: ResourceKind) -> usize {
+    match kind {
+        ResourceKind::Document => 0,
+        ResourceKind::Script => 1,
+        ResourceKind::Image => 2,
+        ResourceKind::Other => 3,
     }
 }
 
-/// The per-rule compiled matcher. Domain rules don't re-check the host:
-/// reaching one through its bucket already proves the host suffix.
-#[derive(Debug, Clone)]
-enum Matcher {
-    /// `||dom` or `||dom/path…`: host is proven by the bucket probe,
-    /// only the optional path remainder is matched (against the
-    /// post-host text).
-    Domain { path: Option<CompiledPattern> },
-    /// `|pattern`: anchored at the start of the full URL text.
-    Start(CompiledPattern),
-    /// Unanchored substring pattern over the full URL text.
-    Substring(CompiledPattern),
-    /// A rule that cannot match any valid host (empty or wildcarded
-    /// domain part) — kept so rule indices stay aligned.
-    Never,
-}
-
-/// The index over one rule vector. Bucket entries and the residual list
-/// store rule indices in ascending (list) order, which is what lets
+/// The index over one rule vector. Bucket entries, automaton candidate
+/// sets, and the always lists store rule indices; candidates are
+/// examined in ascending (list) order, which is what lets
 /// [`RuleIndex::first_match`] reproduce the linear scan's
 /// first-match-wins semantics.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RuleIndex {
-    buckets: HashMap<Box<str>, Vec<u32>, FxBuildHasher>,
-    residual: Vec<u32>,
-    compiled: Vec<Matcher>,
+    /// Every literal the engine reads: domains, pattern parts.
+    pub(crate) arena: Box<str>,
+    /// One compiled record per rule, index-aligned with the rule list.
+    pub(crate) matchers: Vec<MatcherRec>,
+    /// Flattened `*`-split literal parts, referenced by `matchers`.
+    pub(crate) parts: Vec<Span>,
+    /// Deduplicated kind partitions (≥ 1 once any rule exists).
+    pub(crate) partitions: Vec<Partition>,
+    /// `kind_slot` → index into `partitions`.
+    pub(crate) of_kind: [u8; 4],
+    /// Deduplicated residual automatons, shared across partitions.
+    pub(crate) automatons: Vec<Automaton>,
+}
+
+thread_local! {
+    /// Scratch for first-match candidate collection: the automaton
+    /// reports candidates in text order, first-match needs id order.
+    /// Thread-local so the match path stays allocation-free in steady
+    /// state and `&self` across worker threads.
+    static RESIDUAL_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
 }
 
 impl RuleIndex {
     pub(crate) fn build(rules: &[Rule]) -> Self {
-        let mut index = RuleIndex::default();
-        for (i, rule) in rules.iter().enumerate() {
-            let i = u32::try_from(i).expect("filter lists stay below 2^32 rules");
-            let compiled = match rule.anchor {
+        let mut arena = String::new();
+        let mut matchers = Vec::with_capacity(rules.len());
+        let mut parts: Vec<Span> = Vec::new();
+        // Per-rule bucket/residual membership, gathered during compile.
+        let mut domain_of: Vec<Option<Span>> = Vec::with_capacity(rules.len());
+        let mut needle_of: Vec<Option<Span>> = Vec::with_capacity(rules.len());
+
+        for rule in rules {
+            let mut flags = 0u8;
+            if rule.options.third_party_only {
+                flags |= F_THIRD_ONLY;
+            }
+            if rule.options.first_party_only {
+                flags |= F_FIRST_ONLY;
+            }
+            if rule.options.image_only {
+                flags |= F_IMAGE_ONLY;
+            }
+            if rule.options.script_only {
+                flags |= F_SCRIPT_ONLY;
+            }
+
+            let (tag, pattern, anchored) = match rule.anchor {
                 Anchor::Domain => {
                     let (dom, path) = split_domain_pattern(&rule.pattern);
                     if dom.is_empty() || dom.contains('*') {
-                        Matcher::Never
+                        (TAG_NEVER, "", false)
                     } else {
-                        index.buckets.entry(dom.into()).or_default().push(i);
-                        let path = (!path.is_empty())
-                            .then(|| CompiledPattern::compile(path, true, rule.end_separator));
-                        Matcher::Domain { path }
+                        domain_of.push(Some(intern(&mut arena, dom)));
+                        needle_of.push(None);
+                        (TAG_DOMAIN, path, true)
                     }
                 }
-                Anchor::Start => {
-                    index.residual.push(i);
-                    Matcher::Start(CompiledPattern::compile(
-                        &rule.pattern,
-                        true,
-                        rule.end_separator,
-                    ))
-                }
-                Anchor::None => {
-                    index.residual.push(i);
-                    Matcher::Substring(CompiledPattern::compile(
-                        &rule.pattern,
-                        false,
-                        rule.end_separator,
-                    ))
-                }
+                Anchor::Start => (TAG_START, rule.pattern.as_str(), true),
+                Anchor::None => (TAG_SUBSTRING, rule.pattern.as_str(), false),
             };
-            index.compiled.push(compiled);
+            if tag != TAG_DOMAIN {
+                domain_of.push(None);
+                needle_of.push(None);
+            }
+
+            // Mirror `wildcard_match`/`wildcard_find` exactly: a leading
+            // `*` unanchors, a trailing `*` swallows the end-separator.
+            if anchored && !pattern.starts_with('*') {
+                flags |= F_ANCHORED;
+            }
+            if rule.end_separator
+                && !pattern.ends_with('*')
+                && !(tag == TAG_DOMAIN && pattern.is_empty())
+            {
+                flags |= F_END_SEP;
+            }
+
+            let parts_start = parts.len() as u32;
+            let mut longest: Option<Span> = None;
+            for part in pattern.split('*').filter(|p| !p.is_empty()) {
+                let span = intern(&mut arena, part);
+                parts.push(span);
+                if longest.is_none_or(|l| span.len > l.len) {
+                    longest = Some(span);
+                }
+            }
+            let parts_len = (parts.len() as u32 - parts_start) as u16;
+            if matches!(tag, TAG_START | TAG_SUBSTRING) {
+                *needle_of.last_mut().expect("pushed above") = longest;
+            }
+            matchers.push(MatcherRec {
+                tag,
+                flags,
+                parts_len,
+                parts_start,
+            });
         }
-        index
+        let arena: Box<str> = arena.into_boxed_str();
+
+        // Kind membership sets. A rule constrained to both image and
+        // script can match neither (a request has one kind) — exactly
+        // as `options_allow` decides — so it joins no partition.
+        let mut kind_domain: [Vec<u32>; 4] = Default::default();
+        let mut kind_residual: [Vec<u32>; 4] = Default::default();
+        for (i, rec) in matchers.iter().enumerate() {
+            let i = u32::try_from(i).expect("filter lists stay below 2^32 rules");
+            let in_kind = |slot: usize| match (
+                rec.flags & F_IMAGE_ONLY != 0,
+                rec.flags & F_SCRIPT_ONLY != 0,
+            ) {
+                (false, false) => true,
+                (true, false) => slot == kind_slot(ResourceKind::Image),
+                (false, true) => slot == kind_slot(ResourceKind::Script),
+                (true, true) => false,
+            };
+            for slot in 0..4 {
+                if !in_kind(slot) {
+                    continue;
+                }
+                match rec.tag {
+                    TAG_DOMAIN => kind_domain[slot].push(i),
+                    TAG_START | TAG_SUBSTRING => kind_residual[slot].push(i),
+                    _ => {}
+                }
+            }
+        }
+
+        // Deduplicate: kinds with identical member sets share one
+        // partition; identical residual sets share one automaton.
+        let mut partitions: Vec<Partition> = Vec::new();
+        let mut of_kind = [0u8; 4];
+        let mut automatons: Vec<Automaton> = Vec::new();
+        let mut part_memo: HashMap<(Vec<u32>, Vec<u32>), u8, FxBuildHasher> = HashMap::default();
+        let mut auto_memo: HashMap<Vec<u32>, u32, FxBuildHasher> = HashMap::default();
+        for slot in 0..4 {
+            let key = (kind_domain[slot].clone(), kind_residual[slot].clone());
+            if let Some(&p) = part_memo.get(&key) {
+                of_kind[slot] = p;
+                continue;
+            }
+
+            // Buckets: group this kind's domain rules by domain key,
+            // first-occurrence order, ids ascending within a group.
+            let mut group_of: HashMap<&str, usize, FxBuildHasher> = HashMap::default();
+            let mut groups: Vec<(Span, Vec<u32>)> = Vec::new();
+            for &i in &kind_domain[slot] {
+                let dom = domain_of[i as usize].expect("domain rule has a domain span");
+                let at = *group_of.entry(dom.of(&arena)).or_insert_with(|| {
+                    groups.push((dom, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[at].1.push(i);
+            }
+            let (table, ids) = BucketTable::build(&arena, &groups);
+
+            // Residual: automaton over each rule's longest literal part;
+            // literal-free rules go to the always list.
+            let mut always = Vec::new();
+            let mut auto_rules: Vec<u32> = Vec::new();
+            for &i in &kind_residual[slot] {
+                match needle_of[i as usize] {
+                    Some(_) => auto_rules.push(i),
+                    None => always.push(i),
+                }
+            }
+            let automaton = if auto_rules.is_empty() {
+                NO_AUTOMATON
+            } else if let Some(&a) = auto_memo.get(&auto_rules) {
+                a
+            } else {
+                let needles: Vec<(&[u8], u32)> = auto_rules
+                    .iter()
+                    .map(|&i| {
+                        let span = needle_of[i as usize].expect("filtered above");
+                        (span.of(&arena).as_bytes(), i)
+                    })
+                    .collect();
+                automatons.push(Automaton::build(&needles));
+                let a = (automatons.len() - 1) as u32;
+                auto_memo.insert(auto_rules.clone(), a);
+                a
+            };
+
+            let p = u8::try_from(partitions.len()).expect("at most 4 partitions");
+            partitions.push(Partition {
+                table,
+                ids,
+                automaton,
+                always,
+            });
+            part_memo.insert(key, p);
+            of_kind[slot] = p;
+        }
+
+        RuleIndex {
+            arena,
+            matchers,
+            parts,
+            partitions,
+            of_kind,
+            automatons,
+        }
     }
 
-    /// Whether rule `i` fires on the view (options gate + compiled
-    /// pattern). Zero allocations.
-    fn applies(&self, i: u32, rules: &[Rule], view: &UrlView<'_>, ctx: RequestContext) -> bool {
-        if !options_allow(&rules[i as usize], ctx) {
+    /// Total DFA states across this index's automatons (obs feed).
+    pub(crate) fn automaton_states(&self) -> u64 {
+        self.automatons
+            .iter()
+            .map(|a| u64::from(a.n_states()))
+            .sum()
+    }
+
+    #[inline]
+    fn partition(&self, kind: ResourceKind) -> &Partition {
+        &self.partitions[self.of_kind[kind_slot(kind)] as usize]
+    }
+
+    #[inline]
+    fn automaton_of(&self, part: &Partition) -> Option<&Automaton> {
+        if part.automaton == NO_AUTOMATON {
+            None
+        } else {
+            Some(&self.automatons[part.automaton as usize])
+        }
+    }
+
+    #[inline]
+    fn bucket_ids<'s>(&'s self, part: &'s Partition, suffix: &str) -> Option<&'s [u32]> {
+        part.table
+            .get(&self.arena, suffix)
+            .map(|(start, len)| &part.ids[start as usize..(start + len) as usize])
+    }
+
+    /// Whether rule `i` fires on the view (packed option gate + compiled
+    /// pattern). Zero allocations, no `Rule` access.
+    #[inline]
+    fn applies(&self, i: u32, view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        let m = self.matchers[i as usize];
+        let f = m.flags;
+        if (f & F_THIRD_ONLY != 0 && !ctx.third_party)
+            || (f & F_FIRST_ONLY != 0 && ctx.third_party)
+            || (f & F_IMAGE_ONLY != 0 && ctx.kind != ResourceKind::Image)
+            || (f & F_SCRIPT_ONLY != 0 && ctx.kind != ResourceKind::Script)
+        {
             return false;
         }
-        match &self.compiled[i as usize] {
-            Matcher::Domain { path } => match path {
-                None => true,
-                Some(p) => p.matches(view.after_host()),
-            },
-            Matcher::Start(p) => p.matches(view.text),
-            Matcher::Substring(p) => p.matches(view.text),
-            Matcher::Never => false,
+        let spans =
+            &self.parts[m.parts_start as usize..m.parts_start as usize + m.parts_len as usize];
+        // All-star patterns split into no parts and match everything,
+        // as in the per-call path (`Domain` with no path likewise: the
+        // bucket probe already proved the host).
+        if spans.is_empty() {
+            return m.tag != TAG_NEVER;
         }
+        let parts = ArenaParts {
+            arena: &self.arena,
+            spans,
+        };
+        let text = match m.tag {
+            TAG_DOMAIN => view.after_host(),
+            _ => view.text,
+        };
+        crate::rule::parts_match(text, parts, f & F_ANCHORED != 0, f & F_END_SEP != 0)
     }
 
     /// The lowest-index rule that fires — identical to what a linear
-    /// `rules.iter().find(..)` would report. Each bucket (and the
-    /// residual list) is ascending, so the first hit per probe is that
-    /// probe's minimum and later probes stop as soon as their indices
-    /// pass the current best.
-    pub(crate) fn first_match(
-        &self,
-        rules: &[Rule],
-        view: &UrlView<'_>,
-        ctx: RequestContext,
-    ) -> Option<u32> {
-        if self.compiled.is_empty() {
+    /// `rules.iter().find(..)` would report. Residual candidates come
+    /// out of the automaton walk unordered, so they are sorted into id
+    /// order first; each bucket's ids ascend, so the first hit per probe
+    /// is that probe's minimum and later probes stop as soon as their
+    /// indices pass the current best.
+    pub(crate) fn first_match(&self, view: &UrlView<'_>, ctx: RequestContext) -> Option<u32> {
+        if self.matchers.is_empty() {
             return None;
         }
         // One relaxed load when counting is off (the default); the
         // instrumented loops live in a separate cold copy so this hot
         // path compiles exactly as if the cells didn't exist.
         if crate::stats::enabled() {
-            return self.first_match_counted(rules, view, ctx);
+            return self.first_match_counted(view, ctx);
         }
+        let part = self.partition(ctx.kind);
         let mut best: Option<u32> = None;
-        for &i in &self.residual {
-            if best.is_some_and(|b| i >= b) {
-                break;
+        RESIDUAL_SCRATCH.with(|scratch| {
+            let mut cand = scratch.borrow_mut();
+            cand.clear();
+            if let Some(auto) = self.automaton_of(part) {
+                auto.for_each_match(view.text.as_bytes(), |id| cand.push(id));
             }
-            if self.applies(i, rules, view, ctx) {
-                best = Some(i);
-                break;
+            cand.extend_from_slice(&part.always);
+            cand.sort_unstable();
+            cand.dedup();
+            for &i in cand.iter() {
+                if self.applies(i, view, ctx) {
+                    best = Some(i);
+                    break;
+                }
             }
-        }
+        });
         for suffix in host_suffixes(view.host) {
-            if let Some(ids) = self.buckets.get(suffix) {
+            if let Some(ids) = self.bucket_ids(part, suffix) {
                 for &i in ids {
                     if best.is_some_and(|b| i >= b) {
                         break;
                     }
-                    if self.applies(i, rules, view, ctx) {
+                    if self.applies(i, view, ctx) {
                         best = Some(i);
                         break;
                     }
@@ -238,33 +628,38 @@ impl RuleIndex {
     /// [`RuleIndex::first_match`] with the global cells fed — same
     /// result, same probe order.
     #[cold]
-    fn first_match_counted(
-        &self,
-        rules: &[Rule],
-        view: &UrlView<'_>,
-        ctx: RequestContext,
-    ) -> Option<u32> {
+    fn first_match_counted(&self, view: &UrlView<'_>, ctx: RequestContext) -> Option<u32> {
+        let part = self.partition(ctx.kind);
         let (mut probes, mut candidates, mut residual_checks) = (0u64, 0u64, 0u64);
+        let mut walks = 0u64;
         let mut best: Option<u32> = None;
-        for &i in &self.residual {
-            if best.is_some_and(|b| i >= b) {
-                break;
+        RESIDUAL_SCRATCH.with(|scratch| {
+            let mut cand = scratch.borrow_mut();
+            cand.clear();
+            if let Some(auto) = self.automaton_of(part) {
+                walks = 1;
+                auto.for_each_match(view.text.as_bytes(), |id| cand.push(id));
             }
-            residual_checks += 1;
-            if self.applies(i, rules, view, ctx) {
-                best = Some(i);
-                break;
+            cand.extend_from_slice(&part.always);
+            cand.sort_unstable();
+            cand.dedup();
+            for &i in cand.iter() {
+                residual_checks += 1;
+                if self.applies(i, view, ctx) {
+                    best = Some(i);
+                    break;
+                }
             }
-        }
+        });
         for suffix in host_suffixes(view.host) {
-            if let Some(ids) = self.buckets.get(suffix) {
+            if let Some(ids) = self.bucket_ids(part, suffix) {
                 probes += 1;
                 for &i in ids {
                     if best.is_some_and(|b| i >= b) {
                         break;
                     }
                     candidates += 1;
-                    if self.applies(i, rules, view, ctx) {
+                    if self.applies(i, view, ctx) {
                         best = Some(i);
                         break;
                     }
@@ -272,57 +667,161 @@ impl RuleIndex {
             }
         }
         let distance = best.map(|_| candidates + residual_checks);
-        crate::stats::note_query(probes, candidates, residual_checks, distance);
+        crate::stats::note_query(probes, candidates, residual_checks, walks, distance);
         best
     }
 
     /// Whether any rule fires, in no particular order (used for the
     /// boolean `matches` path and for exception lists, where only
-    /// existence matters).
-    pub(crate) fn any_match(
-        &self,
-        rules: &[Rule],
-        view: &UrlView<'_>,
-        ctx: RequestContext,
-    ) -> bool {
-        if self.compiled.is_empty() {
+    /// existence matters). The automaton walk short-circuits on the
+    /// first candidate that survives the full check.
+    pub(crate) fn any_match(&self, view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        if self.matchers.is_empty() {
             return false;
         }
         if crate::stats::enabled() {
-            return self.any_match_counted(rules, view, ctx);
+            return self.any_match_counted(view, ctx);
         }
-        self.residual
-            .iter()
-            .any(|&i| self.applies(i, rules, view, ctx))
-            || (!self.buckets.is_empty()
-                && host_suffixes(view.host).any(|suffix| {
-                    self.buckets
-                        .get(suffix)
-                        .is_some_and(|ids| ids.iter().any(|&i| self.applies(i, rules, view, ctx)))
-                }))
+        let part = self.partition(ctx.kind);
+        if let Some(auto) = self.automaton_of(part) {
+            let mut state = 0u32;
+            for &b in view.text.as_bytes() {
+                state = auto.step(state, b);
+                for &id in auto.outputs(state) {
+                    if self.applies(id, view, ctx) {
+                        return true;
+                    }
+                }
+            }
+        }
+        if part.always.iter().any(|&i| self.applies(i, view, ctx)) {
+            return true;
+        }
+        host_suffixes(view.host).any(|suffix| {
+            self.bucket_ids(part, suffix)
+                .is_some_and(|ids| ids.iter().any(|&i| self.applies(i, view, ctx)))
+        })
     }
 
     /// [`RuleIndex::any_match`] with the global cells fed — same
     /// result, same probe order.
     #[cold]
-    fn any_match_counted(&self, rules: &[Rule], view: &UrlView<'_>, ctx: RequestContext) -> bool {
+    fn any_match_counted(&self, view: &UrlView<'_>, ctx: RequestContext) -> bool {
+        let part = self.partition(ctx.kind);
         let (mut probes, mut candidates, mut residual_checks) = (0u64, 0u64, 0u64);
-        let hit = self.residual.iter().any(|&i| {
-            residual_checks += 1;
-            self.applies(i, rules, view, ctx)
-        }) || (!self.buckets.is_empty()
-            && host_suffixes(view.host).any(|suffix| {
-                self.buckets.get(suffix).is_some_and(|ids| {
+        let mut walks = 0u64;
+        let mut hit = false;
+        if let Some(auto) = self.automaton_of(part) {
+            walks = 1;
+            let mut state = 0u32;
+            'walk: for &b in view.text.as_bytes() {
+                state = auto.step(state, b);
+                for &id in auto.outputs(state) {
+                    residual_checks += 1;
+                    if self.applies(id, view, ctx) {
+                        hit = true;
+                        break 'walk;
+                    }
+                }
+            }
+        }
+        hit =
+            hit || part.always.iter().any(|&i| {
+                residual_checks += 1;
+                self.applies(i, view, ctx)
+            }) || host_suffixes(view.host).any(|suffix| {
+                self.bucket_ids(part, suffix).is_some_and(|ids| {
                     probes += 1;
                     ids.iter().any(|&i| {
                         candidates += 1;
-                        self.applies(i, rules, view, ctx)
+                        self.applies(i, view, ctx)
                     })
                 })
-            }));
+            });
         let distance = hit.then_some(candidates + residual_checks);
-        crate::stats::note_query(probes, candidates, residual_checks, distance);
+        crate::stats::note_query(probes, candidates, residual_checks, walks, distance);
         hit
+    }
+}
+
+/// An open-addressed domain *set* over an arena — the hosts-list
+/// counterpart of [`BucketTable`], sharing its hash and layout so it
+/// serializes the same way.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DomainSet {
+    pub(crate) arena: Box<str>,
+    pub(crate) mask: u32,
+    /// `(off, len)` spans; empty slots have `off == u32::MAX`.
+    pub(crate) slots: Vec<Span>,
+    pub(crate) len: u32,
+}
+
+impl DomainSet {
+    /// Builds the set from deduplicated domains (callers sort for a
+    /// deterministic slot layout).
+    pub(crate) fn build(domains: &[String]) -> DomainSet {
+        if domains.is_empty() {
+            return DomainSet::default();
+        }
+        let mut arena = String::new();
+        let spans: Vec<Span> = domains.iter().map(|d| intern(&mut arena, d)).collect();
+        let arena: Box<str> = arena.into_boxed_str();
+        let cap = (domains.len() * 2).next_power_of_two().max(4);
+        let mask = (cap - 1) as u32;
+        let mut slots = vec![
+            Span {
+                off: EMPTY_SLOT,
+                len: 0
+            };
+            cap
+        ];
+        for span in spans {
+            let mut at = (fx_hash(span.of(&arena).as_bytes()) & u64::from(mask)) as usize;
+            while slots[at].off != EMPTY_SLOT {
+                at = (at + 1) & mask as usize;
+            }
+            slots[at] = span;
+        }
+        DomainSet {
+            arena,
+            mask,
+            slots,
+            len: domains.len() as u32,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact membership probe.
+    #[inline]
+    pub(crate) fn contains(&self, key: &str) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mut at = (fx_hash(key.as_bytes()) & u64::from(self.mask)) as usize;
+        loop {
+            let slot = self.slots[at];
+            if slot.off == EMPTY_SLOT {
+                return false;
+            }
+            if slot.of(&self.arena) == key {
+                return true;
+            }
+            at = (at + 1) & self.mask as usize;
+        }
+    }
+
+    /// Whether `host` or any dot-boundary suffix of it is in the set —
+    /// hosts-list semantics (a listed domain blocks its subdomains).
+    #[inline]
+    pub(crate) fn blocks_host(&self, host: &str) -> bool {
+        !self.is_empty() && host_suffixes(host).any(|suffix| self.contains(suffix))
     }
 }
 
@@ -345,19 +844,6 @@ mod tests {
     }
 
     #[test]
-    fn compiled_pattern_mirrors_wildcard_semantics() {
-        let p = CompiledPattern::compile("/track/*/pixel", true, false);
-        assert!(p.matches("/track/v2/pixel.gif"));
-        assert!(!p.matches("/track/pixel"));
-        // All-star patterns match everything, end separator or not.
-        let p = CompiledPattern::compile("**", false, true);
-        assert!(p.matches("anything"));
-        // A trailing star swallows the end-separator requirement.
-        let p = CompiledPattern::compile("/pixel*", false, true);
-        assert!(p.matches("/pixels"));
-    }
-
-    #[test]
     fn stats_count_probes_candidates_and_distances() {
         use crate::matcher::{FilterList, RequestContext};
         use crate::rule::ResourceKind;
@@ -372,24 +858,33 @@ mod tests {
             kind: ResourceKind::Other,
         };
         let hit: Url = "http://pixel.ads.example.de/1x1.gif".parse().unwrap();
-        let miss: Url = "http://static.content.de/app.js".parse().unwrap();
+        let telem: Url = "http://static.content.de/telemetry/collect?x=1"
+            .parse()
+            .unwrap();
 
         crate::stats::reset();
         crate::stats::enable();
         assert!(list.matches(&hit, ctx));
-        assert!(!list.matches(&miss, ctx));
+        assert!(list.matches(&telem, ctx));
         crate::stats::disable();
         let stats = crate::stats::snapshot();
 
         // Other tests may race the global cells between enable and
         // disable, so assert lower bounds only.
         assert!(stats.queries >= 2, "both matches queried the index");
-        assert!(stats.hits >= 1);
+        assert!(stats.hits >= 2);
         assert!(
             stats.bucket_probes >= 1,
             "the hit URL probed its host-suffix bucket"
         );
-        assert!(stats.residual_checks >= 1, "the residual rule was scanned");
+        assert!(
+            stats.residual_walks >= 2,
+            "both queries walked the residual automaton"
+        );
+        assert!(
+            stats.residual_checks >= 1,
+            "the telemetry URL surfaced the residual rule as a candidate"
+        );
         assert!(stats.first_match_distance.count >= 1);
         assert!(stats.rules_per_query() > 0.0);
 
@@ -407,10 +902,94 @@ mod tests {
             .collect();
         assert_eq!(rules.len(), 3);
         let index = RuleIndex::build(&rules);
-        assert_eq!(index.compiled.len(), 3);
-        // Only the last rule got a bucket; the first two can never match.
-        assert_eq!(index.buckets.len(), 1);
-        assert!(index.buckets.contains_key("real.de"));
-        assert!(index.residual.is_empty());
+        assert_eq!(index.matchers.len(), 3);
+        assert_eq!(index.matchers[0].tag, TAG_NEVER);
+        assert_eq!(index.matchers[1].tag, TAG_NEVER);
+        assert_eq!(index.matchers[2].tag, TAG_DOMAIN);
+        // No kind-constrained rule -> one shared partition, one domain.
+        assert_eq!(index.partitions.len(), 1);
+        assert_eq!(index.of_kind, [0, 0, 0, 0]);
+        let part = &index.partitions[0];
+        assert_eq!(part.ids, vec![2]);
+        assert!(index.bucket_ids(part, "real.de").is_some());
+        assert!(index.bucket_ids(part, "fake.de").is_none());
+        assert_eq!(part.automaton, NO_AUTOMATON);
+        assert!(part.always.is_empty());
+    }
+
+    #[test]
+    fn kind_partitions_separate_constrained_rules() {
+        let rules: Vec<Rule> = ["||neutral.de^", "||pix.de^$image", "/lib$script", "/any"]
+            .iter()
+            .filter_map(|l| crate::rule::parse_adblock_line(l))
+            .collect();
+        let index = RuleIndex::build(&rules);
+        // Document/Other share a partition; Image and Script differ.
+        let doc = index.of_kind[kind_slot(ResourceKind::Document)];
+        let other = index.of_kind[kind_slot(ResourceKind::Other)];
+        let image = index.of_kind[kind_slot(ResourceKind::Image)];
+        let script = index.of_kind[kind_slot(ResourceKind::Script)];
+        assert_eq!(doc, other);
+        assert_ne!(doc, image);
+        assert_ne!(doc, script);
+        assert_ne!(image, script);
+        // The image partition buckets ["neutral.de", "pix.de"]; the
+        // document partition only the neutral domain.
+        let img_part = &index.partitions[image as usize];
+        assert!(index.bucket_ids(img_part, "pix.de").is_some());
+        let doc_part = &index.partitions[doc as usize];
+        assert!(index.bucket_ids(doc_part, "pix.de").is_none());
+        assert!(index.bucket_ids(doc_part, "neutral.de").is_some());
+        // The script partition's residual automaton covers both
+        // residual rules; the document partition's only "/any".
+        let script_part = &index.partitions[script as usize];
+        assert_ne!(script_part.automaton, NO_AUTOMATON);
+        assert_ne!(doc_part.automaton, script_part.automaton);
+    }
+
+    #[test]
+    fn residual_automaton_finds_only_real_candidates() {
+        use crate::matcher::{FilterList, RequestContext};
+        use crate::rule::ResourceKind;
+        use hbbtv_net::Url;
+        let lines: Vec<String> = (0..200).map(|i| format!("/frag{i}/")).collect();
+        let list = FilterList::parse_adblock("t", &lines.join("\n"));
+        let ctx = RequestContext {
+            third_party: true,
+            kind: ResourceKind::Other,
+        };
+        let hit: Url = "http://x.de/frag123/pixel".parse().unwrap();
+        let miss: Url = "http://x.de/clean/path".parse().unwrap();
+        assert!(list.matches(&hit, ctx));
+        assert!(!list.matches(&miss, ctx));
+        match list.matching_rule(&hit, ctx) {
+            crate::matcher::MatchOutcome::Blocked(r) => assert_eq!(r.source, "/frag123/"),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_only_rules_live_on_the_always_list() {
+        let rules: Vec<Rule> = ["*", "/x"]
+            .iter()
+            .filter_map(|l| crate::rule::parse_adblock_line(l))
+            .collect();
+        assert_eq!(rules.len(), 2);
+        let index = RuleIndex::build(&rules);
+        assert_eq!(index.partitions[0].always, vec![0]);
+    }
+
+    #[test]
+    fn domain_set_probes_and_suffix_walks() {
+        let mut domains: Vec<String> = ["tracker.de", "ads.example.com"].map(String::from).to_vec();
+        domains.sort();
+        let set = DomainSet::build(&domains);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("tracker.de"));
+        assert!(!set.contains("nottracker.de"));
+        assert!(set.blocks_host("a.b.tracker.de"));
+        assert!(set.blocks_host("ads.example.com"));
+        assert!(!set.blocks_host("example.com"));
+        assert!(!DomainSet::default().blocks_host("tracker.de"));
     }
 }

@@ -40,6 +40,7 @@ pub mod bundled;
 mod engine;
 mod hosts;
 mod matcher;
+mod prebuilt;
 mod rule;
 pub mod stats;
 

@@ -209,25 +209,41 @@ fn is_separator(c: char) -> bool {
     !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '%'))
 }
 
+/// A sequence of `*`-separated literal parts, abstracted so the one
+/// backtracking matcher serves every storage layout: the per-call split
+/// (`&[&str]`), and the engine's arena-backed `(offset, len)` ranges
+/// (which can come straight out of a prebuilt image without
+/// materializing strings).
+pub(crate) trait Parts<'p>: Copy {
+    /// Splits off the first part, or `None` when exhausted.
+    fn split_first(self) -> Option<(&'p str, Self)>;
+}
+
+impl<'p, S: AsRef<str>> Parts<'p> for &'p [S] {
+    #[inline]
+    fn split_first(self) -> Option<(&'p str, Self)> {
+        <[S]>::split_first(self).map(|(p, rest)| (p.as_ref(), rest))
+    }
+}
+
 /// Recursive matcher over `*`-separated literal parts with backtracking.
 ///
 /// `anchored` requires the first part to match at the very start of
 /// `text`; every later part may match anywhere after the previous one
 /// (that is what the `*` between them means). When `end_sep` is set, the
 /// character right after the final matched part must be a separator (or
-/// the end of the text). Generic over the part representation so both
-/// the per-call split (`&[&str]`) and the engine's pre-split parts
-/// (`&[Box<str>]`) run through the same code.
-pub(crate) fn parts_match<S: AsRef<str>>(
+/// the end of the text). Generic over the part representation (see
+/// [`Parts`]) so the linear scan and the indexed/prebuilt engines run
+/// through exactly the same code.
+pub(crate) fn parts_match<'p, P: Parts<'p>>(
     text: &str,
-    parts: &[S],
+    parts: P,
     anchored: bool,
     end_sep: bool,
 ) -> bool {
     match parts.split_first() {
         None => !end_sep || text.is_empty() || text.chars().next().map(is_separator) == Some(true),
         Some((p, rest)) => {
-            let p = p.as_ref();
             if anchored {
                 match text.strip_prefix(p) {
                     Some(t) => parts_match(t, rest, false, end_sep),
@@ -269,7 +285,7 @@ fn wildcard_match(text: &str, pattern: &str, end_separator: bool) -> bool {
     let anchored = !pattern.starts_with('*');
     // A trailing `*` swallows the end-separator requirement.
     let end_sep = end_separator && !pattern.ends_with('*');
-    parts_match(text, &parts, anchored, end_sep)
+    parts_match(text, parts.as_slice(), anchored, end_sep)
 }
 
 /// Finds `pattern` anywhere inside `text`.
@@ -280,7 +296,7 @@ fn wildcard_find(text: &str, pattern: &str, end_separator: bool) -> bool {
     }
     let end_sep = end_separator && !pattern.ends_with('*');
     // Unanchored throughout: the first part may start anywhere.
-    parts_match(text, &parts, false, end_sep)
+    parts_match(text, parts.as_slice(), false, end_sep)
 }
 
 #[cfg(test)]

@@ -1,15 +1,21 @@
-//! Global match-engine instrumentation: bucket probes, residual scans,
-//! and first-match distances — the numbers that justify the indexed
-//! engine's speedup over the linear scan.
+//! Global match-engine instrumentation: bucket probes, residual
+//! automaton walks, and first-match distances — the numbers that
+//! justify the indexed engine's speedup over the linear scan.
 //!
-//! Counting is process-global and **off by default**; the only cost on
-//! the disabled path is one relaxed atomic load per index query, so the
-//! matcher benchmarks are unaffected. When several lists (or several
-//! threads) match concurrently, the totals are exact but not
-//! attributable to one caller — the cells are plain commutative
+//! Per-query counting is process-global and **off by default**; the
+//! only cost on the disabled path is one relaxed atomic load per index
+//! query, so the matcher benchmarks are unaffected. When several lists
+//! (or several threads) match concurrently, the totals are exact but
+//! not attributable to one caller — the cells are plain commutative
 //! counters, so enable/snapshot windows stay deterministic for
 //! single-threaded measurement passes (the bench runs one instrumented
 //! pass with counting on, outside its timed loops).
+//!
+//! Engine *construction* events ([`note_engine`](crate)) are recorded
+//! unconditionally — builds happen a handful of times per process, and
+//! the `engine.load_mode` question ("did this process parse its lists
+//! or map prebuilt images?") must be answerable without arming the
+//! per-query cells first.
 
 use hbbtv_obs::{Counter, Histogram, HistogramSummary};
 use serde::{Deserialize, Serialize};
@@ -23,8 +29,12 @@ struct Cells {
     bucket_probes: Counter,
     bucket_candidates: Counter,
     residual_checks: Counter,
+    residual_walks: Counter,
     hits: Counter,
     first_match_distance: Histogram,
+    automaton_states: Counter,
+    engines_built: Counter,
+    engines_prebuilt: Counter,
 }
 
 fn cells() -> &'static Cells {
@@ -34,8 +44,12 @@ fn cells() -> &'static Cells {
         bucket_probes: Counter::new(),
         bucket_candidates: Counter::new(),
         residual_checks: Counter::new(),
+        residual_walks: Counter::new(),
         hits: Counter::new(),
         first_match_distance: Histogram::new(),
+        automaton_states: Counter::new(),
+        engines_built: Counter::new(),
+        engines_prebuilt: Counter::new(),
     })
 }
 
@@ -63,8 +77,12 @@ pub fn reset() {
     c.bucket_probes.reset();
     c.bucket_candidates.reset();
     c.residual_checks.reset();
+    c.residual_walks.reset();
     c.hits.reset();
     c.first_match_distance.reset();
+    c.automaton_states.reset();
+    c.engines_built.reset();
+    c.engines_prebuilt.reset();
 }
 
 /// Folds one finished index query into the global cells.
@@ -74,6 +92,7 @@ pub(crate) fn note_query(
     bucket_probes: u64,
     bucket_candidates: u64,
     residual_checks: u64,
+    residual_walks: u64,
     hit_distance: Option<u64>,
 ) {
     let c = cells();
@@ -81,9 +100,24 @@ pub(crate) fn note_query(
     c.bucket_probes.add(bucket_probes);
     c.bucket_candidates.add(bucket_candidates);
     c.residual_checks.add(residual_checks);
+    c.residual_walks.add(residual_walks);
     if let Some(distance) = hit_distance {
         c.hits.inc();
         c.first_match_distance.record(distance);
+    }
+}
+
+/// Records one engine construction: `states` DFA states materialized,
+/// via a prebuilt image (`prebuilt`) or by parsing list text. Called
+/// unconditionally — construction is rare and `load_mode` must not
+/// depend on the per-query switch.
+pub(crate) fn note_engine(states: u64, prebuilt: bool) {
+    let c = cells();
+    c.automaton_states.add(states);
+    if prebuilt {
+        c.engines_prebuilt.inc();
+    } else {
+        c.engines_built.inc();
     }
 }
 
@@ -96,13 +130,25 @@ pub struct MatcherStats {
     pub bucket_probes: u64,
     /// Rules examined out of probed buckets.
     pub bucket_candidates: u64,
-    /// Rules examined from the residual (non-domain-anchored) list.
+    /// Residual rules examined after surviving the automaton prefilter
+    /// (plus the always-check list) — the linear engine's version of
+    /// this number was the full residual rule count per query.
     pub residual_checks: u64,
+    /// Residual automaton walks performed (≤ 1 per query; 0 when the
+    /// partition has no residual rules with a literal part).
+    pub residual_walks: u64,
     /// Queries that found a matching rule.
     pub hits: u64,
     /// Rules examined before each hit decided (the indexed engine's
     /// answer to "how far did we scan?").
     pub first_match_distance: HistogramSummary,
+    /// Total DFA states across every residual automaton constructed
+    /// this process (counted at build/load, not gated on [`enable`]).
+    pub automaton_states: u64,
+    /// Engines built by parsing list text.
+    pub engines_built: u64,
+    /// Engines loaded from prebuilt (HBFL) images.
+    pub engines_prebuilt: u64,
 }
 
 impl MatcherStats {
@@ -112,6 +158,17 @@ impl MatcherStats {
             0.0
         } else {
             (self.bucket_candidates + self.residual_checks) as f64 / self.queries as f64
+        }
+    }
+
+    /// How this process obtained its engines: `"parsed"`, `"prebuilt"`,
+    /// `"mixed"`, or `"none"` when no engine has been constructed.
+    pub fn load_mode(&self) -> &'static str {
+        match (self.engines_built > 0, self.engines_prebuilt > 0) {
+            (true, true) => "mixed",
+            (false, true) => "prebuilt",
+            (true, false) => "parsed",
+            (false, false) => "none",
         }
     }
 }
@@ -124,7 +181,11 @@ pub fn snapshot() -> MatcherStats {
         bucket_probes: c.bucket_probes.get(),
         bucket_candidates: c.bucket_candidates.get(),
         residual_checks: c.residual_checks.get(),
+        residual_walks: c.residual_walks.get(),
         hits: c.hits.get(),
         first_match_distance: c.first_match_distance.summary(),
+        automaton_states: c.automaton_states.get(),
+        engines_built: c.engines_built.get(),
+        engines_prebuilt: c.engines_prebuilt.get(),
     }
 }

@@ -1,0 +1,80 @@
+//! Golden-image test for the HBFL prebuilt engine format.
+//!
+//! The checked-in `tests/golden/easylist.hbfl` pins the serialized
+//! form of the bundled EasyList snapshot. Encoding drift (a field
+//! reordered, a width changed, a hash function touched) fails here
+//! before it can silently invalidate prebuilt images in the field —
+//! any such change must bump the HBFL version and re-bless the golden:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p hbbtv-filterlists --test golden_prebuilt
+//! ```
+
+use hbbtv_filterlists::{bundled, FilterList, MatchOutcome, RequestContext, ResourceKind};
+use hbbtv_net::Url;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/easylist.hbfl")
+}
+
+#[test]
+fn golden_easylist_image_is_stable_and_loads() {
+    let list = bundled::easylist();
+    let image = list.to_prebuilt();
+
+    let path = golden_path();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &image).expect("write golden image");
+        return;
+    }
+
+    let golden = std::fs::read(&path).expect(
+        "tests/golden/easylist.hbfl missing — regenerate with \
+         BLESS_GOLDEN=1 cargo test -p hbbtv-filterlists --test golden_prebuilt",
+    );
+    assert_eq!(
+        golden, image,
+        "HBFL encoding drifted from the checked-in golden image; \
+         bump the format version and re-bless with BLESS_GOLDEN=1"
+    );
+
+    // The golden image must load and answer byte-identically to the
+    // freshly parsed engine on a URL sample that exercises hosts,
+    // domain buckets, residual rules, and misses.
+    let loaded = FilterList::from_prebuilt(&golden).expect("golden image loads");
+    assert_eq!(loaded.name(), list.name());
+    assert_eq!(loaded.len(), list.len());
+    let urls = [
+        "http://ad.doubleclick.net/pixel",
+        "http://cdn.adsafeprotected.com/x.js",
+        "http://tvping.com/track?id=1",
+        "http://example.de/page/1",
+        "http://an.xiti.com/hit.gif",
+        "http://clean.example/banner/ad.png",
+    ];
+    let mut matched = 0;
+    for text in urls {
+        let url: Url = text.parse().expect("well-formed sample URL");
+        for third in [false, true] {
+            for kind in [
+                ResourceKind::Other,
+                ResourceKind::Image,
+                ResourceKind::Script,
+            ] {
+                let ctx = RequestContext {
+                    third_party: third,
+                    kind,
+                };
+                let a = list.matching_rule(&url, ctx);
+                let b = loaded.matching_rule(&url, ctx);
+                assert_eq!(a, b, "golden engine diverged on {text}");
+                if !matches!(a, MatchOutcome::NoMatch) {
+                    matched += 1;
+                }
+            }
+        }
+    }
+    assert!(matched > 0, "sample never hit the list — test is vacuous");
+}

@@ -24,7 +24,7 @@
 
 use crate::annotate;
 use crate::gdpr::{GdprArticle, LegalBasis};
-use std::collections::VecDeque;
+use hbbtv_automaton::Automaton;
 use std::sync::OnceLock;
 
 /// Semantic needle groups, one bit each in the scan result.
@@ -76,14 +76,17 @@ pub(crate) fn hit(bits: u64, group: u32) -> bool {
     bits & (1u64 << group) != 0
 }
 
-/// A dense-table Aho–Corasick automaton over the annotation needles.
+/// The shared Aho–Corasick DFA ([`hbbtv_automaton::Automaton`])
+/// specialized to group-bitset scanning.
 ///
-/// States are rows of a `states × 256` transition table (the needle set
-/// is small enough that the table stays around a megabyte and every
-/// byte is one indexed load); each state carries the `u64` group bitset
-/// of every needle ending at or failing into it.
+/// The automaton reports needle *ids*; this wrapper collapses each
+/// state's closed output set into a precomputed `u64` group bitset at
+/// build time, so the scan loop stays exactly what it was before the
+/// automaton was extracted into its own crate: one transition plus one
+/// `bits |=` per byte, no per-match callback.
 pub(crate) struct KeywordScanner {
-    trans: Vec<u32>,
+    auto: Automaton,
+    /// Per-state OR of `1 << group` over the state's closed outputs.
     out: Vec<u64>,
 }
 
@@ -91,58 +94,23 @@ impl KeywordScanner {
     /// Builds the automaton from `(needle, group)` pairs. Needles must
     /// already be lowercase (they are string literals in this crate).
     fn build(needles: &[(&str, u32)]) -> KeywordScanner {
-        const VACANT: u32 = u32::MAX;
-        let mut edges: Vec<[u32; 256]> = vec![[VACANT; 256]];
-        let mut out: Vec<u64> = vec![0];
-        for &(needle, grp) in needles {
-            debug_assert_eq!(needle, needle.to_lowercase(), "needles must be lowercase");
-            let mut s = 0usize;
-            for &b in needle.as_bytes() {
-                let next = edges[s][b as usize];
-                s = if next == VACANT {
-                    edges.push([VACANT; 256]);
-                    out.push(0);
-                    let id = (edges.len() - 1) as u32;
-                    edges[s][b as usize] = id;
-                    id as usize
-                } else {
-                    next as usize
-                };
-            }
-            out[s] |= 1u64 << grp;
-        }
-
-        // Breadth-first failure-link computation, fused with the DFA
-        // conversion: after a state is visited, its row is total and its
-        // output includes every suffix match.
-        let mut fail = vec![0u32; edges.len()];
-        let mut queue = VecDeque::new();
-        for slot in edges[0].iter_mut() {
-            if *slot == VACANT {
-                *slot = 0;
-            } else {
-                fail[*slot as usize] = 0;
-                queue.push_back(*slot);
-            }
-        }
-        while let Some(s) = queue.pop_front() {
-            let f = fail[s as usize] as usize;
-            out[s as usize] |= out[f];
-            let fail_row = edges[f];
-            for (slot, via_fail) in edges[s as usize].iter_mut().zip(fail_row) {
-                if *slot == VACANT {
-                    *slot = via_fail;
-                } else {
-                    fail[*slot as usize] = via_fail;
-                    queue.push_back(*slot);
-                }
-            }
-        }
-
-        KeywordScanner {
-            trans: edges.iter().flatten().copied().collect(),
-            out,
-        }
+        debug_assert!(
+            needles.iter().all(|&(n, _)| n == n.to_lowercase()),
+            "needles must be lowercase"
+        );
+        let pairs: Vec<(&[u8], u32)> = needles
+            .iter()
+            .map(|&(needle, grp)| (needle.as_bytes(), grp))
+            .collect();
+        let auto = Automaton::build(&pairs);
+        let out: Vec<u64> = (0..auto.n_states())
+            .map(|s| {
+                auto.outputs(s)
+                    .iter()
+                    .fold(0u64, |bits, &grp| bits | (1u64 << grp))
+            })
+            .collect();
+        KeywordScanner { auto, out }
     }
 
     /// Scans `text` in one pass and returns the group bitset.
@@ -152,19 +120,19 @@ impl KeywordScanner {
     /// allocation, and the byte stream fed to the automaton equals
     /// `text.to_lowercase()` wherever a needle could match.
     pub(crate) fn scan(&self, text: &str) -> u64 {
-        let mut state = 0usize;
+        let mut state = 0u32;
         let mut bits = 0u64;
         let mut buf = [0u8; 4];
         for c in text.chars() {
             if c.is_ascii() {
                 let b = (c as u8).to_ascii_lowercase();
-                state = self.trans[state * 256 + b as usize] as usize;
-                bits |= self.out[state];
+                state = self.auto.step(state, b);
+                bits |= self.out[state as usize];
             } else {
                 for lc in c.to_lowercase() {
                     for &b in lc.encode_utf8(&mut buf).as_bytes() {
-                        state = self.trans[state * 256 + b as usize] as usize;
-                        bits |= self.out[state];
+                        state = self.auto.step(state, b);
+                        bits |= self.out[state as usize];
                     }
                 }
             }

@@ -6,6 +6,9 @@
 #     scripts/check.sh                # full gate
 #     scripts/check.sh --quick        # fmt + clippy only (fast inner loop)
 #     scripts/check.sh --bench-smoke  # also smoke-run the matcher benches
+#     scripts/check.sh --matcher-smoke # also regenerate BENCH_matcher.json
+#                                     # at 10^2..10^5 rules and assert the
+#                                     # indexed engine's scaling contract
 #     scripts/check.sh --obs-smoke    # also run a journaled study and
 #                                     # verify the journal + golden snapshot
 #     scripts/check.sh --analysis-smoke  # also run the frame-vs-naive
@@ -31,6 +34,7 @@ set -eu
 
 quick=0
 bench_smoke=0
+matcher_smoke=0
 obs_smoke=0
 analysis_smoke=0
 pool_smoke=0
@@ -41,6 +45,7 @@ for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
         --bench-smoke) bench_smoke=1 ;;
+        --matcher-smoke) matcher_smoke=1 ;;
         --obs-smoke) obs_smoke=1 ;;
         --analysis-smoke) analysis_smoke=1 ;;
         --pool-smoke) pool_smoke=1 ;;
@@ -49,6 +54,7 @@ for arg in "$@"; do
         --status-smoke) status_smoke=1 ;;
         --all-smokes)
             bench_smoke=1
+            matcher_smoke=1
             obs_smoke=1
             analysis_smoke=1
             pool_smoke=1
@@ -57,7 +63,7 @@ for arg in "$@"; do
             status_smoke=1
             ;;
         *)
-            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke] [--frame-smoke] [--status-smoke] [--all-smokes]" >&2
+            echo "usage: scripts/check.sh [--quick] [--bench-smoke] [--matcher-smoke] [--obs-smoke] [--analysis-smoke] [--pool-smoke] [--ingest-smoke] [--frame-smoke] [--status-smoke] [--all-smokes]" >&2
             exit 2
             ;;
     esac
@@ -95,6 +101,56 @@ if [ "$bench_smoke" -eq 1 ]; then
     # PR that introduced the indexed engine.
     echo "==> matcher_bench (writes BENCH_matcher.json)"
     cargo run --release -p hbbtv-bench --bin matcher_bench BENCH_matcher.json
+fi
+
+if [ "$matcher_smoke" -eq 1 ]; then
+    # The indexed engine's scaling contract, measured on the 10^2..10^5
+    # synthetic sweep (the binary itself already asserts indexed ==
+    # linear == prebuilt outcomes at every scale before writing a row):
+    #   * speedup is monotone non-decreasing across 1k -> 10k -> 100k
+    #     (the pre-automaton engine regressed 39x -> 30x at the last
+    #     step it could measure);
+    #   * residual checks per query at 10^4 rules dropped >= 10x vs the
+    #     frozen pre-automaton baseline;
+    #   * the 10^5 row exists and its prebuilt image round-tripped.
+    echo "==> matcher_smoke (regenerates BENCH_matcher.json)"
+    cargo run --release -p hbbtv-bench --bin matcher_bench BENCH_matcher.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - BENCH_matcher.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = {row["rules"]: row for row in report["scales"]}
+for n in (1_000, 10_000, 100_000):
+    assert n in rows, f"missing {n}-rule row"
+
+s1k, s10k, s100k = (rows[n]["speedup"] for n in (1_000, 10_000, 100_000))
+assert s1k <= s10k <= s100k, \
+    f"speedup not monotone: 1k={s1k} 10k={s10k} 100k={s100k}"
+
+# Frozen baseline from the last pre-automaton BENCH_matcher.json
+# (linear residual scan): 13,824 residual checks over 87 queries at
+# 10^4 rules, i.e. ~158.9 checks/query.
+BASELINE_RESIDUAL_PER_QUERY = 13_824 / 87
+eng = rows[10_000]["engine"]
+per_query = eng["residual_checks"] / max(eng["queries"], 1)
+assert per_query <= BASELINE_RESIDUAL_PER_QUERY / 10, \
+    f"residual checks/query at 10^4 = {per_query:.1f}, " \
+    f"needs <= {BASELINE_RESIDUAL_PER_QUERY / 10:.1f}"
+
+big = rows[100_000]
+assert big["prebuilt"]["outcome_parity"] is True
+assert big["prebuilt"]["load"]["load_mode"] == "prebuilt"
+assert big["engine"]["first_match_p50"] < big["engine"]["first_match_p99"], \
+    "first-match histogram is degenerate at 10^5"
+
+print(f"matcher smoke OK: speedup {s1k:.0f}x -> {s10k:.0f}x -> {s100k:.0f}x, "
+      f"residual/query {per_query:.2f} (baseline {BASELINE_RESIDUAL_PER_QUERY:.1f})")
+EOF
+    else
+        echo "python3 unavailable; skipping BENCH_matcher.json assertions" >&2
+    fi
 fi
 
 if [ "$obs_smoke" -eq 1 ]; then
